@@ -1,0 +1,178 @@
+// Command due-solve solves a linear system from a Matrix Market file (or a
+// built-in generator) with one of the resilient solvers, optionally
+// injecting DUEs at a chosen rate, and reports convergence and recovery
+// statistics.
+//
+// Usage:
+//
+//	due-solve -matrix system.mtx -method afeir -rate 2
+//	due-solve -gen thermal2 -n 20000 -method feir -precond -rate 5
+//	due-solve -gen poisson3d -n 32768 -solver gmres
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func main() {
+	matrixPath := flag.String("matrix", "", "Matrix Market file (coordinate real)")
+	gen := flag.String("gen", "", "built-in generator: one of the paper analogues, or poisson2d / poisson3d")
+	n := flag.Int("n", 10000, "dimension for -gen workloads")
+	method := flag.String("method", "afeir", "ideal | trivial | lossy | ckpt | feir | afeir")
+	solverName := flag.String("solver", "cg", "cg | bicgstab | gmres")
+	precond := flag.Bool("precond", false, "use the block-Jacobi preconditioner (cg only)")
+	rate := flag.Float64("rate", 0, "expected DUEs per solver run (0 = no injection)")
+	tol := flag.Float64("tol", 1e-10, "relative residual tolerance")
+	workers := flag.Int("workers", 8, "task-pool size")
+	seed := flag.Int64("seed", 1, "injection seed")
+	flag.Parse()
+
+	a, b, err := loadSystem(*matrixPath, *gen, *n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := core.Config{
+		Method:     m,
+		Workers:    *workers,
+		Tol:        *tol,
+		UsePrecond: *precond,
+	}
+	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v\n",
+		a.N, a.NNZ(), m, *solverName, *precond)
+
+	switch *solverName {
+	case "cg":
+		runCG(a, b, cfg, *rate, *seed)
+	case "bicgstab":
+		sv, err := core.NewBiCGStab(a, b, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, _, err := sv.Run()
+		report(res, err)
+	case "gmres":
+		sv, err := core.NewGMRES(a, b, 30, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, _, err := sv.Run()
+		report(res, err)
+	default:
+		fatalf("unknown solver %q", *solverName)
+	}
+}
+
+func runCG(a *sparse.CSR, b []float64, cfg core.Config, rate float64, seed int64) {
+	cg, err := core.NewCG(a, b, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var in *inject.Injector
+	if rate > 0 {
+		// Estimate the ideal time with a short probe run to normalise the
+		// MTBE like the paper (§5.3).
+		probe, err := core.NewCG(a, b, core.Config{Method: core.MethodIdeal, Workers: cfg.Workers, Tol: cfg.Tol, UsePrecond: cfg.UsePrecond})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pres, err := probe.Run()
+		if err != nil {
+			fatalf("probe: %v", err)
+		}
+		mtbe := time.Duration(pres.Elapsed.Seconds() / rate * float64(time.Second))
+		fmt.Printf("ideal time %v -> MTBE %v (rate %g)\n", pres.Elapsed.Round(time.Millisecond), mtbe.Round(time.Millisecond), rate)
+		in = inject.NewInjector(cg.Space(), cg.DynamicVectors(), mtbe, seed)
+		in.Start()
+		defer in.Stop()
+	}
+	res, err := cg.Run()
+	report(res, err)
+}
+
+func report(res core.Result, err error) {
+	if err != nil {
+		fatalf("solve: %v", err)
+	}
+	fmt.Printf("converged=%v iterations=%d elapsed=%v trueResidual=%.3e\n",
+		res.Converged, res.Iterations, res.Elapsed.Round(time.Millisecond), res.RelResidual)
+	s := res.Stats
+	fmt.Printf("faults=%d recovered: forward=%d inverse=%d coupled=%d qRecomputed=%d precondPartial=%d\n",
+		s.FaultsSeen, s.RecoveredForward, s.RecoveredInverse, s.RecoveredCoupled, s.RecomputedQ, s.PrecondPartialApplies)
+	fmt.Printf("contributionsLost=%d unrecovered=%d lossyInterp=%d restarts=%d rollbacks=%d checkpoints=%d\n",
+		s.ContributionsLost, s.Unrecovered, s.LossyInterpolations, s.Restarts, s.Rollbacks, s.CheckpointsWritten)
+}
+
+func loadSystem(path, gen string, n int) (*sparse.CSR, []float64, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		a, err := matgen.ReadMatrixMarket(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, matgen.Ones(a.N), nil
+	}
+	switch gen {
+	case "poisson2d":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		a := matgen.Poisson2D(side, side)
+		return a, matgen.Ones(a.N), nil
+	case "poisson3d":
+		side := 1
+		for side*side*side < n {
+			side++
+		}
+		a := matgen.Poisson3D27(side, side, side)
+		return a, matgen.Ones(a.N), nil
+	case "":
+		return nil, nil, fmt.Errorf("provide -matrix or -gen (analogues: %s)", strings.Join(matgen.PaperMatrixNames, ", "))
+	default:
+		a, err := matgen.PaperMatrix(gen, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, matgen.Ones(a.N), nil
+	}
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToLower(s) {
+	case "ideal":
+		return core.MethodIdeal, nil
+	case "trivial":
+		return core.MethodTrivial, nil
+	case "lossy":
+		return core.MethodLossy, nil
+	case "ckpt", "checkpoint":
+		return core.MethodCheckpoint, nil
+	case "feir":
+		return core.MethodFEIR, nil
+	case "afeir":
+		return core.MethodAFEIR, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// GMRES Arnoldi-basis recovery (§3.1.3): the Hessenberg matrix built by
+// the Arnoldi process is itself the redundancy that protects the basis —
+// any lost basis-vector page is rebuilt from
+//
+//	v_l = (A v_{l-1} - Σ_{k<l} h_{k,l-1} v_k) / h_{l,l-1}
+//
+// This example solves a non-symmetric system with resilient GMRES(20)
+// while DUEs strike several Arnoldi vectors mid-cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func main() {
+	// A convection-diffusion-like non-symmetric operator.
+	n := 4000
+	var tr []sparse.Triplet
+	for i := 0; i < n; i++ {
+		tr = append(tr, sparse.Triplet{Row: i, Col: i, Val: 4})
+		if i > 0 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i - 1, Val: -1.5})
+		}
+		if i < n-1 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i + 1, Val: -0.5})
+		}
+	}
+	a := sparse.NewCSRFromTriplets(n, n, tr)
+	want := matgen.RandomVector(n, 99)
+	b := make([]float64, n)
+	a.MulVec(want, b)
+	fmt.Printf("non-symmetric system: n=%d nnz=%d\n", a.N, a.NNZ())
+
+	cfg := core.Config{PageDoubles: 256, Tol: 1e-10}
+	sv, err := core.NewGMRES(a, b, 20, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.OnIteration = func(it int, rel float64) {
+		// Strike three different Arnoldi vectors as the basis grows.
+		switch it {
+		case 5:
+			sv.Space().VectorByName("v2").Poison(3)
+		case 9:
+			sv.Space().VectorByName("v7").Poison(11)
+		case 26:
+			sv.Space().VectorByName("x").Poison(6)
+		}
+	}
+	sv, err = core.NewGMRES(a, b, 20, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, x, err := sv.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxErr float64
+	for i := range x {
+		if d := x[i] - want[i]; d > maxErr || -d > maxErr {
+			if d < 0 {
+				d = -d
+			}
+			maxErr = d
+		}
+	}
+	fmt.Printf("converged=%v in %d Arnoldi steps (%v)\n",
+		res.Converged, res.Iterations, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("true residual %.3e, max solution error %.3e\n", res.RelResidual, maxErr)
+	fmt.Printf("faults=%d, basis/iterate pages rebuilt: %d forward + %d inverse, unrecovered=%d\n",
+		res.Stats.FaultsSeen, res.Stats.RecoveredForward, res.Stats.RecoveredInverse, res.Stats.Unrecovered)
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+)
+
+// ResilientBiCGStab protects BiCGStab (Listing 3) with the redundancy
+// relations of §3.1.2. The direction d is double-buffered (as in CG); the
+// shadow residual r̂0 is constant and therefore, like A and b, assumed to
+// live in reliably-stored constant data (§2.1). The intermediate vectors
+// s and t are fully regenerated every iteration, so page losses in them
+// heal by overwrite; losses in x, g, d and q are repaired exactly through
+//
+//	g = b - A x            (conserved, verified in §3.1.2)
+//	x = A⁻¹(b - g)         (inverse, LU diagonal blocks: A may be non-SPD)
+//	q = A d  /  d = A⁻¹ q  (forward / inverse, with the old q preserved
+//	                        by double buffering)
+//
+// Errors are detected and repaired at iteration boundaries. It returns
+// the result, the solution vector and the resilience statistics.
+type BiCGStabSolver struct {
+	cfg     Config
+	a       *sparse.CSR
+	b       []float64
+	bnorm   float64
+	layout  sparse.BlockLayout
+	np      int
+	space   *pagemem.Space
+	x, g, q *pagemem.Vector
+	d       [2]*pagemem.Vector
+	s, t    *pagemem.Vector
+	rhat    []float64
+	blocks  *sparse.BlockSolverCache
+	conn    [][]int
+	stats   Stats
+
+	// Scalars of the last completed iteration, used by the forward
+	// direction recovery. They live outside the page fault domain (the
+	// error model only kills memory pages, §5.3).
+	lastBeta, lastOmega float64
+	lastIter            int
+}
+
+// NewBiCGStab builds a resilient BiCGStab solver. Only MethodFEIR
+// semantics (exact recovery at boundaries) are implemented; cfg.Method is
+// ignored beyond enabling recovery.
+func NewBiCGStab(a *sparse.CSR, b []float64, cfg Config) (*BiCGStabSolver, error) {
+	if a.N != a.M {
+		return nil, fmt.Errorf("core: non-square matrix %dx%d", a.N, a.M)
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("core: rhs length %d for n=%d", len(b), a.N)
+	}
+	sv := &BiCGStabSolver{
+		cfg:    cfg,
+		a:      a,
+		b:      append([]float64(nil), b...),
+		layout: sparse.BlockLayout{N: a.N, BlockSize: cfg.pageDoubles()},
+	}
+	sv.bnorm = sparse.Norm2(b)
+	if sv.bnorm == 0 {
+		sv.bnorm = 1
+	}
+	sv.np = sv.layout.NumBlocks()
+	sv.space = pagemem.NewSpace(a.N, cfg.pageDoubles())
+	sv.x = sv.space.AddVector("x")
+	sv.g = sv.space.AddVector("g")
+	sv.q = sv.space.AddVector("q")
+	sv.d[0] = sv.space.AddVector("d0")
+	sv.d[1] = sv.space.AddVector("d1")
+	sv.s = sv.space.AddVector("s")
+	sv.t = sv.space.AddVector("t")
+	sv.rhat = make([]float64, a.N)
+	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false) // LU: general A
+	sv.conn = pageConnectivity(a, sv.layout)
+	sv.lastIter = -1
+	return sv, nil
+}
+
+// Space exposes the fault domain for error injection.
+func (sv *BiCGStabSolver) Space() *pagemem.Space { return sv.space }
+
+// Run executes the resilient solve.
+func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
+	start := time.Now()
+	tol := sv.cfg.tol()
+	maxIter := sv.cfg.maxIter(sv.a.N)
+
+	// g, r̂0, d ⇐ b - A x (x = 0). The initial direction goes into d[1],
+	// which is the dPrev buffer of iteration 0.
+	copy(sv.g.Data, sv.b)
+	copy(sv.rhat, sv.b)
+	copy(sv.d[1].Data, sv.b)
+	rho := sparse.Dot(sv.g.Data, sv.rhat)
+
+	var it int
+	converged := false
+	for it = 0; it < maxIter; it++ {
+		rel := sparse.Norm2(sv.g.Data) / sv.bnorm
+		if sv.cfg.OnIteration != nil {
+			sv.cfg.OnIteration(it, rel)
+		}
+		if rel < tol {
+			converged = true
+			break
+		}
+		cur, prev := it%2, (it+1)%2
+		dPrev, dCur := sv.d[prev], sv.d[cur]
+		// At this boundary dPrev is the freshly built direction (forward
+		// relation d = g + β(dOld - ω q)) and dCur still holds LAST
+		// iteration's direction, paired with q by q = A dOld.
+		sv.recoverBoundary(dPrev, dCur)
+
+		// q ⇐ A d.
+		sv.a.MulVec(dPrev.Data, sv.q.Data)
+		sv.clearByOverwrite(sv.q)
+		qr := sparse.Dot(sv.q.Data, sv.rhat)
+		if qr == 0 || math.IsNaN(qr) {
+			return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
+		}
+		alpha := rho / qr
+		// s ⇐ g - α q (full overwrite heals any s losses).
+		for i := range sv.s.Data {
+			sv.s.Data[i] = sv.g.Data[i] - alpha*sv.q.Data[i]
+		}
+		sv.clearByOverwrite(sv.s)
+		// t ⇐ A s.
+		sv.a.MulVec(sv.s.Data, sv.t.Data)
+		sv.clearByOverwrite(sv.t)
+		tt := sparse.Dot(sv.t.Data, sv.t.Data)
+		if tt == 0 {
+			sparse.Axpy(alpha, dPrev.Data, sv.x.Data)
+			copy(sv.g.Data, sv.s.Data)
+			it++
+			converged = sparse.Norm2(sv.g.Data)/sv.bnorm < tol
+			break
+		}
+		omega := sparse.Dot(sv.t.Data, sv.s.Data) / tt
+		// x ⇐ x + α d + ω s ;  g ⇐ s - ω t.
+		for i := range sv.x.Data {
+			sv.x.Data[i] += alpha*dPrev.Data[i] + omega*sv.s.Data[i]
+		}
+		for i := range sv.g.Data {
+			sv.g.Data[i] = sv.s.Data[i] - omega*sv.t.Data[i]
+		}
+		sv.clearByOverwrite(sv.g)
+		rhoOld := rho
+		rho = sparse.Dot(sv.g.Data, sv.rhat)
+		if rhoOld == 0 || omega == 0 || math.IsNaN(rho) {
+			return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
+		}
+		beta := rho / rhoOld * alpha / omega
+		// d_cur ⇐ g + β (d_prev - ω q): double-buffered, old q intact.
+		for i := range dCur.Data {
+			dCur.Data[i] = sv.g.Data[i] + beta*(dPrev.Data[i]-omega*sv.q.Data[i])
+		}
+		sv.clearByOverwrite(dCur)
+		sv.lastBeta, sv.lastOmega, sv.lastIter = beta, omega, it
+	}
+	return sv.finish(it, converged, start), sv.x.Data, nil
+}
+
+// ErrRecurrenceBreakdown reports a degenerate BiCGStab recurrence.
+var ErrRecurrenceBreakdown = fmt.Errorf("core: recurrence breakdown")
+
+func (sv *BiCGStabSolver) finish(it int, converged bool, start time.Time) Result {
+	r := make([]float64, sv.a.N)
+	sv.a.MulVec(sv.x.Data, r)
+	sparse.Sub(sv.b, r, r)
+	return Result{
+		Converged:   converged,
+		Iterations:  it,
+		RelResidual: sparse.Norm2(r) / sv.bnorm,
+		Elapsed:     time.Since(start),
+		Stats:       sv.stats,
+	}
+}
+
+// clearByOverwrite clears fault bits of a vector that was just fully
+// rewritten.
+func (sv *BiCGStabSolver) clearByOverwrite(v *pagemem.Vector) {
+	for _, p := range v.FailedPages() {
+		v.MarkRecovered(p)
+	}
+}
+
+// recoverBoundary repairs page losses at the iteration boundary. dNew is
+// the direction about to be consumed (built last iteration from
+// d = g + β(dOld - ω q)); dOld is last iteration's direction, paired with
+// q through q = A dOld. s and t heal by overwrite inside the iteration.
+func (sv *BiCGStabSolver) recoverBoundary(dNew, dOld *pagemem.Vector) {
+	evs := sv.space.ScramblePending()
+	sv.stats.FaultsSeen += len(evs)
+	if !sv.space.AnyFault() {
+		return
+	}
+	// s and t are rebuilt before use: just blank them.
+	for _, v := range []*pagemem.Vector{sv.s, sv.t} {
+		for _, p := range v.FailedPages() {
+			v.Remap(p)
+			v.MarkRecovered(p)
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		progress := false
+		// g = b - A x (needs x current at connected pages).
+		for _, p := range sv.g.FailedPages() {
+			if sv.x.AnyFailedInPages(sv.conn[p]) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			buf := make([]float64, hi-lo)
+			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, 0, 0)
+			for i := lo; i < hi; i++ {
+				sv.g.Data[i] = sv.b[i] - buf[i-lo]
+			}
+			sv.g.MarkRecovered(p)
+			sv.stats.RecoveredForward++
+			progress = true
+		}
+		// x = A⁻¹(b - g) per diagonal block.
+		for _, p := range sv.x.FailedPages() {
+			if sv.g.Failed(p) || sv.x.AnyFailedInPagesExcept(sv.conn[p], p) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			buf := make([]float64, hi-lo)
+			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, lo, hi)
+			for i := lo; i < hi; i++ {
+				buf[i-lo] = sv.b[i] - sv.g.Data[i] - buf[i-lo]
+			}
+			if err := sv.blocks.SolveDiagBlock(p, buf); err != nil {
+				continue
+			}
+			copy(sv.x.Data[lo:hi], buf)
+			sv.x.MarkRecovered(p)
+			sv.stats.RecoveredInverse++
+			progress = true
+		}
+		// dOld = A⁻¹ q (inverse through the preserved q pairing).
+		for _, p := range dOld.FailedPages() {
+			if sv.q.Failed(p) || dOld.AnyFailedInPagesExcept(sv.conn[p], p) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			buf := make([]float64, hi-lo)
+			sv.a.MulVecRangeExcludingCols(dOld.Data, buf, lo, hi, lo, hi)
+			for i := lo; i < hi; i++ {
+				buf[i-lo] = sv.q.Data[i] - buf[i-lo]
+			}
+			if err := sv.blocks.SolveDiagBlock(p, buf); err != nil {
+				continue
+			}
+			copy(dOld.Data[lo:hi], buf)
+			dOld.MarkRecovered(p)
+			sv.stats.RecoveredInverse++
+			progress = true
+		}
+		// q = A dOld.
+		for _, p := range sv.q.FailedPages() {
+			if dOld.AnyFailedInPages(sv.conn[p]) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			sv.a.MulVecRange(dOld.Data, sv.q.Data, lo, hi)
+			sv.q.MarkRecovered(p)
+			sv.stats.RecomputedQ++
+			progress = true
+		}
+		// dNew = g + β (dOld - ω q): re-run the forward update for lost
+		// pages of the fresh direction (scalars live in reliable memory).
+		for _, p := range dNew.FailedPages() {
+			if sv.g.Failed(p) || dOld.Failed(p) || sv.q.Failed(p) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			if sv.lastIter < 0 {
+				copy(dNew.Data[lo:hi], sv.g.Data[lo:hi]) // initial d = g
+			} else {
+				for i := lo; i < hi; i++ {
+					dNew.Data[i] = sv.g.Data[i] + sv.lastBeta*(dOld.Data[i]-sv.lastOmega*sv.q.Data[i])
+				}
+			}
+			dNew.MarkRecovered(p)
+			sv.stats.RecoveredForward++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	// Whatever is left is unrecoverable related data (§2.4): blank it.
+	for _, v := range sv.space.Vectors() {
+		for _, p := range v.FailedPages() {
+			v.Remap(p)
+			v.MarkRecovered(p)
+			sv.stats.Unrecovered++
+		}
+	}
+}

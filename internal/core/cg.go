@@ -1,0 +1,635 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pagemem"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// CG is the paper's task-parallel Conjugate Gradient (Listing 1/Listing 5)
+// with a pluggable resilience method. Strip-mined tasks follow the
+// Figure 1 decomposition; the FEIR/AFEIR variants use the double-buffered
+// direction of Listing 2, per-page fault bitmasks and version stamps, and
+// the recovery tasks r1/r2/r3 of Figure 1(b).
+//
+// Versioning convention: within iteration t, phase 1 produces d and q at
+// version t, phase 2 produces x, g (and z) at version t. A page is
+// "current" when its stamp equals the expected version and its fault bit
+// is clear. Skipped tasks leave the previous version (and its stamp) in
+// place, which is what makes the old-q/dPrev recovery of §3.1.1 possible.
+type CG struct {
+	cfg    Config
+	a      *sparse.CSR
+	b      []float64
+	bnorm  float64
+	layout sparse.BlockLayout
+	np     int
+
+	space   *pagemem.Space
+	x, g, q *pagemem.Vector
+	d       [2]*pagemem.Vector
+	z       *pagemem.Vector
+
+	pre    *precond.BlockJacobi
+	blocks *sparse.BlockSolverCache
+	conn   [][]int
+
+	// Per-page version stamps (see package comment). Atomic because
+	// AFEIR recovery tasks update them concurrently with reduction tasks
+	// reading them.
+	xS, gS, qS, zS []atomic.Int64
+	dS             [2][]atomic.Int64
+
+	dqPart, ggPart, zgPart *atomicFloats
+
+	rt *taskrt.Runtime
+
+	stats Stats
+	beta  float64
+	epsGG float64 // <g, g>
+	rho   float64 // <z, g> (preconditioned only)
+	alpha float64
+
+	doubleBuffer bool
+	resilient    bool
+	nchunks      int
+
+	ck *checkpointer
+
+	scratch  []float64 // one page of recovery scratch
+	scratch2 []float64
+
+	// restartPending requests a beta=0 step (d rebuilt from g alone) on
+	// the next iteration, set by restart-style recoveries.
+	restartPending bool
+}
+
+// NewCG builds a resilient CG solver for the SPD system A x = b.
+func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
+	if a.N != a.M {
+		return nil, fmt.Errorf("core: non-square matrix %dx%d", a.N, a.M)
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("core: rhs length %d for n=%d", len(b), a.N)
+	}
+	s := &CG{
+		cfg:    cfg,
+		a:      a,
+		b:      append([]float64(nil), b...),
+		layout: sparse.BlockLayout{N: a.N, BlockSize: cfg.pageDoubles()},
+	}
+	s.bnorm = sparse.Norm2(b)
+	if s.bnorm == 0 {
+		s.bnorm = 1
+	}
+	s.np = s.layout.NumBlocks()
+	s.space = pagemem.NewSpace(a.N, cfg.pageDoubles())
+	s.x = s.space.AddVector("x")
+	s.g = s.space.AddVector("g")
+	s.q = s.space.AddVector("q")
+	s.d[0] = s.space.AddVector("d0")
+	s.resilient = cfg.Method == MethodFEIR || cfg.Method == MethodAFEIR
+	s.doubleBuffer = s.resilient
+	if s.doubleBuffer {
+		s.d[1] = s.space.AddVector("d1")
+	} else {
+		s.d[1] = s.d[0]
+	}
+	if cfg.UsePrecond {
+		s.z = s.space.AddVector("z")
+		pre, err := precond.NewBlockJacobi(a, cfg.pageDoubles())
+		if err != nil {
+			return nil, fmt.Errorf("core: block-Jacobi setup: %w", err)
+		}
+		s.pre = pre
+	}
+	s.blocks = sparse.NewBlockSolverCache(a, s.layout, true)
+	s.conn = pageConnectivity(a, s.layout)
+
+	s.xS = newStamps(s.np)
+	s.gS = newStamps(s.np)
+	s.qS = newStamps(s.np)
+	s.dS[0] = newStamps(s.np)
+	if s.doubleBuffer {
+		s.dS[1] = newStamps(s.np)
+	} else {
+		s.dS[1] = s.dS[0]
+	}
+	if cfg.UsePrecond {
+		s.zS = newStamps(s.np)
+	}
+	s.dqPart = newAtomicFloats(s.np)
+	s.ggPart = newAtomicFloats(s.np)
+	s.zgPart = newAtomicFloats(s.np)
+
+	s.scratch = make([]float64, cfg.pageDoubles())
+	s.scratch2 = make([]float64, cfg.pageDoubles())
+
+	if cfg.Method == MethodCheckpoint {
+		disk := cfg.Disk
+		if disk == nil {
+			disk = NewSimDisk(0)
+		}
+		s.ck = newCheckpointer(disk, cfg.CheckpointInterval, cfg.ExpectedMTBE, a.N, cfg.UsePrecond)
+	}
+	return s, nil
+}
+
+func newStamps(n int) []atomic.Int64 {
+	s := make([]atomic.Int64, n)
+	for i := range s {
+		s[i].Store(-1)
+	}
+	return s
+}
+
+// Space returns the fault domain: error injectors target its vectors.
+func (s *CG) Space() *pagemem.Space { return s.space }
+
+// DynamicVectors lists the vectors the paper's injections cover (§5.3):
+// the Krylov vectors, excluding constant data and resilience metadata.
+func (s *CG) DynamicVectors() []*pagemem.Vector {
+	vs := []*pagemem.Vector{s.x, s.g, s.q, s.d[0]}
+	if s.doubleBuffer {
+		vs = append(vs, s.d[1])
+	}
+	if s.z != nil {
+		vs = append(vs, s.z)
+	}
+	return vs
+}
+
+// Stats returns a snapshot of the resilience counters. Only valid after
+// Run returned.
+func (s *CG) Stats() Stats { return s.stats }
+
+// current reports whether page p of vector v holds version ver.
+func current(v *pagemem.Vector, stamps []atomic.Int64, p int, ver int64) bool {
+	return stamps[p].Load() == ver && !v.Failed(p)
+}
+
+// chunkOfPages splits [0, np) pages into nchunks contiguous ranges.
+func chunkRanges(np, nchunks int) [][2]int {
+	if nchunks > np {
+		nchunks = np
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	out := make([][2]int, 0, nchunks)
+	for c := 0; c < nchunks; c++ {
+		lo := c * np / nchunks
+		hi := (c + 1) * np / nchunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// Run executes the solve and returns its Result. Run may be called once.
+func (s *CG) Run() (Result, error) {
+	start := time.Now()
+	s.rt = taskrt.New(s.cfg.workers())
+	defer s.rt.Close()
+	s.nchunks = s.rt.NumWorkers()
+
+	tol := s.cfg.tol()
+	maxIter := s.cfg.maxIter(s.a.N)
+
+	// Initial state: x = 0, g = b, d built in iteration 0 via beta = 0.
+	copy(s.g.Data, s.b)
+	if s.pre != nil {
+		s.pre.Apply(s.g.Data, s.z.Data)
+		s.rho = sparse.Dot(s.z.Data, s.g.Data)
+	}
+	s.epsGG = sparse.Dot(s.g.Data, s.g.Data)
+	s.beta = 0
+	s.restartPending = true // iteration 0 is a fresh start
+
+	var t int
+	converged := false
+	for t = 0; t < maxIter; t++ {
+		rel := math.Sqrt(math.Max(s.epsGG, 0)) / s.bnorm
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(t, rel)
+		}
+		if rel < tol {
+			if s.verifyConvergence(t, tol) {
+				converged = true
+				break
+			}
+			// Recurrence said converged but the true residual disagrees
+			// (possible after ignored unrecoverable errors): refresh the
+			// residual and keep iterating — within the SAME iteration
+			// index, so the version stamps stay aligned.
+			s.refreshResidual(int64(t) - 1)
+			s.stats.Restarts++
+		}
+
+		if s.ck != nil {
+			s.ck.maybeWrite(s, t, time.Since(start))
+		}
+
+		// ---------------- Phase 1: d, q, <d,q> (+ r1) ----------------
+		ver := int64(t)
+		s.runPhase1(ver)
+		if act := s.boundary(ver, afterPhase1); act == actionSkipIteration {
+			continue
+		}
+		dq, missing := s.dqPart.SumAvailable()
+		s.stats.ContributionsLost += missing
+		num := s.epsGG
+		if s.pre != nil {
+			num = s.rho
+		}
+		if dq != 0 && !math.IsNaN(dq) && !math.IsNaN(num) {
+			s.alpha = num / dq
+		} else {
+			s.alpha = 0 // degenerate step: no progress this iteration
+		}
+
+		// ---------------- Phase 2: x, g, z, eps (+ r2/r3) -------------
+		s.runPhase2(ver)
+		if act := s.boundary(ver, afterPhase2); act == actionSkipIteration {
+			continue
+		}
+		gg, missingGG := s.ggPart.SumAvailable()
+		s.stats.ContributionsLost += missingGG
+		if s.pre != nil {
+			zg, missingZG := s.zgPart.SumAvailable()
+			s.stats.ContributionsLost += missingZG
+			if s.rho != 0 && !math.IsNaN(zg) {
+				s.beta = zg / s.rho
+			} else {
+				s.beta = 0
+			}
+			s.rho = zg
+		} else {
+			if s.epsGG != 0 && !math.IsNaN(gg) {
+				s.beta = gg / s.epsGG
+			} else {
+				s.beta = 0
+			}
+		}
+		s.epsGG = gg
+		s.restartPending = false
+
+		if s.resilient {
+			s.reconcile(ver)
+		}
+	}
+
+	res := Result{
+		Converged:   converged,
+		Iterations:  t,
+		RelResidual: s.trueResidual(),
+		Elapsed:     time.Since(start),
+		Stats:       s.stats,
+		WorkerTimes: s.rt.WorkerTimes(),
+	}
+	return res, nil
+}
+
+// runPhase1 submits the d-update, q = A d and <d,q> partial tasks plus the
+// r1 recovery task, and waits for them.
+func (s *CG) runPhase1(ver int64) {
+	t := int(ver)
+	cur, prev := 0, 0
+	if s.doubleBuffer {
+		cur, prev = t%2, (t+1)%2
+	}
+	dCur, dPrev := s.d[cur], s.d[prev]
+	dCurS, dPrevS := s.dS[cur], s.dS[prev]
+	beta := s.beta
+	if s.restartPending {
+		beta = 0
+	}
+	src, srcS := s.g, s.gS
+	if s.pre != nil {
+		src, srcS = s.z, s.zS
+	}
+	s.dqPart.ResetMissing()
+
+	chunks := chunkRanges(s.np, s.nchunks)
+	dH := make([]*taskrt.Handle, 0, len(chunks))
+	for _, ch := range chunks {
+		pLo, pHi := ch[0], ch[1]
+		dH = append(dH, s.rt.Submit(taskrt.TaskSpec{Label: "d", Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				if s.resilient {
+					if !current(src, srcS, p, ver-1) || (beta != 0 && !current(dPrev, dPrevS, p, ver-1)) {
+						continue // skip: dCur page stays at its old version
+					}
+				}
+				if beta == 0 {
+					copy(dCur.Data[lo:hi], src.Data[lo:hi])
+				} else if s.doubleBuffer {
+					sparse.XpbyOutRange(src.Data, beta, dPrev.Data, dCur.Data, lo, hi)
+				} else {
+					sparse.XpbyRange(src.Data, beta, dCur.Data, lo, hi)
+				}
+				if s.resilient {
+					dCur.MarkRecovered(p) // full overwrite revalidates
+					dCurS[p].Store(ver)
+				}
+			}
+		}}))
+	}
+	qH := make([]*taskrt.Handle, 0, len(chunks))
+	for _, ch := range chunks {
+		pLo, pHi := ch[0], ch[1]
+		qH = append(qH, s.rt.Submit(taskrt.TaskSpec{Label: "q", After: dH, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				if s.resilient {
+					ok := true
+					for _, j := range s.conn[p] {
+						if !current(dCur, dCurS, j, ver) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue // skip: q page keeps the OLD A·dPrev values
+					}
+				}
+				s.a.MulVecRange(dCur.Data, s.q.Data, lo, hi)
+				if s.resilient {
+					s.q.MarkRecovered(p)
+					s.qS[p].Store(ver)
+				}
+			}
+		}}))
+	}
+	pH := make([]*taskrt.Handle, 0, len(chunks))
+	for _, ch := range chunks {
+		pLo, pHi := ch[0], ch[1]
+		pH = append(pH, s.rt.Submit(taskrt.TaskSpec{Label: "<d,q>", After: qH, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				if s.resilient {
+					if !current(dCur, dCurS, p, ver) || !current(s.q, s.qS, p, ver) {
+						continue // slot stays missing; r1 may fill it
+					}
+				}
+				s.dqPart.Store(p, sparse.DotRange(dCur.Data, s.q.Data, lo, hi))
+			}
+		}}))
+	}
+
+	var r1 *taskrt.Handle
+	skipRecovery := s.cfg.OnDemandRecovery && !s.space.AnyFault()
+	if s.cfg.Method == MethodAFEIR && !skipRecovery {
+		// Overlapped with the reductions, lower priority so reduction
+		// tasks start first (§3.3.2, Fig 2b). Handles only faults whose
+		// consequences are visible as stale stamps plus poisons on
+		// vectors the concurrent reductions never read.
+		after := append(append([]*taskrt.Handle{}, dH...), qH...)
+		r1 = s.rt.Submit(taskrt.TaskSpec{Label: "r1", After: after, Priority: -1, Run: func(int) {
+			s.recoverPhase1(ver, beta, cur, prev, false)
+		}})
+	}
+	s.rt.WaitAll(dH)
+	s.rt.WaitAll(qH)
+	s.rt.WaitAll(pH)
+	if r1 != nil {
+		s.rt.Wait(r1)
+	}
+	if s.cfg.Method == MethodFEIR && !(s.cfg.OnDemandRecovery && !s.space.AnyFault()) {
+		// In the critical path: runs after every computation (thus every
+		// potential error discovery) of the phase (Fig 2a).
+		r1 = s.rt.Submit(taskrt.TaskSpec{Label: "r1", Run: func(int) {
+			s.recoverPhase1(ver, beta, cur, prev, true)
+		}})
+		s.rt.Wait(r1)
+	}
+}
+
+// runPhase2 submits x/g/z updates, the eps partials and the r2/r3
+// recovery, and waits.
+func (s *CG) runPhase2(ver int64) {
+	t := int(ver)
+	cur := 0
+	if s.doubleBuffer {
+		cur = t % 2
+	}
+	dCur, dCurS := s.d[cur], s.dS[cur]
+	alpha := s.alpha
+	s.ggPart.ResetMissing()
+	if s.pre != nil {
+		s.zgPart.ResetMissing()
+	}
+
+	chunks := chunkRanges(s.np, s.nchunks)
+	xH := make([]*taskrt.Handle, 0, len(chunks))
+	gH := make([]*taskrt.Handle, 0, len(chunks))
+	for _, ch := range chunks {
+		pLo, pHi := ch[0], ch[1]
+		xH = append(xH, s.rt.Submit(taskrt.TaskSpec{Label: "x", Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				if s.resilient {
+					if !current(s.x, s.xS, p, ver-1) || !current(dCur, dCurS, p, ver) {
+						continue
+					}
+				}
+				sparse.AxpyRange(alpha, dCur.Data, s.x.Data, lo, hi)
+				if s.resilient {
+					s.xS[p].Store(ver)
+				}
+			}
+		}}))
+	}
+	for _, ch := range chunks {
+		pLo, pHi := ch[0], ch[1]
+		gH = append(gH, s.rt.Submit(taskrt.TaskSpec{Label: "g", Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				if s.resilient {
+					if !current(s.g, s.gS, p, ver-1) || !current(s.q, s.qS, p, ver) {
+						continue
+					}
+				}
+				sparse.AxpyRange(-alpha, s.q.Data, s.g.Data, lo, hi)
+				if s.resilient {
+					s.gS[p].Store(ver)
+				}
+			}
+		}}))
+	}
+	var zH []*taskrt.Handle
+	if s.pre != nil {
+		for _, ch := range chunks {
+			pLo, pHi := ch[0], ch[1]
+			zH = append(zH, s.rt.Submit(taskrt.TaskSpec{Label: "z", After: gH, Run: func(int) {
+				for p := pLo; p < pHi; p++ {
+					if s.resilient && !current(s.g, s.gS, p, ver) {
+						continue
+					}
+					// Full-page overwrite via partial preconditioner
+					// application (§3.2).
+					if err := s.pre.ApplyBlock(p, s.g.Data, s.z.Data); err != nil {
+						continue
+					}
+					if s.resilient {
+						s.z.MarkRecovered(p)
+						s.zS[p].Store(ver)
+					}
+				}
+			}}))
+		}
+	}
+	epsAfter := gH
+	if s.pre != nil {
+		epsAfter = append(append([]*taskrt.Handle{}, gH...), zH...)
+	}
+	eH := make([]*taskrt.Handle, 0, len(chunks))
+	for _, ch := range chunks {
+		pLo, pHi := ch[0], ch[1]
+		eH = append(eH, s.rt.Submit(taskrt.TaskSpec{Label: "eps", After: epsAfter, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				gOK := !s.resilient || current(s.g, s.gS, p, ver)
+				if gOK {
+					s.ggPart.Store(p, sparse.DotRange(s.g.Data, s.g.Data, lo, hi))
+				}
+				if s.pre != nil {
+					zOK := !s.resilient || current(s.z, s.zS, p, ver)
+					if gOK && zOK {
+						s.zgPart.Store(p, sparse.DotRange(s.z.Data, s.g.Data, lo, hi))
+					}
+				}
+			}
+		}}))
+	}
+
+	var r23 *taskrt.Handle
+	skipRecovery := s.cfg.OnDemandRecovery && !s.space.AnyFault()
+	if s.cfg.Method == MethodAFEIR && !skipRecovery {
+		after := append(append([]*taskrt.Handle{}, xH...), gH...)
+		after = append(after, zH...)
+		r23 = s.rt.Submit(taskrt.TaskSpec{Label: "r2r3", After: after, Priority: -1, Run: func(int) {
+			s.recoverPhase2(ver, cur, false)
+		}})
+	}
+	s.rt.WaitAll(xH)
+	s.rt.WaitAll(gH)
+	s.rt.WaitAll(zH)
+	s.rt.WaitAll(eH)
+	if r23 != nil {
+		s.rt.Wait(r23)
+	}
+	if s.cfg.Method == MethodFEIR && !(s.cfg.OnDemandRecovery && !s.space.AnyFault()) {
+		r23 = s.rt.Submit(taskrt.TaskSpec{Label: "r2r3", Run: func(int) {
+			s.recoverPhase2(ver, cur, true)
+		}})
+		s.rt.Wait(r23)
+	}
+}
+
+type boundaryPoint int
+
+const (
+	afterPhase1 boundaryPoint = iota
+	afterPhase2
+)
+
+type boundaryAction int
+
+const (
+	actionContinue boundaryAction = iota
+	actionSkipIteration
+)
+
+// boundary is a task-phase boundary: all workers are quiescent. Pending
+// data losses take effect here, and the non-ABFT methods react to any
+// visible fault.
+func (s *CG) boundary(ver int64, _ boundaryPoint) boundaryAction {
+	evs := s.space.ScramblePending()
+	s.stats.FaultsSeen += len(evs)
+	if !s.space.AnyFault() {
+		return actionContinue
+	}
+	switch s.cfg.Method {
+	case MethodFEIR, MethodAFEIR:
+		// Handled by recovery tasks and reconcile.
+		return actionContinue
+	case MethodIdeal, MethodTrivial:
+		// Blank-page forward recovery (§4.1): keep running.
+		s.blankAllFailed()
+		return actionContinue
+	case MethodLossy:
+		s.lossyRestart(ver)
+		return actionSkipIteration
+	case MethodCheckpoint:
+		s.ck.rollback(s)
+		return actionSkipIteration
+	}
+	return actionContinue
+}
+
+// blankAllFailed remaps every failed page to a blank one and clears the
+// fault bits — the Trivial forward recovery.
+func (s *CG) blankAllFailed() {
+	for _, v := range s.space.Vectors() {
+		for _, p := range v.FailedPages() {
+			v.Remap(p)
+			v.MarkRecovered(p)
+		}
+	}
+}
+
+// verifyConvergence recomputes the true residual when the recurrence
+// claims convergence. Exact forward recovery preserves the recurrence, but
+// ignored unrecoverable errors can desynchronise g from b - Ax.
+func (s *CG) verifyConvergence(_ int, tol float64) bool {
+	return s.trueResidual() < tol*10
+}
+
+// trueResidual computes ||b - A x|| / ||b|| sequentially.
+func (s *CG) trueResidual() float64 {
+	r := make([]float64, s.a.N)
+	s.a.MulVec(s.x.Data, r)
+	sparse.Sub(s.b, r, r)
+	return sparse.Norm2(r) / s.bnorm
+}
+
+// refreshResidual recomputes g = b - A x (and z, rho, eps) sequentially and
+// forces a beta=0 step, restoring the g/x invariant after damage. Failed
+// iterate pages that survived every recovery attempt are blanked first —
+// the FallbackIgnore endgame.
+func (s *CG) refreshResidual(ver int64) {
+	for _, p := range s.x.FailedPages() {
+		s.x.Remap(p)
+		s.x.MarkRecovered(p)
+		s.stats.Unrecovered++
+	}
+	for p := 0; p < s.np; p++ {
+		s.xS[p].Store(ver)
+	}
+	s.a.MulVec(s.x.Data, s.g.Data)
+	sparse.Sub(s.b, s.g.Data, s.g.Data)
+	for p := 0; p < s.np; p++ {
+		s.g.MarkRecovered(p)
+		s.gS[p].Store(ver)
+	}
+	if s.pre != nil {
+		s.pre.Apply(s.g.Data, s.z.Data)
+		for p := 0; p < s.np; p++ {
+			s.z.MarkRecovered(p)
+			s.zS[p].Store(ver)
+		}
+		s.rho = sparse.Dot(s.z.Data, s.g.Data)
+	}
+	s.epsGG = sparse.Dot(s.g.Data, s.g.Data)
+	s.beta = 0
+	s.restartPending = true
+}

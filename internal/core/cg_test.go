@@ -1,0 +1,590 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// testConfig returns the standard test configuration: a page size of 64
+// doubles so a 1600-element system spans 25 pages.
+func testConfig(method Method) Config {
+	return Config{
+		Method:      method,
+		Workers:     4,
+		PageDoubles: 64,
+		Tol:         1e-10,
+		MaxIter:     20000,
+	}
+}
+
+func testSystem() (*sparse.CSR, []float64) {
+	a := matgen.Poisson2D(40, 40) // n = 1600, 25 pages of 64
+	b := matgen.RandomVector(a.N, 42)
+	return a, b
+}
+
+// runWithInjections runs a solver injecting pages listed as (iteration,
+// vector name, page) triples at iteration starts.
+type injection struct {
+	it   int
+	vec  string
+	page int
+}
+
+func runWithInjections(t *testing.T, a *sparse.CSR, b []float64, cfg Config, inj []injection) Result {
+	t.Helper()
+	cg, err := NewCG(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := cfg.OnIteration
+	cfg2 := cfg
+	cfg2.OnIteration = func(it int, rel float64) {
+		for _, e := range inj {
+			if e.it == it {
+				v := cg.Space().VectorByName(e.vec)
+				if v == nil {
+					t.Errorf("no vector %q", e.vec)
+					continue
+				}
+				v.Poison(e.page)
+			}
+		}
+		if prev != nil {
+			prev(it, rel)
+		}
+	}
+	// Rebuild with the wrapped callback (NewCG copied cfg by value).
+	cg, err = NewCG(a, b, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIdealMatchesSequentialCG(t *testing.T) {
+	a, b := testSystem()
+	cg, err := NewCG(a, b, testConfig(MethodIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("ideal CG did not converge: %+v", res)
+	}
+	x := make([]float64, a.N)
+	seq, err := solver.CG(a, b, x, solver.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Iterations - seq.Iterations; d < -2 || d > 2 {
+		t.Fatalf("ideal %d vs sequential %d iterations", res.Iterations, seq.Iterations)
+	}
+	if res.RelResidual > 1e-9 {
+		t.Fatalf("true residual %v", res.RelResidual)
+	}
+}
+
+func TestResilientNoErrorsMatchesIdeal(t *testing.T) {
+	a, b := testSystem()
+	ideal, err := NewCG(a, b, testConfig(MethodIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resIdeal, err := ideal.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		cg, err := NewCG(a, b, testConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", m)
+		}
+		if d := res.Iterations - resIdeal.Iterations; d < -2 || d > 2 {
+			t.Fatalf("%v %d vs ideal %d iterations", m, res.Iterations, resIdeal.Iterations)
+		}
+		if res.Stats.FaultsSeen != 0 || res.Stats.Unrecovered != 0 {
+			t.Fatalf("%v phantom faults: %+v", m, res.Stats)
+		}
+	}
+}
+
+// idealIterations caches the fault-free iteration count for comparison.
+func idealIterations(t *testing.T, a *sparse.CSR, b []float64) int {
+	t.Helper()
+	cg, err := NewCG(a, b, testConfig(MethodIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Iterations
+}
+
+func TestFEIRRecoversErrorsInEveryVector(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	for _, vec := range []string{"x", "g", "q", "d0", "d1"} {
+		res := runWithInjections(t, a, b, testConfig(MethodFEIR), []injection{
+			{it: 20, vec: vec, page: 7},
+		})
+		if !res.Converged {
+			t.Fatalf("FEIR with error in %s did not converge", vec)
+		}
+		// Exact forward recovery must preserve the convergence rate
+		// (§2.3: "guarantee the same convergence rate as when the
+		// algorithm is not subject to faults").
+		if d := res.Iterations - base; d < -2 || d > 2 {
+			t.Fatalf("error in %s: %d iterations vs ideal %d", vec, res.Iterations, base)
+		}
+		if res.Stats.FaultsSeen == 0 {
+			t.Fatalf("error in %s never became visible", vec)
+		}
+		if res.Stats.Unrecovered > 0 {
+			t.Fatalf("error in %s left %d unrecovered pages", vec, res.Stats.Unrecovered)
+		}
+	}
+}
+
+func TestAFEIRRecoversErrorsInEveryVector(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	for _, vec := range []string{"x", "g", "q", "d0", "d1"} {
+		res := runWithInjections(t, a, b, testConfig(MethodAFEIR), []injection{
+			{it: 15, vec: vec, page: 3},
+			{it: 40, vec: vec, page: 11},
+		})
+		if !res.Converged {
+			t.Fatalf("AFEIR with errors in %s did not converge", vec)
+		}
+		if d := res.Iterations - base; d < -2 || d > 2 {
+			t.Fatalf("errors in %s: %d iterations vs ideal %d", vec, res.Iterations, base)
+		}
+	}
+}
+
+func TestFEIRExactRecoveryCounters(t *testing.T) {
+	a, b := testSystem()
+	// Error in x forces an inverse recovery; error in g a forward one.
+	res := runWithInjections(t, a, b, testConfig(MethodFEIR), []injection{
+		{it: 10, vec: "x", page: 5},
+		{it: 30, vec: "g", page: 9},
+	})
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if res.Stats.RecoveredInverse == 0 {
+		t.Fatalf("expected inverse recovery for x, stats %+v", res.Stats)
+	}
+	if res.Stats.RecoveredForward == 0 {
+		t.Fatalf("expected forward recovery for g, stats %+v", res.Stats)
+	}
+}
+
+func TestFEIRMultipleErrorsSameVectorCoupled(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	// Two adjacent x pages in the same iteration: individually the
+	// inverse relation can still work page by page (the other page is
+	// excluded), so also hit THREE pages to exercise the coupled path.
+	res := runWithInjections(t, a, b, testConfig(MethodFEIR), []injection{
+		{it: 25, vec: "x", page: 6},
+		{it: 25, vec: "x", page: 7},
+		{it: 25, vec: "x", page: 8},
+	})
+	if !res.Converged {
+		t.Fatal("not converged with multi-page x errors")
+	}
+	if d := res.Iterations - base; d < -3 || d > 3 {
+		t.Fatalf("%d iterations vs ideal %d", res.Iterations, base)
+	}
+	if res.Stats.RecoveredInverse+res.Stats.RecoveredCoupled < 3 {
+		t.Fatalf("expected 3 pages recovered, stats %+v", res.Stats)
+	}
+}
+
+func TestFEIRRelatedDataErrorsIgnoredStillTerminates(t *testing.T) {
+	a, b := testSystem()
+	// x and g lost on the same page: §2.4 case 2 — unrecoverable by
+	// relations. With FallbackIgnore the run must still terminate with a
+	// correct answer (the consistency refresh re-derives g).
+	cfg := testConfig(MethodFEIR)
+	res := runWithInjections(t, a, b, cfg, []injection{
+		{it: 12, vec: "x", page: 4},
+		{it: 12, vec: "g", page: 4},
+	})
+	if !res.Converged {
+		t.Fatalf("run did not terminate correctly: %+v", res)
+	}
+	if res.RelResidual > 1e-8 {
+		t.Fatalf("true residual %v", res.RelResidual)
+	}
+	if res.Stats.Unrecovered == 0 {
+		t.Fatalf("expected unrecovered pages, stats %+v", res.Stats)
+	}
+}
+
+func TestFEIRFallbackLossy(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodFEIR)
+	cfg.Fallback = FallbackLossy
+	res := runWithInjections(t, a, b, cfg, []injection{
+		{it: 12, vec: "x", page: 4},
+		{it: 12, vec: "g", page: 4},
+	})
+	if !res.Converged {
+		t.Fatalf("FallbackLossy run failed: %+v", res)
+	}
+	if res.Stats.Restarts == 0 {
+		t.Fatalf("expected a lossy-fallback restart, stats %+v", res.Stats)
+	}
+	if res.RelResidual > 1e-8 {
+		t.Fatalf("true residual %v", res.RelResidual)
+	}
+}
+
+func TestPreconditionedFEIRRecovers(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodFEIR)
+	cfg.UsePrecond = true
+	cg, err := NewCG(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resIdeal, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resIdeal.Converged {
+		t.Fatal("PCG-FEIR without errors did not converge")
+	}
+	for _, vec := range []string{"x", "g", "z", "q", "d0"} {
+		res := runWithInjections(t, a, b, cfg, []injection{{it: 8, vec: vec, page: 2}})
+		if !res.Converged {
+			t.Fatalf("PCG-FEIR error in %s did not converge", vec)
+		}
+		if d := res.Iterations - resIdeal.Iterations; d < -2 || d > 2 {
+			t.Fatalf("error in %s: %d vs %d iterations", vec, res.Iterations, resIdeal.Iterations)
+		}
+	}
+}
+
+func TestPreconditionedUsesPartialApplications(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodAFEIR)
+	cfg.UsePrecond = true
+	res := runWithInjections(t, a, b, cfg, []injection{{it: 10, vec: "z", page: 6}})
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if res.Stats.PrecondPartialApplies == 0 {
+		t.Fatalf("expected partial preconditioner applications, stats %+v", res.Stats)
+	}
+}
+
+func TestTrivialSurvivesButDegrades(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	cfg := testConfig(MethodTrivial)
+	res := runWithInjections(t, a, b, cfg, []injection{{it: base / 2, vec: "x", page: 5}})
+	if res.Iterations <= base {
+		t.Fatalf("trivial recovery was free: %d vs ideal %d", res.Iterations, base)
+	}
+}
+
+func TestLossyRestartRecovers(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	cfg := testConfig(MethodLossy)
+	res := runWithInjections(t, a, b, cfg, []injection{{it: base / 2, vec: "x", page: 5}})
+	if !res.Converged {
+		t.Fatalf("lossy restart did not converge: %+v", res)
+	}
+	if res.Stats.LossyInterpolations == 0 || res.Stats.Restarts == 0 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+	if res.RelResidual > 1e-8 {
+		t.Fatalf("true residual %v", res.RelResidual)
+	}
+	// Restart harms superlinear convergence: more iterations than ideal.
+	if res.Iterations < base {
+		t.Fatalf("lossy restart faster than ideal? %d vs %d", res.Iterations, base)
+	}
+}
+
+func TestLossyRestartErrorInNonIterateVector(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodLossy)
+	res := runWithInjections(t, a, b, cfg, []injection{{it: 30, vec: "q", page: 2}})
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if res.Stats.Restarts == 0 {
+		t.Fatal("expected a restart")
+	}
+	if res.Stats.LossyInterpolations != 0 {
+		t.Fatal("interpolation should only run for iterate pages")
+	}
+}
+
+func TestCheckpointRollback(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodCheckpoint)
+	cfg.CheckpointInterval = 50
+	cfg.Disk = NewSimDisk(1e9) // fast disk to keep the test quick
+	res := runWithInjections(t, a, b, cfg, []injection{{it: 60, vec: "x", page: 5}})
+	if !res.Converged {
+		t.Fatalf("checkpoint run did not converge: %+v", res)
+	}
+	if res.Stats.Rollbacks == 0 || res.Stats.CheckpointsWritten == 0 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+	if res.RelResidual > 1e-8 {
+		t.Fatalf("true residual %v", res.RelResidual)
+	}
+}
+
+func TestCheckpointRollbackBeforeFirstCheckpointRestarts(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodCheckpoint)
+	cfg.CheckpointInterval = 1 << 30 // never write after iteration 0
+	cfg.Disk = NewSimDisk(1e9)
+	res := runWithInjections(t, a, b, cfg, []injection{{it: 10, vec: "g", page: 1}})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Stats.Rollbacks == 0 {
+		t.Fatal("expected a rollback")
+	}
+}
+
+func TestCheckpointAutoIntervalDaly(t *testing.T) {
+	ck := newCheckpointer(NewSimDisk(30e6), 0, 10*time.Second, 100000, false)
+	// C = 1.6MB/30MBps ≈ 53ms; Topt = sqrt(2*0.053*10) ≈ 1.03s.
+	iv := ck.currentInterval(100, 1*time.Second) // 10ms per iteration
+	if iv < 50 || iv > 250 {
+		t.Fatalf("Daly interval = %d iterations, want ~103", iv)
+	}
+	// Fixed interval overrides.
+	ck2 := newCheckpointer(NewSimDisk(30e6), 77, 10*time.Second, 100000, false)
+	if ck2.currentInterval(100, time.Second) != 77 {
+		t.Fatal("fixed interval ignored")
+	}
+	// No MTBE information: the paper's default period.
+	ck3 := newCheckpointer(NewSimDisk(30e6), 0, 0, 100000, false)
+	if ck3.currentInterval(100, time.Second) != 1000 {
+		t.Fatal("default interval wrong")
+	}
+}
+
+func TestExactRecoveryPreservesIterates(t *testing.T) {
+	// The strongest exactness property: a FEIR run with an injected error
+	// must converge to the same solution as the fault-free run, to
+	// near-machine precision, because replacement data is exact.
+	a, b := testSystem()
+	ideal, err := NewCG(a, b, testConfig(MethodIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ideal.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(MethodFEIR)
+	cg, err := NewCG(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgCfg := cfg
+	cgCfg.OnIteration = func(it int, rel float64) {
+		if it == 25 {
+			cg.Space().VectorByName("g").Poison(8)
+		}
+	}
+	cg, err = NewCG(a, b, cgCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	var maxDiff float64
+	for i := range ideal.x.Data {
+		if d := math.Abs(ideal.x.Data[i] - cg.x.Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-8 {
+		t.Fatalf("solutions diverged by %v after exact recovery", maxDiff)
+	}
+}
+
+func TestWorkerTimesPopulated(t *testing.T) {
+	a, b := testSystem()
+	cg, err := NewCG(a, b, testConfig(MethodFEIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerTimes) != 4 {
+		t.Fatalf("worker times for %d workers", len(res.WorkerTimes))
+	}
+	var useful time.Duration
+	for _, w := range res.WorkerTimes {
+		useful += w.Useful
+	}
+	if useful == 0 {
+		t.Fatal("no useful time recorded")
+	}
+}
+
+func TestDynamicVectorsList(t *testing.T) {
+	a, b := testSystem()
+	cg, err := NewCG(a, b, testConfig(MethodFEIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, v := range cg.DynamicVectors() {
+		names[v.Name()] = true
+	}
+	for _, want := range []string{"x", "g", "q", "d0", "d1"} {
+		if !names[want] {
+			t.Fatalf("missing dynamic vector %s", want)
+		}
+	}
+	// Plain methods have a single direction buffer.
+	cg2, err := NewCG(a, b, testConfig(MethodTrivial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cg2.DynamicVectors() {
+		if v.Name() == "d1" {
+			t.Fatal("plain method should not expose d1")
+		}
+	}
+}
+
+func TestNewCGValidation(t *testing.T) {
+	a, b := testSystem()
+	if _, err := NewCG(a, b[:10], testConfig(MethodIdeal)); err == nil {
+		t.Fatal("accepted wrong rhs length")
+	}
+	rect := sparse.NewCSRFromTriplets(2, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewCG(rect, []float64{1, 2}, testConfig(MethodIdeal)); err == nil {
+		t.Fatal("accepted non-square matrix")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{
+		MethodIdeal: "Ideal", MethodTrivial: "Trivial", MethodLossy: "Lossy",
+		MethodCheckpoint: "ckpt", MethodFEIR: "FEIR", MethodAFEIR: "AFEIR",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method string empty")
+	}
+}
+
+func TestAtomicFloats(t *testing.T) {
+	af := newAtomicFloats(3)
+	af.ResetMissing()
+	if !af.Missing(0) || !af.Missing(2) {
+		t.Fatal("slots not missing after reset")
+	}
+	af.Store(1, 2.5)
+	if af.Missing(1) || af.Load(1) != 2.5 {
+		t.Fatal("store/load broken")
+	}
+	sum, missing := af.SumAvailable()
+	if sum != 2.5 || missing != 2 {
+		t.Fatalf("sum=%v missing=%d", sum, missing)
+	}
+	if af.Len() != 3 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{FaultsSeen: 1, RecoveredForward: 2, Rollbacks: 3}
+	b := Stats{FaultsSeen: 10, RecoveredInverse: 5, Restarts: 7}
+	a.Add(b)
+	if a.FaultsSeen != 11 || a.RecoveredForward != 2 || a.RecoveredInverse != 5 || a.Rollbacks != 3 || a.Restarts != 7 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestOnDemandRecoveryNoErrors(t *testing.T) {
+	// §7's proposed runtime support: with no errors, recovery tasks are
+	// never instantiated and results match the always-on variant.
+	a, b := testSystem()
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		cfg := testConfig(m)
+		cfg.OnDemandRecovery = true
+		cg, err := NewCG(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || res.RelResidual > 1e-9 {
+			t.Fatalf("%v on-demand: %+v", m, res)
+		}
+	}
+}
+
+func TestOnDemandRecoveryStillRecovers(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		cfg := testConfig(m)
+		cfg.OnDemandRecovery = true
+		res := runWithInjections(t, a, b, cfg, []injection{
+			{it: 20, vec: "x", page: 7},
+			{it: 45, vec: "g", page: 12},
+		})
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("%v on-demand with errors: %+v", m, res)
+		}
+		if d := res.Iterations - base; d < -2 || d > 2 {
+			t.Fatalf("%v on-demand: %d vs ideal %d iterations", m, res.Iterations, base)
+		}
+		if res.Stats.RecoveredForward+res.Stats.RecoveredInverse == 0 {
+			t.Fatalf("%v on-demand: no recoveries recorded %+v", m, res.Stats)
+		}
+	}
+}

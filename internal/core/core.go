@@ -1,0 +1,268 @@
+// Package core implements the paper's primary contribution: iterative
+// solvers protected against memory-page DUE by exact forward interpolation
+// recoveries, either executed in the critical path (FEIR) or overlapped
+// with solver computation by a task-based runtime (AFEIR), together with
+// the comparator recovery schemes of §4 — Trivial forward recovery, Lossy
+// Restart (Langou et al.'s block-Jacobi interpolation + restart) and
+// periodic checkpoint/rollback to local disk.
+//
+// The flagship implementation is the task-parallel resilient Conjugate
+// Gradient of §3.3 (plain and block-Jacobi preconditioned), built on
+// internal/taskrt with the Figure 1(b) task graph. Resilient BiCGStab and
+// GMRES, for which the paper derives the redundancy relations (§3.1.2,
+// §3.1.3) but reports no large-scale runs, are provided as page-recovering
+// sequential implementations in bicgstab.go and gmres.go.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/taskrt"
+)
+
+// Method selects the resilience scheme of a solver run (§5.1).
+type Method int
+
+const (
+	// MethodIdeal is the baseline with no resilience mechanisms and no
+	// error handling at all; the reference for all overhead numbers.
+	MethodIdeal Method = iota
+	// MethodTrivial keeps running after a DUE by mapping a blank page over
+	// the lost one (§4.1). No convergence guarantees.
+	MethodTrivial
+	// MethodLossy is the Lossy Restart (§4.3): block-Jacobi interpolation
+	// of lost iterate pages, then a restart of the method.
+	MethodLossy
+	// MethodCheckpoint is periodic checkpoint/rollback to local disk
+	// (§4.2) of the iterate and search direction.
+	MethodCheckpoint
+	// MethodFEIR is the Forward Exact Interpolation Recovery with recovery
+	// tasks in the critical path (§3.3.2, Fig 2a).
+	MethodFEIR
+	// MethodAFEIR is the asynchronous variant: recovery tasks overlapped
+	// with reductions at lower priority (Fig 2b).
+	MethodAFEIR
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodIdeal:
+		return "Ideal"
+	case MethodTrivial:
+		return "Trivial"
+	case MethodLossy:
+		return "Lossy"
+	case MethodCheckpoint:
+		return "ckpt"
+	case MethodFEIR:
+		return "FEIR"
+	case MethodAFEIR:
+		return "AFEIR"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all methods in the paper's comparison order.
+var Methods = []Method{MethodAFEIR, MethodFEIR, MethodLossy, MethodCheckpoint, MethodTrivial}
+
+// Fallback selects what FEIR/AFEIR do with errors that no redundancy
+// relation can repair (simultaneous errors on related data, §2.4 case 2).
+type Fallback int
+
+const (
+	// FallbackIgnore reproduces the paper's evaluation setting (§5.1):
+	// "no fallback is used ... simultaneous errors on related data are
+	// simply ignored" — the page is replaced by a blank one and counted
+	// in Stats.Unrecovered.
+	FallbackIgnore Fallback = iota
+	// FallbackLossy applies the §2.4 recommendation: a Lossy-style
+	// block-Jacobi interpolation of the iterate page and a restart.
+	FallbackLossy
+)
+
+// Config parametrises a resilient solver run.
+type Config struct {
+	// Method is the resilience scheme. Default MethodIdeal.
+	Method Method
+	// Workers is the task-runtime pool size. 0 means GOMAXPROCS. The
+	// paper's single-node runs use 8 (§5.1).
+	Workers int
+	// PageDoubles is the fault/recovery granularity in float64 elements.
+	// 0 means 512 (a 4 KiB page, §2.3).
+	PageDoubles int
+	// Tol is the relative residual convergence threshold; 0 means 1e-10
+	// (§5.4).
+	Tol float64
+	// MaxIter bounds iterations; 0 means 10*n.
+	MaxIter int
+	// UsePrecond enables the block-Jacobi preconditioned variant (PCG)
+	// with blocks of PageDoubles elements (§5.1).
+	UsePrecond bool
+	// CheckpointInterval is the checkpoint period in iterations for
+	// MethodCheckpoint. 0 means the Young/Daly optimum computed from
+	// ExpectedMTBE and the measured checkpoint write time.
+	CheckpointInterval int
+	// ExpectedMTBE is the error rate assumed by the checkpoint-interval
+	// optimisation (it does not drive any injection).
+	ExpectedMTBE time.Duration
+	// Disk is the simulated local disk for checkpoints. nil means a
+	// default disk (see NewSimDisk) when MethodCheckpoint is used.
+	Disk *SimDisk
+	// Fallback selects the unrecoverable-error policy for FEIR/AFEIR.
+	Fallback Fallback
+	// OnDemandRecovery implements the runtime support the paper's §5.2/§7
+	// calls for: recovery tasks are instantiated only when a DUE has been
+	// signalled, removing most of the no-error overhead of FEIR and
+	// widening AFEIR's coverage. The paper measures the always-on
+	// variant; this flag is the proposed improvement.
+	OnDemandRecovery bool
+	// OnIteration, when non-nil, is called once per iteration with the
+	// relative recurrence residual — the Figure 3 trace hook.
+	OnIteration func(it int, relRes float64)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 0 // taskrt.New treats 0 as GOMAXPROCS
+}
+
+func (c Config) pageDoubles() int {
+	if c.PageDoubles > 0 {
+		return c.PageDoubles
+	}
+	return 512
+}
+
+func (c Config) tol() float64 {
+	if c.Tol > 0 {
+		return c.Tol
+	}
+	return 1e-10
+}
+
+func (c Config) maxIter(n int) int {
+	if c.MaxIter > 0 {
+		return c.MaxIter
+	}
+	return 10 * n
+}
+
+// Stats counts the resilience activity of one run.
+type Stats struct {
+	// FaultsSeen is the number of page DUEs that became visible to the
+	// solver (applied injections).
+	FaultsSeen int
+	// RecoveredForward counts pages rebuilt by re-running the forward
+	// relation that produced them (lhs rows of Table 1).
+	RecoveredForward int
+	// RecoveredInverse counts pages rebuilt by solving an inverted block
+	// relation with a factorized diagonal block (rhs rows of Table 1).
+	RecoveredInverse int
+	// RecoveredCoupled counts pages rebuilt via the combined multi-error
+	// block system of §2.4.
+	RecoveredCoupled int
+	// RecomputedQ counts q row-pages recomputed by SpMV after direction
+	// recovery.
+	RecomputedQ int
+	// PrecondPartialApplies counts partial block-Jacobi applications used
+	// to rebuild preconditioned-vector pages (§3.2).
+	PrecondPartialApplies int
+	// ContributionsLost counts page contributions missing from a scalar
+	// reduction at the time it ran — AFEIR's vulnerability window (§5.4).
+	ContributionsLost int
+	// Unrecovered counts pages abandoned to a blank remap because no
+	// relation could rebuild them (FallbackIgnore policy).
+	Unrecovered int
+	// LossyInterpolations counts block-Jacobi iterate interpolations
+	// (Lossy Restart, or FallbackLossy).
+	LossyInterpolations int
+	// Restarts counts solver restarts (Lossy Restart, FallbackLossy and
+	// consistency refreshes).
+	Restarts int
+	// Rollbacks counts checkpoint restores.
+	Rollbacks int
+	// CheckpointsWritten counts checkpoint writes.
+	CheckpointsWritten int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.FaultsSeen += o.FaultsSeen
+	s.RecoveredForward += o.RecoveredForward
+	s.RecoveredInverse += o.RecoveredInverse
+	s.RecoveredCoupled += o.RecoveredCoupled
+	s.RecomputedQ += o.RecomputedQ
+	s.PrecondPartialApplies += o.PrecondPartialApplies
+	s.ContributionsLost += o.ContributionsLost
+	s.Unrecovered += o.Unrecovered
+	s.LossyInterpolations += o.LossyInterpolations
+	s.Restarts += o.Restarts
+	s.Rollbacks += o.Rollbacks
+	s.CheckpointsWritten += o.CheckpointsWritten
+}
+
+// Result reports the outcome of a resilient solve.
+type Result struct {
+	Converged   bool
+	Iterations  int
+	RelResidual float64 // true relative residual, recomputed at the end
+	Elapsed     time.Duration
+	Stats       Stats
+	// WorkerTimes is the per-worker useful/runtime/idle breakdown from
+	// the task runtime (Table 3).
+	WorkerTimes []taskrt.StateTimes
+}
+
+// atomicFloats is a slice of float64 with atomic load/store, used for
+// per-page reduction partials that both reduction tasks and (possibly
+// concurrent) recovery tasks may write.
+type atomicFloats struct {
+	bits []atomic.Uint64
+}
+
+func newAtomicFloats(n int) *atomicFloats {
+	return &atomicFloats{bits: make([]atomic.Uint64, n)}
+}
+
+var nanBits = math.Float64bits(math.NaN())
+
+// ResetMissing marks every slot as missing (NaN).
+func (a *atomicFloats) ResetMissing() {
+	for i := range a.bits {
+		a.bits[i].Store(nanBits)
+	}
+}
+
+// Store sets slot i.
+func (a *atomicFloats) Store(i int, v float64) { a.bits[i].Store(math.Float64bits(v)) }
+
+// Load returns slot i.
+func (a *atomicFloats) Load(i int) float64 { return math.Float64frombits(a.bits[i].Load()) }
+
+// Missing reports whether slot i has no contribution.
+func (a *atomicFloats) Missing(i int) bool {
+	return math.IsNaN(math.Float64frombits(a.bits[i].Load()))
+}
+
+// Len returns the number of slots.
+func (a *atomicFloats) Len() int { return len(a.bits) }
+
+// SumAvailable returns the sum of present slots and the count of missing
+// ones.
+func (a *atomicFloats) SumAvailable() (sum float64, missing int) {
+	for i := range a.bits {
+		v := math.Float64frombits(a.bits[i].Load())
+		if math.IsNaN(v) {
+			missing++
+			continue
+		}
+		sum += v
+	}
+	return sum, missing
+}

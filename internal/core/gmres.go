@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+)
+
+// GMRESSolver protects restarted GMRES(m) (Listing 4) with the §3.1.3
+// redundancies. The Arnoldi basis — the bulk of the method's dynamic data —
+// is recoverable from the Hessenberg matrix:
+//
+//	v_l = (A v_{l-1} - Σ_{k<l} h_{k,l-1} v_k) / h_{l,l-1}
+//
+// so a pristine copy of H is kept while the Givens-rotated R is built (the
+// paper's "keeping a copy of the matrix H has a reasonable cost"; H and R
+// are m(m+1) — far smaller than the m·n basis). The iterate and residual
+// pair is protected by g = b - A x / x = A⁻¹(b - g) as for CG; within an
+// Arnoldi cycle x and g are constant, so the pair stays consistent.
+// Errors are detected and repaired at Arnoldi-step boundaries.
+type GMRESSolver struct {
+	cfg     Config
+	restart int
+	a       *sparse.CSR
+	b       []float64
+	bnorm   float64
+	layout  sparse.BlockLayout
+	np      int
+	space   *pagemem.Space
+	x, g    *pagemem.Vector
+	v       []*pagemem.Vector
+	hCopy   *sparse.Dense // pristine H, the redundancy store
+	blocks  *sparse.BlockSolverCache
+	conn    [][]int
+	stats   Stats
+	zeta    float64 // ||z|| of the current cycle (reliable scalar)
+	steps   int     // completed Arnoldi steps in the current cycle
+}
+
+// NewGMRES builds a resilient GMRES(m) solver. restart m must satisfy
+// m+3 <= pagemem.MaxVectors.
+func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver, error) {
+	if a.N != a.M {
+		return nil, fmt.Errorf("core: non-square matrix %dx%d", a.N, a.M)
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("core: rhs length %d for n=%d", len(b), a.N)
+	}
+	if restart <= 0 {
+		restart = 30
+	}
+	if restart+3 > pagemem.MaxVectors {
+		return nil, fmt.Errorf("core: restart %d exceeds protectable vectors (max %d)", restart, pagemem.MaxVectors-3)
+	}
+	sv := &GMRESSolver{
+		cfg:     cfg,
+		restart: restart,
+		a:       a,
+		b:       append([]float64(nil), b...),
+		layout:  sparse.BlockLayout{N: a.N, BlockSize: cfg.pageDoubles()},
+	}
+	sv.bnorm = sparse.Norm2(b)
+	if sv.bnorm == 0 {
+		sv.bnorm = 1
+	}
+	sv.np = sv.layout.NumBlocks()
+	sv.space = pagemem.NewSpace(a.N, cfg.pageDoubles())
+	sv.x = sv.space.AddVector("x")
+	sv.g = sv.space.AddVector("g")
+	sv.v = make([]*pagemem.Vector, restart+1)
+	for i := range sv.v {
+		sv.v[i] = sv.space.AddVector(fmt.Sprintf("v%d", i))
+	}
+	sv.hCopy = sparse.NewDense(restart+1, restart)
+	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false)
+	sv.conn = pageConnectivity(a, sv.layout)
+	return sv, nil
+}
+
+// Space exposes the fault domain for error injection.
+func (sv *GMRESSolver) Space() *pagemem.Space { return sv.space }
+
+// Run executes the resilient solve and returns the result and solution.
+func (sv *GMRESSolver) Run() (Result, []float64, error) {
+	start := time.Now()
+	tol := sv.cfg.tol()
+	maxIter := sv.cfg.maxIter(sv.a.N)
+	m := sv.restart
+
+	h := sparse.NewDense(m+1, m) // working copy, Givens-rotated
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	res := make([]float64, m+1)
+	w := make([]float64, sv.a.N)
+	y := make([]float64, m)
+
+	totalIt := 0
+	restarts := 0
+	converged := false
+	for totalIt < maxIter {
+		sv.recover()
+		// Start of cycle: g = b - A x (full rebuild validates g).
+		sv.a.MulVec(sv.x.Data, sv.g.Data)
+		sparse.Sub(sv.b, sv.g.Data, sv.g.Data)
+		sv.clearFailed(sv.g)
+		trueRel := sparse.Norm2(sv.g.Data) / sv.bnorm
+		if sv.cfg.OnIteration != nil {
+			sv.cfg.OnIteration(totalIt, trueRel)
+		}
+		if trueRel < tol {
+			converged = true
+			break
+		}
+		sv.zeta = sparse.Norm2(sv.g.Data)
+		copy(sv.v[0].Data, sv.g.Data)
+		sparse.Scale(1/sv.zeta, sv.v[0].Data)
+		sv.clearFailed(sv.v[0])
+		sv.steps = 0
+		for i := range res {
+			res[i] = 0
+		}
+		res[0] = sv.zeta
+
+		steps := 0
+		for l := 0; l < m && totalIt < maxIter; l++ {
+			sv.recover() // Arnoldi-step boundary: repair before using data
+			sv.a.MulVec(sv.v[l].Data, w)
+			for k := 0; k <= l; k++ {
+				hk := sparse.Dot(w, sv.v[k].Data)
+				h.Set(k, l, hk)
+				sv.hCopy.Set(k, l, hk) // redundancy store
+				sparse.Axpy(-hk, sv.v[k].Data, w)
+			}
+			wn := sparse.Norm2(w)
+			h.Set(l+1, l, wn)
+			sv.hCopy.Set(l+1, l, wn)
+			steps = l + 1
+			sv.steps = steps
+			totalIt++
+			if wn != 0 {
+				copy(sv.v[l+1].Data, w)
+				sparse.Scale(1/wn, sv.v[l+1].Data)
+				sv.clearFailed(sv.v[l+1])
+			}
+			for k := 0; k < l; k++ {
+				hkl, hk1l := h.At(k, l), h.At(k+1, l)
+				h.Set(k, l, cs[k]*hkl+sn[k]*hk1l)
+				h.Set(k+1, l, -sn[k]*hkl+cs[k]*hk1l)
+			}
+			hll, hl1l := h.At(l, l), h.At(l+1, l)
+			r := math.Hypot(hll, hl1l)
+			if r == 0 {
+				cs[l], sn[l] = 1, 0
+			} else {
+				cs[l], sn[l] = hll/r, hl1l/r
+			}
+			h.Set(l, l, r)
+			h.Set(l+1, l, 0)
+			res[l+1] = -sn[l] * res[l]
+			res[l] = cs[l] * res[l]
+			if sv.cfg.OnIteration != nil {
+				sv.cfg.OnIteration(totalIt, math.Abs(res[l+1])/sv.bnorm)
+			}
+			if math.Abs(res[l+1])/sv.zeta < tol/10 || wn == 0 {
+				break
+			}
+		}
+		// y = R⁻¹ (rotated rhs); x += Σ y_l v_l.
+		sv.recover()
+		for i := steps - 1; i >= 0; i-- {
+			s := res[i]
+			for j := i + 1; j < steps; j++ {
+				s -= h.At(i, j) * y[j]
+			}
+			d := h.At(i, i)
+			if d == 0 {
+				return sv.finish(totalIt, restarts, converged, start), sv.x.Data, ErrRecurrenceBreakdown
+			}
+			y[i] = s / d
+		}
+		for l := 0; l < steps; l++ {
+			sparse.Axpy(y[l], sv.v[l].Data, sv.x.Data)
+		}
+		restarts++
+		sv.steps = 0
+	}
+	return sv.finish(totalIt, restarts, converged, start), sv.x.Data, nil
+}
+
+func (sv *GMRESSolver) finish(it, restarts int, converged bool, start time.Time) Result {
+	r := make([]float64, sv.a.N)
+	sv.a.MulVec(sv.x.Data, r)
+	sparse.Sub(sv.b, r, r)
+	_ = restarts
+	return Result{
+		Converged:   converged,
+		Iterations:  it,
+		RelResidual: sparse.Norm2(r) / sv.bnorm,
+		Elapsed:     time.Since(start),
+		Stats:       sv.stats,
+	}
+}
+
+func (sv *GMRESSolver) clearFailed(v *pagemem.Vector) {
+	for _, p := range v.FailedPages() {
+		v.MarkRecovered(p)
+	}
+}
+
+// recover repairs all failed pages visible at an Arnoldi-step boundary.
+func (sv *GMRESSolver) recover() {
+	evs := sv.space.ScramblePending()
+	sv.stats.FaultsSeen += len(evs)
+	if !sv.space.AnyFault() {
+		return
+	}
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		// g = b - A x.
+		for _, p := range sv.g.FailedPages() {
+			if sv.x.AnyFailedInPages(sv.conn[p]) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			buf := make([]float64, hi-lo)
+			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, 0, 0)
+			for i := lo; i < hi; i++ {
+				sv.g.Data[i] = sv.b[i] - buf[i-lo]
+			}
+			sv.g.MarkRecovered(p)
+			sv.stats.RecoveredForward++
+			progress = true
+		}
+		// x = A⁻¹(b - g).
+		for _, p := range sv.x.FailedPages() {
+			if sv.g.Failed(p) || sv.x.AnyFailedInPagesExcept(sv.conn[p], p) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			buf := make([]float64, hi-lo)
+			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, lo, hi)
+			for i := lo; i < hi; i++ {
+				buf[i-lo] = sv.b[i] - sv.g.Data[i] - buf[i-lo]
+			}
+			if err := sv.blocks.SolveDiagBlock(p, buf); err != nil {
+				continue
+			}
+			copy(sv.x.Data[lo:hi], buf)
+			sv.x.MarkRecovered(p)
+			sv.stats.RecoveredInverse++
+			progress = true
+		}
+		// v_0 = g / ζ.
+		for _, p := range sv.v[0].FailedPages() {
+			if sv.steps == 0 || sv.zeta == 0 {
+				break
+			}
+			if sv.g.Failed(p) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			for i := lo; i < hi; i++ {
+				sv.v[0].Data[i] = sv.g.Data[i] / sv.zeta
+			}
+			sv.v[0].MarkRecovered(p)
+			sv.stats.RecoveredForward++
+			progress = true
+		}
+		// v_l from the Hessenberg redundancy, page by page.
+		for l := 1; l <= sv.steps; l++ {
+			vl := sv.v[l]
+			if !vl.AnyFailed() {
+				continue
+			}
+			hll := sv.hCopy.At(l, l-1)
+			if hll == 0 {
+				continue
+			}
+			for _, p := range vl.FailedPages() {
+				// Needs v_{l-1} on the connected pages and v_k on page p.
+				if sv.v[l-1].AnyFailedInPages(sv.conn[p]) {
+					continue
+				}
+				bad := false
+				for k := 0; k < l; k++ {
+					if sv.v[k].Failed(p) && k != l { // v_k at page p
+						bad = true
+						break
+					}
+				}
+				if bad {
+					continue
+				}
+				lo, hi := sv.layout.Range(p)
+				buf := make([]float64, hi-lo)
+				sv.a.MulVecRangeExcludingCols(sv.v[l-1].Data, buf, lo, hi, 0, 0)
+				for k := 0; k < l; k++ {
+					hk := sv.hCopy.At(k, l-1)
+					if hk == 0 {
+						continue
+					}
+					vk := sv.v[k].Data
+					for i := lo; i < hi; i++ {
+						buf[i-lo] -= hk * vk[i]
+					}
+				}
+				for i := lo; i < hi; i++ {
+					vl.Data[i] = buf[i-lo] / hll
+				}
+				vl.MarkRecovered(p)
+				sv.stats.RecoveredForward++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Unused basis slots (l > steps) will be overwritten: blank them.
+	for l := sv.steps + 1; l < len(sv.v); l++ {
+		for _, p := range sv.v[l].FailedPages() {
+			sv.v[l].Remap(p)
+			sv.v[l].MarkRecovered(p)
+		}
+	}
+	// Anything else is unrecoverable related data: blank (a restart cycle
+	// will rebuild the basis from x anyway).
+	for _, v := range sv.space.Vectors() {
+		for _, p := range v.FailedPages() {
+			v.Remap(p)
+			v.MarkRecovered(p)
+			sv.stats.Unrecovered++
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/sparse"
+)
+
+// This file implements the Lossy Restart comparator (§4.3), adapted from
+// Langou et al.'s Lossy Approach to the memory-page error model: lost
+// iterate pages are interpolated with one block-Jacobi step
+//
+//	A_pp x_p = b_p - Σ_{j∉failed} A_pj x_j
+//
+// (discarding the residual), after which the method restarts with the
+// interpolated iterate as initial guess. Theorems 1–3 about this
+// interpolation are validated in lossy_test.go.
+
+// LossyInterpolate performs the block-Jacobi step interpolation of the
+// lost pages of x, in place. failed lists the lost page indices (their
+// current content is ignored and excluded from the right-hand side).
+// Returns false when the coupled system cannot be solved.
+//
+// It is exported (within the module) so the Theorem 1–3 property tests and
+// the distributed solver can exercise exactly the production interpolation
+// code.
+func LossyInterpolate(a *sparse.CSR, layout sparse.BlockLayout, blocks *sparse.BlockSolverCache, b, x []float64, failed []int) bool {
+	if len(failed) == 0 {
+		return true
+	}
+	// The coupled solver returns solutions in ascending block order;
+	// assemble the right-hand side in the same order.
+	failed = append([]int(nil), failed...)
+	sort.Ints(failed)
+	var exclude [][2]int
+	for _, p := range failed {
+		lo, hi := layout.Range(p)
+		exclude = append(exclude, [2]int{lo, hi})
+	}
+	if len(failed) == 1 {
+		p := failed[0]
+		lo, hi := layout.Range(p)
+		rhs := make([]float64, hi-lo)
+		a.MulVecRangeExcludingBlocks(x, rhs, lo, hi, exclude)
+		for i := lo; i < hi; i++ {
+			rhs[i-lo] = b[i] - rhs[i-lo]
+		}
+		if err := blocks.SolveDiagBlock(p, rhs); err != nil {
+			return false
+		}
+		copy(x[lo:hi], rhs)
+		return true
+	}
+	var rhs []float64
+	for _, p := range failed {
+		lo, hi := layout.Range(p)
+		part := make([]float64, hi-lo)
+		a.MulVecRangeExcludingBlocks(x, part, lo, hi, exclude)
+		for i := lo; i < hi; i++ {
+			part[i-lo] = b[i] - part[i-lo]
+		}
+		rhs = append(rhs, part...)
+	}
+	order, err := blocks.SolveCoupledBlocks(failed, rhs)
+	if err != nil {
+		return false
+	}
+	off := 0
+	for _, p := range order {
+		lo, hi := layout.Range(p)
+		copy(x[lo:hi], rhs[off:off+hi-lo])
+		off += hi - lo
+	}
+	return true
+}
+
+// lossyRestart reacts to detected faults for MethodLossy: interpolate any
+// lost iterate pages, rebuild all other dynamic data from x, restart.
+func (s *CG) lossyRestart(ver int64) {
+	failedX := s.x.FailedPages()
+	if len(failedX) > 0 {
+		if LossyInterpolate(s.a, s.layout, s.blocks, s.b, s.x.Data, failedX) {
+			s.stats.LossyInterpolations += len(failedX)
+		} else {
+			// Interpolation failed (degenerate block): blank the pages;
+			// the restart still yields a consistent state.
+			for _, p := range failedX {
+				s.x.Remap(p)
+			}
+		}
+	}
+	s.space.ClearAll()
+	s.refreshResidual(ver - 1)
+	s.stats.Restarts++
+}
+
+// lossyFallback is the §2.4 fallback for FEIR/AFEIR when redundancy
+// relations cannot repair simultaneous related-data errors: lossy
+// interpolation of whatever iterate pages are not current, then a restart.
+func (s *CG) lossyFallback(ver int64) {
+	var failedX []int
+	for p := 0; p < s.np; p++ {
+		if !current(s.x, s.xS, p, ver) {
+			failedX = append(failedX, p)
+		}
+	}
+	if len(failedX) > 0 && LossyInterpolate(s.a, s.layout, s.blocks, s.b, s.x.Data, failedX) {
+		s.stats.LossyInterpolations += len(failedX)
+		for _, p := range failedX {
+			s.x.MarkRecovered(p)
+			s.xS[p].Store(ver)
+		}
+	} else {
+		for _, p := range failedX {
+			s.x.Remap(p)
+			s.x.MarkRecovered(p)
+			s.xS[p].Store(ver)
+			s.stats.Unrecovered++
+		}
+	}
+	s.space.ClearAll()
+	s.forceAllStamps(ver)
+	s.refreshResidual(ver)
+	s.stats.Restarts++
+}
+
+// forceAllStamps stamps every page of every tracked vector at ver, used
+// after restart-style recoveries that rebuild all dynamic data.
+func (s *CG) forceAllStamps(ver int64) {
+	set := func(st []atomic.Int64) {
+		for p := range st {
+			st[p].Store(ver)
+		}
+	}
+	set(s.xS)
+	set(s.gS)
+	set(s.qS)
+	set(s.dS[0])
+	if s.doubleBuffer {
+		set(s.dS[1])
+	}
+	if s.zS != nil {
+		set(s.zS)
+	}
+}

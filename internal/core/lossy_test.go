@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// These tests validate the paper's §4.3 mathematical results about the
+// block-Jacobi step interpolation of the Lossy Approach:
+//
+//	Theorem 1 (Langou et al.): ||e_I|| <= c_i ||e|| with
+//	    c_i = (1 + ||A_ii^{-1}|| Σ_{j≠i} ||A_ij||)^{1/2}.
+//	Theorem 2 (Agullo et al.): for SPD A, ||e_I||_A <= ||e||_A.
+//	Theorem 3 (this paper):    for SPD A, the interpolation MINIMIZES
+//	    ||e_I||_A over all possible values of the lost block.
+//
+// plus the fixed-point property: interpolating from the exact solution
+// returns the exact solution.
+
+// aNorm computes sqrt(eᵀ A e).
+func aNorm(a *sparse.CSR, e []float64) float64 {
+	t := make([]float64, a.N)
+	a.MulVec(e, t)
+	v := sparse.Dot(e, t)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+type lossyFixture struct {
+	a      *sparse.CSR
+	layout sparse.BlockLayout
+	blocks *sparse.BlockSolverCache
+	xTrue  []float64
+	b      []float64
+}
+
+func newLossyFixture(seed int64) *lossyFixture {
+	a := matgen.Poisson2D(16, 16) // n=256
+	layout := sparse.BlockLayout{N: a.N, BlockSize: 32}
+	f := &lossyFixture{
+		a:      a,
+		layout: layout,
+		blocks: sparse.NewBlockSolverCache(a, layout, true),
+		xTrue:  matgen.RandomVector(a.N, seed),
+	}
+	f.b = make([]float64, a.N)
+	a.MulVec(f.xTrue, f.b)
+	return f
+}
+
+// interpolateFrom corrupts the given pages of a perturbed iterate and runs
+// the production interpolation, returning (pre-error, post-interpolation)
+// error vectors.
+func (f *lossyFixture) interpolateFrom(t *testing.T, x []float64, pages []int) (e, eI []float64) {
+	t.Helper()
+	e = make([]float64, f.a.N)
+	for i := range e {
+		e[i] = f.xTrue[i] - x[i]
+	}
+	xI := append([]float64(nil), x...)
+	// Destroy the lost pages so the test fails if the interpolation reads
+	// them.
+	for _, p := range pages {
+		lo, hi := f.layout.Range(p)
+		for i := lo; i < hi; i++ {
+			xI[i] = math.NaN()
+		}
+	}
+	if !LossyInterpolate(f.a, f.layout, f.blocks, f.b, xI, pages) {
+		t.Fatal("interpolation failed")
+	}
+	eI = make([]float64, f.a.N)
+	for i := range eI {
+		eI[i] = f.xTrue[i] - xI[i]
+		if math.IsNaN(eI[i]) {
+			t.Fatal("interpolation left NaN")
+		}
+	}
+	return e, eI
+}
+
+func TestTheorem2ANormNonExpansive(t *testing.T) {
+	f := newLossyFixture(1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		x := make([]float64, f.a.N)
+		for i := range x {
+			x[i] = f.xTrue[i] + rng.NormFloat64()
+		}
+		p := rng.Intn(f.layout.NumBlocks())
+		e, eI := f.interpolateFrom(t, x, []int{p})
+		ne, neI := aNorm(f.a, e), aNorm(f.a, eI)
+		if neI > ne*(1+1e-12) {
+			t.Fatalf("trial %d page %d: ||eI||_A = %v > ||e||_A = %v", trial, p, neI, ne)
+		}
+	}
+}
+
+func TestTheorem3ANormMinimality(t *testing.T) {
+	// The interpolated block minimizes ||e_I||_A over ALL candidate
+	// values of the lost block: any perturbation of the interpolated
+	// block must not decrease the A-norm of the error.
+	f := newLossyFixture(3)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, f.a.N)
+		for i := range x {
+			x[i] = f.xTrue[i] + rng.NormFloat64()
+		}
+		p := rng.Intn(f.layout.NumBlocks())
+		_, eI := f.interpolateFrom(t, x, []int{p})
+		base := aNorm(f.a, eI)
+		lo, hi := f.layout.Range(p)
+		for k := 0; k < 10; k++ {
+			pert := append([]float64(nil), eI...)
+			for i := lo; i < hi; i++ {
+				pert[i] += rng.NormFloat64() * 0.1
+			}
+			if aNorm(f.a, pert) < base*(1-1e-10) {
+				t.Fatalf("trial %d: perturbation beat the interpolation (%v < %v)", trial, aNorm(f.a, pert), base)
+			}
+		}
+	}
+}
+
+func TestTheorem1ContractionConstant(t *testing.T) {
+	// ||e_I|| <= c_i ||e|| in the Euclidean norm, with c_i computed from
+	// the block structure. We verify with ||A_ii^{-1}|| and ||A_ij||
+	// bounded via infinity norms (a valid upper bound for the constant).
+	f := newLossyFixture(5)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		x := make([]float64, f.a.N)
+		for i := range x {
+			x[i] = f.xTrue[i] + rng.NormFloat64()
+		}
+		p := rng.Intn(f.layout.NumBlocks())
+		e, eI := f.interpolateFrom(t, x, []int{p})
+		// Off-block row-sum bound: max_i Σ_{j outside block} |A_ij|.
+		lo, hi := f.layout.Range(p)
+		var offMax float64
+		for i := lo; i < hi; i++ {
+			if s := f.a.OffBlockRowAbsSum(i, lo, hi); s > offMax {
+				offMax = s
+			}
+		}
+		// ||A_pp^{-1}||_inf via solves against unit vectors.
+		k := hi - lo
+		var invNorm float64
+		for c := 0; c < k; c++ {
+			rhs := make([]float64, k)
+			rhs[c] = 1
+			if err := f.blocks.SolveDiagBlock(p, rhs); err != nil {
+				t.Fatal(err)
+			}
+			var col float64
+			for _, v := range rhs {
+				col += math.Abs(v)
+			}
+			if col > invNorm {
+				invNorm = col
+			}
+		}
+		// Loose norm-equivalence safety factor sqrt(k) for 2-vs-inf norms.
+		ci := math.Sqrt(1+invNorm*offMax) * math.Sqrt(float64(k))
+		ne, neI := sparse.Norm2(e), sparse.Norm2(eI)
+		if neI > ci*ne*(1+1e-9) {
+			t.Fatalf("trial %d: ||eI|| = %v > c_i ||e|| = %v", trial, neI, ci*ne)
+		}
+	}
+}
+
+func TestLossyFixedPoint(t *testing.T) {
+	// If x = x*, the interpolation returns x* (e = 0 ⇒ eI = 0).
+	f := newLossyFixture(7)
+	for p := 0; p < f.layout.NumBlocks(); p++ {
+		x := append([]float64(nil), f.xTrue...)
+		_, eI := f.interpolateFrom(t, x, []int{p})
+		if n := sparse.Norm2(eI); n > 1e-9 {
+			t.Fatalf("page %d: fixed point violated, ||eI|| = %v", p, n)
+		}
+	}
+}
+
+func TestLossyMultiPageInterpolationContracts(t *testing.T) {
+	f := newLossyFixture(9)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, f.a.N)
+		for i := range x {
+			x[i] = f.xTrue[i] + rng.NormFloat64()
+		}
+		p1 := rng.Intn(f.layout.NumBlocks())
+		p2 := (p1 + 1 + rng.Intn(f.layout.NumBlocks()-1)) % f.layout.NumBlocks()
+		e, eI := f.interpolateFrom(t, x, []int{p1, p2})
+		if aNorm(f.a, eI) > aNorm(f.a, e)*(1+1e-12) {
+			t.Fatalf("trial %d: multi-page interpolation expanded the A-norm", trial)
+		}
+	}
+}
+
+func TestLossyInterpolateEmptyAndFullRecovery(t *testing.T) {
+	f := newLossyFixture(11)
+	x := append([]float64(nil), f.xTrue...)
+	if !LossyInterpolate(f.a, f.layout, f.blocks, f.b, x, nil) {
+		t.Fatal("empty interpolation should succeed")
+	}
+	// Losing EVERY page turns the interpolation into a direct solve.
+	all := make([]int, f.layout.NumBlocks())
+	for i := range all {
+		all[i] = i
+	}
+	xAll := make([]float64, f.a.N)
+	if !LossyInterpolate(f.a, f.layout, f.blocks, f.b, xAll, all) {
+		t.Fatal("full interpolation failed")
+	}
+	for i := range xAll {
+		if math.Abs(xAll[i]-f.xTrue[i]) > 1e-6 {
+			t.Fatalf("direct-solve interpolation x[%d] = %v, want %v", i, xAll[i], f.xTrue[i])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Storm tests: randomized multi-error campaigns driven by seeds, checking
+// the end-to-end invariant of exact forward recovery — every run either
+// converges with a verified true residual, or reports its damage honestly
+// through the statistics. These are the property-style integration tests
+// over the whole recovery machinery.
+
+// stormInjections builds a random iteration-indexed injection schedule.
+func stormInjections(rng *rand.Rand, vectors []string, pages, maxIter, count int) []injection {
+	inj := make([]injection, count)
+	for i := range inj {
+		inj[i] = injection{
+			it:   1 + rng.Intn(maxIter),
+			vec:  vectors[rng.Intn(len(vectors))],
+			page: rng.Intn(pages),
+		}
+	}
+	return inj
+}
+
+func TestStormFEIRRandomErrors(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	vectors := []string{"x", "g", "q", "d0", "d1"}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inj := stormInjections(rng, vectors, 25, base, 5)
+		res := runWithInjections(t, a, b, testConfig(MethodFEIR), inj)
+		if !res.Converged {
+			t.Fatalf("seed %d: not converged: %+v", seed, res)
+		}
+		if res.RelResidual > 1e-8 {
+			t.Fatalf("seed %d: true residual %v", seed, res.RelResidual)
+		}
+		// Exact recovery: unless errors hit related data simultaneously
+		// (possible but rare here), iteration counts stay close to ideal.
+		if res.Stats.Unrecovered == 0 && res.Stats.Restarts == 0 {
+			if d := res.Iterations - base; d < -3 || d > 3 {
+				t.Fatalf("seed %d: %d iterations vs ideal %d with full recovery (%+v)",
+					seed, res.Iterations, base, res.Stats)
+			}
+		}
+	}
+}
+
+func TestStormAFEIRRandomErrors(t *testing.T) {
+	a, b := testSystem()
+	vectors := []string{"x", "g", "q", "d0", "d1"}
+	for seed := int64(100); seed < 106; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inj := stormInjections(rng, vectors, 25, 150, 6)
+		res := runWithInjections(t, a, b, testConfig(MethodAFEIR), inj)
+		if !res.Converged {
+			t.Fatalf("seed %d: not converged: %+v", seed, res)
+		}
+		if res.RelResidual > 1e-8 {
+			t.Fatalf("seed %d: true residual %v", seed, res.RelResidual)
+		}
+	}
+}
+
+func TestStormPreconditionedFEIR(t *testing.T) {
+	a, b := testSystem()
+	cfg := testConfig(MethodFEIR)
+	cfg.UsePrecond = true
+	vectors := []string{"x", "g", "q", "d0", "d1", "z"}
+	for seed := int64(200); seed < 204; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inj := stormInjections(rng, vectors, 25, 100, 4)
+		res := runWithInjections(t, a, b, cfg, inj)
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestStormLossyAndCheckpointSurvive(t *testing.T) {
+	a, b := testSystem()
+	for seed := int64(300); seed < 303; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inj := stormInjections(rng, []string{"x", "g", "d0"}, 25, 120, 3)
+
+		res := runWithInjections(t, a, b, testConfig(MethodLossy), inj)
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("lossy seed %d: %+v", seed, res)
+		}
+
+		cfg := testConfig(MethodCheckpoint)
+		cfg.CheckpointInterval = 40
+		cfg.Disk = NewSimDisk(1e9)
+		res = runWithInjections(t, a, b, cfg, inj)
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("ckpt seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestStormBurstSameIteration(t *testing.T) {
+	// Many errors in a single iteration, spread across vectors and pages:
+	// exercises coupled recoveries and fixpoint passes together.
+	a, b := testSystem()
+	inj := []injection{
+		{it: 30, vec: "x", page: 3},
+		{it: 30, vec: "x", page: 4},
+		{it: 30, vec: "g", page: 10},
+		{it: 30, vec: "q", page: 15},
+		{it: 30, vec: "d0", page: 20},
+		{it: 30, vec: "d1", page: 21},
+	}
+	res := runWithInjections(t, a, b, testConfig(MethodFEIR), inj)
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("burst: %+v", res)
+	}
+}
+
+func TestStormEveryPageOfXOverTime(t *testing.T) {
+	// Lose a different iterate page every few iterations: CG must still
+	// converge exactly (x recovery is exact as long as g is intact).
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	var inj []injection
+	for p := 0; p < 20; p++ {
+		inj = append(inj, injection{it: 5 + 4*p, vec: "x", page: p})
+	}
+	res := runWithInjections(t, a, b, testConfig(MethodFEIR), inj)
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if res.Stats.RecoveredInverse < 15 {
+		t.Fatalf("expected many inverse recoveries: %+v", res.Stats)
+	}
+	if d := res.Iterations - base; d < -3 || d > 3 {
+		t.Fatalf("%d iterations vs ideal %d", res.Iterations, base)
+	}
+}
+
+func TestStormRepeatedSamePage(t *testing.T) {
+	// The same page dying over and over must not accumulate damage.
+	a, b := testSystem()
+	var inj []injection
+	for k := 0; k < 10; k++ {
+		inj = append(inj, injection{it: 10 + 6*k, vec: "g", page: 7})
+	}
+	res := runWithInjections(t, a, b, testConfig(MethodAFEIR), inj)
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("%+v", res)
+	}
+	if res.Stats.RecoveredForward < 8 {
+		t.Fatalf("expected repeated forward recoveries: %+v", res.Stats)
+	}
+}

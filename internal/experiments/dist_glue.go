@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/sparse"
+)
+
+// distConfig builds the distributed-layer configuration for validation
+// runs.
+func distConfig(method core.Method, opts Options) dist.Config {
+	return dist.Config{
+		Method:      method,
+		PageDoubles: 128, // small pages so a 16³ grid spans many pages
+		Tol:         opts.tol(),
+		MaxIter:     20000,
+	}
+}
+
+// distSolve adapts dist.SolveCG for the experiments layer.
+func distSolve(a *sparse.CSR, b []float64, ranks int, cfg dist.Config) (core.Result, []float64, error) {
+	return dist.SolveCG(a, b, ranks, cfg)
+}

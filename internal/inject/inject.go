@@ -1,0 +1,210 @@
+// Package inject drives the paper's error-injection methodology (§5.3):
+// errors arrive from a separate goroutine at times drawn from an
+// exponential distribution parametrised by the Mean Time Between Errors
+// (MTBE), normalised to the ideal convergence time of the target problem;
+// affected memory pages are selected uniformly at random over the
+// protected (dynamic) vectors.
+//
+// Two injection drivers are provided:
+//
+//   - Injector: wall-clock driven, matching the paper's separate-thread
+//     setup, for the benchmark harness.
+//   - Plan: deterministic scripted injections (at fixed wall-clock offsets
+//     or fixed iteration numbers), for reproducible tests and for the
+//     single-error convergence study of Figure 3.
+package inject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/pagemem"
+)
+
+// Injector injects DUEs into random pages of the target vectors at
+// exponential intervals, from its own goroutine, until stopped.
+type Injector struct {
+	Space   *pagemem.Space
+	Targets []*pagemem.Vector // dynamic data covered by injections
+	MTBE    time.Duration     // mean time between errors
+	Seed    int64
+
+	mu       sync.Mutex
+	stop     chan struct{}
+	done     chan struct{}
+	injected int
+}
+
+// NewInjector builds an injector over the given targets. MTBE must be
+// positive.
+func NewInjector(space *pagemem.Space, targets []*pagemem.Vector, mtbe time.Duration, seed int64) *Injector {
+	if mtbe <= 0 {
+		panic("inject: non-positive MTBE")
+	}
+	if len(targets) == 0 {
+		panic("inject: no target vectors")
+	}
+	return &Injector{Space: space, Targets: targets, MTBE: mtbe, Seed: seed}
+}
+
+// Start launches the injection goroutine. It panics if already running.
+func (in *Injector) Start() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.stop != nil {
+		panic("inject: injector already running")
+	}
+	in.stop = make(chan struct{})
+	in.done = make(chan struct{})
+	go in.run(in.stop, in.done)
+}
+
+// Stop terminates the injection goroutine and waits for it to exit.
+// Stopping a non-started injector is a no-op.
+func (in *Injector) Stop() {
+	in.mu.Lock()
+	stop, done := in.stop, in.done
+	in.stop, in.done = nil, nil
+	in.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Injected returns the number of errors injected so far.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+func (in *Injector) run(stop, done chan struct{}) {
+	defer close(done)
+	rng := rand.New(rand.NewSource(in.Seed))
+	timer := time.NewTimer(in.nextDelay(rng))
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+			in.injectOne(rng)
+			timer.Reset(in.nextDelay(rng))
+		}
+	}
+}
+
+func (in *Injector) nextDelay(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(in.MTBE))
+}
+
+func (in *Injector) injectOne(rng *rand.Rand) {
+	// Uniform over (vector, page) pairs: every protected page is equally
+	// likely, as in the paper's uniform page selection.
+	v := in.Targets[rng.Intn(len(in.Targets))]
+	p := rng.Intn(in.Space.NumPages())
+	v.Poison(p)
+	in.mu.Lock()
+	in.injected++
+	in.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+
+// PlannedError is one scripted injection. Exactly one of At (wall-clock
+// offset from Plan.Start) or AtIteration is used, selected by ByIteration.
+type PlannedError struct {
+	Vector      *pagemem.Vector
+	Page        int
+	At          time.Duration
+	AtIteration int
+}
+
+// Plan injects a fixed list of errors either at wall-clock offsets
+// (driven by an internal goroutine) or at iteration boundaries (driven by
+// the solver calling Tick).
+type Plan struct {
+	ByIteration bool
+	Errors      []PlannedError
+
+	mu    sync.Mutex
+	next  int
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// Start arms the plan. For wall-clock plans it launches the timing
+// goroutine; for iteration plans it only records readiness.
+func (p *Plan) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.start = time.Now()
+	p.next = 0
+	if p.ByIteration {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	// Sort-free: errors are fired in slice order; offsets should be
+	// non-decreasing, which callers control.
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		for i := range p.Errors {
+			e := p.Errors[i]
+			delay := time.Until(p.start.Add(e.At))
+			if delay > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(delay):
+				}
+			}
+			e.Vector.Poison(e.Page)
+			p.mu.Lock()
+			p.next = i + 1
+			p.mu.Unlock()
+		}
+	}(p.stop, p.done)
+}
+
+// Stop cancels any pending wall-clock injections.
+func (p *Plan) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Tick fires all iteration-scheduled errors due at iteration it. Solvers
+// call it once per iteration. Returns the number of errors injected.
+func (p *Plan) Tick(it int) int {
+	if !p.ByIteration {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fired := 0
+	for p.next < len(p.Errors) && p.Errors[p.next].AtIteration <= it {
+		e := p.Errors[p.next]
+		e.Vector.Poison(e.Page)
+		p.next++
+		fired++
+	}
+	return fired
+}
+
+// Fired returns how many planned errors have been injected.
+func (p *Plan) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next
+}

@@ -1,0 +1,161 @@
+package inject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pagemem"
+)
+
+func newSpace(t *testing.T) (*pagemem.Space, *pagemem.Vector, *pagemem.Vector) {
+	t.Helper()
+	s := pagemem.NewSpace(5120, 512)
+	return s, s.AddVector("x"), s.AddVector("g")
+}
+
+func TestInjectorInjectsAtRoughRate(t *testing.T) {
+	s, x, g := newSpace(t)
+	in := NewInjector(s, []*pagemem.Vector{x, g}, 2*time.Millisecond, 1)
+	in.Start()
+	time.Sleep(100 * time.Millisecond)
+	in.Stop()
+	s.ScramblePending()
+	n := in.Injected()
+	if n == 0 {
+		t.Fatal("no errors injected in 100ms with MTBE 2ms")
+	}
+	if int64(n) != s.FaultCount() {
+		t.Fatalf("Injected=%d but FaultCount=%d", n, s.FaultCount())
+	}
+	// Expected ~50; accept a very loose band to avoid flakiness.
+	if n < 5 || n > 400 {
+		t.Fatalf("injected %d errors, far from expected ~50", n)
+	}
+}
+
+func TestInjectorStopIsIdempotent(t *testing.T) {
+	s, x, _ := newSpace(t)
+	in := NewInjector(s, []*pagemem.Vector{x}, time.Hour, 1)
+	in.Start()
+	in.Stop()
+	in.Stop() // second stop is a no-op
+}
+
+func TestInjectorRestartAfterStop(t *testing.T) {
+	s, x, _ := newSpace(t)
+	in := NewInjector(s, []*pagemem.Vector{x}, time.Hour, 1)
+	in.Start()
+	in.Stop()
+	in.Start()
+	in.Stop()
+}
+
+func TestInjectorDoubleStartPanics(t *testing.T) {
+	s, x, _ := newSpace(t)
+	in := NewInjector(s, []*pagemem.Vector{x}, time.Hour, 1)
+	in.Start()
+	defer in.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Start")
+		}
+	}()
+	in.Start()
+}
+
+func TestInjectorValidation(t *testing.T) {
+	s, x, _ := newSpace(t)
+	for _, f := range []func(){
+		func() { NewInjector(s, []*pagemem.Vector{x}, 0, 1) },
+		func() { NewInjector(s, nil, time.Second, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected constructor panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlanByIteration(t *testing.T) {
+	_, x, g := newSpace(t)
+	p := &Plan{
+		ByIteration: true,
+		Errors: []PlannedError{
+			{Vector: x, Page: 1, AtIteration: 3},
+			{Vector: g, Page: 2, AtIteration: 3},
+			{Vector: x, Page: 5, AtIteration: 10},
+		},
+	}
+	p.Start()
+	if n := p.Tick(2); n != 0 {
+		t.Fatalf("Tick(2) fired %d", n)
+	}
+	if n := p.Tick(3); n != 2 {
+		t.Fatalf("Tick(3) fired %d, want 2", n)
+	}
+	x.Space().ScramblePending()
+	if !x.Failed(1) || !g.Failed(2) || x.Failed(5) {
+		t.Fatal("wrong pages poisoned")
+	}
+	if n := p.Tick(50); n != 1 {
+		t.Fatalf("Tick(50) fired %d, want 1", n)
+	}
+	if p.Fired() != 3 {
+		t.Fatalf("Fired = %d", p.Fired())
+	}
+}
+
+func TestPlanByWallClock(t *testing.T) {
+	_, x, _ := newSpace(t)
+	p := &Plan{
+		Errors: []PlannedError{
+			{Vector: x, Page: 0, At: 5 * time.Millisecond},
+			{Vector: x, Page: 1, At: 10 * time.Millisecond},
+		},
+	}
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Fired() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if p.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", p.Fired())
+	}
+	x.Space().ScramblePending()
+	if !x.Failed(0) || !x.Failed(1) {
+		t.Fatal("planned pages not poisoned")
+	}
+}
+
+func TestPlanStopCancelsPending(t *testing.T) {
+	_, x, _ := newSpace(t)
+	p := &Plan{
+		Errors: []PlannedError{
+			{Vector: x, Page: 0, At: time.Hour},
+		},
+	}
+	p.Start()
+	p.Stop()
+	if p.Fired() != 0 {
+		t.Fatal("stop did not cancel pending error")
+	}
+	x.Space().ScramblePending()
+	if x.Failed(0) {
+		t.Fatal("page poisoned after Stop")
+	}
+}
+
+func TestPlanTickOnWallClockPlanIsNoop(t *testing.T) {
+	_, x, _ := newSpace(t)
+	p := &Plan{Errors: []PlannedError{{Vector: x, Page: 0, At: time.Hour}}}
+	p.Start()
+	defer p.Stop()
+	if p.Tick(100) != 0 {
+		t.Fatal("Tick fired on wall-clock plan")
+	}
+}

@@ -1,0 +1,232 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// requireSPDish validates structural invariants every generated workload
+// must satisfy: valid CSR, symmetric, positive diagonal.
+func requireSPDish(t *testing.T, a *sparse.CSR, name string) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if a.N != a.M {
+		t.Fatalf("%s: non-square %dx%d", name, a.N, a.M)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	for i, d := range a.Diag() {
+		if d <= 0 {
+			t.Fatalf("%s: non-positive diagonal %v at %d", name, d, i)
+		}
+	}
+}
+
+// cgProbe runs plain CG and returns iterations to reach rtol, or -1.
+func cgProbe(a *sparse.CSR, rtol float64, maxIter int) int {
+	n := a.N
+	b := Ones(n)
+	x := make([]float64, n)
+	g := make([]float64, n)
+	d := make([]float64, n)
+	q := make([]float64, n)
+	copy(g, b)
+	copy(d, b)
+	bnorm := sparse.Norm2(b)
+	eps := sparse.Dot(g, g)
+	for it := 0; it < maxIter; it++ {
+		if math.Sqrt(eps)/bnorm < rtol {
+			return it
+		}
+		a.MulVec(d, q)
+		alpha := eps / sparse.Dot(q, d)
+		sparse.Axpy(alpha, d, x)
+		sparse.Axpy(-alpha, q, g)
+		epsNew := sparse.Dot(g, g)
+		beta := epsNew / eps
+		eps = epsNew
+		sparse.Xpby(g, beta, d)
+	}
+	return -1
+}
+
+func TestPoisson2DStructure(t *testing.T) {
+	a := Poisson2D(10, 12)
+	requireSPDish(t, a, "poisson2d")
+	if a.N != 120 {
+		t.Fatalf("N = %d, want 120", a.N)
+	}
+	// Interior row has 5 entries.
+	if got := a.RowNNZ(5*12 + 6); got != 5 {
+		t.Fatalf("interior row nnz = %d, want 5", got)
+	}
+	// Corner row has 3.
+	if got := a.RowNNZ(0); got != 3 {
+		t.Fatalf("corner row nnz = %d, want 3", got)
+	}
+}
+
+func TestPoisson3D27Structure(t *testing.T) {
+	a := Poisson3D27(4, 4, 4)
+	requireSPDish(t, a, "poisson3d27")
+	if a.N != 64 {
+		t.Fatalf("N = %d, want 64", a.N)
+	}
+	// Interior node (1,1,1)... for a 4^3 grid index (1*4+1)*4+1 = 21 has 27 entries.
+	if got := a.RowNNZ(21); got != 27 {
+		t.Fatalf("interior row nnz = %d, want 27", got)
+	}
+	// Row sums are >= 0 (diagonally dominant by construction at boundaries).
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Vals[k]
+		}
+		if s < -1e-12 {
+			t.Fatalf("row %d sum %v < 0", i, s)
+		}
+	}
+}
+
+func TestPoisson3D7Structure(t *testing.T) {
+	a := Poisson3D7(3, 4, 5, 1.5)
+	requireSPDish(t, a, "poisson3d7")
+	if a.N != 60 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if a.At(0, 0) != 6+1.5 {
+		t.Fatalf("diag = %v", a.At(0, 0))
+	}
+}
+
+func TestPoisson2DVarCoeffSymmetricWithRoughField(t *testing.T) {
+	a := Poisson2DVarCoeff(8, 8, 0.01, func(x, y float64) float64 {
+		if x > 0.5 {
+			return 10
+		}
+		return 0.1
+	})
+	requireSPDish(t, a, "varcoeff")
+}
+
+func TestStencil9Structure(t *testing.T) {
+	a := Stencil9(9, 9, 0.1, 1)
+	requireSPDish(t, a, "stencil9")
+	// Interior row: 9 entries (8 neighbours + diagonal).
+	if got := a.RowNNZ(4*9 + 4); got != 9 {
+		t.Fatalf("interior row nnz = %d, want 9", got)
+	}
+}
+
+func TestBandedStructure(t *testing.T) {
+	a := Banded(100, 5, 1.1, 42)
+	requireSPDish(t, a, "banded")
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if d := a.Cols[k] - i; d > 5 || d < -5 {
+				t.Fatalf("entry (%d,%d) outside band", i, a.Cols[k])
+			}
+		}
+	}
+}
+
+func TestBandedDeterministic(t *testing.T) {
+	a := Banded(50, 3, 1.2, 7)
+	b := Banded(50, 3, 1.2, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("banded generator not deterministic in structure")
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] {
+			t.Fatal("banded generator not deterministic in values")
+		}
+	}
+}
+
+func TestRandomSPDStructure(t *testing.T) {
+	a := RandomSPD(200, 10, 1.05, 3)
+	requireSPDish(t, a, "randomspd")
+}
+
+func TestAllPaperAnaloguesAreSPDAndCGConverges(t *testing.T) {
+	for _, name := range PaperMatrixNames {
+		a, err := PaperMatrix(name, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSPDish(t, a, name)
+		it := cgProbe(a, 1e-8, 20000)
+		if it < 0 {
+			t.Fatalf("%s: CG did not converge in 20000 iterations", name)
+		}
+		t.Logf("%s: n=%d nnz=%d CG iters=%d", name, a.N, a.NNZ(), it)
+	}
+}
+
+func TestAnalogueConvergenceOrdering(t *testing.T) {
+	// qa8fm must converge much faster than thermal2 — the paper's spread
+	// of "fast" vs "slow" matrices drives the Fig 4 trade-offs.
+	fast, err := PaperMatrix("qa8fm", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := PaperMatrix("thermal2", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itFast := cgProbe(fast, 1e-8, 50000)
+	itSlow := cgProbe(slow, 1e-8, 50000)
+	if itFast < 0 || itSlow < 0 {
+		t.Fatalf("convergence probe failed: fast=%d slow=%d", itFast, itSlow)
+	}
+	if itFast*4 > itSlow {
+		t.Fatalf("expected qa8fm (%d iters) to be at least 4x faster than thermal2 (%d iters)", itFast, itSlow)
+	}
+}
+
+func TestPaperMatrixUnknownName(t *testing.T) {
+	if _, err := PaperMatrix("nope", 100); err == nil {
+		t.Fatal("accepted unknown matrix name")
+	}
+}
+
+func TestPaperNamesHaveSizes(t *testing.T) {
+	for _, name := range PaperMatrixNames {
+		if PaperSizes[name] == 0 {
+			t.Fatalf("no recorded paper size for %s", name)
+		}
+	}
+}
+
+func TestRandomVectorDeterministic(t *testing.T) {
+	a := RandomVector(10, 5)
+	b := RandomVector(10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomVector not deterministic")
+		}
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := Ones(3)
+	if v[0] != 1 || v[1] != 1 || v[2] != 1 {
+		t.Fatalf("Ones = %v", v)
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	nx, ny := gridSides(100)
+	if nx*ny < 100 {
+		t.Fatalf("gridSides(100) = %d,%d too small", nx, ny)
+	}
+	cx, cy, cz := cubeSides(100)
+	if cx*cy*cz < 100 {
+		t.Fatalf("cubeSides(100) = %d,%d,%d too small", cx, cy, cz)
+	}
+}

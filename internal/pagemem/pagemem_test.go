@@ -1,0 +1,324 @@
+package pagemem
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSpaceLayout(t *testing.T) {
+	s := NewSpace(1100, 512)
+	if s.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", s.NumPages())
+	}
+	if s.N() != 1100 {
+		t.Fatalf("N = %d", s.N())
+	}
+	lo, hi := s.Layout().Range(2)
+	if lo != 1024 || hi != 1100 {
+		t.Fatalf("page 2 = [%d,%d)", lo, hi)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	s := NewSpace(5000, 0)
+	if s.Layout().BlockSize != DefaultPageDoubles {
+		t.Fatalf("default page size %d, want %d", s.Layout().BlockSize, DefaultPageDoubles)
+	}
+	if DefaultPageDoubles != 512 {
+		t.Fatalf("DefaultPageDoubles = %d, want 512 (4KiB of float64)", DefaultPageDoubles)
+	}
+}
+
+func TestAddVectorAssignsBits(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	g := s.AddVector("g")
+	if x.ID() != 0 || g.ID() != 1 {
+		t.Fatalf("ids = %d,%d", x.ID(), g.ID())
+	}
+	if x.Name() != "x" || s.VectorByName("g") != g {
+		t.Fatal("names wrong")
+	}
+	if s.VectorByName("nope") != nil {
+		t.Fatal("unknown name should be nil")
+	}
+	if len(s.Vectors()) != 2 {
+		t.Fatal("Vectors() wrong")
+	}
+}
+
+func TestMaxVectorsEnforced(t *testing.T) {
+	s := NewSpace(10, 10)
+	for i := 0; i < MaxVectors; i++ {
+		s.AddVector("v")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic past MaxVectors")
+		}
+	}()
+	s.AddVector("overflow")
+}
+
+func TestPoisonScramblesAndFlags(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	x.PoisonNow(3)
+	lo, hi := x.PageRange(3)
+	for i := lo; i < hi; i++ {
+		if !math.IsNaN(x.Data[i]) {
+			t.Fatalf("element %d not scrambled", i)
+		}
+	}
+	// Neighbouring pages untouched.
+	if math.IsNaN(x.Data[lo-1]) || math.IsNaN(x.Data[hi]) {
+		t.Fatal("poison leaked outside page")
+	}
+	if !x.Failed(3) || x.Failed(2) {
+		t.Fatal("fault bits wrong")
+	}
+	if s.FaultCount() != 1 {
+		t.Fatalf("FaultCount = %d", s.FaultCount())
+	}
+}
+
+func TestPoisonZeroMode(t *testing.T) {
+	s := NewSpace(100, 10)
+	s.SetPoisonWithNaN(false)
+	x := s.AddVector("x")
+	for i := range x.Data {
+		x.Data[i] = 7
+	}
+	x.PoisonNow(0)
+	if x.Data[0] != 0 {
+		t.Fatal("zero-mode poison did not zero")
+	}
+	if !x.Failed(0) {
+		t.Fatal("fault bit missing")
+	}
+}
+
+func TestRemapZeroesButKeepsBit(t *testing.T) {
+	s := NewSpace(50, 10)
+	x := s.AddVector("x")
+	x.PoisonNow(1)
+	x.Remap(1)
+	lo, hi := x.PageRange(1)
+	for i := lo; i < hi; i++ {
+		if x.Data[i] != 0 {
+			t.Fatal("remap did not zero page")
+		}
+	}
+	if !x.Failed(1) {
+		t.Fatal("remap must not clear the fault bit")
+	}
+}
+
+func TestMarkRecoveredClearsOnlyOwnBit(t *testing.T) {
+	s := NewSpace(50, 10)
+	x := s.AddVector("x")
+	g := s.AddVector("g")
+	x.PoisonNow(2)
+	g.PoisonNow(2)
+	x.MarkRecovered(2)
+	if x.Failed(2) {
+		t.Fatal("x still failed")
+	}
+	if !g.Failed(2) {
+		t.Fatal("g bit clobbered")
+	}
+	if s.PageMask(2) != 1<<1 {
+		t.Fatalf("mask = %b", s.PageMask(2))
+	}
+}
+
+func TestMarkFailedPropagation(t *testing.T) {
+	s := NewSpace(50, 10)
+	q := s.AddVector("q")
+	q.MarkFailed(4)
+	if !q.Failed(4) {
+		t.Fatal("MarkFailed had no effect")
+	}
+	// Data untouched by MarkFailed.
+	if math.IsNaN(q.Data[40]) {
+		t.Fatal("MarkFailed must not scramble data")
+	}
+}
+
+func TestAnyFailedInRange(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	x.PoisonNow(5) // elements 50..59
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 50, false},
+		{50, 51, true},
+		{59, 60, true},
+		{60, 100, false},
+		{0, 100, true},
+		{55, 55, false}, // empty range
+	}
+	for _, c := range cases {
+		if got := x.AnyFailedInRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("AnyFailedInRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestFailedPagesAndAnyFault(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	g := s.AddVector("g")
+	if s.AnyFault() || x.AnyFailed() {
+		t.Fatal("fresh space reports faults")
+	}
+	x.PoisonNow(1)
+	x.PoisonNow(7)
+	g.PoisonNow(3)
+	fp := x.FailedPages()
+	if len(fp) != 2 || fp[0] != 1 || fp[1] != 7 {
+		t.Fatalf("FailedPages = %v", fp)
+	}
+	if !s.AnyFault() || !x.AnyFailed() || !g.AnyFailed() {
+		t.Fatal("faults not reported")
+	}
+	s.ClearAll()
+	if s.AnyFault() {
+		t.Fatal("ClearAll left faults")
+	}
+}
+
+func TestOnFaultCallback(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	var mu sync.Mutex
+	var events []FaultEvent
+	s.SetOnFault(func(e FaultEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	x.PoisonNow(2)
+	mu.Lock()
+	n := len(events)
+	mu.Unlock()
+	if n != 1 || events[0].Page != 2 || events[0].Vector != "x" {
+		t.Fatalf("events = %+v", events)
+	}
+	s.SetOnFault(nil)
+	x.PoisonNow(3)
+	mu.Lock()
+	if len(events) != 1 {
+		t.Fatal("callback fired after removal")
+	}
+	mu.Unlock()
+}
+
+func TestConcurrentPoisonAndCheck(t *testing.T) {
+	// Race-detector exercise: concurrent injector goroutines enqueue
+	// poisons and worker-like goroutines read masks, while the "solver"
+	// periodically applies pending faults at boundaries.
+	s := NewSpace(5120, 512)
+	x := s.AddVector("x")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p := (seed + i) % s.NumPages()
+				x.Poison(p)
+				_ = x.Failed(p)
+				x.MarkFailed(p)
+				x.MarkRecovered(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.PendingCount(); got != 4000 {
+		t.Fatalf("PendingCount = %d, want 4000", got)
+	}
+	evs := s.ScramblePending()
+	if len(evs) != 4000 || s.FaultCount() != 4000 {
+		t.Fatalf("processed %d events, FaultCount = %d, want 4000", len(evs), s.FaultCount())
+	}
+	if s.PendingCount() != 0 {
+		t.Fatal("pending queue not drained")
+	}
+}
+
+func TestPoisonSetsBitImmediatelyScramblesLater(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	g := s.AddVector("g")
+	for i := range x.Data {
+		x.Data[i] = 3
+	}
+	x.Poison(1)
+	g.Poison(2)
+	if !x.Failed(1) || !g.Failed(2) {
+		t.Fatal("fault bit not set at Poison time")
+	}
+	if math.IsNaN(x.Data[10]) {
+		t.Fatal("data scrambled before ScramblePending")
+	}
+	evs := s.ScramblePending()
+	if len(evs) != 2 || evs[0].Vector != "x" || evs[1].Vector != "g" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if !math.IsNaN(x.Data[10]) {
+		t.Fatal("data not scrambled")
+	}
+}
+
+func TestScramblePendingSkipsRecoveredPages(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	for i := range x.Data {
+		x.Data[i] = 5
+	}
+	x.Poison(3)
+	// A recovery task interpolates replacement data and clears the bit
+	// before the page content was ever accessed.
+	lo, hi := x.PageRange(3)
+	for i := lo; i < hi; i++ {
+		x.Data[i] = 7
+	}
+	x.MarkRecovered(3)
+	s.ScramblePending()
+	for i := lo; i < hi; i++ {
+		if x.Data[i] != 7 {
+			t.Fatal("ScramblePending destroyed recovered data")
+		}
+	}
+}
+
+func TestClearAllDropsPending(t *testing.T) {
+	s := NewSpace(100, 10)
+	x := s.AddVector("x")
+	x.Poison(1)
+	s.ClearAll()
+	if s.PendingCount() != 0 {
+		t.Fatal("ClearAll kept pending faults")
+	}
+	if evs := s.ScramblePending(); len(evs) != 0 {
+		t.Fatalf("ScramblePending after ClearAll returned %d events", len(evs))
+	}
+}
+
+func TestPoisonEmptyPagePanics(t *testing.T) {
+	s := NewSpace(10, 10)
+	x := s.AddVector("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic poisoning out-of-range page")
+		}
+	}()
+	x.PoisonNow(1) // only page 0 exists
+}

@@ -1,0 +1,124 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestIdealEfficiencyAt1024(t *testing.T) {
+	m := New()
+	eff := m.ParallelEfficiency(1024)
+	// Paper: 80.17 % parallel efficiency at 1024 cores.
+	if eff < 0.70 || eff > 0.92 {
+		t.Fatalf("efficiency at 1024 = %.3f, want ~0.80", eff)
+	}
+}
+
+func TestIdealSpeedupMonotone(t *testing.T) {
+	m := New()
+	prev := 0.0
+	for _, cores := range Fig5Cores {
+		s := m.Speedup(core.MethodIdeal, cores, 0)
+		if s <= prev {
+			t.Fatalf("ideal speedup not monotone at %d cores: %v <= %v", cores, s, prev)
+		}
+		prev = s
+	}
+	if s := m.Speedup(core.MethodIdeal, 64, 0); s != 1 {
+		t.Fatalf("ideal speedup at 64 cores = %v, want 1", s)
+	}
+}
+
+func TestFig5OrderingOneError(t *testing.T) {
+	// Paper, 1024 cores, 1 error/run: AFEIR 10.01, Lossy 8.17, FEIR 7.50,
+	// ckpt and Trivial far below.
+	m := New()
+	s := func(meth core.Method) float64 { return m.Speedup(meth, 1024, 1) }
+	ideal := m.Speedup(core.MethodIdeal, 1024, 0)
+	afeir, feir, lossy := s(core.MethodAFEIR), s(core.MethodFEIR), s(core.MethodLossy)
+	ckpt, trivial := s(core.MethodCheckpoint), s(core.MethodTrivial)
+	if !(afeir > lossy && lossy > feir) {
+		t.Fatalf("ordering wrong: AFEIR %.2f, Lossy %.2f, FEIR %.2f", afeir, lossy, feir)
+	}
+	if ckpt > ideal/3 {
+		t.Fatalf("ckpt speedup %.2f should stay below a third of ideal %.2f", ckpt, ideal)
+	}
+	if trivial > feir {
+		t.Fatalf("trivial %.2f should lose to FEIR %.2f", trivial, feir)
+	}
+	// Rough magnitudes (paper: 10.01 / 8.17 / 7.50).
+	if afeir < 8 || afeir > 12.5 {
+		t.Fatalf("AFEIR(1024,1) = %.2f, want ~10", afeir)
+	}
+	if feir < 5.5 || feir > 9.5 {
+		t.Fatalf("FEIR(1024,1) = %.2f, want ~7.5", feir)
+	}
+}
+
+func TestFig5CrossoverTwoErrors(t *testing.T) {
+	// Paper, 1024 cores, 2 errors/run: FEIR 7.65 beats AFEIR 6.03 — the
+	// conservative method wins when errors are frequent.
+	m := New()
+	afeir := m.Speedup(core.MethodAFEIR, 1024, 2)
+	feir := m.Speedup(core.MethodFEIR, 1024, 2)
+	lossy := m.Speedup(core.MethodLossy, 1024, 2)
+	if feir <= afeir {
+		t.Fatalf("FEIR (%.2f) must beat AFEIR (%.2f) at 2 errors", feir, afeir)
+	}
+	if lossy >= afeir {
+		t.Fatalf("Lossy (%.2f) should fall below AFEIR (%.2f) at 2 errors", lossy, afeir)
+	}
+	if afeir < 4.5 || afeir > 8 {
+		t.Fatalf("AFEIR(1024,2) = %.2f, want ~6", afeir)
+	}
+}
+
+func TestFEIRPenaltyGrowsWithScale(t *testing.T) {
+	// The critical-path latency hurts more as iterations shrink: the
+	// FEIR/ideal ratio must fall with core count (§5.5).
+	m := New()
+	r64 := m.Speedup(core.MethodFEIR, 64, 1) / m.Speedup(core.MethodIdeal, 64, 0)
+	r1024 := m.Speedup(core.MethodFEIR, 1024, 1) / m.Speedup(core.MethodIdeal, 1024, 0)
+	if r1024 >= r64 {
+		t.Fatalf("FEIR relative performance should degrade with scale: %v at 64, %v at 1024", r64, r1024)
+	}
+}
+
+func TestCheckpointDominatedByIO(t *testing.T) {
+	m := New()
+	withErr := m.RunTime(core.MethodCheckpoint, 1024, 1)
+	ideal := m.RunTime(core.MethodIdeal, 1024, 0)
+	if withErr < 2*ideal {
+		t.Fatalf("checkpoint run %.3fs should be dominated by I/O vs ideal %.3fs", withErr, ideal)
+	}
+}
+
+func TestFig5CurvesComplete(t *testing.T) {
+	m := New()
+	curves := m.Fig5()
+	// 5 methods × 2 error counts + 2 ideal references.
+	if len(curves) != 12 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Speedup) != len(Fig5Cores) {
+			t.Fatalf("curve %v/%d has %d points", c.Method, c.Errors, len(c.Speedup))
+		}
+		for i, s := range c.Speedup {
+			if s <= 0 {
+				t.Fatalf("curve %v/%d point %d non-positive", c.Method, c.Errors, i)
+			}
+		}
+	}
+}
+
+func TestIterTimeShrinksWithCores(t *testing.T) {
+	m := New()
+	if m.IterTime(1024) >= m.IterTime(64) {
+		t.Fatal("iteration time should shrink with cores")
+	}
+	if m.Sockets(64) != 8 || m.Sockets(1024) != 128 || m.Sockets(3) != 1 {
+		t.Fatal("socket mapping wrong")
+	}
+}

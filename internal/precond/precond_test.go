@@ -1,0 +1,123 @@
+package precond
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestIdentityApply(t *testing.T) {
+	p := NewIdentity(10, 4)
+	v := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	u := make([]float64, 10)
+	p.Apply(v, u)
+	for i := range v {
+		if u[i] != v[i] {
+			t.Fatalf("u[%d] = %v", i, u[i])
+		}
+	}
+	if p.Layout().NumBlocks() != 3 {
+		t.Fatalf("blocks = %d", p.Layout().NumBlocks())
+	}
+}
+
+func TestIdentityApplyBlock(t *testing.T) {
+	p := NewIdentity(10, 4)
+	v := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	u := make([]float64, 10)
+	if err := p.ApplyBlock(1, v, u); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want := 0.0
+		if i >= 4 && i < 8 {
+			want = v[i]
+		}
+		if u[i] != want {
+			t.Fatalf("u[%d] = %v, want %v", i, u[i], want)
+		}
+	}
+}
+
+func TestBlockJacobiSolvesBlockSystems(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	bj, err := NewBlockJacobi(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := matgen.RandomVector(64, 1)
+	u := make([]float64, 64)
+	bj.Apply(v, u)
+	// Verify block-wise: A_ii u_i = v_i.
+	layout := bj.Layout()
+	for blk := 0; blk < layout.NumBlocks(); blk++ {
+		lo, hi := layout.Range(blk)
+		d := a.DiagBlock(lo, hi)
+		check := make([]float64, hi-lo)
+		d.MulVec(u[lo:hi], check)
+		for i := range check {
+			if math.Abs(check[i]-v[lo+i]) > 1e-10 {
+				t.Fatalf("block %d row %d: %v != %v", blk, i, check[i], v[lo+i])
+			}
+		}
+	}
+}
+
+func TestBlockJacobiApplyBlockMatchesFullApply(t *testing.T) {
+	a := matgen.Poisson2D(10, 10)
+	bj, err := NewBlockJacobi(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := matgen.RandomVector(100, 2)
+	full := make([]float64, 100)
+	bj.Apply(v, full)
+	partial := make([]float64, 100)
+	for blk := 0; blk < bj.Layout().NumBlocks(); blk++ {
+		if err := bj.ApplyBlock(blk, v, partial); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range full {
+		if full[i] != partial[i] {
+			t.Fatalf("element %d differs: %v vs %v", i, full[i], partial[i])
+		}
+	}
+}
+
+func TestBlockJacobiDefaultBlockSize(t *testing.T) {
+	a := matgen.Poisson2D(30, 30) // 900 elements: 2 pages of 512
+	bj, err := NewBlockJacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bj.Layout().BlockSize != 512 {
+		t.Fatalf("default block size = %d", bj.Layout().BlockSize)
+	}
+	if bj.Layout().NumBlocks() != 2 {
+		t.Fatalf("blocks = %d", bj.Layout().NumBlocks())
+	}
+	if bj.Solver(0) == nil || bj.Solver(1) == nil {
+		t.Fatal("solvers not exposed")
+	}
+}
+
+func TestBlockJacobiIsContractionForSPD(t *testing.T) {
+	// For SPD A, block-Jacobi preconditioning must keep z = M^{-1} g a
+	// descent direction: <z, g> > 0 for g != 0.
+	a := matgen.Thermal2Analogue(400)
+	bj, err := NewBlockJacobi(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		g := matgen.RandomVector(a.N, seed)
+		z := make([]float64, a.N)
+		bj.Apply(g, z)
+		if sparse.Dot(z, g) <= 0 {
+			t.Fatalf("seed %d: <z,g> = %v, want > 0", seed, sparse.Dot(z, g))
+		}
+	}
+}

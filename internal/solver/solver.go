@@ -1,0 +1,317 @@
+// Package solver implements the reference (sequential, non-resilient)
+// Krylov subspace methods of the paper's Listings 1–7: CG, BiCGStab and
+// GMRES(m), plain and preconditioned. These serve as numerical ground
+// truth for the resilient task-parallel implementations in internal/core
+// and as the baselines the recovery relations are derived from.
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// ErrNotConverged is wrapped into solver errors when MaxIter is exhausted.
+var ErrNotConverged = errors.New("solver: not converged")
+
+// ErrBreakdown is returned when a method's scalar recurrence degenerates
+// (division by a vanishing inner product).
+var ErrBreakdown = errors.New("solver: breakdown in recurrence")
+
+// Options configures an iterative solve.
+type Options struct {
+	// Tol is the relative convergence threshold on ||b - Ax|| / ||b||.
+	// The paper's evaluation uses 1e-10 (§5.4). Zero means 1e-10.
+	Tol float64
+	// MaxIter bounds the iteration count. Zero means 10*n.
+	MaxIter int
+	// OnIteration, when non-nil, is called after each iteration with the
+	// iteration number and current relative residual norm — the hook the
+	// Figure 3 convergence traces use.
+	OnIteration func(it int, relRes float64)
+}
+
+func (o Options) tol() float64 { return orDefault(o.Tol, 1e-10) }
+
+func (o Options) maxIter(n int) int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	return 10 * n
+}
+
+func orDefault(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Iterations int
+	Converged  bool
+	// RelResidual is the final relative residual ||b - Ax|| / ||b||
+	// recomputed explicitly (not the recurrence value).
+	RelResidual float64
+	// Restarts counts GMRES restart cycles (zero for other methods).
+	Restarts int
+}
+
+// CG solves A x = b for SPD A with the conjugate gradient method
+// (Listing 1). x holds the initial guess on entry and the solution on
+// return.
+func CG(a *sparse.CSR, b, x []float64, opts Options) (Result, error) {
+	n := a.N
+	g := make([]float64, n) // residual b - Ax
+	d := make([]float64, n) // search direction
+	q := make([]float64, n) // A d
+
+	a.MulVec(x, g)
+	sparse.Sub(b, g, g)
+	copy(d, g)
+
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	eps := sparse.Dot(g, g)
+	tol := opts.tol()
+	maxIter := opts.maxIter(n)
+
+	var it int
+	for it = 0; it < maxIter; it++ {
+		rel := math.Sqrt(eps) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(it, rel)
+		}
+		if rel < tol {
+			break
+		}
+		a.MulVec(d, q)
+		dq := sparse.Dot(d, q)
+		if dq == 0 || math.IsNaN(dq) {
+			return Result{Iterations: it}, ErrBreakdown
+		}
+		alpha := eps / dq
+		sparse.Axpy(alpha, d, x)
+		sparse.Axpy(-alpha, q, g)
+		epsNew := sparse.Dot(g, g)
+		beta := epsNew / eps
+		eps = epsNew
+		sparse.Xpby(g, beta, d)
+	}
+	return finish(a, b, x, bnorm, it, tol)
+}
+
+// PCG solves A x = b with preconditioned CG (Listing 5).
+func PCG(a *sparse.CSR, m precond.Preconditioner, b, x []float64, opts Options) (Result, error) {
+	n := a.N
+	g := make([]float64, n)
+	z := make([]float64, n)
+	d := make([]float64, n)
+	q := make([]float64, n)
+
+	a.MulVec(x, g)
+	sparse.Sub(b, g, g)
+	m.Apply(g, z)
+	copy(d, z)
+
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rho := sparse.Dot(z, g)
+	tol := opts.tol()
+	maxIter := opts.maxIter(n)
+
+	var it int
+	for it = 0; it < maxIter; it++ {
+		rel := sparse.Norm2(g) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(it, rel)
+		}
+		if rel < tol {
+			break
+		}
+		a.MulVec(d, q)
+		dq := sparse.Dot(d, q)
+		if dq == 0 || math.IsNaN(dq) {
+			return Result{Iterations: it}, ErrBreakdown
+		}
+		alpha := rho / dq
+		sparse.Axpy(alpha, d, x)
+		sparse.Axpy(-alpha, q, g)
+		m.Apply(g, z)
+		rhoNew := sparse.Dot(z, g)
+		beta := rhoNew / rho
+		rho = rhoNew
+		sparse.Xpby(z, beta, d)
+	}
+	return finish(a, b, x, bnorm, it, tol)
+}
+
+// BiCGStab solves A x = b for general A (Listing 3).
+func BiCGStab(a *sparse.CSR, b, x []float64, opts Options) (Result, error) {
+	n := a.N
+	g := make([]float64, n) // residual
+	r := make([]float64, n) // shadow residual r̂0, constant
+	d := make([]float64, n)
+	q := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+
+	a.MulVec(x, g)
+	sparse.Sub(b, g, g)
+	copy(r, g)
+	copy(d, g)
+
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rho := sparse.Dot(g, r)
+	tol := opts.tol()
+	maxIter := opts.maxIter(n)
+
+	var it int
+	for it = 0; it < maxIter; it++ {
+		rel := sparse.Norm2(g) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(it, rel)
+		}
+		if rel < tol {
+			break
+		}
+		a.MulVec(d, q)
+		qr := sparse.Dot(q, r)
+		if qr == 0 || math.IsNaN(qr) {
+			return Result{Iterations: it}, ErrBreakdown
+		}
+		alpha := rho / qr
+		// s = g - alpha q
+		for i := range s {
+			s[i] = g[i] - alpha*q[i]
+		}
+		a.MulVec(s, t)
+		tt := sparse.Dot(t, t)
+		if tt == 0 {
+			// s is already the residual of x + alpha d: lucky breakdown.
+			sparse.Axpy(alpha, d, x)
+			copy(g, s)
+			it++
+			break
+		}
+		omega := sparse.Dot(t, s) / tt
+		// x += alpha d + omega s
+		for i := range x {
+			x[i] += alpha*d[i] + omega*s[i]
+		}
+		// g = s - omega t
+		for i := range g {
+			g[i] = s[i] - omega*t[i]
+		}
+		rhoOld := rho
+		rho = sparse.Dot(g, r)
+		if rhoOld == 0 || omega == 0 || math.IsNaN(rho) {
+			return Result{Iterations: it}, ErrBreakdown
+		}
+		beta := rho / rhoOld * alpha / omega
+		// d = g + beta (d - omega q)
+		for i := range d {
+			d[i] = g[i] + beta*(d[i]-omega*q[i])
+		}
+	}
+	return finish(a, b, x, bnorm, it, tol)
+}
+
+// PBiCGStab solves A x = b with preconditioned BiCGStab (Listing 6).
+func PBiCGStab(a *sparse.CSR, m precond.Preconditioner, b, x []float64, opts Options) (Result, error) {
+	n := a.N
+	g := make([]float64, n)
+	rhat := make([]float64, n)
+	d := make([]float64, n)
+	p := make([]float64, n) // M p = d
+	q := make([]float64, n)
+	r := make([]float64, n)
+	s := make([]float64, n) // M s = r
+	t := make([]float64, n)
+
+	a.MulVec(x, g)
+	sparse.Sub(b, g, g)
+	copy(rhat, g)
+	copy(d, g)
+
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rho := sparse.Dot(g, rhat)
+	tol := opts.tol()
+	maxIter := opts.maxIter(n)
+
+	var it int
+	for it = 0; it < maxIter; it++ {
+		rel := sparse.Norm2(g) / bnorm
+		if opts.OnIteration != nil {
+			opts.OnIteration(it, rel)
+		}
+		if rel < tol {
+			break
+		}
+		m.Apply(d, p)
+		a.MulVec(p, q)
+		qr := sparse.Dot(q, rhat)
+		if qr == 0 || math.IsNaN(qr) {
+			return Result{Iterations: it}, ErrBreakdown
+		}
+		alpha := rho / qr
+		for i := range r {
+			r[i] = g[i] - alpha*q[i]
+		}
+		m.Apply(r, s)
+		a.MulVec(s, t)
+		tt := sparse.Dot(t, t)
+		if tt == 0 {
+			sparse.Axpy(alpha, p, x)
+			copy(g, r)
+			it++
+			break
+		}
+		omega := sparse.Dot(t, r) / tt
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range g {
+			g[i] = r[i] - omega*t[i]
+		}
+		rhoOld := rho
+		rho = sparse.Dot(g, rhat)
+		if rhoOld == 0 || omega == 0 || math.IsNaN(rho) {
+			return Result{Iterations: it}, ErrBreakdown
+		}
+		beta := rho / rhoOld * alpha / omega
+		for i := range d {
+			d[i] = g[i] + beta*(d[i]-omega*q[i])
+		}
+	}
+	return finish(a, b, x, bnorm, it, tol)
+}
+
+// finish recomputes the true residual and assembles the Result.
+func finish(a *sparse.CSR, b, x []float64, bnorm float64, it int, tol float64) (Result, error) {
+	n := a.N
+	res := make([]float64, n)
+	a.MulVec(x, res)
+	sparse.Sub(b, res, res)
+	rel := sparse.Norm2(res) / bnorm
+	r := Result{Iterations: it, RelResidual: rel, Converged: rel < tol*10}
+	// tol*10: the recurrence residual that stopped the loop can differ
+	// from the true residual by a small factor after many updates.
+	if !r.Converged {
+		return r, ErrNotConverged
+	}
+	return r, nil
+}

@@ -1,0 +1,389 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// residual returns ||b - A x|| / ||b||.
+func residual(a *sparse.CSR, b, x []float64) float64 {
+	r := make([]float64, a.N)
+	a.MulVec(x, r)
+	sparse.Sub(b, r, r)
+	return sparse.Norm2(r) / sparse.Norm2(b)
+}
+
+func TestCGSolvesPoisson(t *testing.T) {
+	a := matgen.Poisson2D(20, 20)
+	b := matgen.Ones(a.N)
+	x := make([]float64, a.N)
+	res, err := CG(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if r := residual(a, b, x); r > 1e-9 {
+		t.Fatalf("residual %v", r)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("zero iterations for nontrivial system")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := matgen.Poisson2D(5, 5)
+	b := make([]float64, a.N)
+	x := make([]float64, a.N)
+	res, err := CG(a, b, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("iterations = %d for zero rhs", res.Iterations)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	a := matgen.Poisson2D(12, 12)
+	b := matgen.RandomVector(a.N, 3)
+	x := make([]float64, a.N)
+	if _, err := CG(a, b, x, Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	// Restarting from the solution must converge immediately.
+	res, err := CG(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 1 {
+		t.Fatalf("warm start took %d iterations", res.Iterations)
+	}
+}
+
+func TestCGMaxIterReturnsError(t *testing.T) {
+	a := matgen.Thermal2Analogue(900)
+	b := matgen.Ones(a.N)
+	x := make([]float64, a.N)
+	_, err := CG(a, b, x, Options{Tol: 1e-14, MaxIter: 3})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestCGCallbackMonotoneIterations(t *testing.T) {
+	a := matgen.Poisson2D(15, 15)
+	b := matgen.Ones(a.N)
+	x := make([]float64, a.N)
+	lastIt := -1
+	_, err := CG(a, b, x, Options{OnIteration: func(it int, rel float64) {
+		if it != lastIt+1 {
+			t.Fatalf("iteration jumped from %d to %d", lastIt, it)
+		}
+		lastIt = it
+		if math.IsNaN(rel) {
+			t.Fatal("NaN residual in callback")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastIt < 1 {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestPCGSolvesAndAcceleratesConvergence(t *testing.T) {
+	a := matgen.Thermal2Analogue(1600)
+	b := matgen.Ones(a.N)
+
+	xPlain := make([]float64, a.N)
+	plain, err := CG(a, b, xPlain, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bj, err := precond.NewBlockJacobi(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPre := make([]float64, a.N)
+	pre, err := PCG(a, bj, b, xPre, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, b, xPre); r > 1e-9 {
+		t.Fatalf("PCG residual %v", r)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Fatalf("PCG (%d iters) not faster than CG (%d iters)", pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestPCGWithIdentityMatchesCGIterationCount(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	b := matgen.RandomVector(a.N, 7)
+	x1 := make([]float64, a.N)
+	x2 := make([]float64, a.N)
+	r1, err := CG(a, b, x1, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PCG(a, precond.NewIdentity(a.N, 64), b, x2, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r1.Iterations - r2.Iterations; d < -1 || d > 1 {
+		t.Fatalf("CG %d vs identity-PCG %d iterations", r1.Iterations, r2.Iterations)
+	}
+}
+
+// asymmetricSystem builds a diagonally dominant non-symmetric matrix.
+func asymmetricSystem(n int) *sparse.CSR {
+	var tr []sparse.Triplet
+	for i := 0; i < n; i++ {
+		tr = append(tr, sparse.Triplet{Row: i, Col: i, Val: 4})
+		if i > 0 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i - 1, Val: -1.5})
+		}
+		if i < n-1 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i + 1, Val: -0.5})
+		}
+	}
+	return sparse.NewCSRFromTriplets(n, n, tr)
+}
+
+func TestBiCGStabSolvesNonSymmetric(t *testing.T) {
+	a := asymmetricSystem(300)
+	want := matgen.RandomVector(300, 5)
+	b := make([]float64, 300)
+	a.MulVec(want, b)
+	x := make([]float64, 300)
+	res, err := BiCGStab(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestBiCGStabSolvesSPDToo(t *testing.T) {
+	a := matgen.Poisson2D(12, 12)
+	b := matgen.Ones(a.N)
+	x := make([]float64, a.N)
+	if _, err := BiCGStab(a, b, x, Options{Tol: 1e-10}); err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, b, x); r > 1e-9 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestPBiCGStabSolves(t *testing.T) {
+	a := matgen.Poisson2D(14, 14)
+	bj, err := precond.NewBlockJacobi(a, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := matgen.RandomVector(a.N, 9)
+	x := make([]float64, a.N)
+	res, err := PBiCGStab(a, bj, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || residual(a, b, x) > 1e-9 {
+		t.Fatalf("residual %v", residual(a, b, x))
+	}
+}
+
+func TestGMRESSolvesNonSymmetric(t *testing.T) {
+	a := asymmetricSystem(200)
+	want := matgen.RandomVector(200, 11)
+	b := make([]float64, 200)
+	a.MulVec(want, b)
+	x := make([]float64, 200)
+	res, err := GMRES(a, b, x, GMRESOptions{Options: Options{Tol: 1e-10}, Restart: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if r := residual(a, b, x); r > 1e-8 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestGMRESRestartsCounted(t *testing.T) {
+	a := matgen.Thermal2Analogue(400)
+	b := matgen.Ones(a.N)
+	x := make([]float64, a.N)
+	res, err := GMRES(a, b, x, GMRESOptions{Options: Options{Tol: 1e-8}, Restart: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 2 {
+		t.Fatalf("expected multiple restart cycles, got %d", res.Restarts)
+	}
+}
+
+func TestPGMRESSolves(t *testing.T) {
+	a := matgen.Poisson2D(14, 14)
+	bj, err := precond.NewBlockJacobi(a, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := matgen.RandomVector(a.N, 13)
+	x := make([]float64, a.N)
+	res, err := PGMRES(a, bj, b, x, GMRESOptions{Options: Options{Tol: 1e-10}, Restart: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || residual(a, b, x) > 1e-8 {
+		t.Fatalf("residual %v", residual(a, b, x))
+	}
+}
+
+func TestGMRESConvergesFasterPreconditioned(t *testing.T) {
+	a := matgen.Thermal2Analogue(900)
+	b := matgen.Ones(a.N)
+	x1 := make([]float64, a.N)
+	r1, err := GMRES(a, b, x1, GMRESOptions{Options: Options{Tol: 1e-8, MaxIter: 5000}, Restart: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := precond.NewBlockJacobi(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, a.N)
+	r2, err := PGMRES(a, bj, b, x2, GMRESOptions{Options: Options{Tol: 1e-8, MaxIter: 5000}, Restart: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Iterations >= r1.Iterations {
+		t.Fatalf("PGMRES (%d) not faster than GMRES (%d)", r2.Iterations, r1.Iterations)
+	}
+}
+
+func TestAllSolversAgreeOnSPDSystem(t *testing.T) {
+	a := matgen.Poisson2D(10, 10)
+	want := matgen.RandomVector(a.N, 17)
+	b := make([]float64, a.N)
+	a.MulVec(want, b)
+	type solverFn struct {
+		name string
+		run  func(x []float64) error
+	}
+	bj, err := precond.NewBlockJacobi(a, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvers := []solverFn{
+		{"CG", func(x []float64) error { _, e := CG(a, b, x, Options{Tol: 1e-12}); return e }},
+		{"PCG", func(x []float64) error { _, e := PCG(a, bj, b, x, Options{Tol: 1e-12}); return e }},
+		{"BiCGStab", func(x []float64) error { _, e := BiCGStab(a, b, x, Options{Tol: 1e-12}); return e }},
+		{"PBiCGStab", func(x []float64) error { _, e := PBiCGStab(a, bj, b, x, Options{Tol: 1e-12}); return e }},
+		{"GMRES", func(x []float64) error {
+			_, e := GMRES(a, b, x, GMRESOptions{Options: Options{Tol: 1e-12}, Restart: 40})
+			return e
+		}},
+		{"PGMRES", func(x []float64) error {
+			_, e := PGMRES(a, bj, b, x, GMRESOptions{Options: Options{Tol: 1e-12}, Restart: 40})
+			return e
+		}},
+	}
+	for _, s := range solvers {
+		x := make([]float64, a.N)
+		if err := s.run(x); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("%s: x[%d] = %v, want %v", s.name, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestArnoldiRecoveryRelation(t *testing.T) {
+	// §3.1.3: any Arnoldi vector is recoverable from the Hessenberg
+	// matrix and the other vectors — the paper's GMRES redundancy.
+	a := matgen.Poisson2D(12, 12)
+	g := matgen.RandomVector(a.N, 21)
+	st := BuildArnoldi(a, g, 15)
+	if st.Steps < 10 {
+		t.Fatalf("Arnoldi stopped early at %d", st.Steps)
+	}
+	out := make([]float64, a.N)
+	for l := 1; l <= st.Steps; l++ {
+		if st.H.At(l, l-1) == 0 {
+			continue
+		}
+		if !st.RecoverArnoldiVector(a, l, out) {
+			t.Fatalf("recovery of v_%d failed", l)
+		}
+		for i := range out {
+			if math.Abs(out[i]-st.V[l][i]) > 1e-9 {
+				t.Fatalf("v_%d[%d] = %v, want %v", l, i, out[i], st.V[l][i])
+			}
+		}
+	}
+}
+
+func TestArnoldiRecoveryRejectsBadIndex(t *testing.T) {
+	a := matgen.Poisson2D(6, 6)
+	g := matgen.Ones(a.N)
+	st := BuildArnoldi(a, g, 5)
+	out := make([]float64, a.N)
+	if st.RecoverArnoldiVector(a, 0, out) {
+		t.Fatal("v_0 is not recoverable from the relation")
+	}
+	if st.RecoverArnoldiVector(a, st.Steps+1, out) {
+		t.Fatal("recovered nonexistent vector")
+	}
+}
+
+func TestArnoldiOrthonormalBasis(t *testing.T) {
+	a := matgen.Poisson2D(10, 10)
+	g := matgen.RandomVector(a.N, 23)
+	st := BuildArnoldi(a, g, 12)
+	for i := 0; i <= st.Steps; i++ {
+		for j := 0; j <= st.Steps; j++ {
+			d := sparse.Dot(st.V[i], st.V[j])
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(d-want) > 1e-8 {
+				t.Fatalf("<v%d,v%d> = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if o.tol() != 1e-10 {
+		t.Fatalf("default tol = %v", o.tol())
+	}
+	if o.maxIter(100) != 1000 {
+		t.Fatalf("default maxIter = %d", o.maxIter(100))
+	}
+	g := GMRESOptions{}
+	if g.restart() != 30 {
+		t.Fatalf("default restart = %d", g.restart())
+	}
+}

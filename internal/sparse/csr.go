@@ -1,0 +1,291 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format. Rows(i) spans
+// Cols[RowPtr[i]:RowPtr[i+1]] with values Vals[RowPtr[i]:RowPtr[i+1]],
+// column indices strictly increasing within a row.
+type CSR struct {
+	N      int // number of rows
+	M      int // number of columns
+	RowPtr []int
+	Cols   []int
+	Vals   []float64
+}
+
+// Triplet is a single (row, col, value) entry used to assemble matrices.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSRFromTriplets assembles an n×m CSR matrix from coordinate entries.
+// Duplicate (row, col) entries are summed. Entries out of range panic.
+func NewCSRFromTriplets(n, m int, entries []Triplet) *CSR {
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= m {
+			panic(fmt.Sprintf("sparse: triplet (%d,%d) out of range for %dx%d matrix", t.Row, t.Col, n, m))
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+
+	a := &CSR{N: n, M: m, RowPtr: make([]int, n+1)}
+	a.Cols = make([]int, 0, len(sorted))
+	a.Vals = make([]float64, 0, len(sorted))
+	for i := 0; i < len(sorted); {
+		t := sorted[i]
+		v := t.Val
+		j := i + 1
+		for j < len(sorted) && sorted[j].Row == t.Row && sorted[j].Col == t.Col {
+			v += sorted[j].Val
+			j++
+		}
+		a.Cols = append(a.Cols, t.Col)
+		a.Vals = append(a.Vals, v)
+		a.RowPtr[t.Row+1]++
+		i = j
+	}
+	for i := 0; i < n; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Vals) }
+
+// Validate checks structural invariants: monotone RowPtr, sorted in-row
+// columns, indices in range. It returns a descriptive error on violation.
+func (a *CSR) Validate() error {
+	if len(a.RowPtr) != a.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(a.RowPtr), a.N+1)
+	}
+	if a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", a.RowPtr[0])
+	}
+	if a.RowPtr[a.N] != len(a.Vals) || len(a.Cols) != len(a.Vals) {
+		return fmt.Errorf("sparse: RowPtr[N]=%d Cols=%d Vals=%d inconsistent", a.RowPtr[a.N], len(a.Cols), len(a.Vals))
+	}
+	for i := 0; i < a.N; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		prev := -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.Cols[k]
+			if c < 0 || c >= a.M {
+				return fmt.Errorf("sparse: row %d column %d out of range", i, c)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, c)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// At returns the value at (i, j), zero when not stored.
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	cols := a.Cols[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return a.Vals[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A*x.
+func (a *CSR) MulVec(x, y []float64) {
+	if len(x) != a.M || len(y) != a.N {
+		panic(fmt.Sprintf("sparse: MulVec dims x=%d y=%d for %dx%d", len(x), len(y), a.N, a.M))
+	}
+	a.MulVecRange(x, y, 0, a.N)
+}
+
+// MulVecRange computes y[lo:hi] = (A*x)[lo:hi]: the row-block SpMV used by
+// strip-mined tasks. It reads the whole x (lattice-like dependency in the
+// paper's task graph) but writes only rows [lo, hi).
+func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		end := a.RowPtr[i+1]
+		for k := a.RowPtr[i]; k < end; k++ {
+			s += a.Vals[k] * x[a.Cols[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecRangeExcludingCols computes, for rows in [lo, hi),
+// y[i-lo] = sum over j outside [exLo, exHi) of A[i][j] * x[j].
+// This is the off-block part of a block relation: the recovery right-hand
+// side q_i - sum_{j != i} A_ij p_j is built with exclusion of the failed
+// block's own columns. Output is compact: y needs only hi-lo elements.
+func (a *CSR) MulVecRangeExcludingCols(x, y []float64, lo, hi, exLo, exHi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		end := a.RowPtr[i+1]
+		for k := a.RowPtr[i]; k < end; k++ {
+			c := a.Cols[k]
+			if c >= exLo && c < exHi {
+				continue
+			}
+			s += a.Vals[k] * x[c]
+		}
+		y[i-lo] = s
+	}
+}
+
+// MulVecRangeExcludingBlocks computes, for rows in [lo, hi),
+// y[i-lo] = sum of A[i][j]*x[j] over columns j not inside any of the
+// excluded half-open column ranges. Used for combined multi-error
+// recoveries (§2.4). The ranges need not be sorted. Output is compact:
+// y needs only hi-lo elements.
+func (a *CSR) MulVecRangeExcludingBlocks(x, y []float64, lo, hi int, exclude [][2]int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		end := a.RowPtr[i+1]
+	scan:
+		for k := a.RowPtr[i]; k < end; k++ {
+			c := a.Cols[k]
+			for _, ex := range exclude {
+				if c >= ex[0] && c < ex[1] {
+					continue scan
+				}
+			}
+			s += a.Vals[k] * x[c]
+		}
+		y[i-lo] = s
+	}
+}
+
+// DiagBlock extracts the dense diagonal block A[lo:hi, lo:hi] in row-major
+// order. The returned Dense is (hi-lo)×(hi-lo).
+func (a *CSR) DiagBlock(lo, hi int) *Dense {
+	k := hi - lo
+	d := NewDense(k, k)
+	for i := lo; i < hi; i++ {
+		end := a.RowPtr[i+1]
+		for p := a.RowPtr[i]; p < end; p++ {
+			c := a.Cols[p]
+			if c >= lo && c < hi {
+				d.Set(i-lo, c-lo, a.Vals[p])
+			}
+		}
+	}
+	return d
+}
+
+// Block extracts the dense sub-block A[rlo:rhi, clo:chi].
+func (a *CSR) Block(rlo, rhi, clo, chi int) *Dense {
+	d := NewDense(rhi-rlo, chi-clo)
+	for i := rlo; i < rhi; i++ {
+		end := a.RowPtr[i+1]
+		for p := a.RowPtr[i]; p < end; p++ {
+			c := a.Cols[p]
+			if c >= clo && c < chi {
+				d.Set(i-rlo, c-clo, a.Vals[p])
+			}
+		}
+	}
+	return d
+}
+
+// Diag returns a copy of the main diagonal.
+func (a *CSR) Diag() []float64 {
+	n := a.N
+	if a.M < n {
+		n = a.M
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol
+// (relative to the larger magnitude of the compared pair).
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.N != a.M {
+		return false
+	}
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Cols[k]
+			v, w := a.Vals[k], a.At(j, i)
+			scale := math.Max(math.Abs(v), math.Abs(w))
+			if scale == 0 {
+				continue
+			}
+			if math.Abs(v-w) > tol*math.Max(scale, 1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Transpose returns a new CSR holding Aᵀ.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{N: a.M, M: a.N, RowPtr: make([]int, a.M+1)}
+	t.Cols = make([]int, len(a.Cols))
+	t.Vals = make([]float64, len(a.Vals))
+	for _, c := range a.Cols {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.N; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, t.N)
+	copy(next, t.RowPtr[:t.N])
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.Cols[k]
+			pos := next[c]
+			t.Cols[pos] = i
+			t.Vals[pos] = a.Vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy of the matrix.
+func (a *CSR) Clone() *CSR {
+	b := &CSR{N: a.N, M: a.M}
+	b.RowPtr = append([]int(nil), a.RowPtr...)
+	b.Cols = append([]int(nil), a.Cols...)
+	b.Vals = append([]float64(nil), a.Vals...)
+	return b
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// OffBlockRowAbsSum returns sum_{j outside [lo,hi)} |A[i][j]| for row i.
+// It is used to compute the contraction constant of Theorem 1.
+func (a *CSR) OffBlockRowAbsSum(i, lo, hi int) float64 {
+	var s float64
+	for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+		c := a.Cols[k]
+		if c >= lo && c < hi {
+			continue
+		}
+		s += math.Abs(a.Vals[k])
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// smallTestMatrix builds the 4x4 SPD matrix
+//
+//	[ 4 -1  0  0]
+//	[-1  4 -1  0]
+//	[ 0 -1  4 -1]
+//	[ 0  0 -1  4]
+func smallTestMatrix() *CSR {
+	var tr []Triplet
+	for i := 0; i < 4; i++ {
+		tr = append(tr, Triplet{i, i, 4})
+		if i > 0 {
+			tr = append(tr, Triplet{i, i - 1, -1})
+		}
+		if i < 3 {
+			tr = append(tr, Triplet{i, i + 1, -1})
+		}
+	}
+	return NewCSRFromTriplets(4, 4, tr)
+}
+
+// randomSparse builds a random n×n strictly diagonally dominant matrix.
+func randomSparse(n int, nnzPerRow int, rng *rand.Rand) *CSR {
+	var tr []Triplet
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for k := 0; k < nnzPerRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			tr = append(tr, Triplet{i, j, v})
+			rowSum += math.Abs(v)
+		}
+		tr = append(tr, Triplet{i, i, rowSum + 1 + rng.Float64()})
+	}
+	return NewCSRFromTriplets(n, n, tr)
+}
+
+func TestCSRAssembly(t *testing.T) {
+	a := smallTestMatrix()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 10 {
+		t.Fatalf("NNZ = %d, want 10", a.NNZ())
+	}
+	if a.At(0, 0) != 4 || a.At(1, 0) != -1 || a.At(0, 3) != 0 {
+		t.Fatal("At returned wrong values")
+	}
+}
+
+func TestCSRDuplicateTripletsSummed(t *testing.T) {
+	a := NewCSRFromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 0, 2}, {1, 1, 5}})
+	if a.At(0, 0) != 3 {
+		t.Fatalf("duplicate sum = %v, want 3", a.At(0, 0))
+	}
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", a.NNZ())
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSRFromTriplets(2, 2, []Triplet{{2, 0, 1}})
+}
+
+func TestMulVec(t *testing.T) {
+	a := smallTestMatrix()
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	a.MulVec(x, y)
+	want := []float64{4 - 2, -1 + 8 - 3, -2 + 12 - 4, -3 + 16}
+	for i := range y {
+		if !almostEqual(y[i], want[i], 1e-15) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecRangeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSparse(200, 6, rng)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	full := make([]float64, 200)
+	a.MulVec(x, full)
+	part := make([]float64, 200)
+	for lo := 0; lo < 200; lo += 37 {
+		hi := lo + 37
+		if hi > 200 {
+			hi = 200
+		}
+		a.MulVecRange(x, part, lo, hi)
+	}
+	for i := range full {
+		if !almostEqual(full[i], part[i], 1e-14) {
+			t.Fatalf("row %d: full %v != strip-mined %v", i, full[i], part[i])
+		}
+	}
+}
+
+func TestMulVecRangeExcludingCols(t *testing.T) {
+	a := smallTestMatrix()
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	// Exclude columns [1,3): contributions from x[1], x[2] dropped.
+	a.MulVecRangeExcludingCols(x, y, 0, 4, 1, 3)
+	want := []float64{4, -1, -4, 16}
+	for i := range y {
+		if !almostEqual(y[i], want[i], 1e-15) {
+			t.Fatalf("excl[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecRangeExcludingColsIdentityWhenEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSparse(100, 5, rng)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 100)
+	y2 := make([]float64, 100)
+	a.MulVec(x, y1)
+	a.MulVecRangeExcludingCols(x, y2, 0, 100, 0, 0) // empty exclusion
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("row %d differs with empty exclusion", i)
+		}
+	}
+}
+
+func TestMulVecRangeExcludingBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSparse(120, 7, rng)
+	x := make([]float64, 120)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// Excluding blocks [10,20) and [50,60) must equal full minus those columns' contributions.
+	got := make([]float64, 120)
+	a.MulVecRangeExcludingBlocks(x, got, 0, 120, [][2]int{{10, 20}, {50, 60}})
+	want := make([]float64, 120)
+	xMasked := append([]float64(nil), x...)
+	for i := 10; i < 20; i++ {
+		xMasked[i] = 0
+	}
+	for i := 50; i < 60; i++ {
+		xMasked[i] = 0
+	}
+	a.MulVec(xMasked, want)
+	for i := range got {
+		if !almostEqual(got[i], want[i], 1e-13) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiagBlockAndBlock(t *testing.T) {
+	a := smallTestMatrix()
+	d := a.DiagBlock(1, 3)
+	if d.Rows != 2 || d.Cols != 2 {
+		t.Fatalf("DiagBlock dims %dx%d", d.Rows, d.Cols)
+	}
+	if d.At(0, 0) != 4 || d.At(0, 1) != -1 || d.At(1, 0) != -1 || d.At(1, 1) != 4 {
+		t.Fatalf("DiagBlock values wrong: %+v", d.Data)
+	}
+	b := a.Block(0, 2, 2, 4)
+	if b.At(0, 0) != 0 || b.At(1, 0) != -1 || b.At(1, 1) != 0 {
+		t.Fatalf("Block values wrong: %+v", b.Data)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	a := smallTestMatrix()
+	d := a.Diag()
+	for i, v := range d {
+		if v != 4 {
+			t.Fatalf("Diag[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !smallTestMatrix().IsSymmetric(1e-14) {
+		t.Fatal("tridiagonal matrix should be symmetric")
+	}
+	asym := NewCSRFromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 1, 2}, {1, 1, 1}})
+	if asym.IsSymmetric(1e-14) {
+		t.Fatal("asymmetric matrix flagged symmetric")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSparse(50, 4, rng)
+	at := a.Transpose()
+	if err := at.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.Cols[k]
+			if at.At(j, i) != a.Vals[k] {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Double transpose is identity.
+	att := at.Transpose()
+	for i := range a.Vals {
+		if att.Vals[i] != a.Vals[i] || att.Cols[i] != a.Cols[i] {
+			t.Fatal("double transpose differs")
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := smallTestMatrix()
+	b := a.Clone()
+	b.Vals[0] = 99
+	if a.Vals[0] == 99 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestOffBlockRowAbsSum(t *testing.T) {
+	a := smallTestMatrix()
+	// Row 1 has entries -1 (col 0), 4 (col 1), -1 (col 2). Off block [1,2): |−1|+|−1| = 2.
+	if got := a.OffBlockRowAbsSum(1, 1, 2); got != 2 {
+		t.Fatalf("OffBlockRowAbsSum = %v, want 2", got)
+	}
+	// Whole row inside the block -> 0.
+	if got := a.OffBlockRowAbsSum(1, 0, 4); got != 0 {
+		t.Fatalf("OffBlockRowAbsSum = %v, want 0", got)
+	}
+}
+
+func TestRowNNZ(t *testing.T) {
+	a := smallTestMatrix()
+	if a.RowNNZ(0) != 2 || a.RowNNZ(1) != 3 {
+		t.Fatalf("RowNNZ = %d,%d", a.RowNNZ(0), a.RowNNZ(1))
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	a := smallTestMatrix()
+	a.Cols[0], a.Cols[1] = a.Cols[1], a.Cols[0] // break ordering
+	if err := a.Validate(); err == nil {
+		t.Fatal("Validate missed unsorted columns")
+	}
+}

@@ -1,0 +1,382 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets an (effectively)
+// singular pivot and the direct solve cannot proceed.
+var ErrSingular = errors.New("sparse: matrix is singular to working precision")
+
+// Dense is a row-major dense matrix. It is used for page-sized diagonal
+// blocks (typically 512×512) extracted from the sparse operator, and for
+// the small Hessenberg systems of GMRES.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense allocates a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (d *Dense) Add(i, j int, v float64) { d.Data[i*d.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.Rows, d.Cols)
+	copy(c.Data, d.Data)
+	return c
+}
+
+// MulVec computes y = D*x for the dense matrix.
+func (d *Dense) MulVec(x, y []float64) {
+	if len(x) != d.Cols || len(y) != d.Rows {
+		panic(fmt.Sprintf("sparse: Dense.MulVec dims x=%d y=%d for %dx%d", len(x), len(y), d.Rows, d.Cols))
+	}
+	for i := 0; i < d.Rows; i++ {
+		row := d.Data[i*d.Cols : (i+1)*d.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// ----------------------------------------------------------------------
+// Cholesky factorization: for SPD diagonal blocks (the paper's common case,
+// §2.3 — "if we know that a diagonal block is non-singular, e.g. when A is
+// SPD, we solve the inverse block relations with a direct solver").
+// ----------------------------------------------------------------------
+
+// Cholesky holds the lower-triangular factor L with A = L*Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage for simplicity)
+}
+
+// NewCholesky factorizes the SPD matrix a. It returns ErrSingular when a
+// pivot is non-positive (a is not positive definite to working precision).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: Cholesky of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := make([]float64, n*n)
+	copy(l, a.Data)
+	for j := 0; j < n; j++ {
+		d := l[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l[j*n+k] * l[j*n+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := l[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			l[i*n+j] = s / d
+		}
+	}
+	// Zero the strict upper triangle so the factor is clean.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// N returns the block dimension.
+func (c *Cholesky) N() int { return c.n }
+
+// Solve solves A*x = b in place: b is overwritten with x.
+func (c *Cholesky) Solve(b []float64) {
+	n := c.n
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: Cholesky.Solve dim %d want %d", len(b), n))
+	}
+	l := c.l
+	// Forward substitution L*y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*n+k] * b[k]
+		}
+		b[i] = s / l[i*n+i]
+	}
+	// Back substitution Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * b[k]
+		}
+		b[i] = s / l[i*n+i]
+	}
+}
+
+// ----------------------------------------------------------------------
+// LU with partial pivoting: for non-symmetric diagonal blocks (BiCGStab /
+// GMRES operate on general matrices).
+// ----------------------------------------------------------------------
+
+// LU holds a PA = LU factorization with partial pivoting.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// NewLU factorizes a general square matrix with partial pivoting.
+func NewLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: LU of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := make([]float64, n*n)
+	copy(lu, a.Data)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot search.
+		p, maxAbs := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		d := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / d
+			lu[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A*x = b; x is returned in a new slice, b is untouched.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.n
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: LU.Solve dim %d want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	lu := f.lu
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= lu[i*n+k] * x[k]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= lu[i*n+k] * x[k]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// ----------------------------------------------------------------------
+// Householder QR: least-squares solves for (possibly) singular diagonal
+// blocks, as Agullo et al. propose for recover-restart interpolation and as
+// the paper adopts for non-SPD blocks (§2.3).
+// ----------------------------------------------------------------------
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+type QR struct {
+	m, n int
+	qr   []float64 // packed factors: R in upper triangle, v's below
+	tau  []float64
+}
+
+// NewQR factorizes a (m >= n required).
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("sparse: QR needs rows >= cols, got %dx%d", m, n)
+	}
+	qr := make([]float64, m*n)
+	copy(qr, a.Data)
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr[i*n+k])
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr[k*n+k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr[i*n+k] /= norm
+		}
+		qr[k*n+k] += 1
+		// Apply transform to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr[i*n+k] * qr[i*n+j]
+			}
+			s = -s / qr[k*n+k]
+			for i := k; i < m; i++ {
+				qr[i*n+j] += s * qr[i*n+k]
+			}
+		}
+		// Layout: the Householder vector v (with v1 on the diagonal) stays
+		// in column k at and below the diagonal; R's diagonal entry -norm
+		// is stashed in tau[k] (the strict upper triangle already holds R).
+		tau[k] = -norm
+	}
+	return &QR{m: m, n: n, qr: qr, tau: tau}, nil
+}
+
+// SolveLeastSquares returns argmin_x ||A x - b||₂. When a diagonal entry of
+// R is (near) zero the corresponding component is set to zero (minimum-norm
+// flavoured fallback) and no error is raised unless the whole system is
+// degenerate.
+func (q *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	m, n := q.m, q.n
+	if len(b) != m {
+		return nil, fmt.Errorf("sparse: QR.Solve dim %d want %d", len(b), m)
+	}
+	y := append([]float64(nil), b...)
+	// Apply Qᵀ to b. For each Householder reflector k with v stored in
+	// column k (v1 on the diagonal):
+	for k := 0; k < n; k++ {
+		v1 := q.qr[k*n+k]
+		if v1 == 0 {
+			continue
+		}
+		var s float64
+		s += v1 * y[k]
+		for i := k + 1; i < m; i++ {
+			s += q.qr[i*n+k] * y[i]
+		}
+		s = -s / v1
+		y[k] += s * v1
+		for i := k + 1; i < m; i++ {
+			y[i] += s * q.qr[i*n+k]
+		}
+	}
+	// Back-substitute R x = y[:n]. R's strict upper part lives above the
+	// diagonal of qr; the diagonal is in tau.
+	x := make([]float64, n)
+	allZero := true
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= q.qr[i*n+j] * x[j]
+		}
+		d := q.tau[i]
+		if math.Abs(d) < 1e-300 {
+			x[i] = 0
+			continue
+		}
+		allZero = false
+		x[i] = s / d
+	}
+	if allZero && n > 0 {
+		return nil, ErrSingular
+	}
+	return x, nil
+}
+
+// BlockSolver abstracts a factorized diagonal block used by recoveries:
+// Cholesky for SPD blocks, LU otherwise, QR least-squares as the fallback.
+type BlockSolver interface {
+	// SolveInPlace solves Block*x = rhs, overwriting rhs with x.
+	SolveInPlace(rhs []float64) error
+}
+
+type cholSolver struct{ c *Cholesky }
+
+func (s cholSolver) SolveInPlace(rhs []float64) error { s.c.Solve(rhs); return nil }
+
+type luSolver struct{ f *LU }
+
+func (s luSolver) SolveInPlace(rhs []float64) error {
+	x := s.f.Solve(rhs)
+	copy(rhs, x)
+	return nil
+}
+
+type qrSolver struct{ q *QR }
+
+func (s qrSolver) SolveInPlace(rhs []float64) error {
+	x, err := s.q.SolveLeastSquares(rhs)
+	if err != nil {
+		return err
+	}
+	copy(rhs, x)
+	return nil
+}
+
+// FactorizeBlock builds a BlockSolver for a dense diagonal block, trying
+// Cholesky when spd is claimed, then LU, then QR least squares, mirroring
+// the paper's §2.3 strategy.
+func FactorizeBlock(block *Dense, spd bool) (BlockSolver, error) {
+	if spd {
+		if c, err := NewCholesky(block); err == nil {
+			return cholSolver{c}, nil
+		}
+	}
+	if f, err := NewLU(block); err == nil {
+		return luSolver{f}, nil
+	}
+	q, err := NewQR(block)
+	if err != nil {
+		return nil, err
+	}
+	return qrSolver{q}, nil
+}

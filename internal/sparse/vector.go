@@ -1,0 +1,178 @@
+// Package sparse provides the sparse and dense linear-algebra substrate for
+// the resilient Krylov solvers: CSR matrices with row-range kernels suitable
+// for strip-mined task decomposition, dense direct solvers for page-sized
+// diagonal blocks (Cholesky, LU, QR least squares), and the vector kernels
+// (dot, axpy, norms) that iterative solvers are made of.
+//
+// Everything operates on plain []float64 so that callers can alias pages of
+// a larger allocation without copies, which is what the page-level fault
+// model in internal/pagemem requires.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product <x, y>. The slices must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// DotRange returns the partial inner product over the half-open index range
+// [lo, hi). It is the strip-mined building block for task-level reductions.
+func DotRange(x, y []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// AxpyRange computes y[lo:hi] += alpha*x[lo:hi].
+func AxpyRange(alpha float64, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Xpby computes y = x + beta*y in place (the CG direction update d = g + beta*d).
+func Xpby(x []float64, beta float64, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Xpby length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] = v + beta*y[i]
+	}
+}
+
+// XpbyRange computes y[lo:hi] = x[lo:hi] + beta*y[lo:hi].
+func XpbyRange(x []float64, beta float64, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] = x[i] + beta*y[i]
+	}
+}
+
+// XpbyOut computes out = x + beta*y, leaving x and y untouched. It is the
+// double-buffered direction update of Listing 2: d1 = g + beta*d2.
+func XpbyOut(x []float64, beta float64, y, out []float64) {
+	if len(x) != len(y) || len(x) != len(out) {
+		panic("sparse: XpbyOut length mismatch")
+	}
+	for i, v := range x {
+		out[i] = v + beta*y[i]
+	}
+}
+
+// XpbyOutRange computes out[lo:hi] = x[lo:hi] + beta*y[lo:hi].
+func XpbyOutRange(x []float64, beta float64, y, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = x[i] + beta*y[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst; the slices must have equal length.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("sparse: Copy length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow for
+// large vectors by scaling with the max magnitude.
+func Norm2(x []float64) float64 {
+	var maxAbs float64
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		if maxAbs == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range x {
+		r := v / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sub computes out = a - b elementwise.
+func Sub(a, b, out []float64) {
+	if len(a) != len(b) || len(a) != len(out) {
+		panic("sparse: Sub length mismatch")
+	}
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+}
+
+// Add computes out = a + b elementwise.
+func Add(a, b, out []float64) {
+	if len(a) != len(b) || len(a) != len(out) {
+		panic("sparse: Add length mismatch")
+	}
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// HasNonFinite reports whether x contains a NaN or Inf value. Reduction
+// tasks use it to refuse contributions from poisoned pages (§3.3.2 of the
+// paper: a floating point accumulation can be irremediably corrupted by
+// adding +/-Inf or NaN).
+func HasNonFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,343 @@
+// Package taskrt is a task-based dataflow runtime in the spirit of OmpSs
+// (§3.3 of the paper): serial code is split into tasks scheduled
+// asynchronously on a worker pool according to explicit dependencies, with
+// task priorities so low-priority recovery tasks start only after the
+// reduction tasks they overlap with (AFEIR, Fig 2b).
+//
+// Unlike OmpSs the dependencies are expressed directly as task handles
+// rather than inferred from data annotations; the solver layer builds the
+// same graph as the paper's Figure 1. The runtime keeps per-worker state
+// clocks (useful / runtime / idle) so the Table 3 breakdown can be
+// reproduced.
+package taskrt
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Handle identifies a submitted task and can be used as a dependency for
+// later tasks or waited upon.
+type Handle struct {
+	rt       *Runtime
+	seq      uint64
+	priority int
+	label    string
+	run      func(worker int)
+
+	// Guarded by rt.mu:
+	npred int
+	succs []*Handle
+	done  bool
+
+	doneCh chan struct{}
+}
+
+// Label returns the diagnostic label of the task.
+func (h *Handle) Label() string { return h.label }
+
+// TaskSpec describes a task to submit.
+type TaskSpec struct {
+	// Run is the task body. The worker index (0..NumWorkers-1) is passed
+	// in for per-worker scratch data. Must not be nil.
+	Run func(worker int)
+	// After lists tasks that must complete before this one starts. Nil
+	// entries are ignored (convenient for optional graph edges).
+	After []*Handle
+	// Priority orders ready tasks: higher runs first. The paper gives
+	// recovery tasks lower priority than reductions (§3.3.2).
+	Priority int
+	// Label is a diagnostic name ("q", "<d,q>", "r1", ...).
+	Label string
+}
+
+// StateTimes is the cumulative per-worker time accounting used for the
+// Table 3 breakdown: Useful (executing task bodies), Runtime (scheduler
+// bookkeeping), Idle (waiting for work: load imbalance).
+type StateTimes struct {
+	Useful  time.Duration
+	Runtime time.Duration
+	Idle    time.Duration
+}
+
+// Total returns the sum of all states.
+func (s StateTimes) Total() time.Duration { return s.Useful + s.Runtime + s.Idle }
+
+// Runtime is a fixed-size worker pool executing dependency-ordered tasks.
+type Runtime struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   taskHeap
+	seq     uint64
+	pending int // submitted but not finished
+	closed  bool
+
+	idleWaiters int
+	quiescent   *sync.Cond // signalled when pending == 0
+
+	workers int
+	times   []StateTimes
+	timesMu []sync.Mutex
+
+	panicOnce sync.Once
+	panicked  any
+}
+
+// New creates a runtime with the given number of workers (0 means
+// runtime.GOMAXPROCS(0)) and starts them.
+func New(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		workers: workers,
+		times:   make([]StateTimes, workers),
+		timesMu: make([]sync.Mutex, workers),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.quiescent = sync.NewCond(&rt.mu)
+	for w := 0; w < workers; w++ {
+		go rt.worker(w)
+	}
+	return rt
+}
+
+// NumWorkers returns the pool size.
+func (rt *Runtime) NumWorkers() int { return rt.workers }
+
+// Submit schedules a task, returning its handle. Submitting after Close
+// panics.
+func (rt *Runtime) Submit(spec TaskSpec) *Handle {
+	if spec.Run == nil {
+		panic("taskrt: TaskSpec.Run is nil")
+	}
+	h := &Handle{
+		rt:       rt,
+		priority: spec.Priority,
+		label:    spec.Label,
+		run:      spec.Run,
+		doneCh:   make(chan struct{}),
+	}
+	for _, pred := range spec.After {
+		if pred != nil && pred.rt != rt {
+			panic("taskrt: dependency from a different runtime")
+		}
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		panic("taskrt: Submit after Close")
+	}
+	rt.seq++
+	h.seq = rt.seq
+	rt.pending++
+	for _, pred := range spec.After {
+		if pred == nil {
+			continue
+		}
+		if !pred.done {
+			pred.succs = append(pred.succs, h)
+			h.npred++
+		}
+	}
+	if h.npred == 0 {
+		heap.Push(&rt.ready, h)
+		rt.cond.Signal()
+	}
+	rt.mu.Unlock()
+	return h
+}
+
+// ParallelFor strip-mines the half-open range [0, n) into the given number
+// of chunks and submits one task per chunk. fn receives the chunk's
+// element range. Returns the handles of all chunk tasks.
+func (rt *Runtime) ParallelFor(n, chunks int, label string, after []*Handle, priority int, fn func(worker, lo, hi int)) []*Handle {
+	if chunks <= 0 {
+		chunks = rt.workers
+	}
+	if chunks > n && n > 0 {
+		chunks = n
+	}
+	handles := make([]*Handle, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		if lo >= hi {
+			continue
+		}
+		handles = append(handles, rt.Submit(TaskSpec{
+			Run:      func(worker int) { fn(worker, lo, hi) },
+			After:    after,
+			Priority: priority,
+			Label:    fmt.Sprintf("%s[%d:%d]", label, lo, hi),
+		}))
+	}
+	return handles
+}
+
+// Wait blocks until the given task has finished.
+func (rt *Runtime) Wait(h *Handle) { <-h.doneCh }
+
+// WaitAll blocks until all listed tasks have finished. Nil handles are
+// ignored.
+func (rt *Runtime) WaitAll(hs []*Handle) {
+	for _, h := range hs {
+		if h != nil {
+			<-h.doneCh
+		}
+	}
+}
+
+// Quiesce blocks until every submitted task has finished. It panics with
+// the original value if any task panicked.
+func (rt *Runtime) Quiesce() {
+	rt.mu.Lock()
+	for rt.pending > 0 {
+		rt.quiescent.Wait()
+	}
+	p := rt.panicked
+	rt.mu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// Close shuts the workers down after all submitted work completes.
+// The runtime cannot be reused.
+func (rt *Runtime) Close() {
+	rt.Quiesce()
+	rt.mu.Lock()
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// WorkerTimes returns a snapshot of the cumulative per-worker state
+// clocks.
+func (rt *Runtime) WorkerTimes() []StateTimes {
+	out := make([]StateTimes, rt.workers)
+	for w := 0; w < rt.workers; w++ {
+		rt.timesMu[w].Lock()
+		out[w] = rt.times[w]
+		rt.timesMu[w].Unlock()
+	}
+	return out
+}
+
+// TotalTimes sums the per-worker clocks.
+func (rt *Runtime) TotalTimes() StateTimes {
+	var t StateTimes
+	for _, w := range rt.WorkerTimes() {
+		t.Useful += w.Useful
+		t.Runtime += w.Runtime
+		t.Idle += w.Idle
+	}
+	return t
+}
+
+// ResetTimes zeroes the state clocks (between experiment phases).
+func (rt *Runtime) ResetTimes() {
+	for w := 0; w < rt.workers; w++ {
+		rt.timesMu[w].Lock()
+		rt.times[w] = StateTimes{}
+		rt.timesMu[w].Unlock()
+	}
+}
+
+func (rt *Runtime) worker(w int) {
+	var useful, overhead, idle time.Duration
+	flush := func() {
+		rt.timesMu[w].Lock()
+		rt.times[w].Useful += useful
+		rt.times[w].Runtime += overhead
+		rt.times[w].Idle += idle
+		rt.timesMu[w].Unlock()
+		useful, overhead, idle = 0, 0, 0
+	}
+	for {
+		tSched := time.Now()
+		rt.mu.Lock()
+		for rt.ready.Len() == 0 && !rt.closed {
+			// Account the wait as idle (load imbalance).
+			tIdle := time.Now()
+			overhead += tIdle.Sub(tSched)
+			rt.cond.Wait()
+			tSched = time.Now()
+			idle += tSched.Sub(tIdle)
+		}
+		if rt.ready.Len() == 0 && rt.closed {
+			rt.mu.Unlock()
+			flush()
+			return
+		}
+		h := heap.Pop(&rt.ready).(*Handle)
+		rt.mu.Unlock()
+		tRun := time.Now()
+		overhead += tRun.Sub(tSched)
+
+		rt.execute(h, w)
+
+		tDone := time.Now()
+		useful += tDone.Sub(tRun)
+		if useful+overhead+idle > time.Millisecond {
+			flush()
+		}
+	}
+}
+
+func (rt *Runtime) execute(h *Handle, w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.panicOnce.Do(func() {
+				rt.mu.Lock()
+				rt.panicked = r
+				rt.mu.Unlock()
+			})
+		}
+		rt.finish(h)
+	}()
+	h.run(w)
+}
+
+func (rt *Runtime) finish(h *Handle) {
+	rt.mu.Lock()
+	h.done = true
+	for _, s := range h.succs {
+		s.npred--
+		if s.npred == 0 {
+			heap.Push(&rt.ready, s)
+			rt.cond.Signal()
+		}
+	}
+	h.succs = nil
+	rt.pending--
+	if rt.pending == 0 {
+		rt.quiescent.Broadcast()
+	}
+	rt.mu.Unlock()
+	close(h.doneCh)
+}
+
+// taskHeap orders ready tasks by descending priority, then FIFO.
+type taskHeap []*Handle
+
+func (th taskHeap) Len() int { return len(th) }
+func (th taskHeap) Less(i, j int) bool {
+	if th[i].priority != th[j].priority {
+		return th[i].priority > th[j].priority
+	}
+	return th[i].seq < th[j].seq
+}
+func (th taskHeap) Swap(i, j int) { th[i], th[j] = th[j], th[i] }
+func (th *taskHeap) Push(x any)   { *th = append(*th, x.(*Handle)) }
+func (th *taskHeap) Pop() any {
+	old := *th
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*th = old[:n-1]
+	return x
+}
