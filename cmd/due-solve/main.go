@@ -1,13 +1,13 @@
 // Command due-solve solves a linear system from a Matrix Market file (or a
 // built-in generator) with one of the resilient solvers, optionally
-// injecting DUEs at a chosen rate, and reports convergence and recovery
-// statistics.
+// injecting DUEs at a chosen rate, and reports convergence, recovery
+// statistics and the per-state worker-time breakdown (Table 3).
 //
 // Usage:
 //
 //	due-solve -matrix system.mtx -method afeir -rate 2
 //	due-solve -gen thermal2 -n 20000 -method feir -precond -rate 5
-//	due-solve -gen poisson3d -n 32768 -solver gmres
+//	due-solve -gen poisson3d -n 32768 -solver gmres -method afeir -rate 3 -workers 8
 package main
 
 import (
@@ -20,7 +20,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/matgen"
+	"repro/internal/pagemem"
 	"repro/internal/sparse"
+	"repro/internal/taskrt"
 )
 
 func main() {
@@ -32,7 +34,7 @@ func main() {
 	precond := flag.Bool("precond", false, "use the block-Jacobi preconditioner (cg only)")
 	rate := flag.Float64("rate", 0, "expected DUEs per solver run (0 = no injection)")
 	tol := flag.Float64("tol", 1e-10, "relative residual tolerance")
-	workers := flag.Int("workers", 8, "task-pool size")
+	workers := flag.Int("workers", 8, "task-pool size (all solvers)")
 	seed := flag.Int64("seed", 1, "injection seed")
 	flag.Parse()
 
@@ -50,56 +52,76 @@ func main() {
 		Tol:        *tol,
 		UsePrecond: *precond,
 	}
-	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v\n",
-		a.N, a.NNZ(), m, *solverName, *precond)
+	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v workers=%d\n",
+		a.N, a.NNZ(), m, *solverName, *precond, *workers)
 
-	switch *solverName {
-	case "cg":
-		runCG(a, b, cfg, *rate, *seed)
-	case "bicgstab":
-		sv, err := core.NewBiCGStab(a, b, cfg)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		res, _, err := sv.Run()
-		report(res, err)
-	case "gmres":
-		sv, err := core.NewGMRES(a, b, 30, cfg)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		res, _, err := sv.Run()
-		report(res, err)
-	default:
-		fatalf("unknown solver %q", *solverName)
-	}
-}
-
-func runCG(a *sparse.CSR, b []float64, cfg core.Config, rate float64, seed int64) {
-	cg, err := core.NewCG(a, b, cfg)
+	run, err := buildSolver(*solverName, a, b, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	var in *inject.Injector
-	if rate > 0 {
-		// Estimate the ideal time with a short probe run to normalise the
-		// MTBE like the paper (§5.3).
-		probe, err := core.NewCG(a, b, core.Config{Method: core.MethodIdeal, Workers: cfg.Workers, Tol: cfg.Tol, UsePrecond: cfg.UsePrecond})
+	if *rate > 0 {
+		// Estimate the ideal time with a probe run of the same solver to
+		// normalise the MTBE like the paper (§5.3).
+		probeCfg := cfg
+		probeCfg.Method = core.MethodIdeal
+		probe, err := buildSolver(*solverName, a, b, probeCfg)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		pres, err := probe.Run()
+		pres, err := probe.run()
 		if err != nil {
 			fatalf("probe: %v", err)
 		}
-		mtbe := time.Duration(pres.Elapsed.Seconds() / rate * float64(time.Second))
-		fmt.Printf("ideal time %v -> MTBE %v (rate %g)\n", pres.Elapsed.Round(time.Millisecond), mtbe.Round(time.Millisecond), rate)
-		in = inject.NewInjector(cg.Space(), cg.DynamicVectors(), mtbe, seed)
+		mtbe := time.Duration(pres.Elapsed.Seconds() / *rate * float64(time.Second))
+		fmt.Printf("ideal time %v -> MTBE %v (rate %g)\n",
+			pres.Elapsed.Round(time.Millisecond), mtbe.Round(time.Millisecond), *rate)
+		in = inject.NewInjector(run.space, run.dynamic, mtbe, *seed)
 		in.Start()
 		defer in.Stop()
 	}
-	res, err := cg.Run()
+	res, err := run.run()
+	if in != nil {
+		in.Stop()
+	}
 	report(res, err)
+}
+
+// solverRun adapts the three resilient solvers to one launch shape.
+type solverRun struct {
+	space   *pagemem.Space
+	dynamic []*pagemem.Vector
+	run     func() (core.Result, error)
+}
+
+func buildSolver(name string, a *sparse.CSR, b []float64, cfg core.Config) (*solverRun, error) {
+	switch name {
+	case "cg":
+		cg, err := core.NewCG(a, b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &solverRun{space: cg.Space(), dynamic: cg.DynamicVectors(), run: cg.Run}, nil
+	case "bicgstab":
+		sv, err := core.NewBiCGStab(a, b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &solverRun{space: sv.Space(), dynamic: sv.DynamicVectors(), run: func() (core.Result, error) {
+			res, _, err := sv.Run()
+			return res, err
+		}}, nil
+	case "gmres":
+		sv, err := core.NewGMRES(a, b, 30, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &solverRun{space: sv.Space(), dynamic: sv.DynamicVectors(), run: func() (core.Result, error) {
+			res, _, err := sv.Run()
+			return res, err
+		}}, nil
+	}
+	return nil, fmt.Errorf("unknown solver %q", name)
 }
 
 func report(res core.Result, err error) {
@@ -113,6 +135,22 @@ func report(res core.Result, err error) {
 		s.FaultsSeen, s.RecoveredForward, s.RecoveredInverse, s.RecoveredCoupled, s.RecomputedQ, s.PrecondPartialApplies)
 	fmt.Printf("contributionsLost=%d unrecovered=%d lossyInterp=%d restarts=%d rollbacks=%d checkpoints=%d\n",
 		s.ContributionsLost, s.Unrecovered, s.LossyInterpolations, s.Restarts, s.Rollbacks, s.CheckpointsWritten)
+	if len(res.WorkerTimes) > 0 {
+		var total taskrt.StateTimes
+		fmt.Printf("worker state times (useful / runtime / idle):\n")
+		for w, st := range res.WorkerTimes {
+			fmt.Printf("  w%-2d %10v %10v %10v\n", w,
+				st.Useful.Round(time.Microsecond), st.Runtime.Round(time.Microsecond), st.Idle.Round(time.Microsecond))
+			total.Useful += st.Useful
+			total.Runtime += st.Runtime
+			total.Idle += st.Idle
+		}
+		if tt := total.Total(); tt > 0 {
+			fmt.Printf("  sum %10v %10v %10v  (useful %.1f%%)\n",
+				total.Useful.Round(time.Microsecond), total.Runtime.Round(time.Microsecond),
+				total.Idle.Round(time.Microsecond), 100*total.Useful.Seconds()/tt.Seconds())
+		}
+	}
 }
 
 func loadSystem(path, gen string, n int) (*sparse.CSR, []float64, error) {

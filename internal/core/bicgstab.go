@@ -5,24 +5,36 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/pagemem"
 	"repro/internal/sparse"
+	"repro/internal/taskrt"
 )
 
-// ResilientBiCGStab protects BiCGStab (Listing 3) with the redundancy
-// relations of §3.1.2. The direction d is double-buffered (as in CG); the
-// shadow residual r̂0 is constant and therefore, like A and b, assumed to
-// live in reliably-stored constant data (§2.1). The intermediate vectors
-// s and t are fully regenerated every iteration, so page losses in them
-// heal by overwrite; losses in x, g, d and q are repaired exactly through
+// BiCGStabSolver is the task-parallel resilient BiCGStab (Listing 3)
+// protected with the redundancy relations of §3.1.2, running its
+// iterations as chunked task graphs on the shared internal/engine — the
+// same strip-mined decomposition, version stamps and recovery scheduling
+// as the flagship CG, so FEIR (critical-path) and AFEIR (overlapped,
+// Fig 2b) recovery both apply.
+//
+// The direction d is double-buffered (as in CG, Listing 2); the shadow
+// residual r̂0 lives in reliably-stored constant memory (§2.1). The
+// intermediate vectors s and t are fully regenerated every iteration, so
+// their losses heal by overwrite; losses in x, g, d and q are repaired
+// exactly through
 //
 //	g = b - A x            (conserved, verified in §3.1.2)
 //	x = A⁻¹(b - g)         (inverse, LU diagonal blocks: A may be non-SPD)
 //	q = A d  /  d = A⁻¹ q  (forward / inverse, with the old q preserved
 //	                        by double buffering)
+//	d = g + β(d' - ω q)    (forward, scalars live in reliable memory)
 //
-// Errors are detected and repaired at iteration boundaries. It returns
-// the result, the solution vector and the resilience statistics.
+// Versioning: iteration t consumes x, g and the incoming direction at
+// version t-1 and produces q, s, t, x, g and the outgoing direction at
+// version t. The q produced at t pairs with the direction produced at
+// t-1, so at the next iteration boundary the OLD direction buffer is
+// still recoverable as d = A⁻¹q — the same trick CG plays.
 type BiCGStabSolver struct {
 	cfg     Config
 	a       *sparse.CSR
@@ -37,18 +49,33 @@ type BiCGStabSolver struct {
 	rhat    []float64
 	blocks  *sparse.BlockSolverCache
 	conn    [][]int
+	rel     *Relations
 	stats   Stats
 
-	// Scalars of the last completed iteration, used by the forward
-	// direction recovery. They live outside the page fault domain (the
-	// error model only kills memory pages, §5.3).
+	xS, gS, qS, sS, tS engine.Stamps
+	dS                 [2]engine.Stamps
+
+	qrPart, ttPart, tsPart, rhoPart, ggPart *engine.Partial
+
+	rt        *taskrt.Runtime
+	eng       *engine.Engine
+	resilient bool
+
+	scratch []float64
+
+	// Scalars of the current and last iteration. They live outside the
+	// page fault domain (the error model only kills memory pages, §5.3).
+	alpha, omega, beta  float64
+	rho                 float64
+	epsGG               float64 // <g,g> from the phase-3 reduction
 	lastBeta, lastOmega float64
-	lastIter            int
+	restartPending      bool
 }
 
-// NewBiCGStab builds a resilient BiCGStab solver. Only MethodFEIR
-// semantics (exact recovery at boundaries) are implemented; cfg.Method is
-// ignored beyond enabling recovery.
+// NewBiCGStab builds a resilient BiCGStab solver. MethodFEIR and
+// MethodAFEIR get exact task-overlapped recovery; MethodLossy interpolates
+// the iterate and restarts; the remaining methods run unguarded with
+// blank-page forward recovery.
 func NewBiCGStab(a *sparse.CSR, b []float64, cfg Config) (*BiCGStabSolver, error) {
 	if a.N != a.M {
 		return nil, fmt.Errorf("core: non-square matrix %dx%d", a.N, a.M)
@@ -77,127 +104,320 @@ func NewBiCGStab(a *sparse.CSR, b []float64, cfg Config) (*BiCGStabSolver, error
 	sv.t = sv.space.AddVector("t")
 	sv.rhat = make([]float64, a.N)
 	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false) // LU: general A
-	sv.conn = pageConnectivity(a, sv.layout)
-	sv.lastIter = -1
+	sv.resilient = cfg.Method == MethodFEIR || cfg.Method == MethodAFEIR
+
+	sv.xS = engine.NewStamps(sv.np)
+	sv.gS = engine.NewStamps(sv.np)
+	sv.qS = engine.NewStamps(sv.np)
+	sv.sS = engine.NewStamps(sv.np)
+	sv.tS = engine.NewStamps(sv.np)
+	sv.dS[0] = engine.NewStamps(sv.np)
+	sv.dS[1] = engine.NewStamps(sv.np)
+	sv.qrPart = engine.NewPartial(sv.np)
+	sv.ttPart = engine.NewPartial(sv.np)
+	sv.tsPart = engine.NewPartial(sv.np)
+	sv.rhoPart = engine.NewPartial(sv.np)
+	sv.ggPart = engine.NewPartial(sv.np)
+	sv.scratch = make([]float64, cfg.pageDoubles())
 	return sv, nil
 }
 
 // Space exposes the fault domain for error injection.
 func (sv *BiCGStabSolver) Space() *pagemem.Space { return sv.space }
 
-// Run executes the resilient solve.
+// DynamicVectors lists the vectors injections cover (§5.3).
+func (sv *BiCGStabSolver) DynamicVectors() []*pagemem.Vector {
+	return []*pagemem.Vector{sv.x, sv.g, sv.q, sv.d[0], sv.d[1], sv.s, sv.t}
+}
+
+// ErrRecurrenceBreakdown reports a degenerate recurrence.
+var ErrRecurrenceBreakdown = fmt.Errorf("core: recurrence breakdown")
+
+// Run executes the resilient solve. It returns the result, the solution
+// vector and the resilience statistics.
 func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 	start := time.Now()
+	sv.rt = taskrt.New(sv.cfg.workers())
+	defer sv.rt.Close()
+	sv.eng = engine.New(sv.a, sv.layout, sv.rt, sv.resilient, 0)
+	sv.conn = sv.eng.Conn
+	sv.rel = &Relations{a: sv.a, layout: sv.layout, conn: sv.conn, blocks: sv.blocks, b: sv.b, scratch: sv.scratch, stats: &sv.stats}
+
 	tol := sv.cfg.tol()
 	maxIter := sv.cfg.maxIter(sv.a.N)
 
-	// g, r̂0, d ⇐ b - A x (x = 0). The initial direction goes into d[1],
-	// which is the dPrev buffer of iteration 0.
+	// Initial state (x = 0): g = r̂0 = b; the direction consumed by
+	// iteration 0 goes into d[1] (its dIn buffer) at version -1, matching
+	// the initial stamps.
 	copy(sv.g.Data, sv.b)
 	copy(sv.rhat, sv.b)
 	copy(sv.d[1].Data, sv.b)
-	rho := sparse.Dot(sv.g.Data, sv.rhat)
+	sv.rho = sparse.Dot(sv.g.Data, sv.rhat)
+	sv.epsGG = sparse.Dot(sv.g.Data, sv.g.Data)
 
 	var it int
 	converged := false
 	for it = 0; it < maxIter; it++ {
-		rel := sparse.Norm2(sv.g.Data) / sv.bnorm
+		ver := int64(it)
+		cur, prev := it%2, (it+1)%2
+		dIn := vec(sv.d[prev], sv.dS[prev])
+		dOut := vec(sv.d[cur], sv.dS[cur])
+
+		// The residual norm comes from the <g,g> reduction of the
+		// previous iteration's phase 3 — no sequential pass over g.
+		rel := math.Sqrt(math.Max(sv.epsGG, 0)) / sv.bnorm
 		if sv.cfg.OnIteration != nil {
 			sv.cfg.OnIteration(it, rel)
 		}
 		if rel < tol {
-			converged = true
-			break
+			if sv.trueResidual() < tol*10 {
+				converged = true
+				break
+			}
+			// Recurrence lied (possible after ignored unrecoverable
+			// errors): rebuild the recurrence from x and keep going.
+			// Stamp at ver so THIS loop index is consumed by the
+			// restart and the next iteration reads a consistent state.
+			sv.restart(ver)
+			continue
 		}
-		cur, prev := it%2, (it+1)%2
-		dPrev, dCur := sv.d[prev], sv.d[cur]
-		// At this boundary dPrev is the freshly built direction (forward
-		// relation d = g + β(dOld - ω q)) and dCur still holds LAST
-		// iteration's direction, paired with q by q = A dOld.
-		sv.recoverBoundary(dPrev, dCur)
 
-		// q ⇐ A d.
-		sv.a.MulVec(dPrev.Data, sv.q.Data)
-		sv.clearByOverwrite(sv.q)
-		qr := sparse.Dot(sv.q.Data, sv.rhat)
-		if qr == 0 || math.IsNaN(qr) {
-			return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
+		// Iteration boundary: pending losses take effect, everything is
+		// repaired (or the method's fallback applies) before the phases.
+		if !sv.boundaryRecover(ver) {
+			continue // restart-style recovery consumed this iteration
 		}
-		alpha := rho / qr
-		// s ⇐ g - α q (full overwrite heals any s losses).
-		for i := range sv.s.Data {
-			sv.s.Data[i] = sv.g.Data[i] - alpha*sv.q.Data[i]
+		if sv.restartPending {
+			sv.restart(ver - 1)
+			sv.restartPending = false
 		}
-		sv.clearByOverwrite(sv.s)
-		// t ⇐ A s.
-		sv.a.MulVec(sv.s.Data, sv.t.Data)
-		sv.clearByOverwrite(sv.t)
-		tt := sparse.Dot(sv.t.Data, sv.t.Data)
+
+		// ---------------- Phase 1: q = A d, <q, r̂> ----------------
+		sv.qrPart.ResetMissing()
+		qOp := engine.Operand{Vec: vec(sv.q, sv.qS), Ver: ver}
+		qH := sv.eng.SpMV("q", nil, engine.In(dIn, ver-1), qOp)
+		qrH := sv.eng.DotPartialsReliable("<q,r>", qH, engine.In(qOp.Vec, ver), sv.rhat, sv.qrPart)
+		sv.runRecovery("r1", qH, func(allowLate bool) {
+			sv.recoverPhase(ver, cur, bPhase1, allowLate)
+		}, append(qH, qrH...))
+		sv.phaseBoundary()
+		qr, missQR := sv.qrPart.SumAvailable()
+		sv.stats.ContributionsLost += missQR
+		if qr == 0 || math.IsNaN(qr) || math.IsNaN(sv.rho) {
+			if missQR == 0 && !sv.space.AnyFault() {
+				return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
+			}
+			sv.restartPending = true
+			continue
+		}
+		sv.alpha = sv.rho / qr
+
+		// ---------------- Phase 2: s, t = A s, <t,t>, <t,s> -----------
+		alpha := sv.alpha
+		sv.ttPart.ResetMissing()
+		sv.tsPart.ResetMissing()
+		sOp := engine.Operand{Vec: vec(sv.s, sv.sS), Ver: ver}
+		sH := sv.eng.PageOp("s", nil,
+			[]engine.Operand{engine.In(vec(sv.g, sv.gS), ver-1), engine.In(qOp.Vec, ver)},
+			&sOp, true, func(p, lo, hi int) bool {
+				// s = g - α q (full overwrite heals s losses).
+				sparse.XpbyOutRange(sv.g.Data, -alpha, sv.q.Data, sv.s.Data, lo, hi)
+				return true
+			})
+		tOp := engine.Operand{Vec: vec(sv.t, sv.tS), Ver: ver}
+		tH := sv.eng.SpMV("t", sH, engine.In(sOp.Vec, ver), tOp)
+		ttH := sv.eng.DotPartials("<t,t>", tH, engine.In(tOp.Vec, ver), engine.In(tOp.Vec, ver), sv.ttPart)
+		tsH := sv.eng.DotPartials("<t,s>", tH, engine.In(tOp.Vec, ver), engine.In(sOp.Vec, ver), sv.tsPart)
+		sv.runRecovery("r2", append(append([]*taskrt.Handle{}, sH...), tH...), func(allowLate bool) {
+			sv.recoverPhase(ver, cur, bPhase2, allowLate)
+		}, append(append(append([]*taskrt.Handle{}, sH...), tH...), append(ttH, tsH...)...))
+		sv.phaseBoundary()
+		tt, missTT := sv.ttPart.SumAvailable()
+		ts, missTS := sv.tsPart.SumAvailable()
+		sv.stats.ContributionsLost += missTT + missTS
 		if tt == 0 {
-			sparse.Axpy(alpha, dPrev.Data, sv.x.Data)
+			if missTT > 0 || sv.space.AnyFault() {
+				sv.restartPending = true
+				continue
+			}
+			// Lucky breakdown: s is already the residual of x + α d.
+			sparse.Axpy(alpha, sv.d[prev].Data, sv.x.Data)
 			copy(sv.g.Data, sv.s.Data)
 			it++
 			converged = sparse.Norm2(sv.g.Data)/sv.bnorm < tol
 			break
 		}
-		omega := sparse.Dot(sv.t.Data, sv.s.Data) / tt
-		// x ⇐ x + α d + ω s ;  g ⇐ s - ω t.
-		for i := range sv.x.Data {
-			sv.x.Data[i] += alpha*dPrev.Data[i] + omega*sv.s.Data[i]
+		sv.omega = ts / tt
+
+		// ---------------- Phase 3: x, g, <g, r̂> ----------------------
+		omega := sv.omega
+		sv.rhoPart.ResetMissing()
+		xOp := engine.Operand{Vec: vec(sv.x, sv.xS), Ver: ver}
+		xH := sv.eng.PageOp("x", nil,
+			[]engine.Operand{engine.In(xOp.Vec, ver-1), engine.In(dIn, ver-1), engine.In(sOp.Vec, ver)},
+			&xOp, false, func(p, lo, hi int) bool {
+				// x += α d + ω s (read-modify-write: late poisons stay).
+				sparse.Axpy2Range(alpha, sv.d[prev].Data, omega, sv.s.Data, sv.x.Data, lo, hi)
+				return true
+			})
+		gOp := engine.Operand{Vec: vec(sv.g, sv.gS), Ver: ver}
+		gH := sv.eng.PageOp("g", nil,
+			[]engine.Operand{engine.In(sOp.Vec, ver), engine.In(tOp.Vec, ver)},
+			&gOp, true, func(p, lo, hi int) bool {
+				// g = s - ω t (full overwrite revalidates g).
+				sparse.XpbyOutRange(sv.s.Data, -omega, sv.t.Data, sv.g.Data, lo, hi)
+				return true
+			})
+		sv.ggPart.ResetMissing()
+		rhoH := sv.eng.DotPartialsReliable("<g,r>", gH, engine.In(gOp.Vec, ver), sv.rhat, sv.rhoPart)
+		ggH := sv.eng.DotPartials("<g,g>", gH, engine.In(gOp.Vec, ver), engine.In(gOp.Vec, ver), sv.ggPart)
+		sv.runRecovery("r3", append(append([]*taskrt.Handle{}, xH...), gH...), func(allowLate bool) {
+			sv.recoverPhase(ver, cur, bPhase3, allowLate)
+		}, append(append(append([]*taskrt.Handle{}, xH...), gH...), append(rhoH, ggH...)...))
+		sv.phaseBoundary()
+		rhoNew, missRho := sv.rhoPart.SumAvailable()
+		sv.stats.ContributionsLost += missRho
+		gg, missGG := sv.ggPart.SumAvailable()
+		sv.stats.ContributionsLost += missGG
+		sv.epsGG = gg
+		if sv.rho == 0 || omega == 0 || math.IsNaN(rhoNew) {
+			if missRho == 0 && !sv.space.AnyFault() {
+				return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
+			}
+			sv.restartPending = true
+			continue
 		}
-		for i := range sv.g.Data {
-			sv.g.Data[i] = sv.s.Data[i] - omega*sv.t.Data[i]
-		}
-		sv.clearByOverwrite(sv.g)
-		rhoOld := rho
-		rho = sparse.Dot(sv.g.Data, sv.rhat)
-		if rhoOld == 0 || omega == 0 || math.IsNaN(rho) {
-			return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
-		}
-		beta := rho / rhoOld * alpha / omega
-		// d_cur ⇐ g + β (d_prev - ω q): double-buffered, old q intact.
-		for i := range dCur.Data {
-			dCur.Data[i] = sv.g.Data[i] + beta*(dPrev.Data[i]-omega*sv.q.Data[i])
-		}
-		sv.clearByOverwrite(dCur)
-		sv.lastBeta, sv.lastOmega, sv.lastIter = beta, omega, it
+		sv.beta = rhoNew / sv.rho * alpha / omega
+
+		// ---------------- Phase 4: d = g + β(d' - ω q) ----------------
+		beta := sv.beta
+		dOutOp := engine.Operand{Vec: dOut, Ver: ver}
+		dH := sv.eng.PageOp("d", nil,
+			[]engine.Operand{engine.In(gOp.Vec, ver), engine.In(dIn, ver-1), engine.In(qOp.Vec, ver)},
+			&dOutOp, true, func(p, lo, hi int) bool {
+				sparse.XpbyzOutRange(sv.g.Data, beta, sv.d[prev].Data, omega, sv.q.Data, sv.d[cur].Data, lo, hi)
+				return true
+			})
+		sv.runRecovery("r4", dH, func(allowLate bool) {
+			sv.recoverPhase(ver, cur, bPhase4, true)
+		}, dH)
+		sv.phaseBoundary()
+
+		sv.rho = rhoNew
+		sv.lastBeta, sv.lastOmega = beta, omega
 	}
 	return sv.finish(it, converged, start), sv.x.Data, nil
 }
 
-// ErrRecurrenceBreakdown reports a degenerate BiCGStab recurrence.
-var ErrRecurrenceBreakdown = fmt.Errorf("core: recurrence breakdown")
+// runRecovery schedules the phase recovery per the method: overlapped at
+// low priority after the producer tasks (AFEIR, Fig 2b) or in the
+// critical path once the whole phase finished (FEIR, Fig 2a). waitFor
+// lists every task of the phase; it is always awaited before returning.
+func (sv *BiCGStabSolver) runRecovery(label string, after []*taskrt.Handle, fn func(allowLate bool), waitFor []*taskrt.Handle) {
+	skip := !sv.resilient || (sv.cfg.OnDemandRecovery && !sv.space.AnyFault())
+	var r *taskrt.Handle
+	if sv.cfg.Method == MethodAFEIR && !skip {
+		r = sv.eng.OverlappedRecovery(label, after, func() { fn(false) })
+	}
+	sv.rt.WaitAll(waitFor)
+	if r != nil {
+		sv.rt.Wait(r)
+	}
+	if sv.cfg.Method == MethodFEIR && !skip {
+		sv.eng.CriticalRecovery(label, func() { fn(true) })
+	}
+}
 
-func (sv *BiCGStabSolver) finish(it int, converged bool, start time.Time) Result {
+// phaseBoundary applies pending data losses with all workers quiescent.
+func (sv *BiCGStabSolver) phaseBoundary() {
+	evs := sv.space.ScramblePending()
+	sv.stats.FaultsSeen += len(evs)
+}
+
+// trueResidual computes ||b - A x|| / ||b|| sequentially.
+func (sv *BiCGStabSolver) trueResidual() float64 {
 	r := make([]float64, sv.a.N)
 	sv.a.MulVec(sv.x.Data, r)
 	sparse.Sub(sv.b, r, r)
+	return sparse.Norm2(r) / sv.bnorm
+}
+
+func (sv *BiCGStabSolver) finish(it int, converged bool, start time.Time) Result {
 	return Result{
 		Converged:   converged,
 		Iterations:  it,
-		RelResidual: sparse.Norm2(r) / sv.bnorm,
+		RelResidual: sv.trueResidual(),
 		Elapsed:     time.Since(start),
 		Stats:       sv.stats,
+		WorkerTimes: sv.rt.WorkerTimes(),
 	}
 }
 
-// clearByOverwrite clears fault bits of a vector that was just fully
-// rewritten.
-func (sv *BiCGStabSolver) clearByOverwrite(v *pagemem.Vector) {
-	for _, p := range v.FailedPages() {
-		v.MarkRecovered(p)
+// restart rebuilds the whole recurrence from the current iterate: failed
+// x pages are blanked (they survived every recovery attempt), g = b - Ax,
+// r̂0 = g, d = g, ρ = <g,g>, with every stamp forced to ver so the next
+// iteration (ver+1) consumes a consistent state.
+func (sv *BiCGStabSolver) restart(ver int64) {
+	for _, p := range sv.x.FailedPages() {
+		sv.x.Remap(p)
+		sv.x.MarkRecovered(p)
+		sv.stats.Unrecovered++
 	}
+	sv.space.ClearAll()
+	sv.a.MulVec(sv.x.Data, sv.g.Data)
+	sparse.Sub(sv.b, sv.g.Data, sv.g.Data)
+	copy(sv.rhat, sv.g.Data)
+	// Both buffers get the fresh direction: whichever one the next
+	// iteration treats as dIn is then valid.
+	copy(sv.d[0].Data, sv.g.Data)
+	copy(sv.d[1].Data, sv.g.Data)
+	sv.a.MulVec(sv.d[0].Data, sv.q.Data) // keep the q = A d pairing
+	sv.rho = sparse.Dot(sv.g.Data, sv.rhat)
+	sv.epsGG = sv.rho // r̂0 = g, so <g,g> = <g,r̂0>
+	sv.lastBeta, sv.lastOmega = 0, 0
+	sv.xS.Fill(ver)
+	sv.gS.Fill(ver)
+	sv.qS.Fill(ver)
+	sv.sS.Fill(ver)
+	sv.tS.Fill(ver)
+	sv.dS[0].Fill(ver)
+	sv.dS[1].Fill(ver)
+	sv.stats.Restarts++
 }
 
-// recoverBoundary repairs page losses at the iteration boundary. dNew is
-// the direction about to be consumed (built last iteration from
-// d = g + β(dOld - ω q)); dOld is last iteration's direction, paired with
-// q through q = A dOld. s and t heal by overwrite inside the iteration.
-func (sv *BiCGStabSolver) recoverBoundary(dNew, dOld *pagemem.Vector) {
+// boundaryRecover repairs the carried state at the start of iteration ver:
+// x, g and the incoming direction at ver-1, q at ver-1 (paired with the
+// outgoing buffer's ver-2 content), s and t by blanking (they regenerate).
+// Returns false when a restart-style fallback consumed the iteration.
+func (sv *BiCGStabSolver) boundaryRecover(ver int64) bool {
 	evs := sv.space.ScramblePending()
 	sv.stats.FaultsSeen += len(evs)
 	if !sv.space.AnyFault() {
-		return
+		return true
+	}
+	it := int(ver)
+	cur, prev := it%2, (it+1)%2
+	dIn := vec(sv.d[prev], sv.dS[prev]) // produced at ver-1, consumed now
+	dOld := vec(sv.d[cur], sv.dS[cur])  // produced at ver-2, paired with q
+	switch sv.cfg.Method {
+	case MethodFEIR, MethodAFEIR:
+		// Exact repairs below.
+	case MethodLossy:
+		failed := sv.x.FailedPages()
+		if len(failed) > 0 && LossyInterpolate(sv.a, sv.layout, sv.blocks, sv.b, sv.x.Data, failed) {
+			sv.stats.LossyInterpolations += len(failed)
+			for _, p := range failed {
+				sv.x.MarkRecovered(p)
+			}
+		}
+		// Stamp at ver: this loop index is consumed by the restart and
+		// the next iteration reads a consistent state.
+		sv.restart(ver)
+		return false
+	default:
+		// Blank-page forward recovery (§4.1): keep running.
+		blankAllFailed(sv.space)
+		return true
 	}
 	// s and t are rebuilt before use: just blank them.
 	for _, v := range []*pagemem.Vector{sv.s, sv.t} {
@@ -206,100 +426,195 @@ func (sv *BiCGStabSolver) recoverBoundary(dNew, dOld *pagemem.Vector) {
 			v.MarkRecovered(p)
 		}
 	}
-	for pass := 0; pass < 3; pass++ {
+	gV, xV, qV := vec(sv.g, sv.gS), vec(sv.x, sv.xS), vec(sv.q, sv.qS)
+	for pass := 0; pass < 4; pass++ {
 		progress := false
-		// g = b - A x (needs x current at connected pages).
-		for _, p := range sv.g.FailedPages() {
-			if sv.x.AnyFailedInPages(sv.conn[p]) {
-				continue
+		for p := 0; p < sv.np; p++ {
+			if sv.g.Failed(p) && sv.rel.ForwardResidual(gV, sv.gS[p].Load(), xV, ver-1, p) {
+				progress = true
 			}
-			lo, hi := sv.layout.Range(p)
-			buf := make([]float64, hi-lo)
-			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, 0, 0)
-			for i := lo; i < hi; i++ {
-				sv.g.Data[i] = sv.b[i] - buf[i-lo]
+			if sv.x.Failed(p) && sv.rel.InverseIterate(xV, ver-1, gV, ver-1, p) {
+				progress = true
 			}
-			sv.g.MarkRecovered(p)
-			sv.stats.RecoveredForward++
-			progress = true
-		}
-		// x = A⁻¹(b - g) per diagonal block.
-		for _, p := range sv.x.FailedPages() {
-			if sv.g.Failed(p) || sv.x.AnyFailedInPagesExcept(sv.conn[p], p) {
-				continue
+			if dOld.V.Failed(p) && sv.rel.InverseDirection(dOld, ver-2, qV, ver-1, p) {
+				progress = true
 			}
-			lo, hi := sv.layout.Range(p)
-			buf := make([]float64, hi-lo)
-			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, lo, hi)
-			for i := lo; i < hi; i++ {
-				buf[i-lo] = sv.b[i] - sv.g.Data[i] - buf[i-lo]
+			if sv.q.Failed(p) && sv.rel.ForwardSpMV(qV, ver-1, dOld, ver-2, p) {
+				progress = true
 			}
-			if err := sv.blocks.SolveDiagBlock(p, buf); err != nil {
-				continue
-			}
-			copy(sv.x.Data[lo:hi], buf)
-			sv.x.MarkRecovered(p)
-			sv.stats.RecoveredInverse++
-			progress = true
-		}
-		// dOld = A⁻¹ q (inverse through the preserved q pairing).
-		for _, p := range dOld.FailedPages() {
-			if sv.q.Failed(p) || dOld.AnyFailedInPagesExcept(sv.conn[p], p) {
-				continue
-			}
-			lo, hi := sv.layout.Range(p)
-			buf := make([]float64, hi-lo)
-			sv.a.MulVecRangeExcludingCols(dOld.Data, buf, lo, hi, lo, hi)
-			for i := lo; i < hi; i++ {
-				buf[i-lo] = sv.q.Data[i] - buf[i-lo]
-			}
-			if err := sv.blocks.SolveDiagBlock(p, buf); err != nil {
-				continue
-			}
-			copy(dOld.Data[lo:hi], buf)
-			dOld.MarkRecovered(p)
-			sv.stats.RecoveredInverse++
-			progress = true
-		}
-		// q = A dOld.
-		for _, p := range sv.q.FailedPages() {
-			if dOld.AnyFailedInPages(sv.conn[p]) {
-				continue
-			}
-			lo, hi := sv.layout.Range(p)
-			sv.a.MulVecRange(dOld.Data, sv.q.Data, lo, hi)
-			sv.q.MarkRecovered(p)
-			sv.stats.RecomputedQ++
-			progress = true
-		}
-		// dNew = g + β (dOld - ω q): re-run the forward update for lost
-		// pages of the fresh direction (scalars live in reliable memory).
-		for _, p := range dNew.FailedPages() {
-			if sv.g.Failed(p) || dOld.Failed(p) || sv.q.Failed(p) {
-				continue
-			}
-			lo, hi := sv.layout.Range(p)
-			if sv.lastIter < 0 {
-				copy(dNew.Data[lo:hi], sv.g.Data[lo:hi]) // initial d = g
-			} else {
-				for i := lo; i < hi; i++ {
-					dNew.Data[i] = sv.g.Data[i] + sv.lastBeta*(dOld.Data[i]-sv.lastOmega*sv.q.Data[i])
+			// dIn = g + lastβ (dOld - lastω q): re-run the forward update
+			// (scalars live in reliable memory). After a restart the
+			// direction is just g.
+			if dIn.V.Failed(p) && gV.Current(p, ver-1) {
+				lo, hi := sv.layout.Range(p)
+				if sv.lastBeta == 0 {
+					copy(dIn.V.Data[lo:hi], sv.g.Data[lo:hi])
+					sv.rel.MarkRecovered(dIn, p, ver-1)
+					sv.stats.RecoveredForward++
+					progress = true
+				} else if qV.Current(p, ver-1) && dOld.Current(p, ver-2) {
+					sparse.XpbyzOutRange(sv.g.Data, sv.lastBeta, dOld.V.Data, sv.lastOmega, sv.q.Data, dIn.V.Data, lo, hi)
+					sv.rel.MarkRecovered(dIn, p, ver-1)
+					sv.stats.RecoveredForward++
+					progress = true
 				}
 			}
-			dNew.MarkRecovered(p)
-			sv.stats.RecoveredForward++
-			progress = true
 		}
 		if !progress {
 			break
 		}
 	}
-	// Whatever is left is unrecoverable related data (§2.4): blank it.
-	for _, v := range sv.space.Vectors() {
-		for _, p := range v.FailedPages() {
-			v.Remap(p)
-			v.MarkRecovered(p)
-			sv.stats.Unrecovered++
+	if sv.space.AnyFault() {
+		// Simultaneous errors on related data (§2.4): rebuild from x.
+		// Stamped at ver — this loop index is consumed by the restart.
+		sv.restart(ver)
+		return false
+	}
+	return true
+}
+
+type bicgPhase int
+
+const (
+	bPhase1 bicgPhase = iota
+	bPhase2
+	bPhase3
+	bPhase4
+)
+
+// recoverPhase is the per-phase recovery task body. allowLate
+// distinguishes FEIR from AFEIR exactly as in CG: overlapped recovery
+// must not rewrite pages the concurrent reduction tasks may be reading
+// (pages whose stamp is current but whose fault bit was set mid-phase).
+func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allowLate bool) {
+	prev := 1 - cur
+	dIn := vec(sv.d[prev], sv.dS[prev])
+	dOut := vec(sv.d[cur], sv.dS[cur])
+	gV, xV, qV := vec(sv.g, sv.gS), vec(sv.x, sv.xS), vec(sv.q, sv.qS)
+	sV, tV := vec(sv.s, sv.sS), vec(sv.t, sv.tS)
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for p := 0; p < sv.np; p++ {
+			lo, hi := sv.layout.Range(p)
+			switch phase {
+			case bPhase1:
+				// dIn repairs are safe even for AFEIR: the <q,r̂>
+				// reduction reads only q. Inverse through the NEW q,
+				// which pairs with dIn.
+				if !dIn.Current(p, ver-1) && sv.rel.InverseDirection(dIn, ver-1, qV, ver, p) {
+					progress = true
+				}
+				// q rows skipped because dIn was stale: recompute. The
+				// reduction skipped them too (stale stamp), so the
+				// rewrite is safe; late poisons only under allowLate.
+				if !qV.Current(p, ver) {
+					if allowLate || !qV.LateFault(p, ver) {
+						if sv.rel.ForwardSpMV(qV, ver, dIn, ver-1, p) {
+							progress = true
+						}
+					}
+				}
+			case bPhase2:
+				// Inputs: g at ver-1 (not read by the <t,t>/<t,s>
+				// reductions), q at ver.
+				if sv.g.Failed(p) && sv.gS[p].Load() == ver-1 {
+					if sv.rel.ForwardResidual(gV, ver-1, xV, ver-1, p) {
+						progress = true
+					}
+				}
+				if !qV.Current(p, ver) && sv.rel.ForwardSpMV(qV, ver, dIn, ver-1, p) {
+					progress = true
+				}
+				// s = g - α q, then t = A s. Both are read by the
+				// reductions: stale pages were skipped (safe), late
+				// poisons only under allowLate.
+				if !sV.Current(p, ver) {
+					if (allowLate || !sV.LateFault(p, ver)) && gV.Current(p, ver-1) && qV.Current(p, ver) {
+						sparse.XpbyOutRange(sv.g.Data, -sv.alpha, sv.q.Data, sv.s.Data, lo, hi)
+						sv.rel.MarkRecovered(sV, p, ver)
+						sv.stats.RecoveredForward++
+						progress = true
+					}
+				}
+				if !tV.Current(p, ver) {
+					if allowLate || !tV.LateFault(p, ver) {
+						if sv.rel.ForwardSpMV(tV, ver, sV, ver, p) {
+							// forwardSpMV counts RecomputedQ; t is the
+							// same A·vec relation.
+							progress = true
+						}
+					}
+				}
+			case bPhase3:
+				// x += α d + ω s: not read by the <g,r̂> reduction.
+				if !sv.x.Failed(p) && sv.xS[p].Load() == ver-1 {
+					if dIn.Current(p, ver-1) && sV.Current(p, ver) {
+						sparse.Axpy2Range(sv.alpha, dIn.V.Data, sv.omega, sv.s.Data, sv.x.Data, lo, hi)
+						sv.xS[p].Store(ver)
+						sv.stats.RecoveredForward++
+						progress = true
+					}
+				} else if sv.x.Failed(p) {
+					if sv.rel.InverseIterate(xV, ver, gV, ver, p) {
+						progress = true
+					}
+				}
+				// g = s - ω t: read by the reduction, late rule applies.
+				if !gV.Current(p, ver) {
+					if (allowLate || !gV.LateFault(p, ver)) && sV.Current(p, ver) && tV.Current(p, ver) {
+						sparse.XpbyOutRange(sv.s.Data, -sv.omega, sv.t.Data, sv.g.Data, lo, hi)
+						sv.rel.MarkRecovered(gV, p, ver)
+						sv.stats.RecoveredForward++
+						progress = true
+					}
+				}
+			case bPhase4:
+				// d = g + β(d' - ω q): nothing reads dOut concurrently.
+				if !dOut.Current(p, ver) {
+					if gV.Current(p, ver) && dIn.Current(p, ver-1) && qV.Current(p, ver) {
+						sparse.XpbyzOutRange(sv.g.Data, sv.beta, dIn.V.Data, sv.omega, sv.q.Data, dOut.V.Data, lo, hi)
+						sv.rel.MarkRecovered(dOut, p, ver)
+						sv.stats.RecoveredForward++
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Fill the partial contributions that are now computable.
+	switch phase {
+	case bPhase1:
+		for p := 0; p < sv.np; p++ {
+			if sv.qrPart.Missing(p) && qV.Current(p, ver) {
+				lo, hi := sv.layout.Range(p)
+				sv.qrPart.Store(p, sparse.DotRange(sv.q.Data, sv.rhat, lo, hi))
+			}
+		}
+	case bPhase2:
+		for p := 0; p < sv.np; p++ {
+			lo, hi := sv.layout.Range(p)
+			if sv.ttPart.Missing(p) && tV.Current(p, ver) {
+				sv.ttPart.Store(p, sparse.DotRange(sv.t.Data, sv.t.Data, lo, hi))
+			}
+			if sv.tsPart.Missing(p) && tV.Current(p, ver) && sV.Current(p, ver) {
+				sv.tsPart.Store(p, sparse.DotRange(sv.t.Data, sv.s.Data, lo, hi))
+			}
+		}
+	case bPhase3:
+		for p := 0; p < sv.np; p++ {
+			if !gV.Current(p, ver) {
+				continue
+			}
+			lo, hi := sv.layout.Range(p)
+			if sv.rhoPart.Missing(p) {
+				sv.rhoPart.Store(p, sparse.DotRange(sv.g.Data, sv.rhat, lo, hi))
+			}
+			if sv.ggPart.Missing(p) {
+				sv.ggPart.Store(p, sparse.DotRange(sv.g.Data, sv.g.Data, lo, hi))
+			}
 		}
 	}
 }

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/pagemem"
 	"repro/internal/precond"
 	"repro/internal/sparse"
@@ -16,7 +16,9 @@ import (
 // with a pluggable resilience method. Strip-mined tasks follow the
 // Figure 1 decomposition; the FEIR/AFEIR variants use the double-buffered
 // direction of Listing 2, per-page fault bitmasks and version stamps, and
-// the recovery tasks r1/r2/r3 of Figure 1(b).
+// the recovery tasks r1/r2/r3 of Figure 1(b). The chunked page operations,
+// version stamping and recovery scheduling all run through the shared
+// internal/engine layer.
 //
 // Versioning convention: within iteration t, phase 1 produces d and q at
 // version t, phase 2 produces x, g (and z) at version t. A page is
@@ -39,16 +41,16 @@ type CG struct {
 	pre    *precond.BlockJacobi
 	blocks *sparse.BlockSolverCache
 	conn   [][]int
+	rel    *Relations
 
-	// Per-page version stamps (see package comment). Atomic because
-	// AFEIR recovery tasks update them concurrently with reduction tasks
-	// reading them.
-	xS, gS, qS, zS []atomic.Int64
-	dS             [2][]atomic.Int64
+	// Per-page version stamps (see package comment).
+	xS, gS, qS, zS engine.Stamps
+	dS             [2]engine.Stamps
 
-	dqPart, ggPart, zgPart *atomicFloats
+	dqPart, ggPart, zgPart *engine.Partial
 
-	rt *taskrt.Runtime
+	rt  *taskrt.Runtime
+	eng *engine.Engine
 
 	stats Stats
 	beta  float64
@@ -58,7 +60,6 @@ type CG struct {
 
 	doubleBuffer bool
 	resilient    bool
-	nchunks      int
 
 	ck *checkpointer
 
@@ -110,23 +111,22 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 		s.pre = pre
 	}
 	s.blocks = sparse.NewBlockSolverCache(a, s.layout, true)
-	s.conn = pageConnectivity(a, s.layout)
 
-	s.xS = newStamps(s.np)
-	s.gS = newStamps(s.np)
-	s.qS = newStamps(s.np)
-	s.dS[0] = newStamps(s.np)
+	s.xS = engine.NewStamps(s.np)
+	s.gS = engine.NewStamps(s.np)
+	s.qS = engine.NewStamps(s.np)
+	s.dS[0] = engine.NewStamps(s.np)
 	if s.doubleBuffer {
-		s.dS[1] = newStamps(s.np)
+		s.dS[1] = engine.NewStamps(s.np)
 	} else {
 		s.dS[1] = s.dS[0]
 	}
 	if cfg.UsePrecond {
-		s.zS = newStamps(s.np)
+		s.zS = engine.NewStamps(s.np)
 	}
-	s.dqPart = newAtomicFloats(s.np)
-	s.ggPart = newAtomicFloats(s.np)
-	s.zgPart = newAtomicFloats(s.np)
+	s.dqPart = engine.NewPartial(s.np)
+	s.ggPart = engine.NewPartial(s.np)
+	s.zgPart = engine.NewPartial(s.np)
 
 	s.scratch = make([]float64, cfg.pageDoubles())
 	s.scratch2 = make([]float64, cfg.pageDoubles())
@@ -139,14 +139,6 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 		s.ck = newCheckpointer(disk, cfg.CheckpointInterval, cfg.ExpectedMTBE, a.N, cfg.UsePrecond)
 	}
 	return s, nil
-}
-
-func newStamps(n int) []atomic.Int64 {
-	s := make([]atomic.Int64, n)
-	for i := range s {
-		s[i].Store(-1)
-	}
-	return s
 }
 
 // Space returns the fault domain: error injectors target its vectors.
@@ -169,36 +161,17 @@ func (s *CG) DynamicVectors() []*pagemem.Vector {
 // Run returned.
 func (s *CG) Stats() Stats { return s.stats }
 
-// current reports whether page p of vector v holds version ver.
-func current(v *pagemem.Vector, stamps []atomic.Int64, p int, ver int64) bool {
-	return stamps[p].Load() == ver && !v.Failed(p)
-}
-
-// chunkOfPages splits [0, np) pages into nchunks contiguous ranges.
-func chunkRanges(np, nchunks int) [][2]int {
-	if nchunks > np {
-		nchunks = np
-	}
-	if nchunks < 1 {
-		nchunks = 1
-	}
-	out := make([][2]int, 0, nchunks)
-	for c := 0; c < nchunks; c++ {
-		lo := c * np / nchunks
-		hi := (c + 1) * np / nchunks
-		if lo < hi {
-			out = append(out, [2]int{lo, hi})
-		}
-	}
-	return out
-}
+// vec couples a solver vector with its stamps for the engine operations.
+func vec(v *pagemem.Vector, st engine.Stamps) engine.Vec { return engine.Vec{V: v, S: st} }
 
 // Run executes the solve and returns its Result. Run may be called once.
 func (s *CG) Run() (Result, error) {
 	start := time.Now()
 	s.rt = taskrt.New(s.cfg.workers())
 	defer s.rt.Close()
-	s.nchunks = s.rt.NumWorkers()
+	s.eng = engine.New(s.a, s.layout, s.rt, s.resilient, 0)
+	s.conn = s.eng.Conn
+	s.rel = &Relations{a: s.a, layout: s.layout, conn: s.conn, blocks: s.blocks, b: s.b, scratch: s.scratch, stats: &s.stats}
 
 	tol := s.cfg.tol()
 	maxIter := s.cfg.maxIter(s.a.N)
@@ -305,85 +278,37 @@ func (s *CG) runPhase1(ver int64) {
 	if s.doubleBuffer {
 		cur, prev = t%2, (t+1)%2
 	}
-	dCur, dPrev := s.d[cur], s.d[prev]
-	dCurS, dPrevS := s.dS[cur], s.dS[prev]
+	dCur := vec(s.d[cur], s.dS[cur])
+	dPrev := vec(s.d[prev], s.dS[prev])
 	beta := s.beta
 	if s.restartPending {
 		beta = 0
 	}
-	src, srcS := s.g, s.gS
+	src := vec(s.g, s.gS)
 	if s.pre != nil {
-		src, srcS = s.z, s.zS
+		src = vec(s.z, s.zS)
 	}
 	s.dqPart.ResetMissing()
 
-	chunks := chunkRanges(s.np, s.nchunks)
-	dH := make([]*taskrt.Handle, 0, len(chunks))
-	for _, ch := range chunks {
-		pLo, pHi := ch[0], ch[1]
-		dH = append(dH, s.rt.Submit(taskrt.TaskSpec{Label: "d", Run: func(int) {
-			for p := pLo; p < pHi; p++ {
-				lo, hi := s.layout.Range(p)
-				if s.resilient {
-					if !current(src, srcS, p, ver-1) || (beta != 0 && !current(dPrev, dPrevS, p, ver-1)) {
-						continue // skip: dCur page stays at its old version
-					}
-				}
-				if beta == 0 {
-					copy(dCur.Data[lo:hi], src.Data[lo:hi])
-				} else if s.doubleBuffer {
-					sparse.XpbyOutRange(src.Data, beta, dPrev.Data, dCur.Data, lo, hi)
-				} else {
-					sparse.XpbyRange(src.Data, beta, dCur.Data, lo, hi)
-				}
-				if s.resilient {
-					dCur.MarkRecovered(p) // full overwrite revalidates
-					dCurS[p].Store(ver)
-				}
-			}
-		}}))
+	ins := []engine.Operand{engine.In(src, ver-1)}
+	if beta != 0 {
+		ins = append(ins, engine.In(dPrev, ver-1))
 	}
-	qH := make([]*taskrt.Handle, 0, len(chunks))
-	for _, ch := range chunks {
-		pLo, pHi := ch[0], ch[1]
-		qH = append(qH, s.rt.Submit(taskrt.TaskSpec{Label: "q", After: dH, Run: func(int) {
-			for p := pLo; p < pHi; p++ {
-				lo, hi := s.layout.Range(p)
-				if s.resilient {
-					ok := true
-					for _, j := range s.conn[p] {
-						if !current(dCur, dCurS, j, ver) {
-							ok = false
-							break
-						}
-					}
-					if !ok {
-						continue // skip: q page keeps the OLD A·dPrev values
-					}
-				}
-				s.a.MulVecRange(dCur.Data, s.q.Data, lo, hi)
-				if s.resilient {
-					s.q.MarkRecovered(p)
-					s.qS[p].Store(ver)
-				}
-			}
-		}}))
-	}
-	pH := make([]*taskrt.Handle, 0, len(chunks))
-	for _, ch := range chunks {
-		pLo, pHi := ch[0], ch[1]
-		pH = append(pH, s.rt.Submit(taskrt.TaskSpec{Label: "<d,q>", After: qH, Run: func(int) {
-			for p := pLo; p < pHi; p++ {
-				lo, hi := s.layout.Range(p)
-				if s.resilient {
-					if !current(dCur, dCurS, p, ver) || !current(s.q, s.qS, p, ver) {
-						continue // slot stays missing; r1 may fill it
-					}
-				}
-				s.dqPart.Store(p, sparse.DotRange(dCur.Data, s.q.Data, lo, hi))
-			}
-		}}))
-	}
+	dOut := engine.Operand{Vec: dCur, Ver: ver}
+	// Skipped pages keep their old version; full overwrite revalidates.
+	dH := s.eng.PageOp("d", nil, ins, &dOut, true, func(p, lo, hi int) bool {
+		if beta == 0 {
+			copy(dCur.V.Data[lo:hi], src.V.Data[lo:hi])
+		} else if s.doubleBuffer {
+			sparse.XpbyOutRange(src.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
+		} else {
+			sparse.XpbyRange(src.V.Data, beta, dCur.V.Data, lo, hi)
+		}
+		return true
+	})
+	// Skipped q pages keep the OLD A·dPrev values, pairing with dPrev.
+	qH := s.eng.SpMV("q", dH, engine.In(dCur, ver), engine.Operand{Vec: vec(s.q, s.qS), Ver: ver})
+	pH := s.eng.DotPartials("<d,q>", qH, engine.In(dCur, ver), engine.In(vec(s.q, s.qS), ver), s.dqPart)
 
 	var r1 *taskrt.Handle
 	skipRecovery := s.cfg.OnDemandRecovery && !s.space.AnyFault()
@@ -393,9 +318,9 @@ func (s *CG) runPhase1(ver int64) {
 		// consequences are visible as stale stamps plus poisons on
 		// vectors the concurrent reductions never read.
 		after := append(append([]*taskrt.Handle{}, dH...), qH...)
-		r1 = s.rt.Submit(taskrt.TaskSpec{Label: "r1", After: after, Priority: -1, Run: func(int) {
+		r1 = s.eng.OverlappedRecovery("r1", after, func() {
 			s.recoverPhase1(ver, beta, cur, prev, false)
-		}})
+		})
 	}
 	s.rt.WaitAll(dH)
 	s.rt.WaitAll(qH)
@@ -406,10 +331,9 @@ func (s *CG) runPhase1(ver int64) {
 	if s.cfg.Method == MethodFEIR && !(s.cfg.OnDemandRecovery && !s.space.AnyFault()) {
 		// In the critical path: runs after every computation (thus every
 		// potential error discovery) of the phase (Fig 2a).
-		r1 = s.rt.Submit(taskrt.TaskSpec{Label: "r1", Run: func(int) {
+		s.eng.CriticalRecovery("r1", func() {
 			s.recoverPhase1(ver, beta, cur, prev, true)
-		}})
-		s.rt.Wait(r1)
+		})
 	}
 }
 
@@ -421,94 +345,44 @@ func (s *CG) runPhase2(ver int64) {
 	if s.doubleBuffer {
 		cur = t % 2
 	}
-	dCur, dCurS := s.d[cur], s.dS[cur]
+	dCur := vec(s.d[cur], s.dS[cur])
+	xV, gV, qV := vec(s.x, s.xS), vec(s.g, s.gS), vec(s.q, s.qS)
 	alpha := s.alpha
 	s.ggPart.ResetMissing()
 	if s.pre != nil {
 		s.zgPart.ResetMissing()
 	}
 
-	chunks := chunkRanges(s.np, s.nchunks)
-	xH := make([]*taskrt.Handle, 0, len(chunks))
-	gH := make([]*taskrt.Handle, 0, len(chunks))
-	for _, ch := range chunks {
-		pLo, pHi := ch[0], ch[1]
-		xH = append(xH, s.rt.Submit(taskrt.TaskSpec{Label: "x", Run: func(int) {
-			for p := pLo; p < pHi; p++ {
-				lo, hi := s.layout.Range(p)
-				if s.resilient {
-					if !current(s.x, s.xS, p, ver-1) || !current(dCur, dCurS, p, ver) {
-						continue
-					}
-				}
-				sparse.AxpyRange(alpha, dCur.Data, s.x.Data, lo, hi)
-				if s.resilient {
-					s.xS[p].Store(ver)
-				}
-			}
-		}}))
-	}
-	for _, ch := range chunks {
-		pLo, pHi := ch[0], ch[1]
-		gH = append(gH, s.rt.Submit(taskrt.TaskSpec{Label: "g", Run: func(int) {
-			for p := pLo; p < pHi; p++ {
-				lo, hi := s.layout.Range(p)
-				if s.resilient {
-					if !current(s.g, s.gS, p, ver-1) || !current(s.q, s.qS, p, ver) {
-						continue
-					}
-				}
-				sparse.AxpyRange(-alpha, s.q.Data, s.g.Data, lo, hi)
-				if s.resilient {
-					s.gS[p].Store(ver)
-				}
-			}
-		}}))
-	}
+	// Read-modify-write updates: no overwrite flag, so a poison landing
+	// mid-task stays detected for the boundary scramble.
+	xOut := engine.Operand{Vec: xV, Ver: ver}
+	xH := s.eng.PageOp("x", nil, []engine.Operand{engine.In(xV, ver-1), engine.In(dCur, ver)}, &xOut, false, func(p, lo, hi int) bool {
+		sparse.AxpyRange(alpha, dCur.V.Data, s.x.Data, lo, hi)
+		return true
+	})
+	gOut := engine.Operand{Vec: gV, Ver: ver}
+	gH := s.eng.PageOp("g", nil, []engine.Operand{engine.In(gV, ver-1), engine.In(qV, ver)}, &gOut, false, func(p, lo, hi int) bool {
+		sparse.AxpyRange(-alpha, s.q.Data, s.g.Data, lo, hi)
+		return true
+	})
 	var zH []*taskrt.Handle
 	if s.pre != nil {
-		for _, ch := range chunks {
-			pLo, pHi := ch[0], ch[1]
-			zH = append(zH, s.rt.Submit(taskrt.TaskSpec{Label: "z", After: gH, Run: func(int) {
-				for p := pLo; p < pHi; p++ {
-					if s.resilient && !current(s.g, s.gS, p, ver) {
-						continue
-					}
-					// Full-page overwrite via partial preconditioner
-					// application (§3.2).
-					if err := s.pre.ApplyBlock(p, s.g.Data, s.z.Data); err != nil {
-						continue
-					}
-					if s.resilient {
-						s.z.MarkRecovered(p)
-						s.zS[p].Store(ver)
-					}
-				}
-			}}))
-		}
+		zV := vec(s.z, s.zS)
+		zOut := engine.Operand{Vec: zV, Ver: ver}
+		zH = s.eng.PageOp("z", gH, []engine.Operand{engine.In(gV, ver)}, &zOut, true, func(p, lo, hi int) bool {
+			// Full-page overwrite via partial preconditioner
+			// application (§3.2).
+			return s.pre.ApplyBlock(p, s.g.Data, s.z.Data) == nil
+		})
 	}
 	epsAfter := gH
 	if s.pre != nil {
 		epsAfter = append(append([]*taskrt.Handle{}, gH...), zH...)
 	}
-	eH := make([]*taskrt.Handle, 0, len(chunks))
-	for _, ch := range chunks {
-		pLo, pHi := ch[0], ch[1]
-		eH = append(eH, s.rt.Submit(taskrt.TaskSpec{Label: "eps", After: epsAfter, Run: func(int) {
-			for p := pLo; p < pHi; p++ {
-				lo, hi := s.layout.Range(p)
-				gOK := !s.resilient || current(s.g, s.gS, p, ver)
-				if gOK {
-					s.ggPart.Store(p, sparse.DotRange(s.g.Data, s.g.Data, lo, hi))
-				}
-				if s.pre != nil {
-					zOK := !s.resilient || current(s.z, s.zS, p, ver)
-					if gOK && zOK {
-						s.zgPart.Store(p, sparse.DotRange(s.z.Data, s.g.Data, lo, hi))
-					}
-				}
-			}
-		}}))
+	eH := s.eng.DotPartials("eps", epsAfter, engine.In(gV, ver), engine.In(gV, ver), s.ggPart)
+	var zgH []*taskrt.Handle
+	if s.pre != nil {
+		zgH = s.eng.DotPartials("<z,g>", epsAfter, engine.In(vec(s.z, s.zS), ver), engine.In(gV, ver), s.zgPart)
 	}
 
 	var r23 *taskrt.Handle
@@ -516,22 +390,22 @@ func (s *CG) runPhase2(ver int64) {
 	if s.cfg.Method == MethodAFEIR && !skipRecovery {
 		after := append(append([]*taskrt.Handle{}, xH...), gH...)
 		after = append(after, zH...)
-		r23 = s.rt.Submit(taskrt.TaskSpec{Label: "r2r3", After: after, Priority: -1, Run: func(int) {
+		r23 = s.eng.OverlappedRecovery("r2r3", after, func() {
 			s.recoverPhase2(ver, cur, false)
-		}})
+		})
 	}
 	s.rt.WaitAll(xH)
 	s.rt.WaitAll(gH)
 	s.rt.WaitAll(zH)
 	s.rt.WaitAll(eH)
+	s.rt.WaitAll(zgH)
 	if r23 != nil {
 		s.rt.Wait(r23)
 	}
 	if s.cfg.Method == MethodFEIR && !(s.cfg.OnDemandRecovery && !s.space.AnyFault()) {
-		r23 = s.rt.Submit(taskrt.TaskSpec{Label: "r2r3", Run: func(int) {
+		s.eng.CriticalRecovery("r2r3", func() {
 			s.recoverPhase2(ver, cur, true)
-		}})
-		s.rt.Wait(r23)
+		})
 	}
 }
 
@@ -564,7 +438,7 @@ func (s *CG) boundary(ver int64, _ boundaryPoint) boundaryAction {
 		return actionContinue
 	case MethodIdeal, MethodTrivial:
 		// Blank-page forward recovery (§4.1): keep running.
-		s.blankAllFailed()
+		blankAllFailed(s.space)
 		return actionContinue
 	case MethodLossy:
 		s.lossyRestart(ver)
@@ -576,10 +450,10 @@ func (s *CG) boundary(ver int64, _ boundaryPoint) boundaryAction {
 	return actionContinue
 }
 
-// blankAllFailed remaps every failed page to a blank one and clears the
-// fault bits — the Trivial forward recovery.
-func (s *CG) blankAllFailed() {
-	for _, v := range s.space.Vectors() {
+// blankAllFailed remaps every failed page of the space to a blank one and
+// clears the fault bits — the Trivial forward recovery (§4.1).
+func blankAllFailed(sp *pagemem.Space) {
+	for _, v := range sp.Vectors() {
 		for _, p := range v.FailedPages() {
 			v.Remap(p)
 			v.MarkRecovered(p)
@@ -612,21 +486,19 @@ func (s *CG) refreshResidual(ver int64) {
 		s.x.MarkRecovered(p)
 		s.stats.Unrecovered++
 	}
-	for p := 0; p < s.np; p++ {
-		s.xS[p].Store(ver)
-	}
+	s.xS.Fill(ver)
 	s.a.MulVec(s.x.Data, s.g.Data)
 	sparse.Sub(s.b, s.g.Data, s.g.Data)
 	for p := 0; p < s.np; p++ {
 		s.g.MarkRecovered(p)
-		s.gS[p].Store(ver)
 	}
+	s.gS.Fill(ver)
 	if s.pre != nil {
 		s.pre.Apply(s.g.Data, s.z.Data)
 		for p := 0; p < s.np; p++ {
 			s.z.MarkRecovered(p)
-			s.zS[p].Store(ver)
 		}
+		s.zS.Fill(ver)
 		s.rho = sparse.Dot(s.z.Data, s.g.Data)
 	}
 	s.epsGG = sparse.Dot(s.g.Data, s.g.Data)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/matgen"
+	"repro/internal/pagemem"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 )
@@ -36,18 +37,14 @@ type injection struct {
 	page int
 }
 
-func runWithInjections(t *testing.T, a *sparse.CSR, b []float64, cfg Config, inj []injection) Result {
-	t.Helper()
-	cg, err := NewCG(a, b, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	prev := cfg.OnIteration
-	cfg2 := cfg
-	cfg2.OnIteration = func(it int, rel float64) {
+// poisonAt builds an OnIteration hook firing the scripted poisons at
+// their iteration numbers, chaining an optional previous hook. Shared by
+// the CG, BiCGStab and GMRES injection runners.
+func poisonAt(t *testing.T, space *pagemem.Space, inj []injection, prev func(int, float64)) func(int, float64) {
+	return func(it int, rel float64) {
 		for _, e := range inj {
 			if e.it == it {
-				v := cg.Space().VectorByName(e.vec)
+				v := space.VectorByName(e.vec)
 				if v == nil {
 					t.Errorf("no vector %q", e.vec)
 					continue
@@ -59,11 +56,17 @@ func runWithInjections(t *testing.T, a *sparse.CSR, b []float64, cfg Config, inj
 			prev(it, rel)
 		}
 	}
-	// Rebuild with the wrapped callback (NewCG copied cfg by value).
-	cg, err = NewCG(a, b, cfg2)
+}
+
+func runWithInjections(t *testing.T, a *sparse.CSR, b []float64, cfg Config, inj []injection) Result {
+	t.Helper()
+	cg, err := NewCG(a, b, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg2 := cfg
+	cfg2.OnIteration = poisonAt(t, cg.Space(), inj, cfg.OnIteration)
+	cg.cfg = cfg2 // NewCG copied cfg by value
 	res, err := cg.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -515,25 +518,6 @@ func TestMethodString(t *testing.T) {
 	}
 	if Method(99).String() == "" {
 		t.Fatal("unknown method string empty")
-	}
-}
-
-func TestAtomicFloats(t *testing.T) {
-	af := newAtomicFloats(3)
-	af.ResetMissing()
-	if !af.Missing(0) || !af.Missing(2) {
-		t.Fatal("slots not missing after reset")
-	}
-	af.Store(1, 2.5)
-	if af.Missing(1) || af.Load(1) != 2.5 {
-		t.Fatal("store/load broken")
-	}
-	sum, missing := af.SumAvailable()
-	if sum != 2.5 || missing != 2 {
-		t.Fatalf("sum=%v missing=%d", sum, missing)
-	}
-	if af.Len() != 3 {
-		t.Fatal("len wrong")
 	}
 }
 

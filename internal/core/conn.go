@@ -1,47 +1,17 @@
 package core
 
 import (
+	"repro/internal/engine"
 	"repro/internal/sparse"
 )
 
-// pageConnectivity computes, for every row-page p of the matrix, the
+// PageConnectivity computes, for every row-page p of the matrix, the
 // sorted set of column-pages q such that the block A[rows(p), cols(q)]
-// holds at least one nonzero. A strip-mined SpMV task producing rows(p)
-// reads exactly the input pages listed in conn[p]; for the paper's
-// FEM/stencil matrices this set is small, which is what keeps the blast
-// radius of a lost direction page local (§2.3).
-func pageConnectivity(a *sparse.CSR, layout sparse.BlockLayout) [][]int {
-	np := layout.NumBlocks()
-	conn := make([][]int, np)
-	seen := make([]int, np) // last row-page that recorded column-page j
-	for i := range seen {
-		seen[i] = -1
-	}
-	for p := 0; p < np; p++ {
-		lo, hi := layout.Range(p)
-		for r := lo; r < hi; r++ {
-			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-				cp := layout.BlockOf(a.Cols[k])
-				if seen[cp] != p {
-					seen[cp] = p
-					conn[p] = append(conn[p], cp)
-				}
-			}
-		}
-		sortInts(conn[p])
-	}
-	return conn
-}
-
-func sortInts(s []int) {
-	// Insertion sort: connectivity lists are tiny (a handful of pages).
-	for i := 1; i < len(s); i++ {
-		v := s[i]
-		j := i - 1
-		for j >= 0 && s[j] > v {
-			s[j+1] = s[j]
-			j--
-		}
-		s[j+1] = v
-	}
+// holds at least one nonzero — the read set of a strip-mined SpMV task
+// producing rows(p), and the halo a distributed rank must import before
+// applying A to its own rows (§2.3, §3.4). The computation lives in
+// internal/engine; this wrapper is the stable entry point for the solver
+// and distributed layers.
+func PageConnectivity(a *sparse.CSR, layout sparse.BlockLayout) [][]int {
+	return engine.PageConnectivity(a, layout)
 }

@@ -16,8 +16,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/taskrt"
@@ -217,52 +215,4 @@ type Result struct {
 	// WorkerTimes is the per-worker useful/runtime/idle breakdown from
 	// the task runtime (Table 3).
 	WorkerTimes []taskrt.StateTimes
-}
-
-// atomicFloats is a slice of float64 with atomic load/store, used for
-// per-page reduction partials that both reduction tasks and (possibly
-// concurrent) recovery tasks may write.
-type atomicFloats struct {
-	bits []atomic.Uint64
-}
-
-func newAtomicFloats(n int) *atomicFloats {
-	return &atomicFloats{bits: make([]atomic.Uint64, n)}
-}
-
-var nanBits = math.Float64bits(math.NaN())
-
-// ResetMissing marks every slot as missing (NaN).
-func (a *atomicFloats) ResetMissing() {
-	for i := range a.bits {
-		a.bits[i].Store(nanBits)
-	}
-}
-
-// Store sets slot i.
-func (a *atomicFloats) Store(i int, v float64) { a.bits[i].Store(math.Float64bits(v)) }
-
-// Load returns slot i.
-func (a *atomicFloats) Load(i int) float64 { return math.Float64frombits(a.bits[i].Load()) }
-
-// Missing reports whether slot i has no contribution.
-func (a *atomicFloats) Missing(i int) bool {
-	return math.IsNaN(math.Float64frombits(a.bits[i].Load()))
-}
-
-// Len returns the number of slots.
-func (a *atomicFloats) Len() int { return len(a.bits) }
-
-// SumAvailable returns the sum of present slots and the count of missing
-// ones.
-func (a *atomicFloats) SumAvailable() (sum float64, missing int) {
-	for i := range a.bits {
-		v := math.Float64frombits(a.bits[i].Load())
-		if math.IsNaN(v) {
-			missing++
-			continue
-		}
-		sum += v
-	}
-	return sum, missing
 }

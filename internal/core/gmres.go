@@ -5,13 +5,17 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/pagemem"
 	"repro/internal/sparse"
+	"repro/internal/taskrt"
 )
 
-// GMRESSolver protects restarted GMRES(m) (Listing 4) with the §3.1.3
-// redundancies. The Arnoldi basis — the bulk of the method's dynamic data —
-// is recoverable from the Hessenberg matrix:
+// GMRESSolver is the task-parallel resilient restarted GMRES(m)
+// (Listing 4) protected with the §3.1.3 redundancies, running every
+// Arnoldi step as chunked task graphs on the shared internal/engine. The
+// Arnoldi basis — the bulk of the method's dynamic data — is recoverable
+// from the Hessenberg matrix:
 //
 //	v_l = (A v_{l-1} - Σ_{k<l} h_{k,l-1} v_k) / h_{l,l-1}
 //
@@ -20,7 +24,17 @@ import (
 // are m(m+1) — far smaller than the m·n basis). The iterate and residual
 // pair is protected by g = b - A x / x = A⁻¹(b - g) as for CG; within an
 // Arnoldi cycle x and g are constant, so the pair stays consistent.
-// Errors are detected and repaired at Arnoldi-step boundaries.
+//
+// Unlike CG and BiCGStab, GMRES tracks validity with fault bits alone (no
+// version stamps): detected errors leave the page data intact until the
+// next step boundary (detect-on-access semantics, see pagemem), so the
+// chunked compute tasks run unguarded and exact repairs happen at Arnoldi
+// step boundaries. Under MethodAFEIR an additional repair task is
+// overlapped with each step's orthogonalisation reductions at low
+// priority (Fig 2b): it recomputes still-intact poisoned pages in place
+// (exact replacement data, so concurrent readers are unaffected) and
+// clears their fault bits, hiding the recovery latency; whatever it could
+// not reach is repaired at the boundary like FEIR.
 type GMRESSolver struct {
 	cfg     Config
 	restart int
@@ -32,12 +46,19 @@ type GMRESSolver struct {
 	space   *pagemem.Space
 	x, g    *pagemem.Vector
 	v       []*pagemem.Vector
+	w       []float64     // unprotected per-step scratch
 	hCopy   *sparse.Dense // pristine H, the redundancy store
 	blocks  *sparse.BlockSolverCache
 	conn    [][]int
+	rel     *Relations
 	stats   Stats
-	zeta    float64 // ||z|| of the current cycle (reliable scalar)
-	steps   int     // completed Arnoldi steps in the current cycle
+
+	rt      *taskrt.Runtime
+	eng     *engine.Engine
+	dotPart *engine.Partial
+
+	zeta  float64 // ||z|| of the current cycle (reliable scalar)
+	steps int     // completed Arnoldi steps in the current cycle
 }
 
 // NewGMRES builds a resilient GMRES(m) solver. restart m must satisfy
@@ -74,18 +95,32 @@ func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver
 	for i := range sv.v {
 		sv.v[i] = sv.space.AddVector(fmt.Sprintf("v%d", i))
 	}
+	sv.w = make([]float64, a.N)
 	sv.hCopy = sparse.NewDense(restart+1, restart)
 	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false)
-	sv.conn = pageConnectivity(a, sv.layout)
+	sv.dotPart = engine.NewPartial(sv.np)
 	return sv, nil
 }
 
 // Space exposes the fault domain for error injection.
 func (sv *GMRESSolver) Space() *pagemem.Space { return sv.space }
 
+// DynamicVectors lists the vectors injections cover (§5.3).
+func (sv *GMRESSolver) DynamicVectors() []*pagemem.Vector {
+	vs := []*pagemem.Vector{sv.x, sv.g}
+	return append(vs, sv.v...)
+}
+
 // Run executes the resilient solve and returns the result and solution.
 func (sv *GMRESSolver) Run() (Result, []float64, error) {
 	start := time.Now()
+	sv.rt = taskrt.New(sv.cfg.workers())
+	defer sv.rt.Close()
+	sv.eng = engine.New(sv.a, sv.layout, sv.rt, false, 0)
+	sv.conn = sv.eng.Conn
+	sv.rel = &Relations{a: sv.a, layout: sv.layout, conn: sv.conn, blocks: sv.blocks, b: sv.b,
+		scratch: make([]float64, sv.cfg.pageDoubles()), stats: &sv.stats}
+
 	tol := sv.cfg.tol()
 	maxIter := sv.cfg.maxIter(sv.a.N)
 	m := sv.restart
@@ -94,17 +129,20 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 	cs := make([]float64, m)
 	sn := make([]float64, m)
 	res := make([]float64, m+1)
-	w := make([]float64, sv.a.N)
 	y := make([]float64, m)
 
 	totalIt := 0
 	restarts := 0
 	converged := false
 	for totalIt < maxIter {
-		sv.recover()
+		sv.boundary()
 		// Start of cycle: g = b - A x (full rebuild validates g).
-		sv.a.MulVec(sv.x.Data, sv.g.Data)
-		sparse.Sub(sv.b, sv.g.Data, sv.g.Data)
+		sv.rt.WaitAll(sv.eng.RawOp("g", nil, func(p, lo, hi int) {
+			sv.a.MulVecRange(sv.x.Data, sv.g.Data, lo, hi)
+			for i := lo; i < hi; i++ {
+				sv.g.Data[i] = sv.b[i] - sv.g.Data[i]
+			}
+		}))
 		sv.clearFailed(sv.g)
 		trueRel := sparse.Norm2(sv.g.Data) / sv.bnorm
 		if sv.cfg.OnIteration != nil {
@@ -114,9 +152,13 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 			converged = true
 			break
 		}
-		sv.zeta = sparse.Norm2(sv.g.Data)
-		copy(sv.v[0].Data, sv.g.Data)
-		sparse.Scale(1/sv.zeta, sv.v[0].Data)
+		sv.zeta = math.Sqrt(sv.eng.Dot("<g,g>", sv.g.Data, sv.g.Data, sv.dotPart))
+		zeta := sv.zeta
+		sv.rt.WaitAll(sv.eng.RawOp("v0", nil, func(p, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sv.v[0].Data[i] = sv.g.Data[i] / zeta
+			}
+		}))
 		sv.clearFailed(sv.v[0])
 		sv.steps = 0
 		for i := range res {
@@ -126,24 +168,43 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 
 		steps := 0
 		for l := 0; l < m && totalIt < maxIter; l++ {
-			sv.recover() // Arnoldi-step boundary: repair before using data
-			sv.a.MulVec(sv.v[l].Data, w)
+			sv.boundary() // Arnoldi-step boundary: repair before using data
+			// w = A v_l, chunked; under AFEIR the repair task overlaps
+			// with the orthogonalisation reductions that follow.
+			wH := sv.eng.RawSpMV("w", nil, sv.v[l].Data, sv.w)
+			var rOverlap *taskrt.Handle
+			if sv.cfg.Method == MethodAFEIR && !(sv.cfg.OnDemandRecovery && !sv.space.AnyFault()) {
+				liveSteps := sv.steps // snapshot: the step counter advances mid-phase
+				rOverlap = sv.eng.OverlappedRecovery("rV", wH, func() { sv.repairPasses(liveSteps) })
+			}
+			sv.rt.WaitAll(wH)
+			// Modified Gram-Schmidt: each h_{k,l} is a chunked reduction
+			// followed by a chunked axpy.
 			for k := 0; k <= l; k++ {
-				hk := sparse.Dot(w, sv.v[k].Data)
+				hk := sv.eng.Dot("<w,v>", sv.w, sv.v[k].Data, sv.dotPart)
 				h.Set(k, l, hk)
 				sv.hCopy.Set(k, l, hk) // redundancy store
-				sparse.Axpy(-hk, sv.v[k].Data, w)
+				vk := sv.v[k].Data
+				sv.rt.WaitAll(sv.eng.RawOp("w-hv", nil, func(p, lo, hi int) {
+					sparse.AxpyRange(-hk, vk, sv.w, lo, hi)
+				}))
 			}
-			wn := sparse.Norm2(w)
+			wn := math.Sqrt(sv.eng.Dot("<w,w>", sv.w, sv.w, sv.dotPart))
 			h.Set(l+1, l, wn)
 			sv.hCopy.Set(l+1, l, wn)
 			steps = l + 1
 			sv.steps = steps
 			totalIt++
 			if wn != 0 {
-				copy(sv.v[l+1].Data, w)
-				sparse.Scale(1/wn, sv.v[l+1].Data)
+				sv.rt.WaitAll(sv.eng.RawOp("v+", nil, func(p, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sv.v[l+1].Data[i] = sv.w[i] / wn
+					}
+				}))
 				sv.clearFailed(sv.v[l+1])
+			}
+			if rOverlap != nil {
+				sv.rt.Wait(rOverlap)
 			}
 			for k := 0; k < l; k++ {
 				hkl, hk1l := h.At(k, l), h.At(k+1, l)
@@ -169,7 +230,7 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 			}
 		}
 		// y = R⁻¹ (rotated rhs); x += Σ y_l v_l.
-		sv.recover()
+		sv.boundary()
 		for i := steps - 1; i >= 0; i-- {
 			s := res[i]
 			for j := i + 1; j < steps; j++ {
@@ -181,9 +242,11 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 			}
 			y[i] = s / d
 		}
-		for l := 0; l < steps; l++ {
-			sparse.Axpy(y[l], sv.v[l].Data, sv.x.Data)
-		}
+		sv.rt.WaitAll(sv.eng.RawOp("x+", nil, func(p, lo, hi int) {
+			for l := 0; l < steps; l++ {
+				sparse.AxpyRange(y[l], sv.v[l].Data, sv.x.Data, lo, hi)
+			}
+		}))
 		restarts++
 		sv.steps = 0
 	}
@@ -201,6 +264,7 @@ func (sv *GMRESSolver) finish(it, restarts int, converged bool, start time.Time)
 		RelResidual: sparse.Norm2(r) / sv.bnorm,
 		Elapsed:     time.Since(start),
 		Stats:       sv.stats,
+		WorkerTimes: sv.rt.WorkerTimes(),
 	}
 }
 
@@ -210,52 +274,70 @@ func (sv *GMRESSolver) clearFailed(v *pagemem.Vector) {
 	}
 }
 
-// recover repairs all failed pages visible at an Arnoldi-step boundary.
-func (sv *GMRESSolver) recover() {
+// boundary applies pending data losses with all workers quiescent and
+// resolves every failed page: exact repairs for FEIR/AFEIR, iterate
+// interpolation for Lossy, blank pages otherwise. Leaving a boundary no
+// page is failed, which is what lets the compute tasks run unguarded.
+func (sv *GMRESSolver) boundary() {
 	evs := sv.space.ScramblePending()
 	sv.stats.FaultsSeen += len(evs)
 	if !sv.space.AnyFault() {
 		return
 	}
+	switch sv.cfg.Method {
+	case MethodFEIR, MethodAFEIR:
+		sv.repairPasses(sv.steps)
+	case MethodLossy:
+		failed := sv.x.FailedPages()
+		if len(failed) > 0 && LossyInterpolate(sv.a, sv.layout, sv.blocks, sv.b, sv.x.Data, failed) {
+			sv.stats.LossyInterpolations += len(failed)
+			for _, p := range failed {
+				sv.x.MarkRecovered(p)
+			}
+			sv.stats.Restarts++
+		}
+	}
+	// Unused basis slots (l > steps) will be overwritten: blank them.
+	for l := sv.steps + 1; l < len(sv.v); l++ {
+		for _, p := range sv.v[l].FailedPages() {
+			sv.v[l].Remap(p)
+			sv.v[l].MarkRecovered(p)
+		}
+	}
+	// Anything else is unrecoverable related data: blank (a restart cycle
+	// will rebuild the basis from x anyway).
+	for _, v := range sv.space.Vectors() {
+		for _, p := range v.FailedPages() {
+			v.Remap(p)
+			v.MarkRecovered(p)
+			sv.stats.Unrecovered++
+		}
+	}
+}
+
+// repairPasses runs the §3.1.3 relations to a fixpoint: g = b - A x,
+// x = A⁻¹(b - g), v_0 = g/ζ and the Hessenberg redundancy for v_l up to
+// the given completed step count. It is safe to run concurrently with
+// reduction tasks (the AFEIR overlap): replacement data is exact, so
+// readers of a page being repaired see values equal to the originals.
+func (sv *GMRESSolver) repairPasses(steps int) {
+	gV := engine.Vec{V: sv.g}
+	xV := engine.Vec{V: sv.x}
 	for pass := 0; pass < 4; pass++ {
 		progress := false
-		// g = b - A x.
 		for _, p := range sv.g.FailedPages() {
-			if sv.x.AnyFailedInPages(sv.conn[p]) {
-				continue
+			if sv.rel.ForwardResidual(gV, 0, xV, 0, p) {
+				progress = true
 			}
-			lo, hi := sv.layout.Range(p)
-			buf := make([]float64, hi-lo)
-			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, 0, 0)
-			for i := lo; i < hi; i++ {
-				sv.g.Data[i] = sv.b[i] - buf[i-lo]
-			}
-			sv.g.MarkRecovered(p)
-			sv.stats.RecoveredForward++
-			progress = true
 		}
-		// x = A⁻¹(b - g).
 		for _, p := range sv.x.FailedPages() {
-			if sv.g.Failed(p) || sv.x.AnyFailedInPagesExcept(sv.conn[p], p) {
-				continue
+			if sv.rel.InverseIterate(xV, 0, gV, 0, p) {
+				progress = true
 			}
-			lo, hi := sv.layout.Range(p)
-			buf := make([]float64, hi-lo)
-			sv.a.MulVecRangeExcludingCols(sv.x.Data, buf, lo, hi, lo, hi)
-			for i := lo; i < hi; i++ {
-				buf[i-lo] = sv.b[i] - sv.g.Data[i] - buf[i-lo]
-			}
-			if err := sv.blocks.SolveDiagBlock(p, buf); err != nil {
-				continue
-			}
-			copy(sv.x.Data[lo:hi], buf)
-			sv.x.MarkRecovered(p)
-			sv.stats.RecoveredInverse++
-			progress = true
 		}
 		// v_0 = g / ζ.
 		for _, p := range sv.v[0].FailedPages() {
-			if sv.steps == 0 || sv.zeta == 0 {
+			if steps == 0 || sv.zeta == 0 {
 				break
 			}
 			if sv.g.Failed(p) {
@@ -270,7 +352,7 @@ func (sv *GMRESSolver) recover() {
 			progress = true
 		}
 		// v_l from the Hessenberg redundancy, page by page.
-		for l := 1; l <= sv.steps; l++ {
+		for l := 1; l <= steps; l++ {
 			vl := sv.v[l]
 			if !vl.AnyFailed() {
 				continue
@@ -286,7 +368,7 @@ func (sv *GMRESSolver) recover() {
 				}
 				bad := false
 				for k := 0; k < l; k++ {
-					if sv.v[k].Failed(p) && k != l { // v_k at page p
+					if sv.v[k].Failed(p) {
 						bad = true
 						break
 					}
@@ -317,22 +399,6 @@ func (sv *GMRESSolver) recover() {
 		}
 		if !progress {
 			break
-		}
-	}
-	// Unused basis slots (l > steps) will be overwritten: blank them.
-	for l := sv.steps + 1; l < len(sv.v); l++ {
-		for _, p := range sv.v[l].FailedPages() {
-			sv.v[l].Remap(p)
-			sv.v[l].MarkRecovered(p)
-		}
-	}
-	// Anything else is unrecoverable related data: blank (a restart cycle
-	// will rebuild the basis from x anyway).
-	for _, v := range sv.space.Vectors() {
-		for _, p := range v.FailedPages() {
-			v.Remap(p)
-			v.MarkRecovered(p)
-			sv.stats.Unrecovered++
 		}
 	}
 }

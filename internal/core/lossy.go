@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/sparse"
 )
@@ -128,19 +127,14 @@ func (s *CG) lossyFallback(ver int64) {
 // forceAllStamps stamps every page of every tracked vector at ver, used
 // after restart-style recoveries that rebuild all dynamic data.
 func (s *CG) forceAllStamps(ver int64) {
-	set := func(st []atomic.Int64) {
-		for p := range st {
-			st[p].Store(ver)
-		}
-	}
-	set(s.xS)
-	set(s.gS)
-	set(s.qS)
-	set(s.dS[0])
+	s.xS.Fill(ver)
+	s.gS.Fill(ver)
+	s.qS.Fill(ver)
+	s.dS[0].Fill(ver)
 	if s.doubleBuffer {
-		set(s.dS[1])
+		s.dS[1].Fill(ver)
 	}
 	if s.zS != nil {
-		set(s.zS)
+		s.zS.Fill(ver)
 	}
 }

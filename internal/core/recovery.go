@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/pagemem"
 	"repro/internal/sparse"
 )
@@ -24,6 +25,11 @@ import (
 // bit was set mid-phase ("late" poisons). FEIR recovery starts only after
 // every computation of the phase finished, so it repairs those too; this
 // is exactly the paper's coverage difference (§5.4).
+
+// current reports whether page p of vector v holds version ver.
+func current(v *pagemem.Vector, stamps []atomic.Int64, p int, ver int64) bool {
+	return stamps[p].Load() == ver && !v.Failed(p)
+}
 
 // lateFault reports whether page p of v was poisoned after being written
 // at version ver (fault bit set, stamp already current).
@@ -48,18 +54,7 @@ func connCurrent(v *pagemem.Vector, stamps []atomic.Int64, pages []int, ver int6
 // recoverGForward rebuilds page p of g at version ver from g = b - A x,
 // requiring x current at ver on the connected pages. Table 1, row 3 lhs.
 func (s *CG) recoverGForward(p int, ver int64) bool {
-	if !connCurrent(s.x, s.xS, s.conn[p], ver, -1) {
-		return false
-	}
-	lo, hi := s.layout.Range(p)
-	s.a.MulVecRangeExcludingCols(s.x.Data, s.scratch, lo, hi, 0, 0)
-	for i := lo; i < hi; i++ {
-		s.g.Data[i] = s.b[i] - s.scratch[i-lo]
-	}
-	s.g.MarkRecovered(p)
-	s.gS[p].Store(ver)
-	s.stats.RecoveredForward++
-	return true
+	return s.rel.ForwardResidual(vec(s.g, s.gS), ver, vec(s.x, s.xS), ver, p)
 }
 
 // recoverXInverse rebuilds page p of x at version ver from
@@ -67,25 +62,7 @@ func (s *CG) recoverGForward(p int, ver int64) bool {
 // g current at ver on page p and x current at ver on the other connected
 // pages.
 func (s *CG) recoverXInverse(p int, ver int64) bool {
-	if !current(s.g, s.gS, p, ver) {
-		return false
-	}
-	if !connCurrent(s.x, s.xS, s.conn[p], ver, p) {
-		return false
-	}
-	lo, hi := s.layout.Range(p)
-	s.a.MulVecRangeExcludingCols(s.x.Data, s.scratch, lo, hi, lo, hi)
-	for i := lo; i < hi; i++ {
-		s.scratch[i-lo] = s.b[i] - s.g.Data[i] - s.scratch[i-lo]
-	}
-	if err := s.blocks.SolveDiagBlock(p, s.scratch[:hi-lo]); err != nil {
-		return false
-	}
-	copy(s.x.Data[lo:hi], s.scratch[:hi-lo])
-	s.x.MarkRecovered(p)
-	s.xS[p].Store(ver)
-	s.stats.RecoveredInverse++
-	return true
+	return s.rel.InverseIterate(vec(s.x, s.xS), ver, vec(s.g, s.gS), ver, p)
 }
 
 // recoverDInverse rebuilds page p of a direction buffer at version ver
@@ -94,39 +71,13 @@ func (s *CG) recoverXInverse(p int, ver int64) bool {
 // double buffering of Listing 2 preserves) and the other connected pages
 // of d current.
 func (s *CG) recoverDInverse(d *pagemem.Vector, dS []atomic.Int64, p int, ver int64) bool {
-	if s.qS[p].Load() != ver || s.q.Failed(p) {
-		return false
-	}
-	if !connCurrent(d, dS, s.conn[p], ver, p) {
-		return false
-	}
-	lo, hi := s.layout.Range(p)
-	s.a.MulVecRangeExcludingCols(d.Data, s.scratch, lo, hi, lo, hi)
-	for i := lo; i < hi; i++ {
-		s.scratch[i-lo] = s.q.Data[i] - s.scratch[i-lo]
-	}
-	if err := s.blocks.SolveDiagBlock(p, s.scratch[:hi-lo]); err != nil {
-		return false
-	}
-	copy(d.Data[lo:hi], s.scratch[:hi-lo])
-	d.MarkRecovered(p)
-	dS[p].Store(ver)
-	s.stats.RecoveredInverse++
-	return true
+	return s.rel.InverseDirection(engine.Vec{V: d, S: dS}, ver, vec(s.q, s.qS), ver, p)
 }
 
 // recomputeQ rebuilds page p of q at version ver by re-running the SpMV
 // rows (Table 1, row 1 lhs), requiring d current on the connected pages.
 func (s *CG) recomputeQ(d *pagemem.Vector, dS []atomic.Int64, p int, ver int64) bool {
-	if !connCurrent(d, dS, s.conn[p], ver, -1) {
-		return false
-	}
-	lo, hi := s.layout.Range(p)
-	s.a.MulVecRange(d.Data, s.q.Data, lo, hi)
-	s.q.MarkRecovered(p)
-	s.qS[p].Store(ver)
-	s.stats.RecomputedQ++
-	return true
+	return s.rel.ForwardSpMV(vec(s.q, s.qS), ver, engine.Vec{V: d, S: dS}, ver, p)
 }
 
 // recoverZ rebuilds page p of the preconditioned residual by a partial

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/sparse"
+)
+
+// relations bundles the Table 1 redundancy relations shared by every
+// resilient solver (and the distributed layer): the forward and inverse
+// repairs of the residual/iterate pair g = b - A x, and of a
+// direction/matvec pair q = A d. Each method rebuilds exactly one page
+// from data that is current at the stated versions; CG, BiCGStab and
+// GMRES differ only in which versions pair up (double buffering shifts
+// the q/d pairing by one iteration in BiCGStab) and in the method-specific
+// relations layered on top (CG's coupled systems, GMRES's Hessenberg
+// redundancy).
+type Relations struct {
+	a       *sparse.CSR
+	layout  sparse.BlockLayout
+	conn    [][]int
+	blocks  *sparse.BlockSolverCache
+	b       []float64
+	scratch []float64
+	stats   *Stats
+}
+
+// ForwardResidual rebuilds page p of g at gVer from g = b - A x,
+// requiring x current at xVer on the connected pages (Table 1, row 3 lhs).
+func (r *Relations) ForwardResidual(g engine.Vec, gVer int64, x engine.Vec, xVer int64, p int) bool {
+	if !x.ConnCurrent(r.conn[p], xVer, -1) {
+		return false
+	}
+	lo, hi := r.layout.Range(p)
+	r.a.MulVecRangeExcludingCols(x.V.Data, r.scratch, lo, hi, 0, 0)
+	for i := lo; i < hi; i++ {
+		g.V.Data[i] = r.b[i] - r.scratch[i-lo]
+	}
+	r.MarkRecovered(g, p, gVer)
+	r.stats.RecoveredForward++
+	return true
+}
+
+// InverseIterate rebuilds page p of x at xVer from
+// A_pp x_p = b_p - g_p - Σ_{j≠p} A_pj x_j (Table 1, row 3 rhs), requiring
+// g current at gVer on page p and x current at xVer on the other
+// connected pages.
+func (r *Relations) InverseIterate(x engine.Vec, xVer int64, g engine.Vec, gVer int64, p int) bool {
+	if !g.Current(p, gVer) {
+		return false
+	}
+	if !x.ConnCurrent(r.conn[p], xVer, p) {
+		return false
+	}
+	lo, hi := r.layout.Range(p)
+	r.a.MulVecRangeExcludingCols(x.V.Data, r.scratch, lo, hi, lo, hi)
+	for i := lo; i < hi; i++ {
+		r.scratch[i-lo] = r.b[i] - g.V.Data[i] - r.scratch[i-lo]
+	}
+	if err := r.blocks.SolveDiagBlock(p, r.scratch[:hi-lo]); err != nil {
+		return false
+	}
+	copy(x.V.Data[lo:hi], r.scratch[:hi-lo])
+	r.MarkRecovered(x, p, xVer)
+	r.stats.RecoveredInverse++
+	return true
+}
+
+// InverseDirection rebuilds page p of d at dVer from
+// A_pp d_p = q_p - Σ_{j≠p} A_pj d_j (Table 1, row 1 rhs), requiring q
+// current at qVer on page p (for old-direction recovery that is the old q
+// the double buffering of Listing 2 preserves) and the other connected
+// pages of d current at dVer.
+func (r *Relations) InverseDirection(d engine.Vec, dVer int64, q engine.Vec, qVer int64, p int) bool {
+	if !q.Current(p, qVer) {
+		return false
+	}
+	if !d.ConnCurrent(r.conn[p], dVer, p) {
+		return false
+	}
+	lo, hi := r.layout.Range(p)
+	r.a.MulVecRangeExcludingCols(d.V.Data, r.scratch, lo, hi, lo, hi)
+	for i := lo; i < hi; i++ {
+		r.scratch[i-lo] = q.V.Data[i] - r.scratch[i-lo]
+	}
+	if err := r.blocks.SolveDiagBlock(p, r.scratch[:hi-lo]); err != nil {
+		return false
+	}
+	copy(d.V.Data[lo:hi], r.scratch[:hi-lo])
+	r.MarkRecovered(d, p, dVer)
+	r.stats.RecoveredInverse++
+	return true
+}
+
+// ForwardSpMV rebuilds page p of q at qVer by re-running the SpMV rows
+// q = A d (Table 1, row 1 lhs), requiring d current at dVer on the
+// connected pages.
+func (r *Relations) ForwardSpMV(q engine.Vec, qVer int64, d engine.Vec, dVer int64, p int) bool {
+	if !d.ConnCurrent(r.conn[p], dVer, -1) {
+		return false
+	}
+	lo, hi := r.layout.Range(p)
+	r.a.MulVecRange(d.V.Data, q.V.Data, lo, hi)
+	r.MarkRecovered(q, p, qVer)
+	r.stats.RecomputedQ++
+	return true
+}
+
+// MarkRecovered clears the fault bit and stamps the page (stampless
+// vectors just clear the bit).
+func (r *Relations) MarkRecovered(v engine.Vec, p int, ver int64) {
+	v.V.MarkRecovered(p)
+	if v.S != nil {
+		v.S[p].Store(ver)
+	}
+}

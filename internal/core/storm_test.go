@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/sparse"
 )
 
 // Storm tests: randomized multi-error campaigns driven by seeds, checking
@@ -137,6 +139,129 @@ func TestStormEveryPageOfXOverTime(t *testing.T) {
 	}
 	if d := res.Iterations - base; d < -3 || d > 3 {
 		t.Fatalf("%d iterations vs ideal %d", res.Iterations, base)
+	}
+}
+
+// runBiCGStabWithInjections runs a resilient BiCGStab with scripted
+// page poisons at iteration starts.
+func runBiCGStabWithInjections(t *testing.T, a *sparse.CSR, b []float64, cfg Config, inj []injection) Result {
+	t.Helper()
+	sv, err := NewBiCGStab(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.OnIteration = poisonAt(t, sv.Space(), inj, cfg.OnIteration)
+	sv.cfg = cfg2
+	res, _, err := sv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runGMRESWithInjections does the same for the resilient GMRES(m).
+func runGMRESWithInjections(t *testing.T, a *sparse.CSR, b []float64, restart int, cfg Config, inj []injection) Result {
+	t.Helper()
+	sv, err := NewGMRES(a, b, restart, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.OnIteration = poisonAt(t, sv.Space(), inj, cfg.OnIteration)
+	sv.cfg = cfg2
+	res, _, err := sv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// stormSystem is the nonsymmetric test system shared by the BiCGStab and
+// GMRES storms: 1000 unknowns over 16 pages of 64 doubles.
+func stormSystem() (*sparse.CSR, []float64, int) {
+	a, b, _ := asymmetric(1000)
+	return a, b, 16
+}
+
+// TestStormBiCGStabRandomErrors drives the task-parallel BiCGStab through
+// DUE storms of 1–5 errors per run, for both recovery disciplines: every
+// run must converge with a verified true residual.
+func TestStormBiCGStabRandomErrors(t *testing.T) {
+	a, b, pages := stormSystem()
+	base := runBiCGStabWithInjections(t, a, b, bicgCfg(), nil)
+	window := base.Iterations * 3 / 4
+	if window < 2 {
+		t.Fatalf("fault-free run too short for a storm: %+v", base)
+	}
+	vectors := []string{"x", "g", "q", "d0", "d1", "s", "t"}
+	for _, method := range []Method{MethodFEIR, MethodAFEIR} {
+		for rate := 1; rate <= 5; rate++ {
+			seed := int64(1000*int(method) + rate)
+			rng := rand.New(rand.NewSource(seed))
+			inj := stormInjections(rng, vectors, pages, window, rate)
+			cfg := bicgCfg()
+			cfg.Method = method
+			res := runBiCGStabWithInjections(t, a, b, cfg, inj)
+			if !res.Converged {
+				t.Fatalf("%v rate %d: not converged: %+v", method, rate, res)
+			}
+			if res.RelResidual > 1e-8 {
+				t.Fatalf("%v rate %d: true residual %v", method, rate, res.RelResidual)
+			}
+			if res.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v rate %d: no faults seen", method, rate)
+			}
+		}
+	}
+}
+
+// TestStormBiCGStabBurst throws simultaneous errors across related
+// vectors in one iteration: the run must still terminate correctly
+// (restart fallback at worst).
+func TestStormBiCGStabBurst(t *testing.T) {
+	a, b, _ := stormSystem()
+	inj := []injection{
+		{it: 12, vec: "x", page: 3},
+		{it: 12, vec: "g", page: 3},
+		{it: 12, vec: "d0", page: 7},
+		{it: 12, vec: "q", page: 9},
+	}
+	cfg := bicgCfg()
+	res := runBiCGStabWithInjections(t, a, b, cfg, inj)
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("burst: %+v", res)
+	}
+}
+
+// TestStormGMRESRandomErrors drives the task-parallel GMRES through DUE
+// storms of 1–5 errors per run for both disciplines.
+func TestStormGMRESRandomErrors(t *testing.T) {
+	a, b, pages := stormSystem()
+	base := runGMRESWithInjections(t, a, b, 20, bicgCfg(), nil)
+	window := base.Iterations * 3 / 4
+	if window < 2 {
+		t.Fatalf("fault-free run too short for a storm: %+v", base)
+	}
+	vectors := []string{"x", "g", "v0", "v1", "v3", "v7"}
+	for _, method := range []Method{MethodFEIR, MethodAFEIR} {
+		for rate := 1; rate <= 5; rate++ {
+			seed := int64(2000*int(method) + rate)
+			rng := rand.New(rand.NewSource(seed))
+			inj := stormInjections(rng, vectors, pages, window, rate)
+			cfg := bicgCfg()
+			cfg.Method = method
+			res := runGMRESWithInjections(t, a, b, 20, cfg, inj)
+			if !res.Converged {
+				t.Fatalf("%v rate %d: not converged: %+v", method, rate, res)
+			}
+			if res.RelResidual > 1e-8 {
+				t.Fatalf("%v rate %d: true residual %v", method, rate, res.RelResidual)
+			}
+			if res.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v rate %d: no faults seen", method, rate)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,630 @@
+// Package dist is the rank-sharded layer of §3.4: a functional model of
+// the paper's MPI+tasks hybrid where the matrix rows are partitioned into
+// contiguous page ranges ("ranks"), each rank owns a private fault domain
+// (its own pagemem.Space) for its shard of the Krylov vectors, and every
+// SpMV is preceded by a halo exchange of exactly the off-rank pages the
+// rank's rows read — the read set computed by core.PageConnectivity. Rank
+// work runs as tasks on a shared internal/taskrt pool (one task per rank
+// per phase), with the coordinator playing the role of the allreduce.
+//
+// Resilience follows the single-node schemes: FEIR/AFEIR repair lost
+// pages exactly through the g = b - A x / x = A⁻¹(b - g) relations
+// (inverse repairs need only the halo, so recovery stays rank-local plus
+// one exchange — the paper's observation that the recovery blast radius
+// is bounded by the stencil), Lossy interpolates the iterate and
+// restarts, Checkpoint rolls back to a periodic global snapshot, and the
+// remaining methods blank lost pages and keep running.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// Config parametrises a distributed solve.
+type Config struct {
+	// Method is the resilience scheme, as in core.Config.
+	Method core.Method
+	// Workers is the shared task-pool size; 0 means one worker per rank.
+	Workers int
+	// PageDoubles is the fault/recovery granularity; 0 means 512.
+	PageDoubles int
+	// Tol is the relative residual threshold; 0 means 1e-10.
+	Tol float64
+	// MaxIter bounds iterations; 0 means 10*n.
+	MaxIter int
+	// CheckpointInterval is the snapshot period in iterations for
+	// MethodCheckpoint; 0 means 100.
+	CheckpointInterval int
+	// Inject, when non-nil, is called once per iteration with the
+	// per-rank fault domains — the hook experiments.ValidateDistributed
+	// uses to drive deterministic injections.
+	Inject func(it int, spaces []*pagemem.Space)
+	// OnIteration, when non-nil, receives the recurrence residual trace.
+	OnIteration func(it int, relRes float64)
+}
+
+func (c Config) pageDoubles() int {
+	if c.PageDoubles > 0 {
+		return c.PageDoubles
+	}
+	return 512
+}
+
+func (c Config) tol() float64 {
+	if c.Tol > 0 {
+		return c.Tol
+	}
+	return 1e-10
+}
+
+func (c Config) maxIter(n int) int {
+	if c.MaxIter > 0 {
+		return c.MaxIter
+	}
+	return 10 * n
+}
+
+func (c Config) ckptInterval() int {
+	if c.CheckpointInterval > 0 {
+		return c.CheckpointInterval
+	}
+	return 100
+}
+
+// rank is one shard: a contiguous page range of the global vectors, with
+// its own fault domain over the owned elements and full-length ghost
+// buffers holding the halo imported from other ranks.
+type rank struct {
+	id       int
+	pLo, pHi int // owned global pages
+	lo, hi   int // owned global elements
+	space    *pagemem.Space
+	x, g, d  *pagemem.Vector // owned shards (local page index = global - pLo)
+	q        *pagemem.Vector
+	// Ghost buffers indexed GLOBALLY: the owned range plus the halo
+	// pages listed in halo are valid after an exchange.
+	xGhost, dGhost []float64
+	scratch        []float64 // one global-length buffer for SpMV targets
+	halo           []int     // off-rank global pages this rank's rows read
+	dqPart, ggPart float64
+}
+
+// localPage converts a global page index to the rank's space index.
+func (r *rank) localPage(p int) int { return p - r.pLo }
+
+// SolveCG runs a rank-partitioned resilient CG on A x = b with the given
+// number of ranks. It returns the aggregate result and the solution.
+func SolveCG(a *sparse.CSR, b []float64, ranks int, cfg Config) (core.Result, []float64, error) {
+	if a.N != a.M {
+		return core.Result{}, nil, fmt.Errorf("dist: non-square matrix %dx%d", a.N, a.M)
+	}
+	if len(b) != a.N {
+		return core.Result{}, nil, fmt.Errorf("dist: rhs length %d for n=%d", len(b), a.N)
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	start := time.Now()
+	layout := sparse.BlockLayout{N: a.N, BlockSize: cfg.pageDoubles()}
+	np := layout.NumBlocks()
+	if ranks > np {
+		ranks = np
+	}
+	conn := core.PageConnectivity(a, layout)
+	blocks := sparse.NewBlockSolverCache(a, layout, true)
+
+	// Page ownership: the same strip-mining the engine uses for chunks.
+	parts := engine.ChunkRanges(np, ranks)
+	owner := make([]int, np)
+	rs := make([]*rank, len(parts))
+	for id, pr := range parts {
+		lo, _ := layout.Range(pr[0])
+		hi := a.N
+		if pr[1] < np {
+			hi, _ = layout.Range(pr[1])
+		}
+		r := &rank{id: id, pLo: pr[0], pHi: pr[1], lo: lo, hi: hi}
+		r.space = pagemem.NewSpace(hi-lo, cfg.pageDoubles())
+		r.x = r.space.AddVector("x")
+		r.g = r.space.AddVector("g")
+		r.d = r.space.AddVector("d")
+		r.q = r.space.AddVector("q")
+		r.xGhost = make([]float64, a.N)
+		r.dGhost = make([]float64, a.N)
+		r.scratch = make([]float64, a.N)
+		for p := pr[0]; p < pr[1]; p++ {
+			owner[p] = id
+		}
+		rs[id] = r
+	}
+	// Halo sets: every off-rank page read by an owned row.
+	for _, r := range rs {
+		seen := map[int]bool{}
+		for p := r.pLo; p < r.pHi; p++ {
+			for _, j := range conn[p] {
+				if (j < r.pLo || j >= r.pHi) && !seen[j] {
+					seen[j] = true
+					r.halo = append(r.halo, j)
+				}
+			}
+		}
+	}
+	spaces := make([]*pagemem.Space, len(rs))
+	for i, r := range rs {
+		spaces[i] = r.space
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = len(rs)
+	}
+	rt := taskrt.New(workers)
+	defer rt.Close()
+
+	s := &cgSolver{
+		a: a, b: b, layout: layout, np: np, conn: conn, blocks: blocks,
+		owner: owner, ranks: rs, rt: rt, cfg: cfg,
+	}
+	s.bnorm = sparse.Norm2(b)
+	if s.bnorm == 0 {
+		s.bnorm = 1
+	}
+	res, x, err := s.run(start)
+	res.WorkerTimes = rt.WorkerTimes()
+	return res, x, err
+}
+
+type cgSolver struct {
+	a      *sparse.CSR
+	b      []float64
+	bnorm  float64
+	layout sparse.BlockLayout
+	np     int
+	conn   [][]int
+	blocks *sparse.BlockSolverCache
+	owner  []int
+	ranks  []*rank
+	rt     *taskrt.Runtime
+	cfg    Config
+	stats  core.Stats
+
+	epsGG float64
+	beta  float64
+
+	// Checkpoint snapshot (global).
+	haveCkpt     bool
+	ckX, ckD     []float64
+	ckBeta       float64
+	lastCkptIter int
+
+	restartPending bool
+}
+
+// forEachRank runs fn(r) as one task per rank and waits — the BSP
+// superstep primitive.
+func (s *cgSolver) forEachRank(label string, fn func(r *rank)) {
+	hs := make([]*taskrt.Handle, 0, len(s.ranks))
+	for _, r := range s.ranks {
+		r := r
+		hs = append(hs, s.rt.Submit(taskrt.TaskSpec{Label: fmt.Sprintf("rank%d:%s", r.id, label), Run: func(int) {
+			fn(r)
+		}}))
+	}
+	s.rt.WaitAll(hs)
+}
+
+// exchange imports, for every rank, its halo pages of the given shard
+// vector into the rank's ghost buffer (after copying its own range in).
+// pick selects the shard and ghost of a rank. It must run at a barrier:
+// owners' shards are quiescent.
+func (s *cgSolver) exchange(label string, pick func(r *rank) (*pagemem.Vector, []float64)) {
+	s.forEachRank("xch:"+label, func(r *rank) {
+		own, ghost := pick(r)
+		copy(ghost[r.lo:r.hi], own.Data)
+		for _, p := range r.halo {
+			o := s.ranks[s.owner[p]]
+			shard, _ := pick(o)
+			lo, hi := s.layout.Range(p)
+			copy(ghost[lo:hi], shard.Data[lo-o.lo:hi-o.lo])
+		}
+	})
+}
+
+func (s *cgSolver) run(start time.Time) (core.Result, []float64, error) {
+	tol := s.cfg.tol()
+	maxIter := s.cfg.maxIter(s.a.N)
+
+	// x = 0, g = b, d = g via the beta=0 first step.
+	s.forEachRank("init", func(r *rank) {
+		copy(r.g.Data, s.b[r.lo:r.hi])
+	})
+	s.epsGG = s.allreduceGG()
+	s.beta = 0
+	s.restartPending = true
+
+	var it int
+	converged := false
+	for it = 0; it < maxIter; it++ {
+		rel := relFromEps(s.epsGG, s.bnorm)
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(it, rel)
+		}
+		if rel < tol {
+			if s.trueResidual() < tol*10 {
+				converged = true
+				break
+			}
+			s.restartFromX() // recurrence lied: rebuild and keep going
+			s.stats.Restarts++
+			continue
+		}
+		if s.cfg.Inject != nil {
+			s.cfg.Inject(it, s.spaces())
+		}
+		if !s.boundary() {
+			continue // restart-style recovery consumed the iteration
+		}
+		if s.cfg.Method == core.MethodCheckpoint && (it-s.lastCkptIter >= s.cfg.ckptInterval() || !s.haveCkpt) {
+			s.writeCheckpoint(it)
+		}
+
+		// d = g + beta d on owned pages.
+		beta := s.beta
+		if s.restartPending {
+			beta = 0
+		}
+		s.forEachRank("d", func(r *rank) {
+			if beta == 0 {
+				copy(r.d.Data, r.g.Data)
+			} else {
+				sparse.Xpby(r.g.Data, beta, r.d.Data)
+			}
+		})
+		// Halo exchange of d, then q = A d on owned rows and the <d,q>
+		// partial — the §3.4 communication/computation pattern.
+		s.exchange("d", func(r *rank) (*pagemem.Vector, []float64) { return r.d, r.dGhost })
+		s.forEachRank("q", func(r *rank) {
+			s.a.MulVecRange(r.dGhost, r.scratch, r.lo, r.hi)
+			copy(r.q.Data, r.scratch[r.lo:r.hi])
+			r.dqPart = sparse.DotRange(r.dGhost, r.scratch, r.lo, r.hi)
+		})
+		dq := 0.0
+		for _, r := range s.ranks {
+			dq += r.dqPart
+		}
+		alpha := 0.0
+		if dq != 0 && !isNaN(dq) && !isNaN(s.epsGG) {
+			alpha = s.epsGG / dq
+		}
+
+		// x += alpha d ; g -= alpha q ; <g,g> partial.
+		s.forEachRank("xg", func(r *rank) {
+			sparse.Axpy(alpha, r.d.Data, r.x.Data)
+			sparse.Axpy(-alpha, r.q.Data, r.g.Data)
+			r.ggPart = sparse.Dot(r.g.Data, r.g.Data)
+		})
+		gg := 0.0
+		for _, r := range s.ranks {
+			gg += r.ggPart
+		}
+		if s.epsGG != 0 && !isNaN(gg) {
+			s.beta = gg / s.epsGG
+		} else {
+			s.beta = 0
+		}
+		s.epsGG = gg
+		s.restartPending = false
+	}
+
+	x := s.gatherX()
+	res := core.Result{
+		Converged:   converged,
+		Iterations:  it,
+		RelResidual: s.trueResidual(),
+		Elapsed:     time.Since(start),
+		Stats:       s.stats,
+	}
+	return res, x, nil
+}
+
+func (s *cgSolver) spaces() []*pagemem.Space {
+	out := make([]*pagemem.Space, len(s.ranks))
+	for i, r := range s.ranks {
+		out[i] = r.space
+	}
+	return out
+}
+
+func relFromEps(eps, bnorm float64) float64 {
+	return math.Sqrt(math.Max(eps, 0)) / bnorm
+}
+
+// gatherX assembles the global iterate from the owned shards.
+func (s *cgSolver) gatherX() []float64 {
+	x := make([]float64, s.a.N)
+	for _, r := range s.ranks {
+		copy(x[r.lo:r.hi], r.x.Data)
+	}
+	return x
+}
+
+// trueResidual computes ||b - A x|| / ||b|| from the gathered iterate.
+func (s *cgSolver) trueResidual() float64 {
+	x := s.gatherX()
+	res := make([]float64, s.a.N)
+	s.a.MulVec(x, res)
+	sparse.Sub(s.b, res, res)
+	return sparse.Norm2(res) / s.bnorm
+}
+
+func (s *cgSolver) allreduceGG() float64 {
+	s.forEachRank("gg", func(r *rank) {
+		r.ggPart = sparse.Dot(r.g.Data, r.g.Data)
+	})
+	gg := 0.0
+	for _, r := range s.ranks {
+		gg += r.ggPart
+	}
+	return gg
+}
+
+// restartFromX rebuilds the whole recurrence from the owned iterate
+// shards: blank any failed x pages, g = b - A x (with an x halo
+// exchange), d rebuilt from g on the next iteration via beta = 0.
+func (s *cgSolver) restartFromX() {
+	for _, r := range s.ranks {
+		for _, p := range r.x.FailedPages() {
+			r.x.Remap(p)
+			s.stats.Unrecovered++
+		}
+		r.space.ClearAll()
+	}
+	s.exchange("x", func(r *rank) (*pagemem.Vector, []float64) { return r.x, r.xGhost })
+	s.forEachRank("g=b-Ax", func(r *rank) {
+		s.a.MulVecRange(r.xGhost, r.scratch, r.lo, r.hi)
+		for i := r.lo; i < r.hi; i++ {
+			r.g.Data[i-r.lo] = s.b[i] - r.scratch[i]
+		}
+	})
+	s.epsGG = s.allreduceGG()
+	s.restartPending = true
+}
+
+// writeCheckpoint snapshots the global iterate and direction (§4.2: "the
+// minimum to allow rolling back") plus the β scalar.
+func (s *cgSolver) writeCheckpoint(it int) {
+	if s.ckX == nil {
+		s.ckX = make([]float64, s.a.N)
+		s.ckD = make([]float64, s.a.N)
+	}
+	for _, r := range s.ranks {
+		copy(s.ckX[r.lo:r.hi], r.x.Data)
+		copy(s.ckD[r.lo:r.hi], r.d.Data)
+	}
+	s.ckBeta = s.beta
+	s.haveCkpt = true
+	s.lastCkptIter = it
+	s.stats.CheckpointsWritten++
+}
+
+// rollback restores the snapshot (or restarts from scratch when none
+// exists) and rebuilds the derived state.
+func (s *cgSolver) rollback() {
+	for _, r := range s.ranks {
+		r.space.ClearAll()
+	}
+	if !s.haveCkpt {
+		s.forEachRank("zero", func(r *rank) {
+			for i := range r.x.Data {
+				r.x.Data[i] = 0
+			}
+		})
+		s.restartFromX()
+	} else {
+		s.forEachRank("restore", func(r *rank) {
+			copy(r.x.Data, s.ckX[r.lo:r.hi])
+			copy(r.d.Data, s.ckD[r.lo:r.hi])
+		})
+		s.exchange("x", func(r *rank) (*pagemem.Vector, []float64) { return r.x, r.xGhost })
+		s.forEachRank("g=b-Ax", func(r *rank) {
+			s.a.MulVecRange(r.xGhost, r.scratch, r.lo, r.hi)
+			for i := r.lo; i < r.hi; i++ {
+				r.g.Data[i-r.lo] = s.b[i] - r.scratch[i]
+			}
+		})
+		s.epsGG = s.allreduceGG()
+		s.beta = s.ckBeta
+		s.restartPending = false
+	}
+	s.stats.Rollbacks++
+}
+
+// boundary applies pending losses on every rank and resolves them per the
+// configured method. Returns false when a restart/rollback consumed the
+// iteration. Leaving a boundary no page is failed (the phases themselves
+// run unguarded, like the single-node GMRES discipline).
+func (s *cgSolver) boundary() bool {
+	faults := 0
+	for _, r := range s.ranks {
+		faults += len(r.space.ScramblePending())
+	}
+	s.stats.FaultsSeen += faults
+	anyFault := false
+	for _, r := range s.ranks {
+		if r.space.AnyFault() {
+			anyFault = true
+			break
+		}
+	}
+	if !anyFault {
+		return true
+	}
+	switch s.cfg.Method {
+	case core.MethodFEIR, core.MethodAFEIR:
+		if s.exactRecover() {
+			return true
+		}
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	case core.MethodLossy:
+		s.lossyRestart()
+		return false
+	case core.MethodCheckpoint:
+		s.rollback()
+		return false
+	default:
+		// Blank-page forward recovery: keep running.
+		for _, r := range s.ranks {
+			for _, v := range r.space.Vectors() {
+				for _, p := range v.FailedPages() {
+					v.Remap(p)
+					v.MarkRecovered(p)
+				}
+			}
+		}
+		return true
+	}
+}
+
+// exactRecover runs the FEIR relations across ranks to a fixpoint:
+// q and d heal by overwrite (they are rebuilt every iteration from g and
+// the halo), g pages by the forward relation g = b - A x, x pages by the
+// rank-local inverse A_pp x_p = b_p - g_p - Σ A_pj x_j over the halo.
+// Returns false if any page stays unrecovered.
+func (s *cgSolver) exactRecover() bool {
+	// d is rebuilt from g at the next phase under a forced beta=0 step
+	// (exact restart of the direction, not of the iterate); q likewise.
+	for _, r := range s.ranks {
+		redirect := false
+		for _, v := range []*pagemem.Vector{r.d, r.q} {
+			for _, p := range v.FailedPages() {
+				v.Remap(p)
+				v.MarkRecovered(p)
+				redirect = true
+			}
+		}
+		if redirect {
+			s.restartPending = true
+		}
+	}
+	// Fixpoint over the g/x relations, with a fresh x halo each pass.
+	for pass := 0; pass < 4; pass++ {
+		s.exchange("x", func(r *rank) (*pagemem.Vector, []float64) { return r.x, r.xGhost })
+		// Global failure map of x pages for halo guards.
+		xFailed := make([]bool, s.np)
+		for _, r := range s.ranks {
+			for _, p := range r.x.FailedPages() {
+				xFailed[r.pLo+p] = true
+			}
+		}
+		// Repairs are rank-local but run here on the coordinator: they
+		// mutate the shared statistics, and boundary recovery is off the
+		// steady-state critical path.
+		progress := false
+		for _, r := range s.ranks {
+			for _, lp := range r.g.FailedPages() {
+				p := r.pLo + lp
+				ok := true
+				for _, j := range s.conn[p] {
+					if xFailed[j] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				lo, hi := s.layout.Range(p)
+				s.a.MulVecRange(r.xGhost, r.scratch, lo, hi)
+				for i := lo; i < hi; i++ {
+					r.g.Data[i-r.lo] = s.b[i] - r.scratch[i]
+				}
+				r.g.MarkRecovered(lp)
+				s.stats.RecoveredForward++
+				progress = true
+			}
+			for _, lp := range r.x.FailedPages() {
+				p := r.pLo + lp
+				if r.g.Failed(lp) {
+					continue
+				}
+				ok := true
+				for _, j := range s.conn[p] {
+					if j != p && xFailed[j] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				lo, hi := s.layout.Range(p)
+				buf := r.scratch[:hi-lo]
+				s.a.MulVecRangeExcludingCols(r.xGhost, buf, lo, hi, lo, hi)
+				for i := lo; i < hi; i++ {
+					buf[i-lo] = s.b[i] - r.g.Data[i-r.lo] - buf[i-lo]
+				}
+				if err := s.blocks.SolveDiagBlock(p, buf); err != nil {
+					continue
+				}
+				copy(r.x.Data[lo-r.lo:hi-r.lo], buf)
+				r.x.MarkRecovered(lp)
+				s.stats.RecoveredInverse++
+				progress = true
+			}
+		}
+		left := false
+		for _, r := range s.ranks {
+			if r.space.AnyFault() {
+				left = true
+				break
+			}
+		}
+		if !left {
+			return true
+		}
+		if !progress {
+			return false
+		}
+	}
+	for _, r := range s.ranks {
+		if r.space.AnyFault() {
+			return false
+		}
+	}
+	return true
+}
+
+// lossyRestart interpolates lost iterate pages with the block-Jacobi step
+// on the gathered iterate and restarts (§4.3).
+func (s *cgSolver) lossyRestart() {
+	x := s.gatherX()
+	var failed []int
+	for _, r := range s.ranks {
+		for _, lp := range r.x.FailedPages() {
+			failed = append(failed, r.pLo+lp)
+		}
+	}
+	if len(failed) > 0 && core.LossyInterpolate(s.a, s.layout, s.blocks, s.b, x, failed) {
+		s.stats.LossyInterpolations += len(failed)
+		for _, r := range s.ranks {
+			copy(r.x.Data, x[r.lo:r.hi])
+			for _, lp := range r.x.FailedPages() {
+				r.x.MarkRecovered(lp)
+			}
+		}
+	}
+	s.restartFromX()
+	s.stats.Restarts++
+}
+
+func isNaN(v float64) bool { return math.IsNaN(v) }

@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/pagemem"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+func distSystem() (*sparse.CSR, []float64) {
+	a := matgen.Poisson2D(40, 40) // n = 1600, 25 pages of 64
+	b := matgen.RandomVector(a.N, 7)
+	return a, b
+}
+
+func baseCfg(m core.Method) Config {
+	return Config{Method: m, PageDoubles: 64, Tol: 1e-9, MaxIter: 20000}
+}
+
+func TestSolveCGMatchesSequential(t *testing.T) {
+	a, b := distSystem()
+	for _, ranks := range []int{1, 3, 4} {
+		res, x, err := SolveCG(a, b, ranks, baseCfg(core.MethodIdeal))
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !res.Converged {
+			t.Fatalf("ranks=%d: not converged: %+v", ranks, res)
+		}
+		want := make([]float64, a.N)
+		if _, err := solver.CG(a, b, want, solver.Options{Tol: 1e-9}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("ranks=%d: x[%d] = %v, want %v", ranks, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// injectInto schedules one x-page poison per listed iteration, each into
+// the rank owning a distinct part of the iterate.
+func injectInto(iters []int) func(it int, spaces []*pagemem.Space) {
+	return func(it int, spaces []*pagemem.Space) {
+		for k, at := range iters {
+			if it == at {
+				sp := spaces[k%len(spaces)]
+				sp.VectorByName("x").Poison(sp.NumPages() / 2)
+			}
+		}
+	}
+}
+
+func TestSolveCGFEIRRecoversExactly(t *testing.T) {
+	a, b := distSystem()
+	base, _, err := SolveCG(a, b, 4, baseCfg(core.MethodFEIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg(core.MethodFEIR)
+	cfg.Inject = injectInto([]int{10, 25, 40})
+	res, _, err := SolveCG(a, b, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("FEIR: %+v", res)
+	}
+	if res.Stats.FaultsSeen != 3 {
+		t.Fatalf("faults seen %d, want 3", res.Stats.FaultsSeen)
+	}
+	if res.Stats.RecoveredInverse == 0 {
+		t.Fatalf("expected inverse x recoveries: %+v", res.Stats)
+	}
+	// Exact recovery preserves the convergence rate.
+	if d := res.Iterations - base.Iterations; d < -2 || d > 2 {
+		t.Fatalf("%d iterations vs fault-free %d", res.Iterations, base.Iterations)
+	}
+}
+
+func TestSolveCGCheckpointRollsBack(t *testing.T) {
+	a, b := distSystem()
+	cfg := baseCfg(core.MethodCheckpoint)
+	cfg.CheckpointInterval = 20
+	cfg.Inject = injectInto([]int{30})
+	res, _, err := SolveCG(a, b, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("ckpt: %+v", res)
+	}
+	if res.Stats.Rollbacks == 0 || res.Stats.CheckpointsWritten == 0 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+}
+
+func TestSolveCGLossyRestarts(t *testing.T) {
+	a, b := distSystem()
+	cfg := baseCfg(core.MethodLossy)
+	cfg.Inject = injectInto([]int{30})
+	res, _, err := SolveCG(a, b, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("lossy: %+v", res)
+	}
+	if res.Stats.LossyInterpolations == 0 || res.Stats.Restarts == 0 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+}
+
+func TestSolveCGValidation(t *testing.T) {
+	a, b := distSystem()
+	if _, _, err := SolveCG(a, b[:10], 2, baseCfg(core.MethodIdeal)); err == nil {
+		t.Fatal("accepted bad rhs")
+	}
+	rect := sparse.NewCSRFromTriplets(2, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, _, err := SolveCG(rect, []float64{1, 2}, 2, baseCfg(core.MethodIdeal)); err == nil {
+		t.Fatal("accepted non-square matrix")
+	}
+}

@@ -1,0 +1,361 @@
+// Package engine is the shared task-parallel iteration machinery behind
+// every resilient solver in internal/core and the rank-sharded layer in
+// internal/dist: strip-mined (chunked) page operations over pagemem
+// vectors, version-stamped so that tasks can skip pages whose inputs are
+// stale or poisoned (§3.3.2 of the paper), per-page reduction partials
+// with missing-contribution tracking, and the two recovery scheduling
+// disciplines of §3.3.2 — critical-path (FEIR, Fig 2a) and overlapped at
+// low priority (AFEIR, Fig 2b) — on top of internal/taskrt.
+//
+// Versioning convention (shared by all solvers): a page of a vector is
+// "current" at version v when its stamp equals v and its fault bit is
+// clear. Tasks that skip a page leave the previous version (and its
+// stamp) in place, which is exactly what makes the old-data recoveries of
+// §3.1 possible; recovery code reads the stamps to decide which relation
+// applies.
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// Stamps holds one version stamp per page. Atomic because overlapped
+// (AFEIR) recovery tasks update stamps concurrently with reduction tasks
+// reading them.
+type Stamps []atomic.Int64
+
+// NewStamps returns stamps for n pages, initialised to -1 (no version).
+func NewStamps(n int) Stamps {
+	s := make(Stamps, n)
+	for i := range s {
+		s[i].Store(-1)
+	}
+	return s
+}
+
+// Fill stores ver into every stamp (restart-style recoveries).
+func (s Stamps) Fill(ver int64) {
+	for i := range s {
+		s[i].Store(ver)
+	}
+}
+
+// Vec couples a protected vector with its version stamps. A nil S means
+// the solver tracks validity with fault bits alone (the GMRES Arnoldi
+// discipline, which repairs at step boundaries): such a page is current
+// exactly when its fault bit is clear.
+type Vec struct {
+	V *pagemem.Vector
+	S Stamps
+}
+
+// Current reports whether page p holds version ver with a clear fault bit.
+func (v Vec) Current(p int, ver int64) bool {
+	if v.S == nil {
+		return !v.V.Failed(p)
+	}
+	return v.S[p].Load() == ver && !v.V.Failed(p)
+}
+
+// LateFault reports whether page p was poisoned after being written at
+// version ver (stamp current, fault bit set) — the damage AFEIR recovery
+// must not touch mid-phase because concurrent reductions may read it.
+// Stampless vectors never report late faults.
+func (v Vec) LateFault(p int, ver int64) bool {
+	if v.S == nil {
+		return false
+	}
+	return v.S[p].Load() == ver && v.V.Failed(p)
+}
+
+// ConnCurrent reports whether every listed page is current at ver,
+// optionally skipping one page index (pass skip < 0 to check all).
+func (v Vec) ConnCurrent(pages []int, ver int64, skip int) bool {
+	for _, j := range pages {
+		if j == skip {
+			continue
+		}
+		if !v.Current(j, ver) {
+			return false
+		}
+	}
+	return true
+}
+
+// Operand is a Vec read or written at a specific version by a page
+// operation.
+type Operand struct {
+	Vec
+	Ver int64
+}
+
+// In builds a read operand at version ver.
+func In(v Vec, ver int64) Operand { return Operand{Vec: v, Ver: ver} }
+
+// ChunkRanges splits [0, np) pages into at most nchunks contiguous,
+// non-empty [lo, hi) ranges — the strip-mining of Figure 1.
+func ChunkRanges(np, nchunks int) [][2]int {
+	if nchunks > np {
+		nchunks = np
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	out := make([][2]int, 0, nchunks)
+	for c := 0; c < nchunks; c++ {
+		lo := c * np / nchunks
+		hi := (c + 1) * np / nchunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// PageConnectivity computes, for every row-page p of the matrix, the
+// sorted set of column-pages q such that the block A[rows(p), cols(q)]
+// holds at least one nonzero. A strip-mined SpMV task producing rows(p)
+// reads exactly the input pages listed in conn[p]; for the paper's
+// FEM/stencil matrices this set is small, which is what keeps the blast
+// radius of a lost direction page local (§2.3).
+func PageConnectivity(a *sparse.CSR, layout sparse.BlockLayout) [][]int {
+	np := layout.NumBlocks()
+	conn := make([][]int, np)
+	seen := make([]int, np) // last row-page that recorded column-page j
+	for i := range seen {
+		seen[i] = -1
+	}
+	for p := 0; p < np; p++ {
+		lo, hi := layout.Range(p)
+		for r := lo; r < hi; r++ {
+			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+				cp := layout.BlockOf(a.Cols[k])
+				if seen[cp] != p {
+					seen[cp] = p
+					conn[p] = append(conn[p], cp)
+				}
+			}
+		}
+		sortInts(conn[p])
+	}
+	return conn
+}
+
+func sortInts(s []int) {
+	// Insertion sort: connectivity lists are tiny (a handful of pages).
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// Engine drives chunked page operations for one solver over one matrix.
+type Engine struct {
+	RT     *taskrt.Runtime
+	A      *sparse.CSR
+	Layout sparse.BlockLayout
+	NP     int
+	// Conn is the page connectivity of A (see PageConnectivity).
+	Conn [][]int
+	// Resilient enables the stamp/fault guards and stamping; when false
+	// every operation runs unconditionally on every page (the Ideal,
+	// Trivial, Lossy and Checkpoint methods).
+	Resilient bool
+
+	nchunks int
+	chunks  [][2]int
+}
+
+// New builds an engine. The runtime must outlive the engine; nchunks <= 0
+// means one chunk per worker.
+func New(a *sparse.CSR, layout sparse.BlockLayout, rt *taskrt.Runtime, resilient bool, nchunks int) *Engine {
+	if nchunks <= 0 {
+		nchunks = rt.NumWorkers()
+	}
+	np := layout.NumBlocks()
+	return &Engine{
+		RT:        rt,
+		A:         a,
+		Layout:    layout,
+		NP:        np,
+		Conn:      PageConnectivity(a, layout),
+		Resilient: resilient,
+		nchunks:   nchunks,
+		chunks:    ChunkRanges(np, nchunks),
+	}
+}
+
+// Chunks returns the strip-mined page ranges used by every operation.
+func (e *Engine) Chunks() [][2]int { return e.chunks }
+
+// PageOp submits one task per chunk running fn(p, lo, hi) for every page
+// whose input operands are all current. Skipped pages keep their previous
+// version. When out is non-nil and fn returned true, the output page is
+// stamped at out.Ver; overwrite additionally clears the output's fault
+// bit first (a full-page overwrite revalidates lost data, §3.3.2 —
+// read-modify-write updates like x += αd must NOT pass overwrite, so a
+// poison landing mid-task stays detected).
+func (e *Engine) PageOp(label string, after []*taskrt.Handle, ins []Operand, out *Operand, overwrite bool, fn func(p, lo, hi int) bool) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				if e.Resilient {
+					ok := true
+					for _, in := range ins {
+						if !in.Current(p, in.Ver) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+				}
+				if !fn(p, lo, hi) {
+					continue
+				}
+				if e.Resilient && out != nil {
+					if overwrite {
+						out.V.MarkRecovered(p)
+					}
+					out.S[p].Store(out.Ver)
+				}
+			}
+		}}))
+	}
+	return handles
+}
+
+// SpMV submits chunked tasks computing out rows = A * in. A row-page runs
+// only when every connected input page is current at in.Ver; the output
+// page is then stamped at out.Ver (full overwrite, so it revalidates).
+func (e *Engine) SpMV(label string, after []*taskrt.Handle, in, out Operand) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				if e.Resilient && !in.ConnCurrent(e.Conn[p], in.Ver, -1) {
+					continue // output page keeps its OLD values
+				}
+				e.A.MulVecRange(in.V.Data, out.V.Data, lo, hi)
+				if e.Resilient {
+					out.V.MarkRecovered(p)
+					out.S[p].Store(out.Ver)
+				}
+			}
+		}}))
+	}
+	return handles
+}
+
+// DotPartials submits chunked tasks storing the per-page inner products
+// <x, y> into part. Pages where either operand is stale stay missing —
+// the recovery tasks may fill them later (Figure 1(b)'s r1).
+func (e *Engine) DotPartials(label string, after []*taskrt.Handle, x, y Operand, part *Partial) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver)) {
+					continue // slot stays missing
+				}
+				part.Store(p, sparse.DotRange(x.V.Data, y.V.Data, lo, hi))
+			}
+		}}))
+	}
+	return handles
+}
+
+// DotPartialsReliable is DotPartials with the second operand living in
+// reliable memory (constant data like the BiCGStab shadow residual r̂0,
+// §2.1): only x is guarded.
+func (e *Engine) DotPartialsReliable(label string, after []*taskrt.Handle, x Operand, y []float64, part *Partial) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				if e.Resilient && !x.Current(p, x.Ver) {
+					continue
+				}
+				part.Store(p, sparse.DotRange(x.V.Data, y, lo, hi))
+			}
+		}}))
+	}
+	return handles
+}
+
+// RawOp submits chunked tasks running fn over every page range with no
+// stamp guards or stamping — the building block for solvers that detect
+// and repair only at phase boundaries (the GMRES Arnoldi steps, and the
+// non-resilient methods).
+func (e *Engine) RawOp(label string, after []*taskrt.Handle, fn func(p, lo, hi int)) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				fn(p, lo, hi)
+			}
+		}}))
+	}
+	return handles
+}
+
+// RawSpMV submits unguarded chunked tasks computing y rows = A * x.
+func (e *Engine) RawSpMV(label string, after []*taskrt.Handle, x, y []float64) []*taskrt.Handle {
+	return e.RawOp(label, after, func(p, lo, hi int) {
+		e.A.MulVecRange(x, y, lo, hi)
+	})
+}
+
+// RawDotPartials submits unguarded chunked tasks storing the per-page
+// inner products <x, y> into part.
+func (e *Engine) RawDotPartials(label string, after []*taskrt.Handle, x, y []float64, part *Partial) []*taskrt.Handle {
+	return e.RawOp(label, after, func(p, lo, hi int) {
+		part.Store(p, sparse.DotRange(x, y, lo, hi))
+	})
+}
+
+// Dot runs a chunked inner product and waits: the partial tasks plus the
+// final sum, with no guards. Used for scalar reductions of non-resilient
+// phases.
+func (e *Engine) Dot(label string, x, y []float64, part *Partial) float64 {
+	part.ResetMissing()
+	e.RT.WaitAll(e.RawDotPartials(label, nil, x, y, part))
+	sum, _ := part.SumAvailable()
+	return sum
+}
+
+// OverlappedRecovery submits fn as a single low-priority task after the
+// given producers — the AFEIR discipline (Fig 2b): it starts only once a
+// worker is free, overlapping with whatever reduction tasks still run.
+func (e *Engine) OverlappedRecovery(label string, after []*taskrt.Handle, fn func()) *taskrt.Handle {
+	return e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Priority: -1, Run: func(int) { fn() }})
+}
+
+// CriticalRecovery runs fn as a task on the runtime and waits for it —
+// the FEIR discipline (Fig 2a): recovery in the critical path, after
+// every computation of the phase has finished.
+func (e *Engine) CriticalRecovery(label string, fn func()) {
+	h := e.RT.Submit(taskrt.TaskSpec{Label: label, Run: func(int) { fn() }})
+	e.RT.Wait(h)
+}

@@ -191,10 +191,7 @@ func BiCGStab(a *sparse.CSR, b, x []float64, opts Options) (Result, error) {
 			return Result{Iterations: it}, ErrBreakdown
 		}
 		alpha := rho / qr
-		// s = g - alpha q
-		for i := range s {
-			s[i] = g[i] - alpha*q[i]
-		}
+		sparse.XpbyOut(g, -alpha, q, s) // s = g - alpha q
 		a.MulVec(s, t)
 		tt := sparse.Dot(t, t)
 		if tt == 0 {
@@ -205,24 +202,15 @@ func BiCGStab(a *sparse.CSR, b, x []float64, opts Options) (Result, error) {
 			break
 		}
 		omega := sparse.Dot(t, s) / tt
-		// x += alpha d + omega s
-		for i := range x {
-			x[i] += alpha*d[i] + omega*s[i]
-		}
-		// g = s - omega t
-		for i := range g {
-			g[i] = s[i] - omega*t[i]
-		}
+		sparse.Axpy2(alpha, d, omega, s, x) // x += alpha d + omega s
+		sparse.XpbyOut(s, -omega, t, g)     // g = s - omega t
 		rhoOld := rho
 		rho = sparse.Dot(g, r)
 		if rhoOld == 0 || omega == 0 || math.IsNaN(rho) {
 			return Result{Iterations: it}, ErrBreakdown
 		}
 		beta := rho / rhoOld * alpha / omega
-		// d = g + beta (d - omega q)
-		for i := range d {
-			d[i] = g[i] + beta*(d[i]-omega*q[i])
-		}
+		sparse.XpbyzOut(g, beta, d, omega, q, d) // d = g + beta (d - omega q)
 	}
 	return finish(a, b, x, bnorm, it, tol)
 }
@@ -268,9 +256,7 @@ func PBiCGStab(a *sparse.CSR, m precond.Preconditioner, b, x []float64, opts Opt
 			return Result{Iterations: it}, ErrBreakdown
 		}
 		alpha := rho / qr
-		for i := range r {
-			r[i] = g[i] - alpha*q[i]
-		}
+		sparse.XpbyOut(g, -alpha, q, r) // r = g - alpha q
 		m.Apply(r, s)
 		a.MulVec(s, t)
 		tt := sparse.Dot(t, t)
@@ -281,21 +267,15 @@ func PBiCGStab(a *sparse.CSR, m precond.Preconditioner, b, x []float64, opts Opt
 			break
 		}
 		omega := sparse.Dot(t, r) / tt
-		for i := range x {
-			x[i] += alpha*p[i] + omega*s[i]
-		}
-		for i := range g {
-			g[i] = r[i] - omega*t[i]
-		}
+		sparse.Axpy2(alpha, p, omega, s, x) // x += alpha p + omega s
+		sparse.XpbyOut(r, -omega, t, g)     // g = r - omega t
 		rhoOld := rho
 		rho = sparse.Dot(g, rhat)
 		if rhoOld == 0 || omega == 0 || math.IsNaN(rho) {
 			return Result{Iterations: it}, ErrBreakdown
 		}
 		beta := rho / rhoOld * alpha / omega
-		for i := range d {
-			d[i] = g[i] + beta*(d[i]-omega*q[i])
-		}
+		sparse.XpbyzOut(g, beta, d, omega, q, d) // d = g + beta (d - omega q)
 	}
 	return finish(a, b, x, bnorm, it, tol)
 }

@@ -88,6 +88,38 @@ func XpbyOutRange(x []float64, beta float64, y, out []float64, lo, hi int) {
 	}
 }
 
+// Axpy2 computes y += a1*x1 + a2*x2 in place (the BiCGStab iterate update
+// x += αd + ωs).
+func Axpy2(a1 float64, x1 []float64, a2 float64, x2, y []float64) {
+	if len(x1) != len(y) || len(x2) != len(y) {
+		panic("sparse: Axpy2 length mismatch")
+	}
+	Axpy2Range(a1, x1, a2, x2, y, 0, len(y))
+}
+
+// Axpy2Range computes y[lo:hi] += a1*x1[lo:hi] + a2*x2[lo:hi].
+func Axpy2Range(a1 float64, x1 []float64, a2 float64, x2, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += a1*x1[i] + a2*x2[i]
+	}
+}
+
+// XpbyzOut computes out = x + beta*(y - omega*z), leaving the inputs
+// untouched (the BiCGStab direction update d = g + β(d' - ωq)).
+func XpbyzOut(x []float64, beta float64, y []float64, omega float64, z, out []float64) {
+	if len(x) != len(y) || len(x) != len(z) || len(x) != len(out) {
+		panic("sparse: XpbyzOut length mismatch")
+	}
+	XpbyzOutRange(x, beta, y, omega, z, out, 0, len(out))
+}
+
+// XpbyzOutRange computes out[lo:hi] = x[lo:hi] + beta*(y[lo:hi] - omega*z[lo:hi]).
+func XpbyzOutRange(x []float64, beta float64, y []float64, omega float64, z, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = x[i] + beta*(y[i]-omega*z[i])
+	}
+}
+
 // Scale multiplies x by alpha in place.
 func Scale(alpha float64, x []float64) {
 	for i := range x {

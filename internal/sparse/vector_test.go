@@ -105,6 +105,39 @@ func TestXpbyOutLeavesInputs(t *testing.T) {
 	}
 }
 
+func TestAxpy2MatchesTwoAxpys(t *testing.T) {
+	x1 := []float64{1, 2}
+	x2 := []float64{3, 4}
+	y := []float64{10, 20}
+	Axpy2(2, x1, 3, x2, y) // y += 2*x1 + 3*x2
+	if y[0] != 21 || y[1] != 36 {
+		t.Fatalf("Axpy2 = %v, want [21 36]", y)
+	}
+	out := []float64{9, 9, 9}
+	Axpy2Range(1, []float64{1, 1, 1}, 1, []float64{2, 2, 2}, out, 1, 2)
+	if out[0] != 9 || out[1] != 12 || out[2] != 9 {
+		t.Fatalf("Axpy2Range = %v", out)
+	}
+}
+
+func TestXpbyzOut(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	z := []float64{5, 6}
+	out := make([]float64, 2)
+	XpbyzOut(x, 2, y, 0.5, z, out) // out = x + 2*(y - 0.5*z)
+	if out[0] != 2 || out[1] != 4 {
+		t.Fatalf("XpbyzOut = %v, want [2 4]", out)
+	}
+	// Aliased out == y: the BiCGStab in-place direction update
+	// d = g + beta*(d - omega*q) must stay elementwise-safe.
+	d := []float64{3, 4}
+	XpbyzOut(x, 2, d, 0.5, z, d)
+	if d[0] != 2 || d[1] != 4 {
+		t.Fatalf("aliased XpbyzOut = %v, want [2 4]", d)
+	}
+}
+
 func TestXpbyOutRange(t *testing.T) {
 	x := []float64{1, 1, 1}
 	y := []float64{2, 2, 2}
