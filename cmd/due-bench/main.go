@@ -137,13 +137,22 @@ func main() {
 			}
 		}
 		fmt.Println("\nfunctional validation (goroutine ranks, 16^3 stencil, 2 injected errors):")
-		for _, meth := range []core.Method{core.MethodFEIR, core.MethodLossy, core.MethodCheckpoint} {
-			res, err := experiments.ValidateDistributed(meth, 4, 2, opts)
-			if err != nil {
-				return err
+		for _, spec := range []struct {
+			solver  string
+			methods []core.Method
+		}{
+			{"cg", []core.Method{core.MethodFEIR, core.MethodLossy, core.MethodCheckpoint}},
+			{"bicgstab", []core.Method{core.MethodFEIR, core.MethodAFEIR}},
+			{"gmres", []core.Method{core.MethodFEIR, core.MethodAFEIR}},
+		} {
+			for _, meth := range spec.methods {
+				res, err := experiments.ValidateDistributedSolver(spec.solver, meth, 4, 2, opts)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  %-9s %-6s converged=%v iterations=%d residual=%.2e faults=%d\n",
+					spec.solver, meth, res.Converged, res.Iterations, res.RelResidual, res.Stats.FaultsSeen)
 			}
-			fmt.Printf("  %-6s converged=%v iterations=%d residual=%.2e faults=%d\n",
-				meth, res.Converged, res.Iterations, res.RelResidual, res.Stats.FaultsSeen)
 		}
 		return nil
 	})

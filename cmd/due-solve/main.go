@@ -1,13 +1,16 @@
 // Command due-solve solves a linear system from a Matrix Market file (or a
 // built-in generator) with one of the resilient solvers, optionally
 // injecting DUEs at a chosen rate, and reports convergence, recovery
-// statistics and the per-state worker-time breakdown (Table 3).
+// statistics and the per-state worker-time breakdown (Table 3). With
+// -ranks N the solve runs on the rank-sharded substrate (§3.4) and the
+// report adds per-rank recovery counts.
 //
 // Usage:
 //
 //	due-solve -matrix system.mtx -method afeir -rate 2
 //	due-solve -gen thermal2 -n 20000 -method feir -precond -rate 5
 //	due-solve -gen poisson3d -n 32768 -solver gmres -method afeir -rate 3 -workers 8
+//	due-solve -gen poisson3d -n 32768 -solver bicgstab -method feir -ranks 4 -rate 3
 package main
 
 import (
@@ -20,7 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/matgen"
-	"repro/internal/pagemem"
+	"repro/internal/registry"
 	"repro/internal/sparse"
 	"repro/internal/taskrt"
 )
@@ -30,8 +33,9 @@ func main() {
 	gen := flag.String("gen", "", "built-in generator: one of the paper analogues, or poisson2d / poisson3d")
 	n := flag.Int("n", 10000, "dimension for -gen workloads")
 	method := flag.String("method", "afeir", "ideal | trivial | lossy | ckpt | feir | afeir")
-	solverName := flag.String("solver", "cg", "cg | bicgstab | gmres")
+	solverName := flag.String("solver", "cg", strings.Join(registry.Names(), " | "))
 	precond := flag.Bool("precond", false, "use the block-Jacobi preconditioner (cg only)")
+	ranks := flag.Int("ranks", 0, "run distributed across N ranks on the sharded substrate (0 = single-node)")
 	rate := flag.Float64("rate", 0, "expected DUEs per solver run (0 = no injection)")
 	tol := flag.Float64("tol", 1e-10, "relative residual tolerance")
 	workers := flag.Int("workers", 8, "task-pool size (all solvers)")
@@ -46,16 +50,19 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg := core.Config{
-		Method:     m,
-		Workers:    *workers,
-		Tol:        *tol,
-		UsePrecond: *precond,
+	cfg := registry.Config{
+		Config: core.Config{
+			Method:     m,
+			Workers:    *workers,
+			Tol:        *tol,
+			UsePrecond: *precond,
+		},
+		Ranks: *ranks,
 	}
-	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v workers=%d\n",
-		a.N, a.NNZ(), m, *solverName, *precond, *workers)
+	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v workers=%d ranks=%d\n",
+		a.N, a.NNZ(), m, *solverName, *precond, *workers, *ranks)
 
-	run, err := buildSolver(*solverName, a, b, cfg)
+	run, err := registry.New(*solverName, a, b, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -65,63 +72,32 @@ func main() {
 		// normalise the MTBE like the paper (§5.3).
 		probeCfg := cfg
 		probeCfg.Method = core.MethodIdeal
-		probe, err := buildSolver(*solverName, a, b, probeCfg)
+		probe, err := registry.New(*solverName, a, b, probeCfg)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		pres, err := probe.run()
+		pres, err := probe.Run()
 		if err != nil {
 			fatalf("probe: %v", err)
 		}
 		mtbe := time.Duration(pres.Elapsed.Seconds() / *rate * float64(time.Second))
 		fmt.Printf("ideal time %v -> MTBE %v (rate %g)\n",
 			pres.Elapsed.Round(time.Millisecond), mtbe.Round(time.Millisecond), *rate)
-		in = inject.NewInjector(run.space, run.dynamic, mtbe, *seed)
+		// All fault domains share one page layout, so a single injector
+		// drawing uniformly over every protected (vector, page) pair
+		// covers single-node and distributed runs alike.
+		in = inject.NewInjector(run.Spaces[0], run.Dynamic, mtbe, *seed)
 		in.Start()
 		defer in.Stop()
 	}
-	res, err := run.run()
+	res, err := run.Run()
 	if in != nil {
 		in.Stop()
 	}
 	report(res, err)
-}
-
-// solverRun adapts the three resilient solvers to one launch shape.
-type solverRun struct {
-	space   *pagemem.Space
-	dynamic []*pagemem.Vector
-	run     func() (core.Result, error)
-}
-
-func buildSolver(name string, a *sparse.CSR, b []float64, cfg core.Config) (*solverRun, error) {
-	switch name {
-	case "cg":
-		cg, err := core.NewCG(a, b, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &solverRun{space: cg.Space(), dynamic: cg.DynamicVectors(), run: cg.Run}, nil
-	case "bicgstab":
-		sv, err := core.NewBiCGStab(a, b, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &solverRun{space: sv.Space(), dynamic: sv.DynamicVectors(), run: func() (core.Result, error) {
-			res, _, err := sv.Run()
-			return res, err
-		}}, nil
-	case "gmres":
-		sv, err := core.NewGMRES(a, b, 30, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &solverRun{space: sv.Space(), dynamic: sv.DynamicVectors(), run: func() (core.Result, error) {
-			res, _, err := sv.Run()
-			return res, err
-		}}, nil
+	if run.RankStats != nil {
+		reportRanks(run.RankStats())
 	}
-	return nil, fmt.Errorf("unknown solver %q", name)
 }
 
 func report(res core.Result, err error) {
@@ -150,6 +126,16 @@ func report(res core.Result, err error) {
 				total.Useful.Round(time.Microsecond), total.Runtime.Round(time.Microsecond),
 				total.Idle.Round(time.Microsecond), 100*total.Useful.Seconds()/tt.Seconds())
 		}
+	}
+}
+
+// reportRanks prints the per-rank recovery counters of a distributed run
+// — the rank-local blast radius accounting of §3.4.
+func reportRanks(rs []core.Stats) {
+	fmt.Printf("per-rank recovery (faults / forward / inverse / unrecovered):\n")
+	for i, s := range rs {
+		fmt.Printf("  rank%-2d %6d %8d %8d %12d\n",
+			i, s.FaultsSeen, s.RecoveredForward, s.RecoveredInverse, s.Unrecovered)
 	}
 }
 

@@ -13,8 +13,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/matgen"
-	"repro/internal/pagemem"
 	"repro/internal/perfmodel"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -28,16 +28,14 @@ func main() {
 		Method:      core.MethodFEIR,
 		PageDoubles: 256,
 		Tol:         1e-10,
-		Inject: func(it int, spaces []*pagemem.Space) {
+		Inject: func(it int, ranks []*shard.Rank) {
 			// Two DUEs on different ranks while the solve is in flight,
-			// each targeting a page the rank owns (rank r of R owns pages
-			// [r·np/R, (r+1)·np/R)).
-			np := spaces[0].NumPages()
+			// each targeting a page the rank owns.
 			if it == 10 {
-				spaces[1].VectorByName("x").Poison(1*np/4 + 1)
+				ranks[1].Space.VectorByName("x").Poison(ranks[1].PLo + 1)
 			}
 			if it == 20 {
-				spaces[3].VectorByName("g").Poison(3*np/4 + 1)
+				ranks[3].Space.VectorByName("g").Poison(ranks[3].PLo + 1)
 			}
 		},
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/defaults"
 	"repro/internal/taskrt"
 )
 
@@ -130,26 +131,11 @@ func (c Config) workers() int {
 	return 0 // taskrt.New treats 0 as GOMAXPROCS
 }
 
-func (c Config) pageDoubles() int {
-	if c.PageDoubles > 0 {
-		return c.PageDoubles
-	}
-	return 512
-}
+func (c Config) pageDoubles() int { return defaults.PageDoublesOr(c.PageDoubles) }
 
-func (c Config) tol() float64 {
-	if c.Tol > 0 {
-		return c.Tol
-	}
-	return 1e-10
-}
+func (c Config) tol() float64 { return defaults.TolOr(c.Tol) }
 
-func (c Config) maxIter(n int) int {
-	if c.MaxIter > 0 {
-		return c.MaxIter
-	}
-	return 10 * n
-}
+func (c Config) maxIter(n int) int { return defaults.MaxIterOr(c.MaxIter, n) }
 
 // Stats counts the resilience activity of one run.
 type Stats struct {

@@ -24,6 +24,15 @@ type Relations struct {
 	stats   *Stats
 }
 
+// NewRelations builds the relation set for one solver (or one rank of
+// the distributed substrate). scratch must hold at least one page of
+// elements; stats receives the recovery counters. The blocks cache must
+// be safe for the caller's concurrency pattern — rank-parallel recovery
+// prefactorizes it so lookups are read-only.
+func NewRelations(a *sparse.CSR, layout sparse.BlockLayout, conn [][]int, blocks *sparse.BlockSolverCache, b, scratch []float64, stats *Stats) *Relations {
+	return &Relations{a: a, layout: layout, conn: conn, blocks: blocks, b: b, scratch: scratch, stats: stats}
+}
+
 // ForwardResidual rebuilds page p of g at gVer from g = b - A x,
 // requiring x current at xVer on the connected pages (Table 1, row 3 lhs).
 func (r *Relations) ForwardResidual(g engine.Vec, gVer int64, x engine.Vec, xVer int64, p int) bool {

@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"fmt"
+
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/sparse"
+)
+
+// BiCGStab is the rank-partitioned resilient BiCGStab on the shard
+// substrate (Listing 3 over §3.4's layout). The shadow residual r̂0 lives
+// in reliable coordinator memory (§2.1); s, t and q are regenerated every
+// iteration, so their losses heal by overwrite; x and g repair exactly
+// through the conserved g = b - A x pair (LU diagonal blocks: A may be
+// non-SPD), each inverse needing only the rank's halo. A loss in the
+// carried direction d falls back to an exact restart from the repaired
+// iterate — the BSP supersteps keep no old-q pairing to invert, unlike
+// the double-buffered single-node solver.
+type BiCGStab struct {
+	base
+	x, g, d, q, s, t *shard.Vec
+	rhat             []float64 // reliable constant memory
+
+	rho   float64
+	epsGG float64
+}
+
+// NewBiCGStab builds a distributed BiCGStab over the given number of
+// ranks. MethodCheckpoint is not supported (no snapshot protocol for the
+// non-symmetric recurrence); every other method applies.
+func NewBiCGStab(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*BiCGStab, error) {
+	if cfg.Method == core.MethodCheckpoint {
+		return nil, fmt.Errorf("dist: BiCGStab does not support %v", cfg.Method)
+	}
+	s := &BiCGStab{}
+	if err := s.setup(a, rhs, ranks, cfg, false); err != nil {
+		return nil, err
+	}
+	s.x = s.sub.AddVector("x")
+	s.g = s.sub.AddVector("g")
+	s.d = s.sub.AddVector("d")
+	s.q = s.sub.AddVector("q")
+	s.s = s.sub.AddVector("s")
+	s.t = s.sub.AddVector("t")
+	s.rhat = make([]float64, a.N)
+	s.track(s.x, s.g, s.d, s.q, s.s, s.t)
+	return s, nil
+}
+
+// SolveBiCGStab runs a rank-partitioned resilient BiCGStab on A x = b.
+func SolveBiCGStab(a *sparse.CSR, b []float64, ranks int, cfg Config) (core.Result, []float64, error) {
+	s, err := NewBiCGStab(a, b, ranks, cfg)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return s.Run()
+}
+
+// Run executes the solve. It may be called once; the substrate's task
+// pool is released on return.
+func (s *BiCGStab) Run() (core.Result, []float64, error) {
+	defer s.sub.Close()
+	s.sub.RT.ResetTimes() // exclude construction-to-launch idle from Table 3
+	start := time.Now()
+	sub := s.sub
+	tol := s.cfg.tol()
+	maxIter := s.cfg.maxIter(sub.A.N)
+
+	// x = 0: g = r̂0 = d = b.
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(s.g.Of(r).Data[lo:hi], sub.B[lo:hi])
+		copy(s.d.Of(r).Data[lo:hi], sub.B[lo:hi])
+	})
+	copy(s.rhat, sub.B)
+	s.rho = sub.DotReliable("<g,r>", s.g, s.rhat)
+	s.epsGG = s.rho // r̂0 = g
+
+	var it int
+	converged := false
+	for it = 0; it < maxIter; it++ {
+		rel := relFromEps(s.epsGG, sub.Bnorm)
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(it, rel)
+		}
+		if rel < tol {
+			if sub.TrueResidual(s.x) < tol*10 {
+				converged = true
+				break
+			}
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		s.inject(it)
+		if !s.boundary() {
+			continue
+		}
+
+		// Phase 1: q = A d (d halo exchange inside), <q, r̂>.
+		sub.SpMV("q", s.d, s.q)
+		qr := sub.DotReliable("<q,r>", s.q, s.rhat)
+		if qr == 0 || isNaN(qr) || isNaN(s.rho) {
+			if !sub.AnyFault() {
+				res, x := s.finish(it, converged, start, s.x)
+				return res, x, core.ErrRecurrenceBreakdown
+			}
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		alpha := s.rho / qr
+
+		// Phase 2: s = g - α q, t = A s, <t,t>, <t,s>.
+		sub.RankOp("s", func(r *shard.Rank, p, lo, hi int) {
+			sparse.XpbyOutRange(s.g.Of(r).Data, -alpha, s.q.Of(r).Data, s.s.Of(r).Data, lo, hi)
+		})
+		sub.SpMV("t", s.s, s.t)
+		tt := sub.Dot("<t,t>", s.t, s.t)
+		ts := sub.Dot("<t,s>", s.t, s.s)
+		if tt == 0 {
+			if isNaN(ts) || sub.AnyFault() {
+				s.restartFromX()
+				s.stats.Restarts++
+				continue
+			}
+			// Lucky breakdown: s is already the residual of x + α d.
+			sub.RankOp("x", func(r *shard.Rank, p, lo, hi int) {
+				sparse.AxpyRange(alpha, s.d.Of(r).Data, s.x.Of(r).Data, lo, hi)
+				copy(s.g.Of(r).Data[lo:hi], s.s.Of(r).Data[lo:hi])
+			})
+			it++
+			converged = sub.TrueResidual(s.x) < tol*10
+			break
+		}
+		omega := ts / tt
+
+		// Phase 3: x += α d + ω s ; g = s - ω t ; <g,r̂> ; <g,g>.
+		sub.RankOp("xg", func(r *shard.Rank, p, lo, hi int) {
+			sparse.Axpy2Range(alpha, s.d.Of(r).Data, omega, s.s.Of(r).Data, s.x.Of(r).Data, lo, hi)
+			sparse.XpbyOutRange(s.s.Of(r).Data, -omega, s.t.Of(r).Data, s.g.Of(r).Data, lo, hi)
+		})
+		rhoNew := sub.DotReliable("<g,r>", s.g, s.rhat)
+		gg := sub.Dot("<g,g>", s.g, s.g)
+		s.epsGG = gg
+		if s.rho == 0 || omega == 0 || isNaN(rhoNew) {
+			if !sub.AnyFault() {
+				res, x := s.finish(it, converged, start, s.x)
+				return res, x, core.ErrRecurrenceBreakdown
+			}
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		beta := rhoNew / s.rho * alpha / omega
+
+		// Phase 4: d = g + β (d - ω q).
+		sub.RankOp("d", func(r *shard.Rank, p, lo, hi int) {
+			sparse.XpbyzOutRange(s.g.Of(r).Data, beta, s.d.Of(r).Data, omega, s.q.Of(r).Data, s.d.Of(r).Data, lo, hi)
+		})
+		s.rho = rhoNew
+	}
+
+	res, x := s.finish(it, converged, start, s.x)
+	return res, x, nil
+}
+
+// restartFromX rebuilds the whole recurrence from the owned iterate
+// shards: blank any failed x pages, g = b - A x, r̂0 = g, d = g,
+// ρ = <g,g>.
+func (s *BiCGStab) restartFromX() {
+	blankOwned(s.sub, true, s.x)
+	for _, r := range s.sub.Ranks {
+		r.Space.ClearAll()
+	}
+	s.sub.ResidualFromX(s.x, s.g)
+	s.sub.Gather(s.g, s.rhat)
+	s.sub.RankOp("d=g", func(r *shard.Rank, p, lo, hi int) {
+		copy(s.d.Of(r).Data[lo:hi], s.g.Of(r).Data[lo:hi])
+	})
+	s.rho = s.sub.DotReliable("<g,r>", s.g, s.rhat)
+	s.epsGG = s.rho
+}
+
+// boundary applies pending losses and resolves them per the method.
+// Returns false when a restart consumed the iteration.
+func (s *BiCGStab) boundary() bool {
+	sub := s.sub
+	sub.ApplyPending()
+	if !sub.AnyFault() {
+		return true
+	}
+	sub.HealGhosts()
+	if !sub.OwnedFault() {
+		return true
+	}
+	switch s.cfg.Method {
+	case core.MethodFEIR, core.MethodAFEIR:
+		// q, s and t are regenerated every iteration: heal by overwrite.
+		blankOwned(sub, false, s.q, s.s, s.t)
+		dDamaged := false
+		for _, r := range sub.Ranks {
+			if len(r.OwnedFailed(s.d)) > 0 {
+				dDamaged = true
+				break
+			}
+		}
+		if recoverXG(sub, s.cfg.Method, s.x, s.g) && !dDamaged {
+			return true
+		}
+		// The carried direction (or related x/g data) is gone: exact
+		// restart from the repaired iterate.
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	case core.MethodLossy:
+		if n := sub.LossyInterpolateOwned(s.x); n > 0 {
+			s.stats.LossyInterpolations += n
+		}
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	default:
+		blankOwned(sub, false, s.x, s.g, s.d, s.q, s.s, s.t)
+		return true
+	}
+}

@@ -1,31 +1,33 @@
-// Package dist is the rank-sharded layer of §3.4: a functional model of
-// the paper's MPI+tasks hybrid where the matrix rows are partitioned into
-// contiguous page ranges ("ranks"), each rank owns a private fault domain
-// (its own pagemem.Space) for its shard of the Krylov vectors, and every
-// SpMV is preceded by a halo exchange of exactly the off-rank pages the
-// rank's rows read — the read set computed by core.PageConnectivity. Rank
-// work runs as tasks on a shared internal/taskrt pool (one task per rank
-// per phase), with the coordinator playing the role of the allreduce.
+// Package dist implements the distributed Krylov solvers of §3.4 — CG,
+// BiCGStab and GMRES — as thin recurrences over the rank-sharded
+// substrate of internal/shard. The substrate owns shard layout, per-rank
+// fault domains, halo computation/exchange and allreduce-style scalar
+// reduction (all as task graphs on one shared internal/taskrt pool); the
+// solvers here own only the per-method recurrence and the per-method
+// recovery policy, reusing the same core.Relations the single-node
+// solvers apply.
 //
 // Resilience follows the single-node schemes: FEIR/AFEIR repair lost
 // pages exactly through the g = b - A x / x = A⁻¹(b - g) relations
 // (inverse repairs need only the halo, so recovery stays rank-local plus
 // one exchange — the paper's observation that the recovery blast radius
 // is bounded by the stencil), Lossy interpolates the iterate and
-// restarts, Checkpoint rolls back to a periodic global snapshot, and the
-// remaining methods blank lost pages and keep running.
+// restarts, Checkpoint (CG) rolls back to a periodic global snapshot,
+// and the remaining methods blank lost pages and keep running. GMRES
+// additionally rebuilds damaged basis vectors from its pristine
+// Hessenberg copy, importing the one halo the relation needs.
 package dist
 
 import (
-	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/defaults"
 	"repro/internal/engine"
 	"repro/internal/pagemem"
+	"repro/internal/shard"
 	"repro/internal/sparse"
-	"repro/internal/taskrt"
 )
 
 // Config parametrises a distributed solve.
@@ -41,224 +43,229 @@ type Config struct {
 	// MaxIter bounds iterations; 0 means 10*n.
 	MaxIter int
 	// CheckpointInterval is the snapshot period in iterations for
-	// MethodCheckpoint; 0 means 100.
+	// MethodCheckpoint (CG only); 0 means 100.
 	CheckpointInterval int
-	// Inject, when non-nil, is called once per iteration with the
-	// per-rank fault domains — the hook experiments.ValidateDistributed
-	// uses to drive deterministic injections.
-	Inject func(it int, spaces []*pagemem.Space)
+	// Restart is the GMRES restart length; 0 means 30.
+	Restart int
+	// Inject, when non-nil, is called once per iteration with the ranks —
+	// the hook deterministic experiments use to drive injections into
+	// chosen fault domains and pages.
+	Inject func(it int, ranks []*shard.Rank)
 	// OnIteration, when non-nil, receives the recurrence residual trace.
 	OnIteration func(it int, relRes float64)
 }
 
-func (c Config) pageDoubles() int {
-	if c.PageDoubles > 0 {
-		return c.PageDoubles
-	}
-	return 512
+func (c Config) pageDoubles() int { return defaults.PageDoublesOr(c.PageDoubles) }
+
+func (c Config) tol() float64 { return defaults.TolOr(c.Tol) }
+
+func (c Config) maxIter(n int) int { return defaults.MaxIterOr(c.MaxIter, n) }
+
+func (c Config) ckptInterval() int { return defaults.CheckpointIntervalOr(c.CheckpointInterval) }
+
+func (c Config) restart() int { return defaults.GMRESRestartOr(c.Restart) }
+
+// base carries the state shared by all three distributed solvers.
+type base struct {
+	sub     *shard.Substrate
+	cfg     Config
+	stats   core.Stats // coordinator-side counters (restarts, rollbacks, …)
+	dynamic []*pagemem.Vector
 }
 
-func (c Config) tol() float64 {
-	if c.Tol > 0 {
-		return c.Tol
+func (b *base) setup(a *sparse.CSR, rhs []float64, ranks int, cfg Config, spd bool) error {
+	sub, err := shard.New(a, rhs, ranks, cfg.pageDoubles(), cfg.Workers, spd)
+	if err != nil {
+		return err
 	}
-	return 1e-10
+	b.sub = sub
+	b.cfg = cfg
+	return nil
 }
 
-func (c Config) maxIter(n int) int {
-	if c.MaxIter > 0 {
-		return c.MaxIter
-	}
-	return 10 * n
-}
-
-func (c Config) ckptInterval() int {
-	if c.CheckpointInterval > 0 {
-		return c.CheckpointInterval
-	}
-	return 100
-}
-
-// rank is one shard: a contiguous page range of the global vectors, with
-// its own fault domain over the owned elements and full-length ghost
-// buffers holding the halo imported from other ranks.
-type rank struct {
-	id       int
-	pLo, pHi int // owned global pages
-	lo, hi   int // owned global elements
-	space    *pagemem.Space
-	x, g, d  *pagemem.Vector // owned shards (local page index = global - pLo)
-	q        *pagemem.Vector
-	// Ghost buffers indexed GLOBALLY: the owned range plus the halo
-	// pages listed in halo are valid after an exchange.
-	xGhost, dGhost []float64
-	scratch        []float64 // one global-length buffer for SpMV targets
-	halo           []int     // off-rank global pages this rank's rows read
-	dqPart, ggPart float64
-}
-
-// localPage converts a global page index to the rank's space index.
-func (r *rank) localPage(p int) int { return p - r.pLo }
-
-// SolveCG runs a rank-partitioned resilient CG on A x = b with the given
-// number of ranks. It returns the aggregate result and the solution.
-func SolveCG(a *sparse.CSR, b []float64, ranks int, cfg Config) (core.Result, []float64, error) {
-	if a.N != a.M {
-		return core.Result{}, nil, fmt.Errorf("dist: non-square matrix %dx%d", a.N, a.M)
-	}
-	if len(b) != a.N {
-		return core.Result{}, nil, fmt.Errorf("dist: rhs length %d for n=%d", len(b), a.N)
-	}
-	if ranks < 1 {
-		ranks = 1
-	}
-	start := time.Now()
-	layout := sparse.BlockLayout{N: a.N, BlockSize: cfg.pageDoubles()}
-	np := layout.NumBlocks()
-	if ranks > np {
-		ranks = np
-	}
-	conn := core.PageConnectivity(a, layout)
-	blocks := sparse.NewBlockSolverCache(a, layout, true)
-
-	// Page ownership: the same strip-mining the engine uses for chunks.
-	parts := engine.ChunkRanges(np, ranks)
-	owner := make([]int, np)
-	rs := make([]*rank, len(parts))
-	for id, pr := range parts {
-		lo, _ := layout.Range(pr[0])
-		hi := a.N
-		if pr[1] < np {
-			hi, _ = layout.Range(pr[1])
+// track registers every rank copy of the vectors as injection targets.
+func (b *base) track(vs ...*shard.Vec) {
+	for _, v := range vs {
+		for _, rv := range v.R {
+			b.dynamic = append(b.dynamic, rv)
 		}
-		r := &rank{id: id, pLo: pr[0], pHi: pr[1], lo: lo, hi: hi}
-		r.space = pagemem.NewSpace(hi-lo, cfg.pageDoubles())
-		r.x = r.space.AddVector("x")
-		r.g = r.space.AddVector("g")
-		r.d = r.space.AddVector("d")
-		r.q = r.space.AddVector("q")
-		r.xGhost = make([]float64, a.N)
-		r.dGhost = make([]float64, a.N)
-		r.scratch = make([]float64, a.N)
-		for p := pr[0]; p < pr[1]; p++ {
-			owner[p] = id
-		}
-		rs[id] = r
 	}
-	// Halo sets: every off-rank page read by an owned row.
-	for _, r := range rs {
-		seen := map[int]bool{}
-		for p := r.pLo; p < r.pHi; p++ {
-			for _, j := range conn[p] {
-				if (j < r.pLo || j >= r.pHi) && !seen[j] {
-					seen[j] = true
-					r.halo = append(r.halo, j)
+}
+
+// Spaces returns the per-rank fault domains (the injection surface).
+func (b *base) Spaces() []*pagemem.Space { return b.sub.Spaces() }
+
+// Ranks exposes the substrate's ranks (layout, halo, per-rank stats).
+func (b *base) Ranks() []*shard.Rank { return b.sub.Ranks }
+
+// DynamicVectors lists every rank copy of the protected vectors (§5.3):
+// injections may land in owned shards, halo pages or unused ghost pages.
+func (b *base) DynamicVectors() []*pagemem.Vector { return b.dynamic }
+
+// RankStats returns a snapshot of each rank's resilience counters.
+func (b *base) RankStats() []core.Stats { return b.sub.RankStats() }
+
+func (b *base) inject(it int) {
+	if b.cfg.Inject != nil {
+		b.cfg.Inject(it, b.sub.Ranks)
+	}
+}
+
+func (b *base) finish(it int, converged bool, start time.Time, x *shard.Vec) (core.Result, []float64) {
+	xg := make([]float64, b.sub.A.N)
+	b.sub.Gather(x, xg)
+	st := b.sub.Stats()
+	st.Add(b.stats)
+	return core.Result{
+		Converged:   converged,
+		Iterations:  it,
+		RelResidual: b.sub.TrueResidual(x),
+		Elapsed:     time.Since(start),
+		Stats:       st,
+		WorkerTimes: b.sub.RT.WorkerTimes(),
+	}, xg
+}
+
+// recoverXG runs the residual/iterate relations to a fixpoint across
+// ranks: g pages by the forward g = b - A x, x pages by the rank-local
+// inverse over the diagonal block plus the halo. Each pass starts with a
+// strict x exchange so the local relation guards see the global failure
+// map; repairs then run rank-parallel per the method's discipline.
+// Returns false when x or g pages stay unrecovered.
+func recoverXG(sub *shard.Substrate, method core.Method, x, g *shard.Vec) bool {
+	failed := func() bool {
+		for _, r := range sub.Ranks {
+			if len(r.OwnedFailed(x)) > 0 || len(r.OwnedFailed(g)) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for pass := 0; pass < 4 && failed(); pass++ {
+		sub.Exchange(x, true)
+		progress := make([]bool, len(sub.Ranks))
+		sub.Recover(method, "xg", func(r *shard.Rank) {
+			gV := engine.Vec{V: g.Of(r)}
+			xV := engine.Vec{V: x.Of(r)}
+			for _, p := range r.OwnedFailed(g) {
+				if r.Rel.ForwardResidual(gV, 0, xV, 0, p) {
+					progress[r.ID] = true
+				}
+			}
+			for _, p := range r.OwnedFailed(x) {
+				if g.Of(r).Failed(p) {
+					continue
+				}
+				if r.Rel.InverseIterate(xV, 0, gV, 0, p) {
+					progress[r.ID] = true
+				}
+			}
+		})
+		any := false
+		for _, p := range progress {
+			any = any || p
+		}
+		if !any {
+			break
+		}
+	}
+	sub.HealGhosts()
+	return !failed()
+}
+
+// blankOwned remaps and clears every failed owned page of the vectors,
+// counting them as unrecovered when count is true.
+func blankOwned(sub *shard.Substrate, count bool, vs ...*shard.Vec) {
+	for _, r := range sub.Ranks {
+		for _, v := range vs {
+			for _, p := range r.OwnedFailed(v) {
+				v.Of(r).Remap(p)
+				v.Of(r).MarkRecovered(p)
+				if count {
+					r.Stats.Unrecovered++
 				}
 			}
 		}
 	}
-	spaces := make([]*pagemem.Space, len(rs))
-	for i, r := range rs {
-		spaces[i] = r.space
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = len(rs)
-	}
-	rt := taskrt.New(workers)
-	defer rt.Close()
-
-	s := &cgSolver{
-		a: a, b: b, layout: layout, np: np, conn: conn, blocks: blocks,
-		owner: owner, ranks: rs, rt: rt, cfg: cfg,
-	}
-	s.bnorm = sparse.Norm2(b)
-	if s.bnorm == 0 {
-		s.bnorm = 1
-	}
-	res, x, err := s.run(start)
-	res.WorkerTimes = rt.WorkerTimes()
-	return res, x, err
 }
 
-type cgSolver struct {
-	a      *sparse.CSR
-	b      []float64
-	bnorm  float64
-	layout sparse.BlockLayout
-	np     int
-	conn   [][]int
-	blocks *sparse.BlockSolverCache
-	owner  []int
-	ranks  []*rank
-	rt     *taskrt.Runtime
-	cfg    Config
-	stats  core.Stats
+func relFromEps(eps, bnorm float64) float64 {
+	return math.Sqrt(math.Max(eps, 0)) / bnorm
+}
 
-	epsGG float64
-	beta  float64
+func isNaN(v float64) bool { return math.IsNaN(v) }
 
-	// Checkpoint snapshot (global).
+// ---------------------------------------------------------------------
+// Distributed CG.
+// ---------------------------------------------------------------------
+
+// CG is the rank-partitioned resilient Conjugate Gradient on the shard
+// substrate.
+type CG struct {
+	base
+	x, g, d, q *shard.Vec
+
+	epsGG          float64
+	beta           float64
+	restartPending bool
+
 	haveCkpt     bool
 	ckX, ckD     []float64
 	ckBeta       float64
 	lastCkptIter int
-
-	restartPending bool
 }
 
-// forEachRank runs fn(r) as one task per rank and waits — the BSP
-// superstep primitive.
-func (s *cgSolver) forEachRank(label string, fn func(r *rank)) {
-	hs := make([]*taskrt.Handle, 0, len(s.ranks))
-	for _, r := range s.ranks {
-		r := r
-		hs = append(hs, s.rt.Submit(taskrt.TaskSpec{Label: fmt.Sprintf("rank%d:%s", r.id, label), Run: func(int) {
-			fn(r)
-		}}))
+// NewCG builds a distributed CG over the given number of ranks.
+func NewCG(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*CG, error) {
+	s := &CG{}
+	if err := s.setup(a, rhs, ranks, cfg, true); err != nil {
+		return nil, err
 	}
-	s.rt.WaitAll(hs)
+	s.x = s.sub.AddVector("x")
+	s.g = s.sub.AddVector("g")
+	s.d = s.sub.AddVector("d")
+	s.q = s.sub.AddVector("q")
+	s.track(s.x, s.g, s.d, s.q)
+	return s, nil
 }
 
-// exchange imports, for every rank, its halo pages of the given shard
-// vector into the rank's ghost buffer (after copying its own range in).
-// pick selects the shard and ghost of a rank. It must run at a barrier:
-// owners' shards are quiescent.
-func (s *cgSolver) exchange(label string, pick func(r *rank) (*pagemem.Vector, []float64)) {
-	s.forEachRank("xch:"+label, func(r *rank) {
-		own, ghost := pick(r)
-		copy(ghost[r.lo:r.hi], own.Data)
-		for _, p := range r.halo {
-			o := s.ranks[s.owner[p]]
-			shard, _ := pick(o)
-			lo, hi := s.layout.Range(p)
-			copy(ghost[lo:hi], shard.Data[lo-o.lo:hi-o.lo])
-		}
-	})
+// SolveCG runs a rank-partitioned resilient CG on A x = b with the given
+// number of ranks. It returns the aggregate result and the solution.
+func SolveCG(a *sparse.CSR, b []float64, ranks int, cfg Config) (core.Result, []float64, error) {
+	s, err := NewCG(a, b, ranks, cfg)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return s.Run()
 }
 
-func (s *cgSolver) run(start time.Time) (core.Result, []float64, error) {
+// Run executes the solve. It may be called once; the substrate's task
+// pool is released on return.
+func (s *CG) Run() (core.Result, []float64, error) {
+	defer s.sub.Close()
+	s.sub.RT.ResetTimes() // exclude construction-to-launch idle from Table 3
+	start := time.Now()
+	sub := s.sub
 	tol := s.cfg.tol()
-	maxIter := s.cfg.maxIter(s.a.N)
+	maxIter := s.cfg.maxIter(sub.A.N)
 
 	// x = 0, g = b, d = g via the beta=0 first step.
-	s.forEachRank("init", func(r *rank) {
-		copy(r.g.Data, s.b[r.lo:r.hi])
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(s.g.Of(r).Data[lo:hi], sub.B[lo:hi])
 	})
-	s.epsGG = s.allreduceGG()
+	s.epsGG = sub.Dot("gg", s.g, s.g)
 	s.beta = 0
 	s.restartPending = true
 
 	var it int
 	converged := false
 	for it = 0; it < maxIter; it++ {
-		rel := relFromEps(s.epsGG, s.bnorm)
+		rel := relFromEps(s.epsGG, sub.Bnorm)
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(it, rel)
 		}
 		if rel < tol {
-			if s.trueResidual() < tol*10 {
+			if sub.TrueResidual(s.x) < tol*10 {
 				converged = true
 				break
 			}
@@ -266,9 +273,7 @@ func (s *cgSolver) run(start time.Time) (core.Result, []float64, error) {
 			s.stats.Restarts++
 			continue
 		}
-		if s.cfg.Inject != nil {
-			s.cfg.Inject(it, s.spaces())
-		}
+		s.inject(it)
 		if !s.boundary() {
 			continue // restart-style recovery consumed the iteration
 		}
@@ -281,40 +286,28 @@ func (s *cgSolver) run(start time.Time) (core.Result, []float64, error) {
 		if s.restartPending {
 			beta = 0
 		}
-		s.forEachRank("d", func(r *rank) {
+		sub.RankOp("d", func(r *shard.Rank, p, lo, hi int) {
 			if beta == 0 {
-				copy(r.d.Data, r.g.Data)
+				copy(s.d.Of(r).Data[lo:hi], s.g.Of(r).Data[lo:hi])
 			} else {
-				sparse.Xpby(r.g.Data, beta, r.d.Data)
+				sparse.XpbyRange(s.g.Of(r).Data, beta, s.d.Of(r).Data, lo, hi)
 			}
 		})
 		// Halo exchange of d, then q = A d on owned rows and the <d,q>
-		// partial — the §3.4 communication/computation pattern.
-		s.exchange("d", func(r *rank) (*pagemem.Vector, []float64) { return r.d, r.dGhost })
-		s.forEachRank("q", func(r *rank) {
-			s.a.MulVecRange(r.dGhost, r.scratch, r.lo, r.hi)
-			copy(r.q.Data, r.scratch[r.lo:r.hi])
-			r.dqPart = sparse.DotRange(r.dGhost, r.scratch, r.lo, r.hi)
-		})
-		dq := 0.0
-		for _, r := range s.ranks {
-			dq += r.dqPart
-		}
+		// reduction — the §3.4 communication/computation pattern.
+		sub.SpMV("q", s.d, s.q)
+		dq := sub.Dot("<d,q>", s.d, s.q)
 		alpha := 0.0
 		if dq != 0 && !isNaN(dq) && !isNaN(s.epsGG) {
 			alpha = s.epsGG / dq
 		}
 
-		// x += alpha d ; g -= alpha q ; <g,g> partial.
-		s.forEachRank("xg", func(r *rank) {
-			sparse.Axpy(alpha, r.d.Data, r.x.Data)
-			sparse.Axpy(-alpha, r.q.Data, r.g.Data)
-			r.ggPart = sparse.Dot(r.g.Data, r.g.Data)
+		// x += alpha d ; g -= alpha q ; <g,g>.
+		sub.RankOp("xg", func(r *shard.Rank, p, lo, hi int) {
+			sparse.AxpyRange(alpha, s.d.Of(r).Data, s.x.Of(r).Data, lo, hi)
+			sparse.AxpyRange(-alpha, s.q.Of(r).Data, s.g.Of(r).Data, lo, hi)
 		})
-		gg := 0.0
-		for _, r := range s.ranks {
-			gg += r.ggPart
-		}
+		gg := sub.Dot("gg", s.g, s.g)
 		if s.epsGG != 0 && !isNaN(gg) {
 			s.beta = gg / s.epsGG
 		} else {
@@ -324,91 +317,32 @@ func (s *cgSolver) run(start time.Time) (core.Result, []float64, error) {
 		s.restartPending = false
 	}
 
-	x := s.gatherX()
-	res := core.Result{
-		Converged:   converged,
-		Iterations:  it,
-		RelResidual: s.trueResidual(),
-		Elapsed:     time.Since(start),
-		Stats:       s.stats,
-	}
+	res, x := s.finish(it, converged, start, s.x)
 	return res, x, nil
-}
-
-func (s *cgSolver) spaces() []*pagemem.Space {
-	out := make([]*pagemem.Space, len(s.ranks))
-	for i, r := range s.ranks {
-		out[i] = r.space
-	}
-	return out
-}
-
-func relFromEps(eps, bnorm float64) float64 {
-	return math.Sqrt(math.Max(eps, 0)) / bnorm
-}
-
-// gatherX assembles the global iterate from the owned shards.
-func (s *cgSolver) gatherX() []float64 {
-	x := make([]float64, s.a.N)
-	for _, r := range s.ranks {
-		copy(x[r.lo:r.hi], r.x.Data)
-	}
-	return x
-}
-
-// trueResidual computes ||b - A x|| / ||b|| from the gathered iterate.
-func (s *cgSolver) trueResidual() float64 {
-	x := s.gatherX()
-	res := make([]float64, s.a.N)
-	s.a.MulVec(x, res)
-	sparse.Sub(s.b, res, res)
-	return sparse.Norm2(res) / s.bnorm
-}
-
-func (s *cgSolver) allreduceGG() float64 {
-	s.forEachRank("gg", func(r *rank) {
-		r.ggPart = sparse.Dot(r.g.Data, r.g.Data)
-	})
-	gg := 0.0
-	for _, r := range s.ranks {
-		gg += r.ggPart
-	}
-	return gg
 }
 
 // restartFromX rebuilds the whole recurrence from the owned iterate
 // shards: blank any failed x pages, g = b - A x (with an x halo
 // exchange), d rebuilt from g on the next iteration via beta = 0.
-func (s *cgSolver) restartFromX() {
-	for _, r := range s.ranks {
-		for _, p := range r.x.FailedPages() {
-			r.x.Remap(p)
-			s.stats.Unrecovered++
-		}
-		r.space.ClearAll()
+func (s *CG) restartFromX() {
+	blankOwned(s.sub, true, s.x)
+	for _, r := range s.sub.Ranks {
+		r.Space.ClearAll()
 	}
-	s.exchange("x", func(r *rank) (*pagemem.Vector, []float64) { return r.x, r.xGhost })
-	s.forEachRank("g=b-Ax", func(r *rank) {
-		s.a.MulVecRange(r.xGhost, r.scratch, r.lo, r.hi)
-		for i := r.lo; i < r.hi; i++ {
-			r.g.Data[i-r.lo] = s.b[i] - r.scratch[i]
-		}
-	})
-	s.epsGG = s.allreduceGG()
+	s.sub.ResidualFromX(s.x, s.g)
+	s.epsGG = s.sub.Dot("gg", s.g, s.g)
 	s.restartPending = true
 }
 
 // writeCheckpoint snapshots the global iterate and direction (§4.2: "the
 // minimum to allow rolling back") plus the β scalar.
-func (s *cgSolver) writeCheckpoint(it int) {
+func (s *CG) writeCheckpoint(it int) {
 	if s.ckX == nil {
-		s.ckX = make([]float64, s.a.N)
-		s.ckD = make([]float64, s.a.N)
+		s.ckX = make([]float64, s.sub.A.N)
+		s.ckD = make([]float64, s.sub.A.N)
 	}
-	for _, r := range s.ranks {
-		copy(s.ckX[r.lo:r.hi], r.x.Data)
-		copy(s.ckD[r.lo:r.hi], r.d.Data)
-	}
+	s.sub.Gather(s.x, s.ckX)
+	s.sub.Gather(s.d, s.ckD)
 	s.ckBeta = s.beta
 	s.haveCkpt = true
 	s.lastCkptIter = it
@@ -417,30 +351,23 @@ func (s *cgSolver) writeCheckpoint(it int) {
 
 // rollback restores the snapshot (or restarts from scratch when none
 // exists) and rebuilds the derived state.
-func (s *cgSolver) rollback() {
-	for _, r := range s.ranks {
-		r.space.ClearAll()
+func (s *CG) rollback() {
+	for _, r := range s.sub.Ranks {
+		r.Space.ClearAll()
 	}
 	if !s.haveCkpt {
-		s.forEachRank("zero", func(r *rank) {
-			for i := range r.x.Data {
-				r.x.Data[i] = 0
+		s.sub.RankOp("zero", func(r *shard.Rank, p, lo, hi int) {
+			xd := s.x.Of(r).Data
+			for i := lo; i < hi; i++ {
+				xd[i] = 0
 			}
 		})
 		s.restartFromX()
 	} else {
-		s.forEachRank("restore", func(r *rank) {
-			copy(r.x.Data, s.ckX[r.lo:r.hi])
-			copy(r.d.Data, s.ckD[r.lo:r.hi])
-		})
-		s.exchange("x", func(r *rank) (*pagemem.Vector, []float64) { return r.x, r.xGhost })
-		s.forEachRank("g=b-Ax", func(r *rank) {
-			s.a.MulVecRange(r.xGhost, r.scratch, r.lo, r.hi)
-			for i := r.lo; i < r.hi; i++ {
-				r.g.Data[i-r.lo] = s.b[i] - r.scratch[i]
-			}
-		})
-		s.epsGG = s.allreduceGG()
+		s.sub.Scatter(s.ckX, s.x)
+		s.sub.Scatter(s.ckD, s.d)
+		s.sub.ResidualFromX(s.x, s.g)
+		s.epsGG = s.sub.Dot("gg", s.g, s.g)
 		s.beta = s.ckBeta
 		s.restartPending = false
 	}
@@ -451,20 +378,14 @@ func (s *cgSolver) rollback() {
 // configured method. Returns false when a restart/rollback consumed the
 // iteration. Leaving a boundary no page is failed (the phases themselves
 // run unguarded, like the single-node GMRES discipline).
-func (s *cgSolver) boundary() bool {
-	faults := 0
-	for _, r := range s.ranks {
-		faults += len(r.space.ScramblePending())
+func (s *CG) boundary() bool {
+	sub := s.sub
+	sub.ApplyPending()
+	if !sub.AnyFault() {
+		return true
 	}
-	s.stats.FaultsSeen += faults
-	anyFault := false
-	for _, r := range s.ranks {
-		if r.space.AnyFault() {
-			anyFault = true
-			break
-		}
-	}
-	if !anyFault {
+	sub.HealGhosts() // ghost damage heals by re-import
+	if !sub.OwnedFault() {
 		return true
 	}
 	switch s.cfg.Method {
@@ -483,32 +404,25 @@ func (s *cgSolver) boundary() bool {
 		return false
 	default:
 		// Blank-page forward recovery: keep running.
-		for _, r := range s.ranks {
-			for _, v := range r.space.Vectors() {
-				for _, p := range v.FailedPages() {
-					v.Remap(p)
-					v.MarkRecovered(p)
-				}
-			}
-		}
+		blankOwned(sub, false, s.x, s.g, s.d, s.q)
 		return true
 	}
 }
 
 // exactRecover runs the FEIR relations across ranks to a fixpoint:
 // q and d heal by overwrite (they are rebuilt every iteration from g and
-// the halo), g pages by the forward relation g = b - A x, x pages by the
-// rank-local inverse A_pp x_p = b_p - g_p - Σ A_pj x_j over the halo.
+// the halo under a forced beta=0 step), g pages by the forward relation
+// g = b - A x, x pages by the rank-local inverse over the halo.
 // Returns false if any page stays unrecovered.
-func (s *cgSolver) exactRecover() bool {
+func (s *CG) exactRecover() bool {
 	// d is rebuilt from g at the next phase under a forced beta=0 step
 	// (exact restart of the direction, not of the iterate); q likewise.
-	for _, r := range s.ranks {
+	for _, r := range s.sub.Ranks {
 		redirect := false
-		for _, v := range []*pagemem.Vector{r.d, r.q} {
-			for _, p := range v.FailedPages() {
-				v.Remap(p)
-				v.MarkRecovered(p)
+		for _, v := range []*shard.Vec{s.d, s.q} {
+			for _, p := range r.OwnedFailed(v) {
+				v.Of(r).Remap(p)
+				v.Of(r).MarkRecovered(p)
 				redirect = true
 			}
 		}
@@ -516,115 +430,15 @@ func (s *cgSolver) exactRecover() bool {
 			s.restartPending = true
 		}
 	}
-	// Fixpoint over the g/x relations, with a fresh x halo each pass.
-	for pass := 0; pass < 4; pass++ {
-		s.exchange("x", func(r *rank) (*pagemem.Vector, []float64) { return r.x, r.xGhost })
-		// Global failure map of x pages for halo guards.
-		xFailed := make([]bool, s.np)
-		for _, r := range s.ranks {
-			for _, p := range r.x.FailedPages() {
-				xFailed[r.pLo+p] = true
-			}
-		}
-		// Repairs are rank-local but run here on the coordinator: they
-		// mutate the shared statistics, and boundary recovery is off the
-		// steady-state critical path.
-		progress := false
-		for _, r := range s.ranks {
-			for _, lp := range r.g.FailedPages() {
-				p := r.pLo + lp
-				ok := true
-				for _, j := range s.conn[p] {
-					if xFailed[j] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				lo, hi := s.layout.Range(p)
-				s.a.MulVecRange(r.xGhost, r.scratch, lo, hi)
-				for i := lo; i < hi; i++ {
-					r.g.Data[i-r.lo] = s.b[i] - r.scratch[i]
-				}
-				r.g.MarkRecovered(lp)
-				s.stats.RecoveredForward++
-				progress = true
-			}
-			for _, lp := range r.x.FailedPages() {
-				p := r.pLo + lp
-				if r.g.Failed(lp) {
-					continue
-				}
-				ok := true
-				for _, j := range s.conn[p] {
-					if j != p && xFailed[j] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				lo, hi := s.layout.Range(p)
-				buf := r.scratch[:hi-lo]
-				s.a.MulVecRangeExcludingCols(r.xGhost, buf, lo, hi, lo, hi)
-				for i := lo; i < hi; i++ {
-					buf[i-lo] = s.b[i] - r.g.Data[i-r.lo] - buf[i-lo]
-				}
-				if err := s.blocks.SolveDiagBlock(p, buf); err != nil {
-					continue
-				}
-				copy(r.x.Data[lo-r.lo:hi-r.lo], buf)
-				r.x.MarkRecovered(lp)
-				s.stats.RecoveredInverse++
-				progress = true
-			}
-		}
-		left := false
-		for _, r := range s.ranks {
-			if r.space.AnyFault() {
-				left = true
-				break
-			}
-		}
-		if !left {
-			return true
-		}
-		if !progress {
-			return false
-		}
-	}
-	for _, r := range s.ranks {
-		if r.space.AnyFault() {
-			return false
-		}
-	}
-	return true
+	return recoverXG(s.sub, s.cfg.Method, s.x, s.g)
 }
 
 // lossyRestart interpolates lost iterate pages with the block-Jacobi step
 // on the gathered iterate and restarts (§4.3).
-func (s *cgSolver) lossyRestart() {
-	x := s.gatherX()
-	var failed []int
-	for _, r := range s.ranks {
-		for _, lp := range r.x.FailedPages() {
-			failed = append(failed, r.pLo+lp)
-		}
-	}
-	if len(failed) > 0 && core.LossyInterpolate(s.a, s.layout, s.blocks, s.b, x, failed) {
-		s.stats.LossyInterpolations += len(failed)
-		for _, r := range s.ranks {
-			copy(r.x.Data, x[r.lo:r.hi])
-			for _, lp := range r.x.FailedPages() {
-				r.x.MarkRecovered(lp)
-			}
-		}
+func (s *CG) lossyRestart() {
+	if n := s.sub.LossyInterpolateOwned(s.x); n > 0 {
+		s.stats.LossyInterpolations += n
 	}
 	s.restartFromX()
 	s.stats.Restarts++
 }
-
-func isNaN(v float64) bool { return math.IsNaN(v) }

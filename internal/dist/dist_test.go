@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/matgen"
-	"repro/internal/pagemem"
+	"repro/internal/shard"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 )
@@ -44,13 +44,13 @@ func TestSolveCGMatchesSequential(t *testing.T) {
 }
 
 // injectInto schedules one x-page poison per listed iteration, each into
-// the rank owning a distinct part of the iterate.
-func injectInto(iters []int) func(it int, spaces []*pagemem.Space) {
-	return func(it int, spaces []*pagemem.Space) {
+// an owned page of a distinct rank.
+func injectInto(iters []int) func(it int, ranks []*shard.Rank) {
+	return func(it int, ranks []*shard.Rank) {
 		for k, at := range iters {
 			if it == at {
-				sp := spaces[k%len(spaces)]
-				sp.VectorByName("x").Poison(sp.NumPages() / 2)
+				r := ranks[k%len(ranks)]
+				r.Space.VectorByName("x").Poison((r.PLo + r.PHi) / 2)
 			}
 		}
 	}

@@ -197,6 +197,23 @@ func New(a *sparse.CSR, layout sparse.BlockLayout, rt *taskrt.Runtime, resilient
 // Chunks returns the strip-mined page ranges used by every operation.
 func (e *Engine) Chunks() [][2]int { return e.chunks }
 
+// Sub returns a view of the engine restricted to pages [pLo, pHi), split
+// into at most nchunks tasks per operation — the owned shard of one rank
+// in the distributed substrate. The view shares the runtime, matrix,
+// layout, connectivity and resilience mode with its parent; only the
+// chunk set differs, so every page operation of the view touches exactly
+// the rank's pages while reading full-length (globally indexed) vectors.
+func (e *Engine) Sub(pLo, pHi, nchunks int) *Engine {
+	sub := *e
+	base := ChunkRanges(pHi-pLo, nchunks)
+	sub.chunks = make([][2]int, len(base))
+	for i, c := range base {
+		sub.chunks[i] = [2]int{c[0] + pLo, c[1] + pLo}
+	}
+	sub.nchunks = len(sub.chunks)
+	return &sub
+}
+
 // PageOp submits one task per chunk running fn(p, lo, hi) for every page
 // whose input operands are all current. Skipped pages keep their previous
 // version. When out is non-nil and fn returned true, the output page is

@@ -2,22 +2,48 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/sparse"
+	"repro/internal/matgen"
+	"repro/internal/registry"
+	"repro/internal/shard"
 )
 
-// distConfig builds the distributed-layer configuration for validation
-// runs.
-func distConfig(method core.Method, opts Options) dist.Config {
-	return dist.Config{
-		Method:      method,
-		PageDoubles: 128, // small pages so a 16³ grid spans many pages
-		Tol:         opts.tol(),
-		MaxIter:     20000,
-	}
+// ValidateDistributed runs the functional rank-sharded CG on a small
+// 27-point stencil with the given method and error count, confirming the
+// §3.4 protocol converges. It is the correctness anchor behind the
+// modelled Figure 5 curves.
+func ValidateDistributed(method core.Method, ranks, errors int, opts Options) (core.Result, error) {
+	return ValidateDistributedSolver("cg", method, ranks, errors, opts)
 }
 
-// distSolve adapts dist.SolveCG for the experiments layer.
-func distSolve(a *sparse.CSR, b []float64, ranks int, cfg dist.Config) (core.Result, []float64, error) {
-	return dist.SolveCG(a, b, ranks, cfg)
+// ValidateDistributedSolver is ValidateDistributed for any registered
+// solver (cg, bicgstab, gmres) on the shared rank-sharded substrate:
+// errors DUEs are injected into owned iterate pages of rotating ranks.
+func ValidateDistributedSolver(solver string, method core.Method, ranks, errors int, opts Options) (core.Result, error) {
+	nx := 16
+	a := matgen.Poisson3D27(nx, nx, nx)
+	b := matgen.Ones(a.N)
+	cfg := registry.Config{
+		Config: core.Config{
+			Method:      method,
+			PageDoubles: 128, // small pages so a 16³ grid spans many pages
+			Tol:         opts.tol(),
+			MaxIter:     20000,
+		},
+		Ranks: ranks,
+	}
+	if errors > 0 {
+		injected := 0
+		cfg.RankInject = func(it int, rs []*shard.Rank) {
+			if injected < errors && it > 0 && it%5 == 0 {
+				r := rs[(it/5)%len(rs)]
+				r.Space.VectorByName("x").Poison((r.PLo + r.PHi) / 2)
+				injected++
+			}
+		}
+	}
+	inst, err := registry.New(solver, a, b, cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return inst.Run()
 }

@@ -20,9 +20,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/defaults"
 	"repro/internal/inject"
 	"repro/internal/matgen"
-	"repro/internal/pagemem"
 	"repro/internal/sparse"
 )
 
@@ -53,40 +53,17 @@ type Options struct {
 	Seed int64
 }
 
-func (o Options) scale() int {
-	if o.Scale > 0 {
-		return o.Scale
-	}
-	return 4096
-}
+func (o Options) scale() int { return defaults.Int(o.Scale, 4096) }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return 8
-}
+func (o Options) workers() int { return defaults.Int(o.Workers, 8) }
 
-func (o Options) pageDoubles() int {
-	if o.PageDoubles > 0 {
-		return o.PageDoubles
-	}
-	return 512
-}
+func (o Options) pageDoubles() int { return defaults.PageDoublesOr(o.PageDoubles) }
 
-func (o Options) reps() int {
-	if o.Reps > 0 {
-		return o.Reps
-	}
-	return 3
-}
+func (o Options) reps() int { return defaults.Int(o.Reps, 3) }
 
-func (o Options) tol() float64 {
-	if o.Tol > 0 {
-		return o.Tol
-	}
-	return 1e-8
-}
+// tol defaults to 1e-8, looser than defaults.Tol: the sweep experiments
+// repeat many runs and the paper's 1e-10 makes quick runs slow.
+func (o Options) tol() float64 { return defaults.Float(o.Tol, 1e-8) }
 
 func (o Options) matrices() []string {
 	if len(o.Matrices) > 0 {
@@ -603,31 +580,6 @@ func (f *Fig4Result) String() string {
 // Figure 5: scaling (model + functional validation).
 // ---------------------------------------------------------------------
 
-// ValidateDistributed runs the functional goroutine-rank CG on a small
-// 27-point stencil with the given method and error count, confirming the
-// §3.4 protocol converges. It is the correctness anchor behind the
-// modelled Figure 5 curves.
-func ValidateDistributed(method core.Method, ranks, errors int, opts Options) (core.Result, error) {
-	nx := 16
-	a := matgen.Poisson3D27(nx, nx, nx)
-	b := matgen.Ones(a.N)
-	cfg := distConfig(method, opts)
-	if errors > 0 {
-		injected := 0
-		cfg.Inject = func(it int, spaces []*pagemem.Space) {
-			if injected < errors && it > 0 && it%5 == 0 {
-				r := (it / 5) % len(spaces)
-				sp := spaces[r]
-				pages := sp.NumPages()
-				lo := r * pages / len(spaces)
-				sp.VectorByName("x").Poison(lo)
-				injected++
-			}
-		}
-	}
-	res, _, err := distSolve(a, b, ranks, cfg)
-	return res, err
-}
-
-// String helpers for Fig 5 live in the cmd layer; the curves come from
-// perfmodel.Fig5 directly.
+// The distributed validation entry points (ValidateDistributed and
+// ValidateDistributedSolver) live in dist_glue.go; the Figure 5 curves
+// come from perfmodel.Fig5 directly.

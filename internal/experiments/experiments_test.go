@@ -55,13 +55,16 @@ func TestTable2Runs(t *testing.T) {
 	if len(res.Rows) != 6 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
-	// Checkpointing must cost more than the forward-recovery methods.
-	byName := map[string]float64{}
-	for _, r := range res.Rows {
-		byName[r.Method] = r.Overhead
-	}
-	if byName["ckpt 200"] <= byName["AFEIR"] {
-		t.Fatalf("ckpt 200 (%v) should exceed AFEIR (%v)", byName["ckpt 200"], byName["AFEIR"])
+	// Checkpointing must cost more than the forward-recovery methods —
+	// a wall-clock comparison the race detector's slowdown invalidates.
+	if !raceEnabled {
+		byName := map[string]float64{}
+		for _, r := range res.Rows {
+			byName[r.Method] = r.Overhead
+		}
+		if byName["ckpt 200"] <= byName["AFEIR"] {
+			t.Fatalf("ckpt 200 (%v) should exceed AFEIR (%v)", byName["ckpt 200"], byName["AFEIR"])
+		}
 	}
 	s := res.String()
 	if !strings.Contains(s, "Table 2") || !strings.Contains(s, "AFEIR") {

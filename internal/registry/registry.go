@@ -1,0 +1,177 @@
+// Package registry is the single dispatch point for every solver in the
+// repository: a name-indexed table of constructors, each handling both
+// the single-node task-parallel implementation (internal/core) and the
+// rank-sharded distributed one (internal/dist) behind one launch shape.
+// cmd/due-solve, cmd/due-bench and internal/experiments all consume it,
+// so adding a method or a topology is one registration here instead of a
+// switch edit per consumer.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/defaults"
+	"repro/internal/dist"
+	"repro/internal/pagemem"
+	"repro/internal/shard"
+	"repro/internal/sparse"
+)
+
+// Config extends the single-node configuration with the distributed
+// knobs. Ranks > 0 selects the rank-sharded substrate (Ranks == 1 still
+// exercises the distributed path with a single shard).
+type Config struct {
+	core.Config
+	// Ranks is the number of shards; 0 means single-node.
+	Ranks int
+	// Restart is the GMRES restart length; 0 means 30.
+	Restart int
+	// RankInject, when non-nil and Ranks > 0, is called once per
+	// iteration with the substrate's ranks — the deterministic injection
+	// hook of the distributed validation runs.
+	RankInject func(it int, ranks []*shard.Rank)
+}
+
+func (c Config) distConfig() dist.Config {
+	return dist.Config{
+		Method:             c.Method,
+		Workers:            c.Workers,
+		PageDoubles:        c.PageDoubles,
+		Tol:                c.Tol,
+		MaxIter:            c.MaxIter,
+		CheckpointInterval: c.CheckpointInterval,
+		Restart:            c.Restart,
+		Inject:             c.RankInject,
+		OnIteration:        c.OnIteration,
+	}
+}
+
+// Instance is one ready-to-run solver: the injection surface plus the
+// launch closure. RankStats is nil for single-node instances.
+type Instance struct {
+	// Spaces lists the fault domains (one single-node space, or one per
+	// rank).
+	Spaces []*pagemem.Space
+	// Dynamic lists the vectors injections cover (§5.3).
+	Dynamic []*pagemem.Vector
+	// Run executes the solve (once) and returns the aggregate result.
+	Run func() (core.Result, error)
+	// RankStats, when non-nil, snapshots the per-rank recovery counters
+	// after Run returned.
+	RankStats func() []core.Stats
+}
+
+// Builder constructs an instance of one named method for either topology.
+type Builder func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error)
+
+var builders = map[string]Builder{}
+
+// Register adds a named solver. Later registrations replace earlier ones.
+func Register(name string, b Builder) { builders[name] = b }
+
+// Names lists the registered solvers, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named solver over A x = b.
+func New(name string, a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+	builder, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown solver %q (have %v)", name, Names())
+	}
+	return builder(a, b, cfg)
+}
+
+// distInstance adapts the common distributed solver surface.
+type distSolver interface {
+	Spaces() []*pagemem.Space
+	DynamicVectors() []*pagemem.Vector
+	RankStats() []core.Stats
+	Run() (core.Result, []float64, error)
+}
+
+func distInstance(s distSolver) *Instance {
+	return &Instance{
+		Spaces:  s.Spaces(),
+		Dynamic: s.DynamicVectors(),
+		Run: func() (core.Result, error) {
+			res, _, err := s.Run()
+			return res, err
+		},
+		RankStats: s.RankStats,
+	}
+}
+
+func init() {
+	Register("cg", func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+		if cfg.Ranks > 0 {
+			if cfg.UsePrecond {
+				return nil, fmt.Errorf("registry: the distributed cg has no preconditioned variant (drop -precond or -ranks)")
+			}
+			s, err := dist.NewCG(a, b, cfg.Ranks, cfg.distConfig())
+			if err != nil {
+				return nil, err
+			}
+			return distInstance(s), nil
+		}
+		s, err := core.NewCG(a, b, cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spaces:  []*pagemem.Space{s.Space()},
+			Dynamic: s.DynamicVectors(),
+			Run:     func() (core.Result, error) { return s.Run() },
+		}, nil
+	})
+	Register("bicgstab", func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+		if cfg.Ranks > 0 {
+			s, err := dist.NewBiCGStab(a, b, cfg.Ranks, cfg.distConfig())
+			if err != nil {
+				return nil, err
+			}
+			return distInstance(s), nil
+		}
+		s, err := core.NewBiCGStab(a, b, cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spaces:  []*pagemem.Space{s.Space()},
+			Dynamic: s.DynamicVectors(),
+			Run: func() (core.Result, error) {
+				res, _, err := s.Run()
+				return res, err
+			},
+		}, nil
+	})
+	Register("gmres", func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+		if cfg.Ranks > 0 {
+			s, err := dist.NewGMRES(a, b, cfg.Ranks, cfg.distConfig())
+			if err != nil {
+				return nil, err
+			}
+			return distInstance(s), nil
+		}
+		s, err := core.NewGMRES(a, b, defaults.GMRESRestartOr(cfg.Restart), cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{
+			Spaces:  []*pagemem.Space{s.Space()},
+			Dynamic: s.DynamicVectors(),
+			Run: func() (core.Result, error) {
+				res, _, err := s.Run()
+				return res, err
+			},
+		}, nil
+	})
+}

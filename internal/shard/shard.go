@@ -1,0 +1,499 @@
+// Package shard is the method-agnostic rank-sharded substrate of §3.4: a
+// functional model of the paper's MPI+tasks hybrid on which any Krylov
+// method can run distributed. It owns everything that is not the
+// recurrence itself — shard layout (contiguous page ranges per rank),
+// per-rank fault domains, halo computation from the page connectivity of
+// the matrix, halo exchange, allreduce-style scalar reduction and the
+// FEIR/AFEIR recovery scheduling — expressed as engine task graphs on one
+// shared internal/taskrt pool. internal/dist builds CG, BiCGStab and
+// GMRES as thin recurrences on top.
+//
+// Data model: every rank holds full-length, globally indexed vectors in
+// its own pagemem.Space. The rank's authoritative data lives in its owned
+// page range [PLo, PHi); the halo pages listed in Rank.Halo act as ghost
+// cells refreshed by Exchange before each SpMV; all other pages are never
+// read. This keeps one indexing convention across the whole repository —
+// the single-node engine operations, the Table 1 recovery relations of
+// core.Relations and the distributed substrate all address the same
+// global pages — at the cost of ghost storage proportional to the global
+// size, which is what the hand-rolled predecessor paid for its ghost
+// buffers too.
+//
+// Fault discipline: phases run unguarded (the single-node GMRES
+// discipline) — a DUE sets the page's fault bit immediately but the data
+// loss is applied only at iteration boundaries (ApplyPending), where the
+// solvers repair through core.Relations. The §2.3 halo observation holds
+// by construction: an inverse x repair reads only the page's connectivity
+// set, which Exchange has already localised, so recovery stays rank-local
+// plus one exchange.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/defaults"
+	"repro/internal/engine"
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// Rank is one shard: a contiguous page range of the global vectors with a
+// private fault domain, ghost pages for its halo, and an engine view
+// restricted to its owned pages.
+type Rank struct {
+	ID       int
+	PLo, PHi int // owned global pages
+	Lo, Hi   int // owned global elements
+	// Space is the rank's fault domain. Vectors are full-length and
+	// globally indexed; only owned and halo pages carry live data.
+	Space *pagemem.Space
+	// Halo lists the off-rank global pages this rank's rows read.
+	Halo []int
+	// Eng is the shared engine restricted to the rank's owned pages: one
+	// task per phase per rank, like the paper's one-process-per-rank runs.
+	Eng *engine.Engine
+	// Rel applies the Table 1 relations with this rank's scratch and
+	// statistics, so rank repairs can run concurrently.
+	Rel *core.Relations
+	// Stats counts this rank's resilience activity (per-rank blast
+	// radius accounting).
+	Stats core.Stats
+	// Scratch is a full-length buffer for SpMV targets and residuals.
+	Scratch []float64
+
+	pageScratch []float64
+	sub         *Substrate
+}
+
+// Owns reports whether global page p is in the rank's owned range.
+func (r *Rank) Owns(p int) bool { return p >= r.PLo && p < r.PHi }
+
+// OwnedFailed returns the rank's failed pages of v inside its owned range.
+func (r *Rank) OwnedFailed(v *Vec) []int {
+	var out []int
+	for _, p := range v.R[r.ID].FailedPages() {
+		if r.Owns(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Vec is one protected vector sharded across ranks: R[i] is rank i's
+// full-length copy (owned range authoritative, halo imported).
+type Vec struct {
+	Name string
+	R    []*pagemem.Vector
+}
+
+// Of returns the rank's copy of the vector.
+func (v *Vec) Of(r *Rank) *pagemem.Vector { return v.R[r.ID] }
+
+// Substrate carries the shared state of one distributed solve.
+type Substrate struct {
+	A      *sparse.CSR
+	B      []float64
+	Bnorm  float64
+	Layout sparse.BlockLayout
+	NP     int
+	// Conn is the page connectivity of A (engine.PageConnectivity): the
+	// exact read set of every row-page, and thus the halo definition.
+	Conn   [][]int
+	Blocks *sparse.BlockSolverCache
+	Owner  []int // global page -> rank id
+	Ranks  []*Rank
+	RT     *taskrt.Runtime
+	// Eng is the root (non-resilient) engine over all pages; rank views
+	// are derived from it with Engine.Sub.
+	Eng *engine.Engine
+
+	part *engine.Partial
+}
+
+// New builds the substrate for A x = b over the given number of ranks.
+// workers <= 0 means one pool worker per rank; spd selects the diagonal
+// block factorization family for the inverse relations.
+func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) (*Substrate, error) {
+	if a.N != a.M {
+		return nil, fmt.Errorf("shard: non-square matrix %dx%d", a.N, a.M)
+	}
+	if len(b) != a.N {
+		return nil, fmt.Errorf("shard: rhs length %d for n=%d", len(b), a.N)
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	pageDoubles = defaults.PageDoublesOr(pageDoubles)
+	layout := sparse.BlockLayout{N: a.N, BlockSize: pageDoubles}
+	np := layout.NumBlocks()
+	if ranks > np {
+		ranks = np
+	}
+	s := &Substrate{
+		A:      a,
+		B:      append([]float64(nil), b...),
+		Bnorm:  sparse.Norm2(b),
+		Layout: layout,
+		NP:     np,
+		Blocks: sparse.NewBlockSolverCache(a, layout, spd),
+		Owner:  make([]int, np),
+		part:   engine.NewPartial(np),
+	}
+	if s.Bnorm == 0 {
+		s.Bnorm = 1
+	}
+	// Rank-parallel recovery tasks look blocks up concurrently: factorize
+	// everything up front so the cache is read-only afterwards (the paper
+	// notes these factorizations come for free with block-Jacobi, §5.1).
+	// Leniently: a non-factorizable block only disables that block's
+	// inverse repair, it does not make the system unsolvable.
+	s.Blocks.PrefactorizeLenient()
+
+	parts := engine.ChunkRanges(np, ranks)
+	if workers <= 0 {
+		workers = len(parts)
+	}
+	s.RT = taskrt.New(workers)
+	s.Eng = engine.New(a, layout, s.RT, false, len(parts))
+	s.Conn = s.Eng.Conn
+
+	s.Ranks = make([]*Rank, len(parts))
+	for id, pr := range parts {
+		lo, _ := layout.Range(pr[0])
+		hi := a.N
+		if pr[1] < np {
+			hi, _ = layout.Range(pr[1])
+		}
+		r := &Rank{
+			ID: id, PLo: pr[0], PHi: pr[1], Lo: lo, Hi: hi,
+			Space:       pagemem.NewSpace(a.N, pageDoubles),
+			Eng:         s.Eng.Sub(pr[0], pr[1], 1),
+			Scratch:     make([]float64, a.N),
+			pageScratch: make([]float64, pageDoubles),
+			sub:         s,
+		}
+		r.Rel = core.NewRelations(a, layout, s.Conn, s.Blocks, s.B, r.pageScratch, &r.Stats)
+		for p := pr[0]; p < pr[1]; p++ {
+			s.Owner[p] = id
+		}
+		s.Ranks[id] = r
+	}
+	// Halo sets: every off-rank page read by an owned row.
+	for _, r := range s.Ranks {
+		seen := map[int]bool{}
+		for p := r.PLo; p < r.PHi; p++ {
+			for _, j := range s.Conn[p] {
+				if !r.Owns(j) && !seen[j] {
+					seen[j] = true
+					r.Halo = append(r.Halo, j)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Close releases the task pool.
+func (s *Substrate) Close() { s.RT.Close() }
+
+// AddVector registers one protected vector on every rank's fault domain.
+func (s *Substrate) AddVector(name string) *Vec {
+	v := &Vec{Name: name, R: make([]*pagemem.Vector, len(s.Ranks))}
+	for i, r := range s.Ranks {
+		v.R[i] = r.Space.AddVector(name)
+	}
+	return v
+}
+
+// Spaces returns the per-rank fault domains (the injection surface).
+func (s *Substrate) Spaces() []*pagemem.Space {
+	out := make([]*pagemem.Space, len(s.Ranks))
+	for i, r := range s.Ranks {
+		out[i] = r.Space
+	}
+	return out
+}
+
+// ForEachRank runs fn(r) as one task per rank on the shared pool and
+// waits — the BSP superstep primitive for rank-granular work.
+func (s *Substrate) ForEachRank(label string, fn func(r *Rank)) {
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		r := r
+		hs = append(hs, s.RT.Submit(taskrt.TaskSpec{
+			Label: fmt.Sprintf("rank%d:%s", r.ID, label),
+			Run:   func(int) { fn(r) },
+		}))
+	}
+	s.RT.WaitAll(hs)
+}
+
+// RankOp runs fn(r, p, lo, hi) for every owned page of every rank through
+// the rank engines' chunked page operations, and waits.
+func (s *Substrate) RankOp(label string, fn func(r *Rank, p, lo, hi int)) {
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		r := r
+		hs = append(hs, r.Eng.RawOp(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func(p, lo, hi int) {
+			fn(r, p, lo, hi)
+		})...)
+	}
+	s.RT.WaitAll(hs)
+}
+
+// Exchange imports every rank's halo pages of v from their owners — the
+// §3.4 communication step. It must run at a barrier: owners' shards are
+// quiescent, so concurrent rank tasks read disjoint owned ranges while
+// writing only their own ghost pages. Importing overwrites the whole
+// ghost page, which heals any DUE that landed in it (the halo pages of a
+// vector are as replaceable as a recomputed q).
+//
+// strict additionally propagates the owner's fault state: a halo page
+// whose owner copy is failed is marked failed locally instead of copied,
+// so the local Table 1 relation guards see exactly the global failure
+// map during recovery fixpoints.
+func (s *Substrate) Exchange(v *Vec, strict bool) {
+	s.ForEachRank("xch:"+v.Name, func(r *Rank) {
+		local := v.R[r.ID]
+		for _, p := range r.Halo {
+			own := v.R[s.Owner[p]]
+			if strict && own.Failed(p) {
+				local.MarkFailed(p)
+				continue
+			}
+			lo, hi := s.Layout.Range(p)
+			copy(local.Data[lo:hi], own.Data[lo:hi])
+			local.MarkRecovered(p)
+		}
+	})
+}
+
+// Dot computes the global inner product <x, y> over owned pages: each
+// rank stores its per-page partials into a shared engine.Partial (the
+// slots are disjoint across ranks), and the coordinator's sum plays the
+// allreduce.
+func (s *Substrate) Dot(label string, x, y *Vec) float64 {
+	s.part.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		hs = append(hs, r.Eng.RawDotPartials(label, nil, x.R[r.ID].Data, y.R[r.ID].Data, s.part)...)
+	}
+	s.RT.WaitAll(hs)
+	sum, _ := s.part.SumAvailable()
+	return sum
+}
+
+// DotReliable is Dot with the second operand in reliable (unsharded)
+// memory, e.g. the BiCGStab shadow residual.
+func (s *Substrate) DotReliable(label string, x *Vec, y []float64) float64 {
+	s.part.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		hs = append(hs, r.Eng.RawDotPartials(label, nil, x.R[r.ID].Data, y, s.part)...)
+	}
+	s.RT.WaitAll(hs)
+	sum, _ := s.part.SumAvailable()
+	return sum
+}
+
+// DotMixed computes a global inner product where each rank contributes
+// <xs[rank], y> over its owned pages — for per-rank scratch (like the
+// GMRES w) against a sharded vector.
+func (s *Substrate) DotMixed(label string, xs [][]float64, y *Vec) float64 {
+	s.part.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		hs = append(hs, r.Eng.RawDotPartials(label, nil, xs[r.ID], y.R[r.ID].Data, s.part)...)
+	}
+	s.RT.WaitAll(hs)
+	sum, _ := s.part.SumAvailable()
+	return sum
+}
+
+// DotScratch computes the global <x, x> of a per-rank scratch vector.
+func (s *Substrate) DotScratch(label string, xs [][]float64) float64 {
+	s.part.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		hs = append(hs, r.Eng.RawDotPartials(label, nil, xs[r.ID], xs[r.ID], s.part)...)
+	}
+	s.RT.WaitAll(hs)
+	sum, _ := s.part.SumAvailable()
+	return sum
+}
+
+// SpMV computes out = A * in on owned rows after refreshing in's halo.
+func (s *Substrate) SpMV(label string, in, out *Vec) {
+	s.Exchange(in, false)
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		hs = append(hs, r.Eng.RawSpMV(label, nil, in.R[r.ID].Data, out.R[r.ID].Data)...)
+	}
+	s.RT.WaitAll(hs)
+}
+
+// Gather assembles the global vector from the owned shards.
+func (s *Substrate) Gather(v *Vec, out []float64) {
+	for _, r := range s.Ranks {
+		copy(out[r.Lo:r.Hi], v.R[r.ID].Data[r.Lo:r.Hi])
+	}
+}
+
+// Scatter copies src into every rank's owned range of v.
+func (s *Substrate) Scatter(src []float64, v *Vec) {
+	for _, r := range s.Ranks {
+		copy(v.R[r.ID].Data[r.Lo:r.Hi], src[r.Lo:r.Hi])
+	}
+}
+
+// ResidualFromX recomputes g = b - A x on owned rows (with a fresh x
+// halo). Callers must have resolved any x faults first.
+func (s *Substrate) ResidualFromX(x, g *Vec) {
+	s.Exchange(x, false)
+	s.RankOp("g=b-Ax", func(r *Rank, p, lo, hi int) {
+		xd := x.R[r.ID].Data
+		gd := g.R[r.ID].Data
+		s.A.MulVecRange(xd, r.Scratch, lo, hi)
+		for i := lo; i < hi; i++ {
+			gd[i] = s.B[i] - r.Scratch[i]
+		}
+	})
+}
+
+// TrueResidual computes ||b - A x|| / ||b|| from the gathered iterate.
+func (s *Substrate) TrueResidual(x *Vec) float64 {
+	xg := make([]float64, s.A.N)
+	s.Gather(x, xg)
+	res := make([]float64, s.A.N)
+	s.A.MulVec(xg, res)
+	sparse.Sub(s.B, res, res)
+	return sparse.Norm2(res) / s.Bnorm
+}
+
+// ApplyPending applies enqueued data losses on every rank (a task-phase
+// boundary: all workers quiescent) and returns the number applied,
+// accounting them to the per-rank statistics.
+func (s *Substrate) ApplyPending() int {
+	total := 0
+	for _, r := range s.Ranks {
+		n := len(r.Space.ScramblePending())
+		r.Stats.FaultsSeen += n
+		total += n
+	}
+	return total
+}
+
+// AnyFault reports whether any rank has a failed page (owned or ghost).
+func (s *Substrate) AnyFault() bool {
+	for _, r := range s.Ranks {
+		if r.Space.AnyFault() {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnedFault reports whether any rank has a failed page inside its owned
+// range — the damage that needs a relation (ghost damage heals by
+// re-import).
+func (s *Substrate) OwnedFault() bool {
+	for _, r := range s.Ranks {
+		for p := r.PLo; p < r.PHi; p++ {
+			if r.Space.PageMask(p) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HealGhosts blanks every failed page outside its rank's owned range:
+// ghost data is re-imported by Exchange before any read, so a DUE there
+// (or a fault bit propagated by a strict exchange) costs nothing beyond
+// the import. Must run at a barrier.
+func (s *Substrate) HealGhosts() {
+	for _, r := range s.Ranks {
+		for _, v := range r.Space.Vectors() {
+			for _, p := range v.FailedPages() {
+				if !r.Owns(p) {
+					v.Remap(p)
+					v.MarkRecovered(p)
+				}
+			}
+		}
+	}
+}
+
+// Recover schedules fn(r) for every rank with a visible fault per the
+// method's discipline: MethodAFEIR submits the repairs as low-priority
+// overlapped tasks (Fig 2b) so affected ranks recover concurrently with
+// one another and with queued work; every other method runs them in the
+// critical path (Fig 2a), one rank at a time. Repairs must be rank-local
+// (reads confined to the rank's own vectors) — cross-rank data moves only
+// through a prior strict Exchange.
+func (s *Substrate) Recover(method core.Method, label string, fn func(r *Rank)) {
+	if method == core.MethodAFEIR {
+		hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+		for _, r := range s.Ranks {
+			if !r.Space.AnyFault() {
+				continue
+			}
+			r := r
+			hs = append(hs, s.Eng.OverlappedRecovery(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func() { fn(r) }))
+		}
+		s.RT.WaitAll(hs)
+		return
+	}
+	for _, r := range s.Ranks {
+		if !r.Space.AnyFault() {
+			continue
+		}
+		r := r
+		s.Eng.CriticalRecovery(fmt.Sprintf("rank%d:%s", r.ID, label), func() { fn(r) })
+	}
+}
+
+// LossyInterpolateOwned runs the §4.3 block-Jacobi interpolation for
+// every failed owned page of x across ranks, on the gathered iterate,
+// scattering the result back. Returns the number of interpolated pages.
+func (s *Substrate) LossyInterpolateOwned(x *Vec) int {
+	var failed []int
+	for _, r := range s.Ranks {
+		failed = append(failed, r.OwnedFailed(x)...)
+	}
+	if len(failed) == 0 {
+		return 0
+	}
+	xg := make([]float64, s.A.N)
+	s.Gather(x, xg)
+	if !core.LossyInterpolate(s.A, s.Layout, s.Blocks, s.B, xg, failed) {
+		return 0
+	}
+	s.Scatter(xg, x)
+	for _, r := range s.Ranks {
+		for _, p := range r.OwnedFailed(x) {
+			x.R[r.ID].MarkRecovered(p)
+		}
+	}
+	return len(failed)
+}
+
+// Stats aggregates the per-rank resilience counters.
+func (s *Substrate) Stats() core.Stats {
+	var out core.Stats
+	for _, r := range s.Ranks {
+		out.Add(r.Stats)
+	}
+	return out
+}
+
+// RankStats returns a snapshot of every rank's counters.
+func (s *Substrate) RankStats() []core.Stats {
+	out := make([]core.Stats, len(s.Ranks))
+	for i, r := range s.Ranks {
+		out[i] = r.Stats
+	}
+	return out
+}

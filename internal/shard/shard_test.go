@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func testSubstrate(t *testing.T, ranks int) *Substrate {
+	t.Helper()
+	a := matgen.Poisson2D(40, 40) // n = 1600, 25 pages of 64
+	b := matgen.RandomVector(a.N, 5)
+	s, err := New(a, b, ranks, 64, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLayoutAndHalo(t *testing.T) {
+	s := testSubstrate(t, 4)
+	defer s.Close()
+	if len(s.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(s.Ranks))
+	}
+	covered := make([]int, s.NP)
+	for _, r := range s.Ranks {
+		for p := r.PLo; p < r.PHi; p++ {
+			covered[p]++
+			if s.Owner[p] != r.ID {
+				t.Fatalf("owner[%d] = %d, want %d", p, s.Owner[p], r.ID)
+			}
+		}
+		// Every halo page is off-rank and actually read by an owned row.
+		for _, h := range r.Halo {
+			if r.Owns(h) {
+				t.Fatalf("rank %d lists owned page %d as halo", r.ID, h)
+			}
+			found := false
+			for p := r.PLo; p < r.PHi && !found; p++ {
+				for _, j := range s.Conn[p] {
+					if j == h {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("rank %d halo page %d is not in any owned row's read set", r.ID, h)
+			}
+		}
+	}
+	for p, c := range covered {
+		if c != 1 {
+			t.Fatalf("page %d covered %d times", p, c)
+		}
+	}
+}
+
+func TestExchangeAndSpMV(t *testing.T) {
+	s := testSubstrate(t, 3)
+	defer s.Close()
+	x := s.AddVector("x")
+	y := s.AddVector("y")
+	// Owned shards hold x_i = i; ghost regions start stale.
+	for _, r := range s.Ranks {
+		xd := x.Of(r).Data
+		for i := r.Lo; i < r.Hi; i++ {
+			xd[i] = float64(i)
+		}
+	}
+	s.SpMV("y", x, y)
+	// Reference product on the dense global vector.
+	xg := make([]float64, s.A.N)
+	for i := range xg {
+		xg[i] = float64(i)
+	}
+	want := make([]float64, s.A.N)
+	s.A.MulVec(xg, want)
+	got := make([]float64, s.A.N)
+	s.Gather(y, got)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The reduction matches the sequential dot product.
+	if dot := s.Dot("<x,y>", x, y); math.Abs(dot-sparse.Dot(xg, want)) > math.Abs(dot)*1e-12 {
+		t.Fatalf("dot = %v, want %v", dot, sparse.Dot(xg, want))
+	}
+}
+
+func TestExchangeHealsGhostFaults(t *testing.T) {
+	s := testSubstrate(t, 4)
+	defer s.Close()
+	x := s.AddVector("x")
+	s.Scatter(matgen.RandomVector(s.A.N, 9), x)
+	var r *Rank
+	for _, cand := range s.Ranks {
+		if len(cand.Halo) > 0 {
+			r = cand
+			break
+		}
+	}
+	if r == nil {
+		t.Fatal("no rank with a halo")
+	}
+	h := r.Halo[0]
+	x.Of(r).Poison(h)
+	r.Space.ScramblePending()
+	if !x.Of(r).Failed(h) {
+		t.Fatal("ghost page not failed")
+	}
+	s.Exchange(x, false)
+	if x.Of(r).Failed(h) {
+		t.Fatal("exchange did not heal the ghost fault")
+	}
+	lo, hi := s.Layout.Range(h)
+	owner := x.R[s.Owner[h]]
+	for i := lo; i < hi; i++ {
+		if x.Of(r).Data[i] != owner.Data[i] {
+			t.Fatalf("ghost data not re-imported at %d", i)
+		}
+	}
+}
+
+func TestStrictExchangePropagatesOwnerFaults(t *testing.T) {
+	s := testSubstrate(t, 4)
+	defer s.Close()
+	x := s.AddVector("x")
+	var r *Rank
+	for _, cand := range s.Ranks {
+		if len(cand.Halo) > 0 {
+			r = cand
+			break
+		}
+	}
+	h := r.Halo[0]
+	owner := s.Ranks[s.Owner[h]]
+	x.Of(owner).Poison(h)
+	owner.Space.ScramblePending()
+	s.Exchange(x, true)
+	if !x.Of(r).Failed(h) {
+		t.Fatal("strict exchange did not propagate the owner's fault")
+	}
+	s.HealGhosts()
+	if x.Of(r).Failed(h) {
+		t.Fatal("HealGhosts left the propagated ghost bit set")
+	}
+	if !x.Of(owner).Failed(h) {
+		t.Fatal("HealGhosts must not clear the owner's fault")
+	}
+}

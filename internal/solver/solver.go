@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/defaults"
 	"repro/internal/precond"
 	"repro/internal/sparse"
 )
@@ -33,21 +34,9 @@ type Options struct {
 	OnIteration func(it int, relRes float64)
 }
 
-func (o Options) tol() float64 { return orDefault(o.Tol, 1e-10) }
+func (o Options) tol() float64 { return defaults.TolOr(o.Tol) }
 
-func (o Options) maxIter(n int) int {
-	if o.MaxIter > 0 {
-		return o.MaxIter
-	}
-	return 10 * n
-}
-
-func orDefault(v, d float64) float64 {
-	if v == 0 {
-		return d
-	}
-	return v
-}
+func (o Options) maxIter(n int) int { return defaults.MaxIterOr(o.MaxIter, n) }
 
 // Result reports the outcome of a solve.
 type Result struct {

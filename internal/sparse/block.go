@@ -58,6 +58,9 @@ func NewBlockSolverCache(a *CSR, layout BlockLayout, spd bool) *BlockSolverCache
 // caching it on first use.
 func (c *BlockSolverCache) Solver(i int) (BlockSolver, error) {
 	if s, ok := c.cache[i]; ok {
+		if s == nil {
+			return nil, fmt.Errorf("sparse: diagonal block %d is not factorizable", i)
+		}
 		return s, nil
 	}
 	lo, hi := c.Layout.Range(i)
@@ -81,6 +84,20 @@ func (c *BlockSolverCache) Prefactorize() error {
 		}
 	}
 	return nil
+}
+
+// PrefactorizeLenient factorizes every diagonal block up front, caching
+// successes and remembering failures, so all later Solver lookups are
+// read-only (safe for concurrent recovery tasks). Unlike Prefactorize it
+// never fails: a block that cannot be factorized keeps returning its
+// error from SolveDiagBlock, and callers fall back to restart-style
+// recovery exactly as with lazy factorization.
+func (c *BlockSolverCache) PrefactorizeLenient() {
+	for i := 0; i < c.Layout.NumBlocks(); i++ {
+		if _, err := c.Solver(i); err != nil {
+			c.cache[i] = nil // remembered failure keeps lookups read-only
+		}
+	}
 }
 
 // SolveDiagBlock solves A_ii * x_i = rhs for block i in place.
