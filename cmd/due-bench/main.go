@@ -1,17 +1,24 @@
 // Command due-bench regenerates the paper's tables and figures from the
 // reproduction: Table 2 and 3 (overheads and state breakdown), Figure 3
-// (single-error convergence traces), Figure 4 (slowdown vs error rate, CG
-// and PCG) and Figure 5 (64–1024-core scaling from the calibrated model,
-// anchored by functional distributed runs).
+// (single-error convergence traces), Figure 4 (slowdown vs error rate —
+// the CG panel, and a preconditioned panel sweeping PCG, PBiCGStab and
+// PGMRES) and Figure 5 (64–1024-core scaling from the calibrated model,
+// anchored by functional distributed runs with and without the
+// preconditioner).
 //
 // Usage:
 //
 //	due-bench -exp table2 [-scale 20000] [-reps 5]
 //	due-bench -exp fig4 -rates 1,10,50 -matrices thermal2,qa8fm
+//	due-bench -exp fig4pcg -json BENCH_fig4.json
 //	due-bench -exp all
+//
+// -json writes the fig4/fig4pcg cells as BENCH_fig4.json-style output so
+// the perf trajectory is tracked across PRs (CI runs a tiny-scale smoke).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +40,7 @@ func main() {
 	rates := flag.String("rates", "", "comma-separated normalized error rates for fig4 (default 1,2,5,10,20,50)")
 	matrices := flag.String("matrices", "", "comma-separated matrix subset (default all nine analogues)")
 	seed := flag.Int64("seed", 1, "injection seed")
+	jsonPath := flag.String("json", "", "write the fig4/fig4pcg sweeps as machine-readable JSON (e.g. BENCH_fig4.json) for cross-PR perf tracking")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -97,6 +105,7 @@ func main() {
 		}
 		return nil
 	})
+	var fig4Results []*experiments.Fig4Result
 	run("fig4", func() error {
 		res, err := experiments.Fig4(opts, false)
 		if err != nil {
@@ -104,6 +113,7 @@ func main() {
 		}
 		fmt.Println(res)
 		printFig4Cells(res)
+		fig4Results = append(fig4Results, res)
 		return nil
 	})
 	run("fig4pcg", func() error {
@@ -112,6 +122,8 @@ func main() {
 			return err
 		}
 		fmt.Println(res)
+		printFig4Cells(res)
+		fig4Results = append(fig4Results, res)
 		return nil
 	})
 	run("fig5", func() error {
@@ -146,23 +158,54 @@ func main() {
 			{"gmres", []core.Method{core.MethodFEIR, core.MethodAFEIR}},
 		} {
 			for _, meth := range spec.methods {
-				res, err := experiments.ValidateDistributedSolver(spec.solver, meth, 4, 2, opts)
-				if err != nil {
-					return err
+				for _, precond := range []bool{false, true} {
+					if precond && meth != core.MethodFEIR {
+						continue // one preconditioned run per solver
+					}
+					res, err := experiments.ValidateDistributedSolver(spec.solver, meth, 4, 2, precond, opts)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("  %-9s %-6s precond=%-5v converged=%v iterations=%d residual=%.2e faults=%d\n",
+						spec.solver, meth, precond, res.Converged, res.Iterations, res.RelResidual, res.Stats.FaultsSeen)
 				}
-				fmt.Printf("  %-9s %-6s converged=%v iterations=%d residual=%.2e faults=%d\n",
-					spec.solver, meth, res.Converged, res.Iterations, res.RelResidual, res.Stats.FaultsSeen)
 			}
 		}
 		return nil
 	})
+
+	if *jsonPath != "" {
+		if len(fig4Results) == 0 {
+			fatalf("-json set but no fig4/fig4pcg sweep ran (use -exp fig4, fig4pcg or all)")
+		}
+		if err := writeBenchJSON(*jsonPath, opts, fig4Results); err != nil {
+			fatalf("writing %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// benchJSON is the machine-readable fig4 artefact tracked across PRs:
+// every (solver, matrix, rate, method) cell with and without
+// preconditioning, plus the harmonic-mean panels.
+type benchJSON struct {
+	Options experiments.Options       `json:"options"`
+	Fig4    []*experiments.Fig4Result `json:"fig4"`
+}
+
+func writeBenchJSON(path string, opts experiments.Options, results []*experiments.Fig4Result) error {
+	data, err := json.MarshalIndent(benchJSON{Options: opts, Fig4: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printFig4Cells(res *experiments.Fig4Result) {
-	fmt.Println("per-matrix cells (matrix, rate, method, slowdown%, stddev, failures):")
+	fmt.Println("per-matrix cells (solver, matrix, rate, method, slowdown%, stddev, failures):")
 	for _, c := range res.Cells {
-		fmt.Printf("  %-14s %3dx %-8s %8.1f%% ±%5.1f%% %d\n",
-			c.Matrix, c.Rate, c.Method, c.Slowdown*100, c.StdDev*100, c.Failures)
+		fmt.Printf("  %-9s %-14s %3dx %-8s %8.1f%% ±%5.1f%% %d\n",
+			c.Solver, c.Matrix, c.Rate, c.Method, c.Slowdown*100, c.StdDev*100, c.Failures)
 	}
 }
 

@@ -9,8 +9,13 @@
 //
 //	due-solve -matrix system.mtx -method afeir -rate 2
 //	due-solve -gen thermal2 -n 20000 -method feir -precond -rate 5
-//	due-solve -gen poisson3d -n 32768 -solver gmres -method afeir -rate 3 -workers 8
-//	due-solve -gen poisson3d -n 32768 -solver bicgstab -method feir -ranks 4 -rate 3
+//	due-solve -gen poisson3d -n 32768 -solver gmres -method afeir -precond -rate 3 -workers 8
+//	due-solve -gen poisson3d -n 32768 -solver bicgstab -method feir -precond -ranks 4 -rate 3
+//
+// -precond selects the block-Jacobi preconditioned variant of every
+// solver, single-node or distributed; a solver without a preconditioned
+// variant is rejected by the registry instead of silently running
+// unpreconditioned.
 package main
 
 import (
@@ -34,7 +39,7 @@ func main() {
 	n := flag.Int("n", 10000, "dimension for -gen workloads")
 	method := flag.String("method", "afeir", "ideal | trivial | lossy | ckpt | feir | afeir")
 	solverName := flag.String("solver", "cg", strings.Join(registry.Names(), " | "))
-	precond := flag.Bool("precond", false, "use the block-Jacobi preconditioner (cg only)")
+	precond := flag.Bool("precond", false, "use the block-Jacobi preconditioner (all solvers, single-node and -ranks)")
 	ranks := flag.Int("ranks", 0, "run distributed across N ranks on the sharded substrate (0 = single-node)")
 	rate := flag.Float64("rate", 0, "expected DUEs per solver run (0 = no injection)")
 	tol := flag.Float64("tol", 1e-10, "relative residual tolerance")

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/pagemem"
+	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/taskrt"
 )
@@ -35,6 +36,17 @@ import (
 // version t. The q produced at t pairs with the direction produced at
 // t-1, so at the next iteration boundary the OLD direction buffer is
 // still recoverable as d = A⁻¹q — the same trick CG plays.
+//
+// With Config.UsePrecond the solver runs the paper's preconditioned
+// BiCGStab (Listing 6): the block-Jacobi M⁻¹ is applied to the search
+// directions, d̂ = M⁻¹ d and ŝ = M⁻¹ s, through the engine's guarded
+// apply-M⁻¹ page operation; the matvecs become q = A d̂ and t = A ŝ and
+// the iterate update x += α d̂ + ω ŝ. g remains the TRUE residual
+// b - A x, so every unpreconditioned redundancy relation above survives
+// verbatim, and the preconditioned vectors gain their own §3.2
+// relations: forward d̂ = M⁻¹ d (partial application, page-local by block
+// diagonality), inverse d = M d̂, and the inverse d̂ = A⁻¹ q through the
+// factorized diagonal blocks.
 type BiCGStabSolver struct {
 	cfg     Config
 	a       *sparse.CSR
@@ -52,8 +64,14 @@ type BiCGStabSolver struct {
 	rel     *Relations
 	stats   Stats
 
+	// Preconditioned variant (Listing 6): d̂ = M⁻¹ d and ŝ = M⁻¹ s, nil
+	// otherwise.
+	pre        *precond.BlockJacobi
+	dhat, shat *pagemem.Vector
+
 	xS, gS, qS, sS, tS engine.Stamps
 	dS                 [2]engine.Stamps
+	dhatS, shatS       engine.Stamps
 
 	qrPart, ttPart, tsPart, rhoPart, ggPart *engine.Partial
 
@@ -105,6 +123,20 @@ func NewBiCGStab(a *sparse.CSR, b []float64, cfg Config) (*BiCGStabSolver, error
 	sv.rhat = make([]float64, a.N)
 	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false) // LU: general A
 	sv.resilient = cfg.Method == MethodFEIR || cfg.Method == MethodAFEIR
+	if cfg.UsePrecond {
+		// Reuse the recovery cache's LU factorizations as the
+		// preconditioner blocks — they are the same A_pp (§5.1: "the
+		// factorization of diagonal blocks ... is already computed").
+		pre, err := precond.FromCache(sv.blocks)
+		if err != nil {
+			return nil, fmt.Errorf("core: block-Jacobi setup: %w", err)
+		}
+		sv.pre = pre
+		sv.dhat = sv.space.AddVector("dh")
+		sv.shat = sv.space.AddVector("sh")
+		sv.dhatS = engine.NewStamps(sv.layout.NumBlocks())
+		sv.shatS = engine.NewStamps(sv.layout.NumBlocks())
+	}
 
 	sv.xS = engine.NewStamps(sv.np)
 	sv.gS = engine.NewStamps(sv.np)
@@ -127,7 +159,11 @@ func (sv *BiCGStabSolver) Space() *pagemem.Space { return sv.space }
 
 // DynamicVectors lists the vectors injections cover (§5.3).
 func (sv *BiCGStabSolver) DynamicVectors() []*pagemem.Vector {
-	return []*pagemem.Vector{sv.x, sv.g, sv.q, sv.d[0], sv.d[1], sv.s, sv.t}
+	vs := []*pagemem.Vector{sv.x, sv.g, sv.q, sv.d[0], sv.d[1], sv.s, sv.t}
+	if sv.pre != nil {
+		vs = append(vs, sv.dhat, sv.shat)
+	}
+	return vs
 }
 
 // ErrRecurrenceBreakdown reports a degenerate recurrence.
@@ -165,7 +201,7 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 
 		// The residual norm comes from the <g,g> reduction of the
 		// previous iteration's phase 3 — no sequential pass over g.
-		rel := math.Sqrt(math.Max(sv.epsGG, 0)) / sv.bnorm
+		rel := relFromEpsilon(sv.epsGG, sv.bnorm)
 		if sv.cfg.OnIteration != nil {
 			sv.cfg.OnIteration(it, rel)
 		}
@@ -192,14 +228,22 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 			sv.restartPending = false
 		}
 
-		// ---------------- Phase 1: q = A d, <q, r̂> ----------------
+		// ---------------- Phase 1: [d̂ = M⁻¹d,] q = A d̂, <q, r̂> -------
 		sv.qrPart.ResetMissing()
+		qSrc, qSrcVer := dIn, ver-1
+		var preH []*taskrt.Handle
+		if sv.pre != nil {
+			dhOp := engine.Operand{Vec: vec(sv.dhat, sv.dhatS), Ver: ver}
+			preH = sv.eng.ApplyPrecond("dh", nil, sv.pre, engine.In(dIn, ver-1), dhOp)
+			qSrc, qSrcVer = dhOp.Vec, ver
+		}
 		qOp := engine.Operand{Vec: vec(sv.q, sv.qS), Ver: ver}
-		qH := sv.eng.SpMV("q", nil, engine.In(dIn, ver-1), qOp)
+		qH := sv.eng.SpMV("q", preH, engine.In(qSrc, qSrcVer), qOp)
 		qrH := sv.eng.DotPartialsReliable("<q,r>", qH, engine.In(qOp.Vec, ver), sv.rhat, sv.qrPart)
-		sv.runRecovery("r1", qH, func(allowLate bool) {
+		phase1 := append(append([]*taskrt.Handle{}, preH...), qH...)
+		sv.runRecovery("r1", phase1, func(allowLate bool) {
 			sv.recoverPhase(ver, cur, bPhase1, allowLate)
-		}, append(qH, qrH...))
+		}, append(append([]*taskrt.Handle{}, phase1...), qrH...))
 		sv.phaseBoundary()
 		qr, missQR := sv.qrPart.SumAvailable()
 		sv.stats.ContributionsLost += missQR
@@ -212,7 +256,7 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 		}
 		sv.alpha = sv.rho / qr
 
-		// ---------------- Phase 2: s, t = A s, <t,t>, <t,s> -----------
+		// ---------------- Phase 2: s, [ŝ = M⁻¹s,] t = A ŝ, <t,t>, <t,s>
 		alpha := sv.alpha
 		sv.ttPart.ResetMissing()
 		sv.tsPart.ResetMissing()
@@ -224,13 +268,23 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 				sparse.XpbyOutRange(sv.g.Data, -alpha, sv.q.Data, sv.s.Data, lo, hi)
 				return true
 			})
+		tSrc := sOp.Vec
+		tAfter := sH
+		var shH []*taskrt.Handle
+		if sv.pre != nil {
+			shOp := engine.Operand{Vec: vec(sv.shat, sv.shatS), Ver: ver}
+			shH = sv.eng.ApplyPrecond("sh", sH, sv.pre, engine.In(sOp.Vec, ver), shOp)
+			tSrc = shOp.Vec
+			tAfter = shH
+		}
 		tOp := engine.Operand{Vec: vec(sv.t, sv.tS), Ver: ver}
-		tH := sv.eng.SpMV("t", sH, engine.In(sOp.Vec, ver), tOp)
+		tH := sv.eng.SpMV("t", tAfter, engine.In(tSrc, ver), tOp)
 		ttH := sv.eng.DotPartials("<t,t>", tH, engine.In(tOp.Vec, ver), engine.In(tOp.Vec, ver), sv.ttPart)
 		tsH := sv.eng.DotPartials("<t,s>", tH, engine.In(tOp.Vec, ver), engine.In(sOp.Vec, ver), sv.tsPart)
-		sv.runRecovery("r2", append(append([]*taskrt.Handle{}, sH...), tH...), func(allowLate bool) {
+		phase2 := append(append(append([]*taskrt.Handle{}, sH...), shH...), tH...)
+		sv.runRecovery("r2", phase2, func(allowLate bool) {
 			sv.recoverPhase(ver, cur, bPhase2, allowLate)
-		}, append(append(append([]*taskrt.Handle{}, sH...), tH...), append(ttH, tsH...)...))
+		}, append(append([]*taskrt.Handle{}, phase2...), append(ttH, tsH...)...))
 		sv.phaseBoundary()
 		tt, missTT := sv.ttPart.SumAvailable()
 		ts, missTS := sv.tsPart.SumAvailable()
@@ -240,8 +294,12 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 				sv.restartPending = true
 				continue
 			}
-			// Lucky breakdown: s is already the residual of x + α d.
-			sparse.Axpy(alpha, sv.d[prev].Data, sv.x.Data)
+			// Lucky breakdown: s is already the residual of the updated x.
+			if sv.pre != nil {
+				sparse.Axpy(alpha, sv.dhat.Data, sv.x.Data)
+			} else {
+				sparse.Axpy(alpha, sv.d[prev].Data, sv.x.Data)
+			}
 			copy(sv.g.Data, sv.s.Data)
 			it++
 			converged = sparse.Norm2(sv.g.Data)/sv.bnorm < tol
@@ -252,12 +310,20 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 		// ---------------- Phase 3: x, g, <g, r̂> ----------------------
 		omega := sv.omega
 		sv.rhoPart.ResetMissing()
+		// Unpreconditioned: x += α d + ω s. Preconditioned (Listing 6):
+		// x += α d̂ + ω ŝ.
+		xDir, xDirVer := dIn, ver-1
+		xStep := sOp.Vec
+		if sv.pre != nil {
+			xDir, xDirVer = vec(sv.dhat, sv.dhatS), ver
+			xStep = vec(sv.shat, sv.shatS)
+		}
 		xOp := engine.Operand{Vec: vec(sv.x, sv.xS), Ver: ver}
 		xH := sv.eng.PageOp("x", nil,
-			[]engine.Operand{engine.In(xOp.Vec, ver-1), engine.In(dIn, ver-1), engine.In(sOp.Vec, ver)},
+			[]engine.Operand{engine.In(xOp.Vec, ver-1), engine.In(xDir, xDirVer), engine.In(xStep, ver)},
 			&xOp, false, func(p, lo, hi int) bool {
-				// x += α d + ω s (read-modify-write: late poisons stay).
-				sparse.Axpy2Range(alpha, sv.d[prev].Data, omega, sv.s.Data, sv.x.Data, lo, hi)
+				// Read-modify-write: late poisons stay detected.
+				sparse.Axpy2Range(alpha, xDir.V.Data, omega, xStep.V.Data, sv.x.Data, lo, hi)
 				return true
 			})
 		gOp := engine.Operand{Vec: vec(sv.g, sv.gS), Ver: ver}
@@ -280,7 +346,7 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 		gg, missGG := sv.ggPart.SumAvailable()
 		sv.stats.ContributionsLost += missGG
 		sv.epsGG = gg
-		if sv.rho == 0 || omega == 0 || math.IsNaN(rhoNew) {
+		if RhoBoundaryBreakdown(sv.rho, omega, rhoNew, gg, sv.bnorm, tol) {
 			if missRho == 0 && !sv.space.AnyFault() {
 				return sv.finish(it, converged, start), sv.x.Data, ErrRecurrenceBreakdown
 			}
@@ -328,6 +394,26 @@ func (sv *BiCGStabSolver) runRecovery(label string, after []*taskrt.Handle, fn f
 	}
 }
 
+// relFromEpsilon converts an <g,g> reduction into the relative residual.
+func relFromEpsilon(eps, bnorm float64) float64 {
+	return math.Sqrt(math.Max(eps, 0)) / bnorm
+}
+
+// RhoBoundaryBreakdown reports whether the phase-3 boundary scalars
+// indicate a recurrence breakdown. Besides the classic ω == 0 / stale
+// ρ == 0 / NaN cases, a zero NEW rho is one too: it flows into
+// β = ρ'/ρ · α/ω as a harmless-looking zero, but the ρ' carried into the
+// next iteration's α = ρ'/<q,r̂> then stalls the recurrence — so it is
+// detected at this boundary like ω == 0. Exception: a zero ρ' with the
+// residual already below tolerance is just convergence, which the loop
+// head reports cleanly.
+func RhoBoundaryBreakdown(rho, omega, rhoNew, gg, bnorm, tol float64) bool {
+	if math.IsNaN(rhoNew) || rho == 0 || omega == 0 {
+		return true
+	}
+	return rhoNew == 0 && relFromEpsilon(gg, bnorm) >= tol
+}
+
 // phaseBoundary applies pending data losses with all workers quiescent.
 func (sv *BiCGStabSolver) phaseBoundary() {
 	evs := sv.space.ScramblePending()
@@ -371,7 +457,15 @@ func (sv *BiCGStabSolver) restart(ver int64) {
 	// iteration treats as dIn is then valid.
 	copy(sv.d[0].Data, sv.g.Data)
 	copy(sv.d[1].Data, sv.g.Data)
-	sv.a.MulVec(sv.d[0].Data, sv.q.Data) // keep the q = A d pairing
+	if sv.pre != nil {
+		// Preconditioned pairing: q = A d̂ with d̂ = M⁻¹ d.
+		sv.pre.Apply(sv.d[0].Data, sv.dhat.Data)
+		sv.a.MulVec(sv.dhat.Data, sv.q.Data)
+		sv.dhatS.Fill(ver)
+		sv.shatS.Fill(ver)
+	} else {
+		sv.a.MulVec(sv.d[0].Data, sv.q.Data) // keep the q = A d pairing
+	}
 	sv.rho = sparse.Dot(sv.g.Data, sv.rhat)
 	sv.epsGG = sv.rho // r̂0 = g, so <g,g> = <g,r̂0>
 	sv.lastBeta, sv.lastOmega = 0, 0
@@ -419,14 +513,22 @@ func (sv *BiCGStabSolver) boundaryRecover(ver int64) bool {
 		blankAllFailed(sv.space)
 		return true
 	}
-	// s and t are rebuilt before use: just blank them.
-	for _, v := range []*pagemem.Vector{sv.s, sv.t} {
+	// s and t (and ŝ) are rebuilt before use: just blank them.
+	scratchVecs := []*pagemem.Vector{sv.s, sv.t}
+	if sv.pre != nil {
+		scratchVecs = append(scratchVecs, sv.shat)
+	}
+	for _, v := range scratchVecs {
 		for _, p := range v.FailedPages() {
 			v.Remap(p)
 			v.MarkRecovered(p)
 		}
 	}
 	gV, xV, qV := vec(sv.g, sv.gS), vec(sv.x, sv.xS), vec(sv.q, sv.qS)
+	var dhatV engine.Vec
+	if sv.pre != nil {
+		dhatV = vec(sv.dhat, sv.dhatS)
+	}
 	for pass := 0; pass < 4; pass++ {
 		progress := false
 		for p := 0; p < sv.np; p++ {
@@ -436,11 +538,31 @@ func (sv *BiCGStabSolver) boundaryRecover(ver int64) bool {
 			if sv.x.Failed(p) && sv.rel.InverseIterate(xV, ver-1, gV, ver-1, p) {
 				progress = true
 			}
-			if dOld.V.Failed(p) && sv.rel.InverseDirection(dOld, ver-2, qV, ver-1, p) {
-				progress = true
-			}
-			if sv.q.Failed(p) && sv.rel.ForwardSpMV(qV, ver-1, dOld, ver-2, p) {
-				progress = true
+			if sv.pre == nil {
+				if dOld.V.Failed(p) && sv.rel.InverseDirection(dOld, ver-2, qV, ver-1, p) {
+					progress = true
+				}
+				if sv.q.Failed(p) && sv.rel.ForwardSpMV(qV, ver-1, dOld, ver-2, p) {
+					progress = true
+				}
+			} else {
+				// Preconditioned pairing: the q produced at ver-1 is
+				// A d̂(ver-1) with d̂ = M⁻¹ dOld(ver-2). d̂ repairs forward
+				// by partial application or inverse through q; dOld by the
+				// forward product d = M d̂; q by re-running the SpMV on d̂.
+				if sv.dhat.Failed(p) {
+					if sv.rel.PrecondApply(sv.pre, dhatV, ver-1, dOld, ver-2, p) {
+						progress = true
+					} else if sv.rel.InverseDirection(dhatV, ver-1, qV, ver-1, p) {
+						progress = true
+					}
+				}
+				if dOld.V.Failed(p) && sv.rel.PrecondUnapply(sv.pre, dOld, ver-2, dhatV, ver-1, p) {
+					progress = true
+				}
+				if sv.q.Failed(p) && sv.rel.ForwardSpMV(qV, ver-1, dhatV, ver-1, p) {
+					progress = true
+				}
 			}
 			// dIn = g + lastβ (dOld - lastω q): re-run the forward update
 			// (scalars live in reliable memory). After a restart the
@@ -492,24 +614,54 @@ func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allo
 	dOut := vec(sv.d[cur], sv.dS[cur])
 	gV, xV, qV := vec(sv.g, sv.gS), vec(sv.x, sv.xS), vec(sv.q, sv.qS)
 	sV, tV := vec(sv.s, sv.sS), vec(sv.t, sv.tS)
+	var dhatV, shatV engine.Vec
+	// qSrc is what the phase's SpMV consumed: d̂ at ver when
+	// preconditioned, the incoming direction at ver-1 otherwise.
+	qSrc, qSrcVer := dIn, ver-1
+	if sv.pre != nil {
+		dhatV, shatV = vec(sv.dhat, sv.dhatS), vec(sv.shat, sv.shatS)
+		qSrc, qSrcVer = dhatV, ver
+	}
+	// recoverQSrc repairs the SpMV input: d̂ forward by partial
+	// application from dIn (or inverse through the new q), and dIn either
+	// inverse through q (unpreconditioned) or by the forward product
+	// d = M d̂. All safe for AFEIR: the phase reductions never read them.
+	recoverQSrc := func(p int) bool {
+		progress := false
+		if sv.pre != nil {
+			if !dhatV.Current(p, ver) {
+				if sv.rel.PrecondApply(sv.pre, dhatV, ver, dIn, ver-1, p) {
+					progress = true
+				} else if sv.rel.InverseDirection(dhatV, ver, qV, ver, p) {
+					progress = true
+				}
+			}
+			if !dIn.Current(p, ver-1) && sv.rel.PrecondUnapply(sv.pre, dIn, ver-1, dhatV, ver, p) {
+				progress = true
+			}
+			return progress
+		}
+		if !dIn.Current(p, ver-1) && sv.rel.InverseDirection(dIn, ver-1, qV, ver, p) {
+			progress = true
+		}
+		return progress
+	}
 	for pass := 0; pass < 4; pass++ {
 		progress := false
 		for p := 0; p < sv.np; p++ {
 			lo, hi := sv.layout.Range(p)
 			switch phase {
 			case bPhase1:
-				// dIn repairs are safe even for AFEIR: the <q,r̂>
-				// reduction reads only q. Inverse through the NEW q,
-				// which pairs with dIn.
-				if !dIn.Current(p, ver-1) && sv.rel.InverseDirection(dIn, ver-1, qV, ver, p) {
+				if recoverQSrc(p) {
 					progress = true
 				}
-				// q rows skipped because dIn was stale: recompute. The
-				// reduction skipped them too (stale stamp), so the
-				// rewrite is safe; late poisons only under allowLate.
+				// q rows skipped because the SpMV input was stale:
+				// recompute. The reduction skipped them too (stale
+				// stamp), so the rewrite is safe; late poisons only
+				// under allowLate.
 				if !qV.Current(p, ver) {
 					if allowLate || !qV.LateFault(p, ver) {
-						if sv.rel.ForwardSpMV(qV, ver, dIn, ver-1, p) {
+						if sv.rel.ForwardSpMV(qV, ver, qSrc, qSrcVer, p) {
 							progress = true
 						}
 					}
@@ -522,12 +674,16 @@ func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allo
 						progress = true
 					}
 				}
-				if !qV.Current(p, ver) && sv.rel.ForwardSpMV(qV, ver, dIn, ver-1, p) {
+				if recoverQSrc(p) {
 					progress = true
 				}
-				// s = g - α q, then t = A s. Both are read by the
-				// reductions: stale pages were skipped (safe), late
-				// poisons only under allowLate.
+				if !qV.Current(p, ver) && sv.rel.ForwardSpMV(qV, ver, qSrc, qSrcVer, p) {
+					progress = true
+				}
+				// s = g - α q, then [ŝ = M⁻¹s and] t = A ŝ. s and t are
+				// read by the reductions: stale pages were skipped
+				// (safe), late poisons only under allowLate. ŝ is not
+				// read by any reduction, so its repair is always safe.
 				if !sV.Current(p, ver) {
 					if (allowLate || !sV.LateFault(p, ver)) && gV.Current(p, ver-1) && qV.Current(p, ver) {
 						sparse.XpbyOutRange(sv.g.Data, -sv.alpha, sv.q.Data, sv.s.Data, lo, hi)
@@ -536,9 +692,16 @@ func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allo
 						progress = true
 					}
 				}
+				tSrc := sV
+				if sv.pre != nil {
+					tSrc = shatV
+					if !shatV.Current(p, ver) && sv.rel.PrecondApply(sv.pre, shatV, ver, sV, ver, p) {
+						progress = true
+					}
+				}
 				if !tV.Current(p, ver) {
 					if allowLate || !tV.LateFault(p, ver) {
-						if sv.rel.ForwardSpMV(tV, ver, sV, ver, p) {
+						if sv.rel.ForwardSpMV(tV, ver, tSrc, ver, p) {
 							// forwardSpMV counts RecomputedQ; t is the
 							// same A·vec relation.
 							progress = true
@@ -546,10 +709,21 @@ func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allo
 					}
 				}
 			case bPhase3:
-				// x += α d + ω s: not read by the <g,r̂> reduction.
+				// x += α d + ω s (or α d̂ + ω ŝ preconditioned): not read
+				// by the <g,r̂> reduction.
+				xDir, xDirVer, xStep := dIn, ver-1, sV
+				if sv.pre != nil {
+					xDir, xDirVer, xStep = dhatV, ver, shatV
+					if !shatV.Current(p, ver) && sv.rel.PrecondApply(sv.pre, shatV, ver, sV, ver, p) {
+						progress = true
+					}
+					if recoverQSrc(p) {
+						progress = true
+					}
+				}
 				if !sv.x.Failed(p) && sv.xS[p].Load() == ver-1 {
-					if dIn.Current(p, ver-1) && sV.Current(p, ver) {
-						sparse.Axpy2Range(sv.alpha, dIn.V.Data, sv.omega, sv.s.Data, sv.x.Data, lo, hi)
+					if xDir.Current(p, xDirVer) && xStep.Current(p, ver) {
+						sparse.Axpy2Range(sv.alpha, xDir.V.Data, sv.omega, xStep.V.Data, sv.x.Data, lo, hi)
 						sv.xS[p].Store(ver)
 						sv.stats.RecoveredForward++
 						progress = true

@@ -102,15 +102,17 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 	} else {
 		s.d[1] = s.d[0]
 	}
+	s.blocks = sparse.NewBlockSolverCache(a, s.layout, true)
 	if cfg.UsePrecond {
 		s.z = s.space.AddVector("z")
-		pre, err := precond.NewBlockJacobi(a, cfg.pageDoubles())
+		// Reuse the recovery cache's Cholesky factorizations as the
+		// preconditioner blocks — they are the same A_pp (§5.1).
+		pre, err := precond.FromCache(s.blocks)
 		if err != nil {
 			return nil, fmt.Errorf("core: block-Jacobi setup: %w", err)
 		}
 		s.pre = pre
 	}
-	s.blocks = sparse.NewBlockSolverCache(a, s.layout, true)
 
 	s.xS = engine.NewStamps(s.np)
 	s.gS = engine.NewStamps(s.np)
@@ -367,13 +369,9 @@ func (s *CG) runPhase2(ver int64) {
 	})
 	var zH []*taskrt.Handle
 	if s.pre != nil {
-		zV := vec(s.z, s.zS)
-		zOut := engine.Operand{Vec: zV, Ver: ver}
-		zH = s.eng.PageOp("z", gH, []engine.Operand{engine.In(gV, ver)}, &zOut, true, func(p, lo, hi int) bool {
-			// Full-page overwrite via partial preconditioner
-			// application (§3.2).
-			return s.pre.ApplyBlock(p, s.g.Data, s.z.Data) == nil
-		})
+		// Guarded apply-M⁻¹ page operation: full-page overwrite via
+		// partial preconditioner application (§3.2).
+		zH = s.eng.ApplyPrecond("z", gH, s.pre, engine.In(gV, ver), engine.Operand{Vec: vec(s.z, s.zS), Ver: ver})
 	}
 	epsAfter := gH
 	if s.pre != nil {

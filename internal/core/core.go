@@ -10,8 +10,10 @@
 // Gradient of §3.3 (plain and block-Jacobi preconditioned), built on
 // internal/taskrt with the Figure 1(b) task graph. Resilient BiCGStab and
 // GMRES, for which the paper derives the redundancy relations (§3.1.2,
-// §3.1.3) but reports no large-scale runs, are provided as page-recovering
-// sequential implementations in bicgstab.go and gmres.go.
+// §3.1.3), run as task graphs on the same engine in bicgstab.go and
+// gmres.go — each with a block-Jacobi preconditioned variant
+// (Config.UsePrecond) whose preconditioned vectors recover by partial
+// application (§3.2).
 package core
 
 import (

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/pagemem"
+	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/taskrt"
 )
@@ -35,6 +36,20 @@ import (
 // (exact replacement data, so concurrent readers are unaffected) and
 // clears their fault bits, hiding the recovery latency; whatever it could
 // not reach is repaired at the boundary like FEIR.
+//
+// With Config.UsePrecond the solver runs left-preconditioned GMRES on
+// M⁻¹ A x = M⁻¹ b with the block-Jacobi M: the cycle starts from the
+// protected preconditioned residual z = M⁻¹ g (recoverable from g by
+// partial application, §3.2) and every Arnoldi step applies M⁻¹ to the
+// SpMV result in place (w is regenerated per step, so it needs no
+// protection). The Hessenberg redundancy becomes
+//
+//	v_l = (M⁻¹ A v_{l-1} - Σ_{k<l} h_{k,l-1} v_k) / h_{l,l-1}
+//
+// whose only new ingredient is a per-page M⁻¹_pp application on the
+// rebuilt SpMV rows — block diagonality keeps the relation page-local.
+// The x/g pair keeps the UNpreconditioned g = b - A x relation, and
+// convergence is still declared on the true residual.
 type GMRESSolver struct {
 	cfg     Config
 	restart int
@@ -45,9 +60,11 @@ type GMRESSolver struct {
 	np      int
 	space   *pagemem.Space
 	x, g    *pagemem.Vector
+	z       *pagemem.Vector // preconditioned residual M⁻¹ g (UsePrecond)
 	v       []*pagemem.Vector
 	w       []float64     // unprotected per-step scratch
 	hCopy   *sparse.Dense // pristine H, the redundancy store
+	pre     *precond.BlockJacobi
 	blocks  *sparse.BlockSolverCache
 	conn    [][]int
 	rel     *Relations
@@ -73,8 +90,12 @@ func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver
 	if restart <= 0 {
 		restart = 30
 	}
-	if restart+3 > pagemem.MaxVectors {
-		return nil, fmt.Errorf("core: restart %d exceeds protectable vectors (max %d)", restart, pagemem.MaxVectors-3)
+	fixed := 3 // x, g, v_0..v_m
+	if cfg.UsePrecond {
+		fixed = 4 // plus the protected preconditioned residual z
+	}
+	if restart+fixed > pagemem.MaxVectors {
+		return nil, fmt.Errorf("core: restart %d exceeds protectable vectors (max %d)", restart, pagemem.MaxVectors-fixed)
 	}
 	sv := &GMRESSolver{
 		cfg:     cfg,
@@ -91,6 +112,9 @@ func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver
 	sv.space = pagemem.NewSpace(a.N, cfg.pageDoubles())
 	sv.x = sv.space.AddVector("x")
 	sv.g = sv.space.AddVector("g")
+	if cfg.UsePrecond {
+		sv.z = sv.space.AddVector("z")
+	}
 	sv.v = make([]*pagemem.Vector, restart+1)
 	for i := range sv.v {
 		sv.v[i] = sv.space.AddVector(fmt.Sprintf("v%d", i))
@@ -98,6 +122,15 @@ func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver
 	sv.w = make([]float64, a.N)
 	sv.hCopy = sparse.NewDense(restart+1, restart)
 	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false)
+	if cfg.UsePrecond {
+		// Reuse the recovery cache's LU factorizations as the
+		// preconditioner blocks — they are the same A_pp (§5.1).
+		pre, err := precond.FromCache(sv.blocks)
+		if err != nil {
+			return nil, fmt.Errorf("core: block-Jacobi setup: %w", err)
+		}
+		sv.pre = pre
+	}
 	sv.dotPart = engine.NewPartial(sv.np)
 	return sv, nil
 }
@@ -108,6 +141,9 @@ func (sv *GMRESSolver) Space() *pagemem.Space { return sv.space }
 // DynamicVectors lists the vectors injections cover (§5.3).
 func (sv *GMRESSolver) DynamicVectors() []*pagemem.Vector {
 	vs := []*pagemem.Vector{sv.x, sv.g}
+	if sv.z != nil {
+		vs = append(vs, sv.z)
+	}
 	return append(vs, sv.v...)
 }
 
@@ -152,11 +188,19 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 			converged = true
 			break
 		}
-		sv.zeta = math.Sqrt(sv.eng.Dot("<g,g>", sv.g.Data, sv.g.Data, sv.dotPart))
+		// The Arnoldi start vector: g, or the preconditioned residual
+		// z = M⁻¹ g (full overwrite, so the rebuild heals z losses too).
+		src := sv.g
+		if sv.pre != nil {
+			sv.rt.WaitAll(sv.eng.RawApplyPrecond("z", nil, sv.pre, sv.g.Data, sv.z.Data))
+			sv.clearFailed(sv.z)
+			src = sv.z
+		}
+		sv.zeta = math.Sqrt(sv.eng.Dot("<z,z>", src.Data, src.Data, sv.dotPart))
 		zeta := sv.zeta
 		sv.rt.WaitAll(sv.eng.RawOp("v0", nil, func(p, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				sv.v[0].Data[i] = sv.g.Data[i] / zeta
+				sv.v[0].Data[i] = src.Data[i] / zeta
 			}
 		}))
 		sv.clearFailed(sv.v[0])
@@ -169,9 +213,13 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 		steps := 0
 		for l := 0; l < m && totalIt < maxIter; l++ {
 			sv.boundary() // Arnoldi-step boundary: repair before using data
-			// w = A v_l, chunked; under AFEIR the repair task overlaps
-			// with the orthogonalisation reductions that follow.
+			// w = A v_l (then w = M⁻¹ w in place when preconditioned),
+			// chunked; under AFEIR the repair task overlaps with the
+			// orthogonalisation reductions that follow.
 			wH := sv.eng.RawSpMV("w", nil, sv.v[l].Data, sv.w)
+			if sv.pre != nil {
+				wH = sv.eng.RawApplyPrecond("Mw", wH, sv.pre, sv.w, sv.w)
+			}
 			var rOverlap *taskrt.Handle
 			if sv.cfg.Method == MethodAFEIR && !(sv.cfg.OnDemandRecovery && !sv.space.AnyFault()) {
 				liveSteps := sv.steps // snapshot: the step counter advances mid-phase
@@ -316,13 +364,18 @@ func (sv *GMRESSolver) boundary() {
 }
 
 // repairPasses runs the §3.1.3 relations to a fixpoint: g = b - A x,
-// x = A⁻¹(b - g), v_0 = g/ζ and the Hessenberg redundancy for v_l up to
-// the given completed step count. It is safe to run concurrently with
-// reduction tasks (the AFEIR overlap): replacement data is exact, so
-// readers of a page being repaired see values equal to the originals.
+// x = A⁻¹(b - g), z = M⁻¹ g (preconditioned), v_0 = z/ζ (or g/ζ) and the
+// Hessenberg redundancy for v_l up to the given completed step count. It
+// is safe to run concurrently with reduction tasks (the AFEIR overlap):
+// replacement data is exact, so readers of a page being repaired see
+// values equal to the originals.
 func (sv *GMRESSolver) repairPasses(steps int) {
 	gV := engine.Vec{V: sv.g}
 	xV := engine.Vec{V: sv.x}
+	src := sv.g
+	if sv.pre != nil {
+		src = sv.z
+	}
 	for pass := 0; pass < 4; pass++ {
 		progress := false
 		for _, p := range sv.g.FailedPages() {
@@ -335,17 +388,26 @@ func (sv *GMRESSolver) repairPasses(steps int) {
 				progress = true
 			}
 		}
-		// v_0 = g / ζ.
+		// z = M⁻¹ g by partial application (§3.2).
+		if sv.pre != nil {
+			zV := engine.Vec{V: sv.z}
+			for _, p := range sv.z.FailedPages() {
+				if sv.rel.PrecondApply(sv.pre, zV, 0, gV, 0, p) {
+					progress = true
+				}
+			}
+		}
+		// v_0 = z / ζ (or g / ζ unpreconditioned).
 		for _, p := range sv.v[0].FailedPages() {
 			if steps == 0 || sv.zeta == 0 {
 				break
 			}
-			if sv.g.Failed(p) {
+			if src.Failed(p) {
 				continue
 			}
 			lo, hi := sv.layout.Range(p)
 			for i := lo; i < hi; i++ {
-				sv.v[0].Data[i] = sv.g.Data[i] / sv.zeta
+				sv.v[0].Data[i] = src.Data[i] / sv.zeta
 			}
 			sv.v[0].MarkRecovered(p)
 			sv.stats.RecoveredForward++
@@ -379,6 +441,15 @@ func (sv *GMRESSolver) repairPasses(steps int) {
 				lo, hi := sv.layout.Range(p)
 				buf := make([]float64, hi-lo)
 				sv.a.MulVecRangeExcludingCols(sv.v[l-1].Data, buf, lo, hi, 0, 0)
+				if sv.pre != nil {
+					// Left preconditioning: the Arnoldi operator is
+					// M⁻¹ A, and M⁻¹ is block-diagonal, so the rebuilt
+					// rows just get the partial application too.
+					if sv.pre.SolveBlockInPlace(p, buf) != nil {
+						continue
+					}
+					sv.stats.PrecondPartialApplies++
+				}
 				for k := 0; k < l; k++ {
 					hk := sv.hCopy.At(k, l-1)
 					if hk == 0 {

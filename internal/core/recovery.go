@@ -83,16 +83,7 @@ func (s *CG) recomputeQ(d *pagemem.Vector, dS []atomic.Int64, p int, ver int64) 
 // recoverZ rebuilds page p of the preconditioned residual by a partial
 // block-Jacobi application (§3.2), requiring g current at ver on page p.
 func (s *CG) recoverZ(p int, ver int64) bool {
-	if !current(s.g, s.gS, p, ver) {
-		return false
-	}
-	if err := s.pre.ApplyBlock(p, s.g.Data, s.z.Data); err != nil {
-		return false
-	}
-	s.z.MarkRecovered(p)
-	s.zS[p].Store(ver)
-	s.stats.PrecondPartialApplies++
-	return true
+	return s.rel.PrecondApply(s.pre, vec(s.z, s.zS), ver, vec(s.g, s.gS), ver, p)
 }
 
 // coupledRecoverD solves the combined §2.4 system for a set of direction

@@ -114,6 +114,38 @@ func (r *Relations) ForwardSpMV(q engine.Vec, qVer int64, d engine.Vec, dVer int
 	return true
 }
 
+// PrecondApply rebuilds page p of z at zVer by a partial application of
+// the block-diagonal preconditioner to src (§3.2): z_p = M_pp⁻¹ src_p.
+// Block diagonality means the relation needs src current at srcVer on
+// page p only — no connectivity, no halo.
+func (r *Relations) PrecondApply(m engine.BlockApplier, z engine.Vec, zVer int64, src engine.Vec, srcVer int64, p int) bool {
+	if !src.Current(p, srcVer) {
+		return false
+	}
+	if err := m.ApplyBlock(p, src.V.Data, z.V.Data); err != nil {
+		return false
+	}
+	r.MarkRecovered(z, p, zVer)
+	r.stats.PrecondPartialApplies++
+	return true
+}
+
+// PrecondUnapply rebuilds page p of d at dVer from its surviving
+// preconditioned image d̂ = M⁻¹ d: d_p = M_pp d̂_p, requiring d̂ current at
+// hatVer on page p. The inverse partner of PrecondApply, again rank- and
+// page-local by block diagonality.
+func (r *Relations) PrecondUnapply(m engine.BlockMultiplier, d engine.Vec, dVer int64, dhat engine.Vec, hatVer int64, p int) bool {
+	if !dhat.Current(p, hatVer) {
+		return false
+	}
+	if err := m.MulBlock(p, dhat.V.Data, d.V.Data); err != nil {
+		return false
+	}
+	r.MarkRecovered(d, p, dVer)
+	r.stats.RecoveredInverse++
+	return true
+}
+
 // MarkRecovered clears the fault bit and stamps the page (stampless
 // vectors just clear the bit).
 func (r *Relations) MarkRecovered(v engine.Vec, p int, ver int64) {

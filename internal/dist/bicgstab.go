@@ -19,10 +19,17 @@ import (
 // carried direction d falls back to an exact restart from the repaired
 // iterate — the BSP supersteps keep no old-q pairing to invert, unlike
 // the double-buffered single-node solver.
+// With Config.UsePrecond it runs the preconditioned BiCGStab (Listing 6):
+// d̂ = M⁻¹ d and ŝ = M⁻¹ s are produced rank-locally (block diagonality,
+// no halo), the matvecs become q = A d̂ / t = A ŝ and the update
+// x += α d̂ + ω ŝ; g remains the true residual, so the x/g recovery
+// relations are untouched, and d̂/ŝ — like s, t and q — are regenerated
+// every iteration, healing by overwrite.
 type BiCGStab struct {
 	base
 	x, g, d, q, s, t *shard.Vec
-	rhat             []float64 // reliable constant memory
+	dhat, shat       *shard.Vec // preconditioned directions (UsePrecond)
+	rhat             []float64  // reliable constant memory
 
 	rho   float64
 	epsGG float64
@@ -47,6 +54,11 @@ func NewBiCGStab(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*BiCGStab
 	s.t = s.sub.AddVector("t")
 	s.rhat = make([]float64, a.N)
 	s.track(s.x, s.g, s.d, s.q, s.s, s.t)
+	if cfg.UsePrecond {
+		s.dhat = s.sub.AddVector("dh")
+		s.shat = s.sub.AddVector("sh")
+		s.track(s.dhat, s.shat)
+	}
 	return s, nil
 }
 
@@ -99,8 +111,13 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 			continue
 		}
 
-		// Phase 1: q = A d (d halo exchange inside), <q, r̂>.
-		sub.SpMV("q", s.d, s.q)
+		// Phase 1: [d̂ = M⁻¹d,] q = A d̂ (halo exchange inside), <q, r̂>.
+		qSrc := s.d
+		if s.dhat != nil {
+			sub.ApplyPrecondOwned("dh", s.d, s.dhat)
+			qSrc = s.dhat
+		}
+		sub.SpMV("q", qSrc, s.q)
 		qr := sub.DotReliable("<q,r>", s.q, s.rhat)
 		if qr == 0 || isNaN(qr) || isNaN(s.rho) {
 			if !sub.AnyFault() {
@@ -113,11 +130,16 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 		}
 		alpha := s.rho / qr
 
-		// Phase 2: s = g - α q, t = A s, <t,t>, <t,s>.
+		// Phase 2: s = g - α q, [ŝ = M⁻¹s,] t = A ŝ, <t,t>, <t,s>.
 		sub.RankOp("s", func(r *shard.Rank, p, lo, hi int) {
 			sparse.XpbyOutRange(s.g.Of(r).Data, -alpha, s.q.Of(r).Data, s.s.Of(r).Data, lo, hi)
 		})
-		sub.SpMV("t", s.s, s.t)
+		tSrc := s.s
+		if s.shat != nil {
+			sub.ApplyPrecondOwned("sh", s.s, s.shat)
+			tSrc = s.shat
+		}
+		sub.SpMV("t", tSrc, s.t)
 		tt := sub.Dot("<t,t>", s.t, s.t)
 		ts := sub.Dot("<t,s>", s.t, s.s)
 		if tt == 0 {
@@ -126,9 +148,9 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 				s.stats.Restarts++
 				continue
 			}
-			// Lucky breakdown: s is already the residual of x + α d.
+			// Lucky breakdown: s is already the residual of the updated x.
 			sub.RankOp("x", func(r *shard.Rank, p, lo, hi int) {
-				sparse.AxpyRange(alpha, s.d.Of(r).Data, s.x.Of(r).Data, lo, hi)
+				sparse.AxpyRange(alpha, qSrc.Of(r).Data, s.x.Of(r).Data, lo, hi)
 				copy(s.g.Of(r).Data[lo:hi], s.s.Of(r).Data[lo:hi])
 			})
 			it++
@@ -137,15 +159,17 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 		}
 		omega := ts / tt
 
-		// Phase 3: x += α d + ω s ; g = s - ω t ; <g,r̂> ; <g,g>.
+		// Phase 3: x += α d̂ + ω ŝ ; g = s - ω t ; <g,r̂> ; <g,g>.
 		sub.RankOp("xg", func(r *shard.Rank, p, lo, hi int) {
-			sparse.Axpy2Range(alpha, s.d.Of(r).Data, omega, s.s.Of(r).Data, s.x.Of(r).Data, lo, hi)
+			sparse.Axpy2Range(alpha, qSrc.Of(r).Data, omega, tSrc.Of(r).Data, s.x.Of(r).Data, lo, hi)
 			sparse.XpbyOutRange(s.s.Of(r).Data, -omega, s.t.Of(r).Data, s.g.Of(r).Data, lo, hi)
 		})
 		rhoNew := sub.DotReliable("<g,r>", s.g, s.rhat)
 		gg := sub.Dot("<g,g>", s.g, s.g)
 		s.epsGG = gg
-		if s.rho == 0 || omega == 0 || isNaN(rhoNew) {
+		// rhoNew == 0 is a breakdown too (a zero ρ carried forward stalls
+		// the next α) — unless the residual already converged.
+		if core.RhoBoundaryBreakdown(s.rho, omega, rhoNew, gg, sub.Bnorm, tol) {
 			if !sub.AnyFault() {
 				res, x := s.finish(it, converged, start, s.x)
 				return res, x, core.ErrRecurrenceBreakdown
@@ -198,8 +222,12 @@ func (s *BiCGStab) boundary() bool {
 	}
 	switch s.cfg.Method {
 	case core.MethodFEIR, core.MethodAFEIR:
-		// q, s and t are regenerated every iteration: heal by overwrite.
+		// q, s and t (and d̂/ŝ) are regenerated every iteration: heal by
+		// overwrite.
 		blankOwned(sub, false, s.q, s.s, s.t)
+		if s.dhat != nil {
+			blankOwned(sub, false, s.dhat, s.shat)
+		}
 		dDamaged := false
 		for _, r := range sub.Ranks {
 			if len(r.OwnedFailed(s.d)) > 0 {
@@ -224,6 +252,9 @@ func (s *BiCGStab) boundary() bool {
 		return false
 	default:
 		blankOwned(sub, false, s.x, s.g, s.d, s.q, s.s, s.t)
+		if s.dhat != nil {
+			blankOwned(sub, false, s.dhat, s.shat)
+		}
 		return true
 	}
 }

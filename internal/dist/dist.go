@@ -47,6 +47,10 @@ type Config struct {
 	CheckpointInterval int
 	// Restart is the GMRES restart length; 0 means 30.
 	Restart int
+	// UsePrecond enables the block-Jacobi preconditioned variant (PCG,
+	// PBiCGStab, PGMRES). Blocks coincide with pages and never cross rank
+	// boundaries, so application and recovery stay rank-local (§5.1).
+	UsePrecond bool
 	// Inject, when non-nil, is called once per iteration with the ranks —
 	// the hook deterministic experiments use to drive injections into
 	// chosen fault domains and pages.
@@ -77,6 +81,12 @@ func (b *base) setup(a *sparse.CSR, rhs []float64, ranks int, cfg Config, spd bo
 	sub, err := shard.New(a, rhs, ranks, cfg.pageDoubles(), cfg.Workers, spd)
 	if err != nil {
 		return err
+	}
+	if cfg.UsePrecond {
+		if err := sub.EnablePrecond(); err != nil {
+			sub.Close()
+			return err
+		}
 	}
 	b.sub = sub
 	b.cfg = cfg
@@ -200,12 +210,17 @@ func isNaN(v float64) bool { return math.IsNaN(v) }
 // ---------------------------------------------------------------------
 
 // CG is the rank-partitioned resilient Conjugate Gradient on the shard
-// substrate.
+// substrate. With Config.UsePrecond it runs the paper's block-Jacobi PCG:
+// the protected preconditioned residual z = M⁻¹ g is rank-local to
+// produce (block diagonality) and rank-local to recover (partial
+// application from g, §3.2), so preconditioning adds no halo traffic.
 type CG struct {
 	base
 	x, g, d, q *shard.Vec
+	z          *shard.Vec // preconditioned residual (UsePrecond), else nil
 
 	epsGG          float64
+	rho            float64 // <z, g> (preconditioned only)
 	beta           float64
 	restartPending bool
 
@@ -226,6 +241,10 @@ func NewCG(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*CG, error) {
 	s.d = s.sub.AddVector("d")
 	s.q = s.sub.AddVector("q")
 	s.track(s.x, s.g, s.d, s.q)
+	if cfg.UsePrecond {
+		s.z = s.sub.AddVector("z")
+		s.track(s.z)
+	}
 	return s, nil
 }
 
@@ -249,10 +268,14 @@ func (s *CG) Run() (core.Result, []float64, error) {
 	tol := s.cfg.tol()
 	maxIter := s.cfg.maxIter(sub.A.N)
 
-	// x = 0, g = b, d = g via the beta=0 first step.
+	// x = 0, g = b, d = g (or z = M⁻¹g) via the beta=0 first step.
 	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
 		copy(s.g.Of(r).Data[lo:hi], sub.B[lo:hi])
 	})
+	if s.z != nil {
+		sub.ApplyPrecondOwned("z", s.g, s.z)
+		s.rho = sub.Dot("<z,g>", s.z, s.g)
+	}
 	s.epsGG = sub.Dot("gg", s.g, s.g)
 	s.beta = 0
 	s.restartPending = true
@@ -281,34 +304,52 @@ func (s *CG) Run() (core.Result, []float64, error) {
 			s.writeCheckpoint(it)
 		}
 
-		// d = g + beta d on owned pages.
+		// d = src + beta d on owned pages, src the (preconditioned)
+		// residual.
 		beta := s.beta
 		if s.restartPending {
 			beta = 0
 		}
+		src := s.g
+		if s.z != nil {
+			src = s.z
+		}
 		sub.RankOp("d", func(r *shard.Rank, p, lo, hi int) {
 			if beta == 0 {
-				copy(s.d.Of(r).Data[lo:hi], s.g.Of(r).Data[lo:hi])
+				copy(s.d.Of(r).Data[lo:hi], src.Of(r).Data[lo:hi])
 			} else {
-				sparse.XpbyRange(s.g.Of(r).Data, beta, s.d.Of(r).Data, lo, hi)
+				sparse.XpbyRange(src.Of(r).Data, beta, s.d.Of(r).Data, lo, hi)
 			}
 		})
 		// Halo exchange of d, then q = A d on owned rows and the <d,q>
 		// reduction — the §3.4 communication/computation pattern.
 		sub.SpMV("q", s.d, s.q)
 		dq := sub.Dot("<d,q>", s.d, s.q)
+		num := s.epsGG
+		if s.z != nil {
+			num = s.rho
+		}
 		alpha := 0.0
-		if dq != 0 && !isNaN(dq) && !isNaN(s.epsGG) {
-			alpha = s.epsGG / dq
+		if dq != 0 && !isNaN(dq) && !isNaN(num) {
+			alpha = num / dq
 		}
 
-		// x += alpha d ; g -= alpha q ; <g,g>.
+		// x += alpha d ; g -= alpha q ; [z = M⁻¹g ;] <g,g> [; <z,g>].
 		sub.RankOp("xg", func(r *shard.Rank, p, lo, hi int) {
 			sparse.AxpyRange(alpha, s.d.Of(r).Data, s.x.Of(r).Data, lo, hi)
 			sparse.AxpyRange(-alpha, s.q.Of(r).Data, s.g.Of(r).Data, lo, hi)
 		})
 		gg := sub.Dot("gg", s.g, s.g)
-		if s.epsGG != 0 && !isNaN(gg) {
+		if s.z != nil {
+			sub.ApplyPrecondOwned("z", s.g, s.z)
+			zg := sub.Dot("<z,g>", s.z, s.g)
+			if s.rho != 0 && !isNaN(zg) {
+				s.beta = zg / s.rho
+			} else {
+				s.beta = 0
+			}
+			s.rho = zg
+		} else if s.epsGG != 0 && !isNaN(gg) {
 			s.beta = gg / s.epsGG
 		} else {
 			s.beta = 0
@@ -330,6 +371,10 @@ func (s *CG) restartFromX() {
 		r.Space.ClearAll()
 	}
 	s.sub.ResidualFromX(s.x, s.g)
+	if s.z != nil {
+		s.sub.ApplyPrecondOwned("z", s.g, s.z)
+		s.rho = s.sub.Dot("<z,g>", s.z, s.g)
+	}
 	s.epsGG = s.sub.Dot("gg", s.g, s.g)
 	s.restartPending = true
 }
@@ -367,6 +412,10 @@ func (s *CG) rollback() {
 		s.sub.Scatter(s.ckX, s.x)
 		s.sub.Scatter(s.ckD, s.d)
 		s.sub.ResidualFromX(s.x, s.g)
+		if s.z != nil {
+			s.sub.ApplyPrecondOwned("z", s.g, s.z)
+			s.rho = s.sub.Dot("<z,g>", s.z, s.g)
+		}
 		s.epsGG = s.sub.Dot("gg", s.g, s.g)
 		s.beta = s.ckBeta
 		s.restartPending = false
@@ -404,6 +453,9 @@ func (s *CG) boundary() bool {
 		return false
 	default:
 		// Blank-page forward recovery: keep running.
+		if s.z != nil {
+			blankOwned(sub, false, s.z)
+		}
 		blankOwned(sub, false, s.x, s.g, s.d, s.q)
 		return true
 	}
@@ -430,7 +482,15 @@ func (s *CG) exactRecover() bool {
 			s.restartPending = true
 		}
 	}
-	return recoverXG(s.sub, s.cfg.Method, s.x, s.g)
+	if !recoverXG(s.sub, s.cfg.Method, s.x, s.g) {
+		return false
+	}
+	if s.z != nil {
+		// z = M⁻¹ g by rank-local partial application (§3.2); g's owned
+		// pages are all current after recoverXG succeeded.
+		s.sub.RecoverPrecondOwned(s.cfg.Method, "z", s.z, s.g)
+	}
+	return !s.sub.OwnedFault()
 }
 
 // lossyRestart interpolates lost iterate pages with the block-Jacobi step

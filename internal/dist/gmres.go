@@ -23,9 +23,17 @@ import (
 // the x/g relations, stays rank-local plus one exchange. Damage no
 // relation can repair aborts the cycle: lost pages are blanked and the
 // next cycle rebuilds the basis from the (repaired or degraded) iterate.
+//
+// With Config.UsePrecond it runs left-preconditioned GMRES on
+// M⁻¹ A x = M⁻¹ b: the protected preconditioned residual z = M⁻¹ g
+// starts each cycle, every Arnoldi step applies the block-diagonal M⁻¹ to
+// the SpMV scratch rank-locally, and the Hessenberg rebuild gains a
+// per-page partial application — preconditioning adds no halo traffic,
+// and convergence is still declared on the true residual.
 type GMRES struct {
 	base
 	x, g *shard.Vec
+	z    *shard.Vec // preconditioned residual (UsePrecond), else nil
 	v    []*shard.Vec
 	w    [][]float64   // per-rank unprotected step scratch
 	h    *sparse.Dense // working copy, Givens-rotated
@@ -63,6 +71,10 @@ func NewGMRES(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*GMRES, erro
 	s.h = sparse.NewDense(m+1, m)
 	s.hCpy = sparse.NewDense(m+1, m)
 	s.track(s.x, s.g)
+	if cfg.UsePrecond {
+		s.z = s.sub.AddVector("z")
+		s.track(s.z)
+	}
 	s.track(s.v...)
 	return s, nil
 }
@@ -107,10 +119,19 @@ func (s *GMRES) Run() (core.Result, []float64, error) {
 			converged = true
 			break
 		}
-		s.zeta = math.Sqrt(gg)
+		// The Arnoldi start vector: g, or the preconditioned residual
+		// z = M⁻¹ g (rank-local full overwrite, so the rebuild heals z).
+		src := s.g
+		if s.z != nil {
+			sub.ApplyPrecondOwned("z", s.g, s.z)
+			src = s.z
+			s.zeta = math.Sqrt(math.Max(sub.Dot("<z,z>", s.z, s.z), 0))
+		} else {
+			s.zeta = math.Sqrt(gg)
+		}
 		zeta := s.zeta
 		sub.RankOp("v0", func(r *shard.Rank, p, lo, hi int) {
-			gd := s.g.Of(r).Data
+			gd := src.Of(r).Data
 			vd := s.v[0].Of(r).Data
 			for i := lo; i < hi; i++ {
 				vd[i] = gd[i] / zeta
@@ -129,10 +150,15 @@ func (s *GMRES) Run() (core.Result, []float64, error) {
 				aborted = true
 				break
 			}
-			// w = A v_l on owned rows, after a halo exchange of v_l.
+			// w = A v_l on owned rows, after a halo exchange of v_l;
+			// preconditioned, w = M⁻¹ A v_l with the block-diagonal M⁻¹
+			// applied rank-locally in place.
 			sub.Exchange(s.v[l], false)
 			sub.RankOp("w", func(r *shard.Rank, p, lo, hi int) {
 				sub.A.MulVecRange(s.v[l].Of(r).Data, s.w[r.ID], lo, hi)
+				if s.z != nil {
+					_ = sub.Pre.ApplyBlock(p, s.w[r.ID], s.w[r.ID])
+				}
 			})
 			// Modified Gram-Schmidt: each h_{k,l} is a Partial-backed
 			// allreduce followed by an owned-range axpy.
@@ -259,7 +285,11 @@ func (s *GMRES) boundary(steps int) bool {
 	}
 	// Unrecoverable related data: blank it and abort the cycle (the next
 	// cycle rebuilds the basis from x anyway).
-	blankOwned(sub, true, append([]*shard.Vec{s.x, s.g}, s.v...)...)
+	vs := []*shard.Vec{s.x, s.g}
+	if s.z != nil {
+		vs = append(vs, s.z)
+	}
+	blankOwned(sub, true, append(vs, s.v...)...)
 	return false
 }
 
@@ -270,22 +300,34 @@ func (s *GMRES) repair(steps int) {
 	sub := s.sub
 	if s.gCurrent {
 		recoverXG(sub, s.cfg.Method, s.x, s.g)
+		if s.z != nil {
+			// z = M⁻¹ g by rank-local partial application (§3.2).
+			sub.RecoverPrecondOwned(s.cfg.Method, "z", s.z, s.g)
+		}
 	} else {
 		// g is stale (x was updated since the last residual rebuild): a
-		// lost x page has no relation left and is blanked; the stale g is
-		// about to be overwritten anyway.
+		// lost x page has no relation left and is blanked; the stale g
+		// (and z) is about to be overwritten anyway.
 		blankOwned(sub, true, s.x)
 		blankOwned(sub, false, s.g)
+		if s.z != nil {
+			blankOwned(sub, false, s.z)
+		}
+	}
+	// v_0 = z/ζ preconditioned, g/ζ otherwise.
+	v0src := s.g
+	if s.z != nil {
+		v0src = s.z
 	}
 	if steps >= 0 && s.zeta != 0 {
 		zeta := s.zeta
 		sub.Recover(s.cfg.Method, "v0", func(r *shard.Rank) {
 			for _, p := range r.OwnedFailed(s.v[0]) {
-				if s.g.Of(r).Failed(p) {
+				if v0src.Of(r).Failed(p) {
 					continue
 				}
 				lo, hi := sub.Layout.Range(p)
-				gd := s.g.Of(r).Data
+				gd := v0src.Of(r).Data
 				vd := s.v[0].Of(r).Data
 				for i := lo; i < hi; i++ {
 					vd[i] = gd[i] / zeta
@@ -334,6 +376,15 @@ func (s *GMRES) repair(steps int) {
 				lo, hi := sub.Layout.Range(p)
 				buf := make([]float64, hi-lo)
 				sub.A.MulVecRangeExcludingCols(prev.Data, buf, lo, hi, 0, 0)
+				if s.z != nil {
+					// Left preconditioning: the Arnoldi operator is
+					// M⁻¹ A; the rebuilt rows get the rank-local
+					// partial application too.
+					if sub.Pre.SolveBlockInPlace(p, buf) != nil {
+						continue
+					}
+					r.Stats.PrecondPartialApplies++
+				}
 				for k := 0; k < l; k++ {
 					hk := s.hCpy.At(k, l-1)
 					if hk == 0 {

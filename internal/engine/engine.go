@@ -255,6 +255,45 @@ func (e *Engine) PageOp(label string, after []*taskrt.Handle, ins []Operand, out
 	return handles
 }
 
+// BlockApplier is the block-diagonal apply-M⁻¹ surface the engine needs
+// from a preconditioner: solve M_pp u_p = v_p for one page. Block
+// diagonality is what makes the operation a page operation at all — no
+// connectivity, so a page application reads exactly one input page, and
+// the §3.2 partial-application recovery falls out for free.
+// precond.Preconditioner satisfies it.
+type BlockApplier interface {
+	ApplyBlock(i int, v, u []float64) error
+}
+
+// BlockMultiplier is the forward product inverse to BlockApplier:
+// u_p = M_pp v_p, used to rebuild a lost unpreconditioned page from its
+// surviving preconditioned image. precond.BlockJacobi satisfies it.
+type BlockMultiplier interface {
+	MulBlock(i int, v, u []float64) error
+}
+
+// ApplyPrecond submits chunked tasks computing out_p = M_pp⁻¹ in_p for
+// every page whose input is current — the guarded apply-M⁻¹ page
+// operation every preconditioned solver runs. Full-page overwrite
+// semantics: a produced page revalidates, and a skipped page keeps its
+// previous version so the partial-application recovery (§3.2) can fill
+// it in later.
+func (e *Engine) ApplyPrecond(label string, after []*taskrt.Handle, m BlockApplier, in Operand, out Operand) []*taskrt.Handle {
+	return e.PageOp(label, after, []Operand{in}, &out, true, func(p, lo, hi int) bool {
+		return m.ApplyBlock(p, in.V.Data, out.V.Data) == nil
+	})
+}
+
+// RawApplyPrecond submits unguarded chunked tasks computing
+// out_p = M_pp⁻¹ in_p — the apply-M⁻¹ building block for solvers that
+// repair at phase boundaries only (GMRES, the distributed substrate). in
+// and out may alias for an in-place application.
+func (e *Engine) RawApplyPrecond(label string, after []*taskrt.Handle, m BlockApplier, in, out []float64) []*taskrt.Handle {
+	return e.RawOp(label, after, func(p, lo, hi int) {
+		_ = m.ApplyBlock(p, in, out)
+	})
+}
+
 // SpMV submits chunked tasks computing out rows = A * in. A row-page runs
 // only when every connected input page is current at in.Ver; the output
 // page is then stamped at out.Ver (full overwrite, so it revalidates).

@@ -12,13 +12,14 @@ import (
 // §3.4 protocol converges. It is the correctness anchor behind the
 // modelled Figure 5 curves.
 func ValidateDistributed(method core.Method, ranks, errors int, opts Options) (core.Result, error) {
-	return ValidateDistributedSolver("cg", method, ranks, errors, opts)
+	return ValidateDistributedSolver("cg", method, ranks, errors, false, opts)
 }
 
 // ValidateDistributedSolver is ValidateDistributed for any registered
-// solver (cg, bicgstab, gmres) on the shared rank-sharded substrate:
-// errors DUEs are injected into owned iterate pages of rotating ranks.
-func ValidateDistributedSolver(solver string, method core.Method, ranks, errors int, opts Options) (core.Result, error) {
+// solver (cg, bicgstab, gmres) on the shared rank-sharded substrate,
+// optionally block-Jacobi preconditioned: errors DUEs are injected into
+// owned iterate pages of rotating ranks.
+func ValidateDistributedSolver(solver string, method core.Method, ranks, errors int, precond bool, opts Options) (core.Result, error) {
 	nx := 16
 	a := matgen.Poisson3D27(nx, nx, nx)
 	b := matgen.Ones(a.N)
@@ -28,6 +29,7 @@ func ValidateDistributedSolver(solver string, method core.Method, ranks, errors 
 			PageDoubles: 128, // small pages so a 16³ grid spans many pages
 			Tol:         opts.tol(),
 			MaxIter:     20000,
+			UsePrecond:  precond,
 		},
 		Ranks: ranks,
 	}

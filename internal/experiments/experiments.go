@@ -23,6 +23,7 @@ import (
 	"repro/internal/defaults"
 	"repro/internal/inject"
 	"repro/internal/matgen"
+	"repro/internal/registry"
 	"repro/internal/sparse"
 )
 
@@ -429,8 +430,9 @@ func (f *Fig3Result) String() string {
 // Figure 4: slowdown vs error-injection rate.
 // ---------------------------------------------------------------------
 
-// Fig4Cell is one (matrix, rate, method) aggregate.
+// Fig4Cell is one (solver, matrix, rate, method) aggregate.
 type Fig4Cell struct {
+	Solver   string // cg, bicgstab or gmres
 	Matrix   string
 	Rate     int // expected errors per ideal convergence time
 	Method   string
@@ -444,85 +446,123 @@ type Fig4Result struct {
 	Precond bool
 	Cells   []Fig4Cell
 	// MethodMeans aggregates each (method, rate) over matrices with the
-	// harmonic mean — the paper's "CG mean"/"PCG mean" panels.
+	// harmonic mean — the paper's "CG mean"/"PCG mean" panels. With the
+	// preconditioned sweep the key is "solver:method" for the non-CG
+	// solvers.
 	MethodMeans map[string]map[int]float64
+}
+
+// fig4Methods lists the resilience methods swept for one solver: CG has
+// every comparator, BiCGStab/GMRES drop Checkpoint (no snapshot protocol
+// for the non-symmetric recurrences).
+func fig4Methods(solver string) []core.Method {
+	if solver == "cg" {
+		return []core.Method{core.MethodAFEIR, core.MethodFEIR, core.MethodLossy, core.MethodCheckpoint, core.MethodTrivial}
+	}
+	return []core.Method{core.MethodAFEIR, core.MethodFEIR, core.MethodLossy, core.MethodTrivial}
+}
+
+// fig4MeanKey names a (solver, method) series in MethodMeans.
+func fig4MeanKey(solver string, m core.Method) string {
+	if solver == "cg" {
+		return m.String()
+	}
+	return solver + ":" + m.String()
 }
 
 // Fig4 sweeps matrices × rates × methods with wall-clock exponential error
 // injection (MTBE = idealTime/rate), repeating each cell and aggregating
-// like the paper.
+// like the paper. The unpreconditioned panel is the paper's CG sweep; the
+// preconditioned one covers the preconditioned variants of all three
+// registered methods (PCG, PBiCGStab, PGMRES) through the same registry
+// dispatch the command-line tools use.
 func Fig4(opts Options, precond bool) (*Fig4Result, error) {
-	methods := []core.Method{core.MethodAFEIR, core.MethodFEIR, core.MethodLossy, core.MethodCheckpoint, core.MethodTrivial}
+	solvers := []string{"cg"}
+	if precond {
+		solvers = []string{"cg", "bicgstab", "gmres"}
+	}
 	out := &Fig4Result{Precond: precond, MethodMeans: map[string]map[int]float64{}}
 	slowdowns := map[string]map[int][]float64{}
-	for _, m := range methods {
-		slowdowns[m.String()] = map[int][]float64{}
-		out.MethodMeans[m.String()] = map[int]float64{}
+	for _, solver := range solvers {
+		for _, m := range fig4Methods(solver) {
+			key := fig4MeanKey(solver, m)
+			slowdowns[key] = map[int][]float64{}
+			out.MethodMeans[key] = map[int]float64{}
+		}
 	}
 	seed := opts.Seed
+	run := func(solver string, a *sparse.CSR, b []float64, cfg core.Config, injectSeed int64, mtbe time.Duration) (core.Result, error) {
+		inst, err := registry.New(solver, a, b, registry.Config{Config: cfg})
+		if err != nil {
+			return core.Result{}, err
+		}
+		var in *inject.Injector
+		if mtbe > 0 {
+			in = inject.NewInjector(inst.Spaces[0], inst.Dynamic, mtbe, injectSeed)
+			in.Start()
+			defer in.Stop()
+		}
+		return inst.Run()
+	}
 	for _, mat := range opts.matrices() {
 		a, b, err := buildMatrix(mat, opts)
 		if err != nil {
 			return nil, err
 		}
-		idealCfg := baseConfig(opts, core.MethodIdeal, precond)
-		idealRes, err := runOnce(a, b, idealCfg)
-		if err != nil {
-			return nil, err
-		}
-		tau := idealRes.Elapsed.Seconds()
-		for r := 1; r < opts.reps(); r++ {
-			if res, err := runOnce(a, b, idealCfg); err == nil && res.Elapsed.Seconds() < tau {
-				tau = res.Elapsed.Seconds()
+		for _, solver := range solvers {
+			idealCfg := baseConfig(opts, core.MethodIdeal, precond)
+			idealRes, err := run(solver, a, b, idealCfg, 0, 0)
+			if err != nil {
+				return nil, err
 			}
-		}
-		// Divergent runs (Trivial at high rates) are cut off at a budget
-		// proportional to the fault-free iteration count and counted as
-		// failures, like the paper's >700% cells.
-		iterBudget := 50 * idealRes.Iterations
-		if iterBudget < 2000 {
-			iterBudget = 2000
-		}
-		for _, rate := range opts.rates() {
-			mtbe := time.Duration(tau / float64(rate) * float64(time.Second))
-			for _, m := range methods {
-				var times []float64
-				fails := 0
-				for rep := 0; rep < opts.reps(); rep++ {
-					seed++
-					cfg := baseConfig(opts, m, precond)
-					cfg.MaxIter = iterBudget
-					if m == core.MethodCheckpoint {
-						cfg.ExpectedMTBE = mtbe
-						cfg.Disk = core.NewSimDisk(0)
-					}
-					cg, err := core.NewCG(a, b, cfg)
-					if err != nil {
-						return nil, err
-					}
-					in := inject.NewInjector(cg.Space(), cg.DynamicVectors(), mtbe, seed)
-					in.Start()
-					res, err := cg.Run()
-					in.Stop()
-					if err != nil || !res.Converged {
-						fails++
-						continue
-					}
-					times = append(times, res.Elapsed.Seconds())
+			tau := idealRes.Elapsed.Seconds()
+			for r := 1; r < opts.reps(); r++ {
+				if res, err := run(solver, a, b, idealCfg, 0, 0); err == nil && res.Elapsed.Seconds() < tau {
+					tau = res.Elapsed.Seconds()
 				}
-				cell := Fig4Cell{Matrix: mat, Rate: rate, Method: m.String(), Failures: fails}
-				if len(times) > 0 {
-					hm := harmonicMean(times)
-					cell.Slowdown = hm/tau - 1
-					var v float64
-					for _, t := range times {
-						d := t/tau - 1 - cell.Slowdown
-						v += d * d
+			}
+			// Divergent runs (Trivial at high rates) are cut off at a
+			// budget proportional to the fault-free iteration count and
+			// counted as failures, like the paper's >700% cells.
+			iterBudget := 50 * idealRes.Iterations
+			if iterBudget < 2000 {
+				iterBudget = 2000
+			}
+			for _, rate := range opts.rates() {
+				mtbe := time.Duration(tau / float64(rate) * float64(time.Second))
+				for _, m := range fig4Methods(solver) {
+					var times []float64
+					fails := 0
+					for rep := 0; rep < opts.reps(); rep++ {
+						seed++
+						cfg := baseConfig(opts, m, precond)
+						cfg.MaxIter = iterBudget
+						if m == core.MethodCheckpoint {
+							cfg.ExpectedMTBE = mtbe
+							cfg.Disk = core.NewSimDisk(0)
+						}
+						res, err := run(solver, a, b, cfg, seed, mtbe)
+						if err != nil || !res.Converged {
+							fails++
+							continue
+						}
+						times = append(times, res.Elapsed.Seconds())
 					}
-					cell.StdDev = math.Sqrt(v / float64(len(times)))
-					slowdowns[m.String()][rate] = append(slowdowns[m.String()][rate], cell.Slowdown)
+					key := fig4MeanKey(solver, m)
+					cell := Fig4Cell{Solver: solver, Matrix: mat, Rate: rate, Method: m.String(), Failures: fails}
+					if len(times) > 0 {
+						hm := harmonicMean(times)
+						cell.Slowdown = hm/tau - 1
+						var v float64
+						for _, t := range times {
+							d := t/tau - 1 - cell.Slowdown
+							v += d * d
+						}
+						cell.StdDev = math.Sqrt(v / float64(len(times)))
+						slowdowns[key][rate] = append(slowdowns[key][rate], cell.Slowdown)
+					}
+					out.Cells = append(out.Cells, cell)
 				}
-				out.Cells = append(out.Cells, cell)
 			}
 		}
 	}

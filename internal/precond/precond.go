@@ -52,23 +52,50 @@ func (p *Identity) Layout() sparse.BlockLayout { return p.layout }
 // BlockJacobi is the paper's preconditioner: M = blockdiag(A_00..A_kk),
 // each block factorized once at setup.
 type BlockJacobi struct {
+	a       *sparse.CSR
 	layout  sparse.BlockLayout
 	solvers []sparse.BlockSolver
+}
+
+// New factorizes the diagonal blocks of a with the given block size
+// (0 means the page size, 512). spd selects Cholesky factorization of the
+// blocks; pass false for general (possibly non-symmetric) matrices, which
+// factorizes with LU — the BiCGStab/GMRES setting.
+func New(a *sparse.CSR, blockSize int, spd bool) (*BlockJacobi, error) {
+	if blockSize <= 0 {
+		blockSize = 512
+	}
+	layout := sparse.BlockLayout{N: a.N, BlockSize: blockSize}
+	bj := &BlockJacobi{a: a, layout: layout, solvers: make([]sparse.BlockSolver, layout.NumBlocks())}
+	for i := 0; i < layout.NumBlocks(); i++ {
+		lo, hi := layout.Range(i)
+		s, err := sparse.FactorizeBlock(a.DiagBlock(lo, hi), spd)
+		if err != nil {
+			return nil, fmt.Errorf("precond: block %d: %w", i, err)
+		}
+		bj.solvers[i] = s
+	}
+	return bj, nil
 }
 
 // NewBlockJacobi factorizes the diagonal blocks of the SPD matrix a with
 // the given block size (0 means the page size, 512).
 func NewBlockJacobi(a *sparse.CSR, blockSize int) (*BlockJacobi, error) {
-	if blockSize <= 0 {
-		blockSize = 512
-	}
-	layout := sparse.BlockLayout{N: a.N, BlockSize: blockSize}
-	bj := &BlockJacobi{layout: layout, solvers: make([]sparse.BlockSolver, layout.NumBlocks())}
-	for i := 0; i < layout.NumBlocks(); i++ {
-		lo, hi := layout.Range(i)
-		s, err := sparse.FactorizeBlock(a.DiagBlock(lo, hi), true)
+	return New(a, blockSize, true)
+}
+
+// FromCache builds a block-Jacobi preconditioner over the cache's layout
+// reusing its already-factorized diagonal blocks — the §5.1 observation
+// that with block size equal to the page size, the preconditioner setup
+// and the recovery solvers are the same factorizations. The cache must
+// hold a solver for every block (Prefactorize, or a lenient
+// prefactorization that lost no block).
+func FromCache(c *sparse.BlockSolverCache) (*BlockJacobi, error) {
+	bj := &BlockJacobi{a: c.A, layout: c.Layout, solvers: make([]sparse.BlockSolver, c.Layout.NumBlocks())}
+	for i := range bj.solvers {
+		s, err := c.Solver(i)
 		if err != nil {
-			return nil, fmt.Errorf("precond: block %d: %w", i, err)
+			return nil, fmt.Errorf("precond: %w", err)
 		}
 		bj.solvers[i] = s
 	}
@@ -96,6 +123,25 @@ func (p *BlockJacobi) ApplyBlock(i int, v, u []float64) error {
 
 // Layout returns the block partition.
 func (p *BlockJacobi) Layout() sparse.BlockLayout { return p.layout }
+
+// SolveBlockInPlace solves M_ii u = u on a raw page-sized buffer — the
+// same partial application as ApplyBlock, for recovery code that works on
+// detached page buffers rather than full-length vectors (the GMRES
+// Hessenberg rebuild).
+func (p *BlockJacobi) SolveBlockInPlace(i int, buf []float64) error {
+	return p.solvers[i].SolveInPlace(buf)
+}
+
+// MulBlock computes u_i = M_ii v_i = A_ii v_i for block i — the forward
+// product inverse to ApplyBlock, used to rebuild a lost unpreconditioned
+// page from its surviving preconditioned image (d = M d̂). The dense
+// diagonal block is re-extracted on demand: this runs only on the rare
+// recovery path, so nothing is cached.
+func (p *BlockJacobi) MulBlock(i int, v, u []float64) error {
+	lo, hi := p.layout.Range(i)
+	p.a.DiagBlock(lo, hi).MulVec(v[lo:hi], u[lo:hi])
+	return nil
+}
 
 // Solver returns the factorized solver of diagonal block i, so recovery
 // code can reuse the existing factorization (the paper picks a 512-block

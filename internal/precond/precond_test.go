@@ -121,3 +121,79 @@ func TestBlockJacobiIsContractionForSPD(t *testing.T) {
 		}
 	}
 }
+
+func TestGeneralLUBlocks(t *testing.T) {
+	// New(..., false) factorizes with LU: the non-symmetric case the
+	// preconditioned BiCGStab/GMRES need. Round-trip: u = M⁻¹(M v).
+	a := matgen.Thermal2Analogue(300)
+	bj, err := New(a, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := matgen.RandomVector(a.N, 7)
+	mv := make([]float64, a.N)
+	u := make([]float64, a.N)
+	for i := 0; i < bj.Layout().NumBlocks(); i++ {
+		if err := bj.MulBlock(i, v, mv); err != nil {
+			t.Fatal(err)
+		}
+		if err := bj.ApplyBlock(i, mv, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range v {
+		if d := u[i] - v[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("round-trip u[%d] = %v, want %v", i, u[i], v[i])
+		}
+	}
+}
+
+func TestFromCacheReusesFactorizations(t *testing.T) {
+	// FromCache must behave exactly like a fresh factorization — the §5.1
+	// "factorizations come for free" reuse the shard substrate relies on.
+	a := matgen.Thermal2Analogue(300)
+	layout := sparse.BlockLayout{N: a.N, BlockSize: 64}
+	cache := sparse.NewBlockSolverCache(a, layout, true)
+	cache.PrefactorizeLenient()
+	fromCache, err := FromCache(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewBlockJacobi(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := matgen.RandomVector(a.N, 3)
+	z1 := make([]float64, a.N)
+	z2 := make([]float64, a.N)
+	fromCache.Apply(g, z1)
+	fresh.Apply(g, z2)
+	for i := range z1 {
+		if z1[i] != z2[i] {
+			t.Fatalf("z[%d] = %v from cache, %v fresh", i, z1[i], z2[i])
+		}
+	}
+}
+
+func TestSolveBlockInPlaceMatchesApplyBlock(t *testing.T) {
+	a := matgen.Thermal2Analogue(300)
+	bj, err := NewBlockJacobi(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := matgen.RandomVector(a.N, 11)
+	u := make([]float64, a.N)
+	lo, hi := bj.Layout().Range(2)
+	if err := bj.ApplyBlock(2, v, u); err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]float64(nil), v[lo:hi]...)
+	if err := bj.SolveBlockInPlace(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != u[lo+i] {
+			t.Fatalf("buf[%d] = %v, want %v", i, buf[i], u[lo+i])
+		}
+	}
+}

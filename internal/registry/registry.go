@@ -43,6 +43,7 @@ func (c Config) distConfig() dist.Config {
 		MaxIter:            c.MaxIter,
 		CheckpointInterval: c.CheckpointInterval,
 		Restart:            c.Restart,
+		UsePrecond:         c.UsePrecond,
 		Inject:             c.RankInject,
 		OnIteration:        c.OnIteration,
 	}
@@ -66,10 +67,30 @@ type Instance struct {
 // Builder constructs an instance of one named method for either topology.
 type Builder func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error)
 
-var builders = map[string]Builder{}
+// Capabilities declares which optional Config knobs a builder honors, so
+// New can reject a configuration the solver would otherwise silently
+// drop. A requested knob a builder does not declare is a hard error, not
+// a fallback: a user asking for PCG-class runs must never be handed
+// unpreconditioned results without a word (the pre-PR-3 bug).
+type Capabilities struct {
+	// Precond: the builder honors Config.UsePrecond.
+	Precond bool
+	// Distributed: the builder honors Config.Ranks > 0.
+	Distributed bool
+}
 
-// Register adds a named solver. Later registrations replace earlier ones.
-func Register(name string, b Builder) { builders[name] = b }
+type entry struct {
+	caps  Capabilities
+	build Builder
+}
+
+var builders = map[string]entry{}
+
+// Register adds a named solver with its declared capabilities. Later
+// registrations replace earlier ones.
+func Register(name string, caps Capabilities, b Builder) {
+	builders[name] = entry{caps: caps, build: b}
+}
 
 // Names lists the registered solvers, sorted.
 func Names() []string {
@@ -81,13 +102,26 @@ func Names() []string {
 	return out
 }
 
-// New builds the named solver over A x = b.
+// Caps returns the declared capabilities of a registered solver.
+func Caps(name string) (Capabilities, bool) {
+	e, ok := builders[name]
+	return e.caps, ok
+}
+
+// New builds the named solver over A x = b, rejecting configuration
+// knobs the solver does not declare.
 func New(name string, a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
-	builder, ok := builders[name]
+	e, ok := builders[name]
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown solver %q (have %v)", name, Names())
 	}
-	return builder(a, b, cfg)
+	if cfg.UsePrecond && !e.caps.Precond {
+		return nil, fmt.Errorf("registry: solver %q has no preconditioned variant (drop -precond)", name)
+	}
+	if cfg.Ranks > 0 && !e.caps.Distributed {
+		return nil, fmt.Errorf("registry: solver %q has no distributed variant (drop -ranks)", name)
+	}
+	return e.build(a, b, cfg)
 }
 
 // distInstance adapts the common distributed solver surface.
@@ -110,12 +144,14 @@ func distInstance(s distSolver) *Instance {
 	}
 }
 
+// all declares the full capability set of the three built-in methods:
+// since PR 3 every one of them dispatches a preconditioned variant for
+// both topologies.
+var all = Capabilities{Precond: true, Distributed: true}
+
 func init() {
-	Register("cg", func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+	Register("cg", all, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
-			if cfg.UsePrecond {
-				return nil, fmt.Errorf("registry: the distributed cg has no preconditioned variant (drop -precond or -ranks)")
-			}
 			s, err := dist.NewCG(a, b, cfg.Ranks, cfg.distConfig())
 			if err != nil {
 				return nil, err
@@ -132,7 +168,7 @@ func init() {
 			Run:     func() (core.Result, error) { return s.Run() },
 		}, nil
 	})
-	Register("bicgstab", func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+	Register("bicgstab", all, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
 			s, err := dist.NewBiCGStab(a, b, cfg.Ranks, cfg.distConfig())
 			if err != nil {
@@ -153,7 +189,7 @@ func init() {
 			},
 		}, nil
 	})
-	Register("gmres", func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+	Register("gmres", all, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
 			s, err := dist.NewGMRES(a, b, cfg.Ranks, cfg.distConfig())
 			if err != nil {

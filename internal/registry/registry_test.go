@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// testSystem builds an SPD system with cross-page coupling (so
+// block-Jacobi preconditioning genuinely helps) and its exact solution.
+func testSystem(t *testing.T) (*sparse.CSR, []float64) {
+	t.Helper()
+	a := matgen.Poisson2D(30, 30)
+	b := matgen.Ones(a.N)
+	return a, b
+}
+
+func testCfg(precond bool, ranks int) Config {
+	return Config{
+		Config: core.Config{
+			Method:      core.MethodFEIR,
+			PageDoubles: 64,
+			Tol:         1e-10,
+			MaxIter:     20000,
+			UsePrecond:  precond,
+		},
+		Ranks: ranks,
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("expected at least the three built-ins, got %v", names)
+	}
+	for _, want := range []string{"bicgstab", "cg", "gmres"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, names)
+		}
+	}
+}
+
+func TestUnknownSolverError(t *testing.T) {
+	a, b := testSystem(t)
+	_, err := New("no-such-method", a, b, testCfg(false, 0))
+	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("want unknown-solver error, got %v", err)
+	}
+}
+
+// TestAllVariantsDispatch runs every registered method through all four
+// topology × preconditioning combinations: each must converge, and the
+// preconditioned run must take strictly fewer iterations than its
+// unpreconditioned counterpart — the regression test for the PR-3 bug
+// where -precond was silently dropped outside single-node CG.
+func TestAllVariantsDispatch(t *testing.T) {
+	a, b := testSystem(t)
+	for _, solver := range []string{"cg", "bicgstab", "gmres"} {
+		for _, ranks := range []int{0, 2} {
+			iters := map[bool]int{}
+			for _, precond := range []bool{false, true} {
+				inst, err := New(solver, a, b, testCfg(precond, ranks))
+				if err != nil {
+					t.Fatalf("%s ranks=%d precond=%v: %v", solver, ranks, precond, err)
+				}
+				res, err := inst.Run()
+				if err != nil {
+					t.Fatalf("%s ranks=%d precond=%v: %v", solver, ranks, precond, err)
+				}
+				if !res.Converged {
+					t.Fatalf("%s ranks=%d precond=%v: not converged: %+v", solver, ranks, precond, res)
+				}
+				if res.RelResidual > 1e-8 {
+					t.Fatalf("%s ranks=%d precond=%v: residual %v", solver, ranks, precond, res.RelResidual)
+				}
+				iters[precond] = res.Iterations
+			}
+			if iters[true] >= iters[false] {
+				t.Fatalf("%s ranks=%d: preconditioned run not faster (%d vs %d iterations) — -precond silently dropped?",
+					solver, ranks, iters[true], iters[false])
+			}
+		}
+	}
+}
+
+// TestCapabilityRejection keeps the never-drop-a-config contract as a
+// regression test: a builder that does not declare a capability must be
+// rejected with an error naming the solver, not run without it.
+func TestCapabilityRejection(t *testing.T) {
+	name := "limited-test-solver"
+	Register(name, Capabilities{}, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+		t.Fatal("builder must not run for a rejected configuration")
+		return nil, nil
+	})
+	a, b := testSystem(t)
+	if _, err := New(name, a, b, testCfg(true, 0)); err == nil || !strings.Contains(err.Error(), name) {
+		t.Fatalf("UsePrecond not rejected: %v", err)
+	}
+	if _, err := New(name, a, b, testCfg(false, 2)); err == nil || !strings.Contains(err.Error(), name) {
+		t.Fatalf("Ranks not rejected: %v", err)
+	}
+	if _, ok := Caps(name); !ok {
+		t.Fatal("capabilities not recorded")
+	}
+}
+
+// TestBuiltinsDeclareFullCapabilities pins the six preconditioned entry
+// points: every built-in dispatches -precond and -ranks.
+func TestBuiltinsDeclareFullCapabilities(t *testing.T) {
+	for _, solver := range []string{"cg", "bicgstab", "gmres"} {
+		caps, ok := Caps(solver)
+		if !ok {
+			t.Fatalf("%s not registered", solver)
+		}
+		if !caps.Precond || !caps.Distributed {
+			t.Fatalf("%s caps = %+v, want full", solver, caps)
+		}
+	}
+}

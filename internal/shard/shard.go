@@ -35,6 +35,7 @@ import (
 	"repro/internal/defaults"
 	"repro/internal/engine"
 	"repro/internal/pagemem"
+	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/taskrt"
 )
@@ -108,6 +109,11 @@ type Substrate struct {
 	// Eng is the root (non-resilient) engine over all pages; rank views
 	// are derived from it with Engine.Sub.
 	Eng *engine.Engine
+	// Pre is the rank-local block-Jacobi preconditioner (EnablePrecond),
+	// nil for unpreconditioned solves. Blocks coincide with pages and the
+	// shard layout assigns whole pages to ranks, so M⁻¹ application and
+	// recovery never cross a rank boundary — no extra halo traffic.
+	Pre *precond.BlockJacobi
 
 	part *engine.Partial
 }
@@ -332,6 +338,51 @@ func (s *Substrate) SpMV(label string, in, out *Vec) {
 		hs = append(hs, r.Eng.RawSpMV(label, nil, in.R[r.ID].Data, out.R[r.ID].Data)...)
 	}
 	s.RT.WaitAll(hs)
+}
+
+// EnablePrecond builds the block-Jacobi preconditioner over the
+// substrate's page layout, reusing the prefactorized diagonal blocks of
+// the recovery cache — the §5.1 observation that the preconditioner setup
+// and the recovery solvers are the same factorizations. It fails if any
+// diagonal block was not factorizable (the lenient prefactorization lost
+// it), since a block-Jacobi preconditioner needs every block.
+func (s *Substrate) EnablePrecond() error {
+	pre, err := precond.FromCache(s.Blocks)
+	if err != nil {
+		return fmt.Errorf("shard: block-Jacobi setup: %w", err)
+	}
+	s.Pre = pre
+	return nil
+}
+
+// ApplyPrecondOwned computes out = M⁻¹ in on every rank's owned pages.
+// Block diagonality means no halo is needed: each page application reads
+// exactly that page of in, so the operation is embarrassingly
+// rank-parallel with zero communication.
+func (s *Substrate) ApplyPrecondOwned(label string, in, out *Vec) {
+	s.RankOp(label, func(r *Rank, p, lo, hi int) {
+		_ = s.Pre.ApplyBlock(p, in.Of(r).Data, out.Of(r).Data)
+	})
+}
+
+// RecoverPrecondOwned repairs every failed owned page of z by partial
+// preconditioner application from src (z = M⁻¹ src, §3.2), per the
+// method's recovery discipline. src's owned pages must have been repaired
+// first; a page whose src is still failed is left for the caller's
+// fallback. Rank-local by block diagonality.
+func (s *Substrate) RecoverPrecondOwned(method core.Method, label string, z, src *Vec) {
+	s.Recover(method, label, func(r *Rank) {
+		for _, p := range r.OwnedFailed(z) {
+			if src.Of(r).Failed(p) {
+				continue
+			}
+			if s.Pre.ApplyBlock(p, src.Of(r).Data, z.Of(r).Data) != nil {
+				continue
+			}
+			z.Of(r).MarkRecovered(p)
+			r.Stats.PrecondPartialApplies++
+		}
+	})
 }
 
 // Gather assembles the global vector from the owned shards.
