@@ -11,10 +11,14 @@
 //	due-bench -exp table2 [-scale 20000] [-reps 5]
 //	due-bench -exp fig4 -rates 1,10,50 -matrices thermal2,qa8fm
 //	due-bench -exp fig4pcg -json BENCH_fig4.json
+//	due-bench -exp kernels [-kernel-iters 200] [-json BENCH_kernels.json]
 //	due-bench -exp all
 //
 // -json writes the fig4/fig4pcg cells as BENCH_fig4.json-style output so
 // the perf trajectory is tracked across PRs (CI runs a tiny-scale smoke).
+// The kernels mode measures the hot-path baseline — kernel GFLOP/s, the
+// fused-vs-unfused steady-state CG iteration, allocations per iteration
+// and taskrt scheduling throughput — and writes BENCH_kernels.json.
 package main
 
 import (
@@ -40,7 +44,8 @@ func main() {
 	rates := flag.String("rates", "", "comma-separated normalized error rates for fig4 (default 1,2,5,10,20,50)")
 	matrices := flag.String("matrices", "", "comma-separated matrix subset (default all nine analogues)")
 	seed := flag.Int64("seed", 1, "injection seed")
-	jsonPath := flag.String("json", "", "write the fig4/fig4pcg sweeps as machine-readable JSON (e.g. BENCH_fig4.json) for cross-PR perf tracking")
+	jsonPath := flag.String("json", "", "write the fig4/fig4pcg sweeps (or the kernels baseline) as machine-readable JSON for cross-PR perf tracking")
+	kernelIters := flag.Int("kernel-iters", 0, "measured steady-state iterations for -exp kernels (default 200)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -105,6 +110,29 @@ func main() {
 		}
 		return nil
 	})
+	// kernels is not part of -exp all: it is the dedicated hot-path
+	// baseline with its own scale/worker defaults (65536 rows, 4 workers).
+	if *exp == "kernels" {
+		res, err := experiments.Kernels(opts, *kernelIters)
+		if err != nil {
+			fatalf("kernels: %v", err)
+		}
+		fmt.Println(res)
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_kernels.json"
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatalf("kernels: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatalf("kernels: %v", err)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
+
 	var fig4Results []*experiments.Fig4Result
 	run("fig4", func() error {
 		res, err := experiments.Fig4(opts, false)

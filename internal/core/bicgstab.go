@@ -80,6 +80,7 @@ type BiCGStabSolver struct {
 	resilient bool
 
 	scratch []float64
+	resid   []float64 // full-length true-residual scratch (reused)
 
 	// Scalars of the current and last iteration. They live outside the
 	// page fault domain (the error model only kills memory pages, §5.3).
@@ -151,6 +152,7 @@ func NewBiCGStab(a *sparse.CSR, b []float64, cfg Config) (*BiCGStabSolver, error
 	sv.rhoPart = engine.NewPartial(sv.np)
 	sv.ggPart = engine.NewPartial(sv.np)
 	sv.scratch = make([]float64, cfg.pageDoubles())
+	sv.resid = make([]float64, a.N)
 	return sv, nil
 }
 
@@ -238,12 +240,13 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 			qSrc, qSrcVer = dhOp.Vec, ver
 		}
 		qOp := engine.Operand{Vec: vec(sv.q, sv.qS), Ver: ver}
-		qH := sv.eng.SpMV("q", preH, engine.In(qSrc, qSrcVer), qOp)
-		qrH := sv.eng.DotPartialsReliable("<q,r>", qH, engine.In(qOp.Vec, ver), sv.rhat, sv.qrPart)
+		// Fused q = A d̂ with the <q, r̂0> partials: one task per chunk
+		// instead of the SpMV + reduction pair.
+		qH := sv.eng.SpMVDotReliable("q,<q,r>", preH, engine.In(qSrc, qSrcVer), qOp, sv.rhat, sv.qrPart)
 		phase1 := append(append([]*taskrt.Handle{}, preH...), qH...)
 		sv.runRecovery("r1", phase1, func(allowLate bool) {
 			sv.recoverPhase(ver, cur, bPhase1, allowLate)
-		}, append(append([]*taskrt.Handle{}, phase1...), qrH...))
+		}, phase1)
 		sv.phaseBoundary()
 		qr, missQR := sv.qrPart.SumAvailable()
 		sv.stats.ContributionsLost += missQR
@@ -278,13 +281,21 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 			tAfter = shH
 		}
 		tOp := engine.Operand{Vec: vec(sv.t, sv.tS), Ver: ver}
-		tH := sv.eng.SpMV("t", tAfter, engine.In(tSrc, ver), tOp)
-		ttH := sv.eng.DotPartials("<t,t>", tH, engine.In(tOp.Vec, ver), engine.In(tOp.Vec, ver), sv.ttPart)
-		tsH := sv.eng.DotPartials("<t,s>", tH, engine.In(tOp.Vec, ver), engine.In(sOp.Vec, ver), sv.tsPart)
+		// Fused t = A ŝ with <t,t> (and, unpreconditioned, <t,s>: there
+		// the SpMV input IS s, so both reductions ride the same pass;
+		// preconditioned, <t,s> pairs t with a different vector than the
+		// SpMV input ŝ and stays a separate reduction).
+		var tH, tsH []*taskrt.Handle
+		if sv.pre == nil {
+			tH = sv.eng.SpMVDot("t,<t,s>,<t,t>", tAfter, engine.In(tSrc, ver), tOp, sv.tsPart, sv.ttPart)
+		} else {
+			tH = sv.eng.SpMVDot("t,<t,t>", tAfter, engine.In(tSrc, ver), tOp, nil, sv.ttPart)
+			tsH = sv.eng.DotPartials("<t,s>", tH, engine.In(tOp.Vec, ver), engine.In(sOp.Vec, ver), sv.tsPart)
+		}
 		phase2 := append(append(append([]*taskrt.Handle{}, sH...), shH...), tH...)
 		sv.runRecovery("r2", phase2, func(allowLate bool) {
 			sv.recoverPhase(ver, cur, bPhase2, allowLate)
-		}, append(append([]*taskrt.Handle{}, phase2...), append(ttH, tsH...)...))
+		}, append(append([]*taskrt.Handle{}, phase2...), tsH...))
 		sv.phaseBoundary()
 		tt, missTT := sv.ttPart.SumAvailable()
 		ts, missTS := sv.tsPart.SumAvailable()
@@ -326,20 +337,24 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 				sparse.Axpy2Range(alpha, xDir.V.Data, omega, xStep.V.Data, sv.x.Data, lo, hi)
 				return true
 			})
+		sv.ggPart.ResetMissing()
 		gOp := engine.Operand{Vec: vec(sv.g, sv.gS), Ver: ver}
-		gH := sv.eng.PageOp("g", nil,
+		gH := sv.eng.PageOp("g,<g,r>,<g,g>", nil,
 			[]engine.Operand{engine.In(sOp.Vec, ver), engine.In(tOp.Vec, ver)},
 			&gOp, true, func(p, lo, hi int) bool {
-				// g = s - ω t (full overwrite revalidates g).
-				sparse.XpbyOutRange(sv.s.Data, -omega, sv.t.Data, sv.g.Data, lo, hi)
+				// g = s - ω t fused with the <g,r̂0> and <g,g> partials in
+				// one pass. Full overwrite revalidates g, so whenever the
+				// body ran the unfused reductions' currency guard would
+				// have held; a skipped page leaves both slots missing,
+				// exactly as the stale-stamp guard would.
+				ow, oo := sparse.XpbyDotNormRange(sv.s.Data, -omega, sv.t.Data, sv.g.Data, sv.rhat, lo, hi)
+				sv.rhoPart.Store(p, ow)
+				sv.ggPart.Store(p, oo)
 				return true
 			})
-		sv.ggPart.ResetMissing()
-		rhoH := sv.eng.DotPartialsReliable("<g,r>", gH, engine.In(gOp.Vec, ver), sv.rhat, sv.rhoPart)
-		ggH := sv.eng.DotPartials("<g,g>", gH, engine.In(gOp.Vec, ver), engine.In(gOp.Vec, ver), sv.ggPart)
 		sv.runRecovery("r3", append(append([]*taskrt.Handle{}, xH...), gH...), func(allowLate bool) {
 			sv.recoverPhase(ver, cur, bPhase3, allowLate)
-		}, append(append(append([]*taskrt.Handle{}, xH...), gH...), append(rhoH, ggH...)...))
+		}, append(append([]*taskrt.Handle{}, xH...), gH...))
 		sv.phaseBoundary()
 		rhoNew, missRho := sv.rhoPart.SumAvailable()
 		sv.stats.ContributionsLost += missRho
@@ -420,9 +435,10 @@ func (sv *BiCGStabSolver) phaseBoundary() {
 	sv.stats.FaultsSeen += len(evs)
 }
 
-// trueResidual computes ||b - A x|| / ||b|| sequentially.
+// trueResidual computes ||b - A x|| / ||b|| sequentially, in the
+// solver-owned scratch (no per-check allocation).
 func (sv *BiCGStabSolver) trueResidual() float64 {
-	r := make([]float64, sv.a.N)
+	r := sv.resid
 	sv.a.MulVec(sv.x.Data, r)
 	sparse.Sub(sv.b, r, r)
 	return sparse.Norm2(r) / sv.bnorm
@@ -622,6 +638,14 @@ func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allo
 		dhatV, shatV = vec(sv.dhat, sv.dhatS), vec(sv.shat, sv.shatS)
 		qSrc, qSrcVer = dhatV, ver
 	}
+	if !sv.space.AnyFault() {
+		// Steady-state fast path: with no fault bit set anywhere there is
+		// nothing to repair — pages can only be stale downstream of a
+		// fault. The partial back-fill still runs. A fault arriving
+		// mid-scan was always racy; the phase boundary catches it.
+		sv.fillPhasePartials(ver, phase, qV, sV, tV, gV)
+		return
+	}
 	// recoverQSrc repairs the SpMV input: d̂ forward by partial
 	// application from dIn (or inverse through the new q), and dIn either
 	// inverse through q (unpreconditioned) or by the forward product
@@ -759,6 +783,10 @@ func (sv *BiCGStabSolver) recoverPhase(ver int64, cur int, phase bicgPhase, allo
 		}
 	}
 	// Fill the partial contributions that are now computable.
+	sv.fillPhasePartials(ver, phase, qV, sV, tV, gV)
+}
+
+func (sv *BiCGStabSolver) fillPhasePartials(ver int64, phase bicgPhase, qV, sV, tV, gV engine.Vec) {
 	switch phase {
 	case bPhase1:
 		for p := 0; p < sv.np; p++ {

@@ -65,10 +65,29 @@ type CG struct {
 
 	scratch  []float64 // one page of recovery scratch
 	scratch2 []float64
+	resid    []float64 // full-length true-residual scratch (reused)
 
 	// restartPending requests a beta=0 step (d rebuilt from g alone) on
 	// the next iteration, set by restart-style recoveries.
 	restartPending bool
+
+	// Prepared steady-state task graph (built once in Run): the same
+	// handles are replayed every iteration, so the hot loop performs zero
+	// allocations. The task bodies read the iter* fields below, which the
+	// coordinator writes before each submission (the run-queue handoff
+	// provides the happens-before edge).
+	prep struct {
+		d, q, x, g *engine.Prepared // fused: q carries <d,q>, g carries ε
+		z, zg      *engine.Prepared // preconditioned variant only
+		r1o, r23o  *engine.Prepared // overlapped recoveries (AFEIR, prio -1)
+		r1c, r23c  *engine.Prepared // critical-path recoveries (FEIR)
+		r1After    []*taskrt.Handle // d+q handles (prebuilt: stable)
+		zgAfter    []*taskrt.Handle // g+z handles
+		r23After   []*taskrt.Handle // x+g(+z) handles
+	}
+	iterVer           int64
+	iterBeta          float64
+	iterCur, iterPrev int
 }
 
 // NewCG builds a resilient CG solver for the SPD system A x = b.
@@ -132,6 +151,7 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 
 	s.scratch = make([]float64, cfg.pageDoubles())
 	s.scratch2 = make([]float64, cfg.pageDoubles())
+	s.resid = make([]float64, a.N)
 
 	if cfg.Method == MethodCheckpoint {
 		disk := cfg.Disk
@@ -174,6 +194,7 @@ func (s *CG) Run() (Result, error) {
 	s.eng = engine.New(s.a, s.layout, s.rt, s.resilient, 0)
 	s.conn = s.eng.Conn
 	s.rel = &Relations{a: s.a, layout: s.layout, conn: s.conn, blocks: s.blocks, b: s.b, scratch: s.scratch, stats: &s.stats}
+	s.buildPrepared()
 
 	tol := s.cfg.tol()
 	maxIter := s.cfg.maxIter(s.a.N)
@@ -272,138 +293,204 @@ func (s *CG) Run() (Result, error) {
 	return res, nil
 }
 
-// runPhase1 submits the d-update, q = A d and <d,q> partial tasks plus the
-// r1 recovery task, and waits for them.
+// buildPrepared constructs the prepared steady-state task graph once per
+// solve: every iteration replays the same handles (taskrt.Resubmit), so
+// the hot loop allocates nothing. Each fused body applies exactly the
+// guard/stamp discipline of the immediate engine op it replaces (the
+// engine's exported *Page helpers ARE those ops' bodies); the task bodies
+// read the iter* fields the coordinator sets before submission.
+func (s *CG) buildPrepared() {
+	e := s.eng
+	// d = src + β d' (src = g, or z when preconditioned). Full overwrite:
+	// skipped pages keep their old version, produced pages revalidate.
+	s.prep.d = e.Prepare("d", 0, func(_, pLo, pHi int) {
+		ver, beta := s.iterVer, s.iterBeta
+		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
+		dPrev := vec(s.d[s.iterPrev], s.dS[s.iterPrev])
+		src := vec(s.g, s.gS)
+		if s.pre != nil {
+			src = vec(s.z, s.zS)
+		}
+		for p := pLo; p < pHi; p++ {
+			if e.Resilient && (!src.Current(p, ver-1) || (beta != 0 && !dPrev.Current(p, ver-1))) {
+				continue
+			}
+			lo, hi := s.layout.Range(p)
+			if beta == 0 {
+				copy(dCur.V.Data[lo:hi], src.V.Data[lo:hi])
+			} else if s.doubleBuffer {
+				sparse.XpbyOutRange(src.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
+			} else {
+				sparse.XpbyRange(src.V.Data, beta, dCur.V.Data, lo, hi)
+			}
+			if e.Resilient {
+				dCur.V.MarkRecovered(p)
+				dCur.S[p].Store(ver)
+			}
+		}
+	})
+	// Fused q = A d with the <d,q> partials: one task per chunk instead
+	// of the SpMV + reduction pair. Skipped q pages keep the OLD A·dPrev
+	// values, pairing with dPrev.
+	s.prep.q = e.Prepare("q,<d,q>", 0, func(_, pLo, pHi int) {
+		ver := s.iterVer
+		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
+		in := engine.In(dCur, ver)
+		out := engine.Operand{Vec: vec(s.q, s.qS), Ver: ver}
+		for p := pLo; p < pHi; p++ {
+			lo, hi := s.layout.Range(p)
+			e.SpMVDotPage(p, lo, hi, in, out, s.dqPart, nil)
+		}
+	})
+	// x += α d: read-modify-write, so a poison landing mid-task stays
+	// detected for the boundary scramble.
+	s.prep.x = e.Prepare("x", 0, func(_, pLo, pHi int) {
+		ver, alpha := s.iterVer, s.alpha
+		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
+		xV := vec(s.x, s.xS)
+		for p := pLo; p < pHi; p++ {
+			if e.Resilient && (!xV.Current(p, ver-1) || !dCur.Current(p, ver)) {
+				continue
+			}
+			lo, hi := s.layout.Range(p)
+			sparse.AxpyRange(alpha, dCur.V.Data, s.x.Data, lo, hi)
+			if e.Resilient {
+				xV.S[p].Store(ver)
+			}
+		}
+	})
+	// Fused g -= α q with the ε = <g,g> partials (read-modify-write).
+	s.prep.g = e.Prepare("g,eps", 0, func(_, pLo, pHi int) {
+		ver, alpha := s.iterVer, s.alpha
+		qIn := engine.In(vec(s.q, s.qS), ver)
+		gOut := engine.Operand{Vec: vec(s.g, s.gS), Ver: ver}
+		for p := pLo; p < pHi; p++ {
+			lo, hi := s.layout.Range(p)
+			e.AxpyDotPage(p, lo, hi, -alpha, qIn, gOut, s.ggPart)
+		}
+	})
+	if s.pre != nil {
+		// Guarded apply-M⁻¹ page operation: full-page overwrite via
+		// partial preconditioner application (§3.2), then <z,g>.
+		s.prep.z = e.Prepare("z", 0, func(_, pLo, pHi int) {
+			ver := s.iterVer
+			gIn := engine.In(vec(s.g, s.gS), ver)
+			zOut := engine.Operand{Vec: vec(s.z, s.zS), Ver: ver}
+			for p := pLo; p < pHi; p++ {
+				e.ApplyPrecondPage(p, s.pre, gIn, zOut)
+			}
+		})
+		s.prep.zg = e.Prepare("<z,g>", 0, func(_, pLo, pHi int) {
+			ver := s.iterVer
+			zIn := engine.In(vec(s.z, s.zS), ver)
+			gIn := engine.In(vec(s.g, s.gS), ver)
+			for p := pLo; p < pHi; p++ {
+				lo, hi := s.layout.Range(p)
+				e.DotPartialPage(p, lo, hi, zIn, gIn, s.zgPart)
+			}
+		})
+	}
+	// Recovery tasks: overlapped at low priority (AFEIR, Fig 2b) and
+	// critical-path (FEIR, Fig 2a) variants of r1 and r2/r3.
+	r1 := func(allowLate bool) func() {
+		return func() { s.recoverPhase1(s.iterVer, s.iterBeta, s.iterCur, s.iterPrev, allowLate) }
+	}
+	r23 := func(allowLate bool) func() {
+		return func() { s.recoverPhase2(s.iterVer, s.iterCur, allowLate) }
+	}
+	s.prep.r1o = e.PrepareSingle("r1", -1, r1(false))
+	s.prep.r23o = e.PrepareSingle("r2r3", -1, r23(false))
+	s.prep.r1c = e.PrepareSingle("r1", 0, r1(true))
+	s.prep.r23c = e.PrepareSingle("r2r3", 0, r23(true))
+
+	// Prebuilt dependency lists: prepared handles are stable objects, so
+	// the concatenations are allocated once.
+	s.prep.r1After = append(append([]*taskrt.Handle{}, s.prep.d.Handles()...), s.prep.q.Handles()...)
+	s.prep.r23After = append(append([]*taskrt.Handle{}, s.prep.x.Handles()...), s.prep.g.Handles()...)
+	if s.pre != nil {
+		s.prep.r23After = append(s.prep.r23After, s.prep.z.Handles()...)
+		s.prep.zgAfter = append(append([]*taskrt.Handle{}, s.prep.g.Handles()...), s.prep.z.Handles()...)
+	}
+}
+
+// runPhase1 replays the prepared d-update and fused q/<d,q> tasks plus
+// the r1 recovery task, and waits for them.
 func (s *CG) runPhase1(ver int64) {
 	t := int(ver)
 	cur, prev := 0, 0
 	if s.doubleBuffer {
 		cur, prev = t%2, (t+1)%2
 	}
-	dCur := vec(s.d[cur], s.dS[cur])
-	dPrev := vec(s.d[prev], s.dS[prev])
 	beta := s.beta
 	if s.restartPending {
 		beta = 0
 	}
-	src := vec(s.g, s.gS)
-	if s.pre != nil {
-		src = vec(s.z, s.zS)
-	}
+	s.iterVer, s.iterBeta, s.iterCur, s.iterPrev = ver, beta, cur, prev
 	s.dqPart.ResetMissing()
 
-	ins := []engine.Operand{engine.In(src, ver-1)}
-	if beta != 0 {
-		ins = append(ins, engine.In(dPrev, ver-1))
-	}
-	dOut := engine.Operand{Vec: dCur, Ver: ver}
-	// Skipped pages keep their old version; full overwrite revalidates.
-	dH := s.eng.PageOp("d", nil, ins, &dOut, true, func(p, lo, hi int) bool {
-		if beta == 0 {
-			copy(dCur.V.Data[lo:hi], src.V.Data[lo:hi])
-		} else if s.doubleBuffer {
-			sparse.XpbyOutRange(src.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
-		} else {
-			sparse.XpbyRange(src.V.Data, beta, dCur.V.Data, lo, hi)
-		}
-		return true
-	})
-	// Skipped q pages keep the OLD A·dPrev values, pairing with dPrev.
-	qH := s.eng.SpMV("q", dH, engine.In(dCur, ver), engine.Operand{Vec: vec(s.q, s.qS), Ver: ver})
-	pH := s.eng.DotPartials("<d,q>", qH, engine.In(dCur, ver), engine.In(vec(s.q, s.qS), ver), s.dqPart)
+	dH := s.prep.d.Submit(nil)
+	s.prep.q.Submit(dH)
 
-	var r1 *taskrt.Handle
 	skipRecovery := s.cfg.OnDemandRecovery && !s.space.AnyFault()
-	if s.cfg.Method == MethodAFEIR && !skipRecovery {
+	overlapped := s.cfg.Method == MethodAFEIR && !skipRecovery
+	if overlapped {
 		// Overlapped with the reductions, lower priority so reduction
 		// tasks start first (§3.3.2, Fig 2b). Handles only faults whose
 		// consequences are visible as stale stamps plus poisons on
 		// vectors the concurrent reductions never read.
-		after := append(append([]*taskrt.Handle{}, dH...), qH...)
-		r1 = s.eng.OverlappedRecovery("r1", after, func() {
-			s.recoverPhase1(ver, beta, cur, prev, false)
-		})
+		s.prep.r1o.Submit(s.prep.r1After)
 	}
-	s.rt.WaitAll(dH)
-	s.rt.WaitAll(qH)
-	s.rt.WaitAll(pH)
-	if r1 != nil {
-		s.rt.Wait(r1)
+	s.prep.d.Wait()
+	s.prep.q.Wait()
+	if overlapped {
+		s.prep.r1o.Wait()
 	}
 	if s.cfg.Method == MethodFEIR && !(s.cfg.OnDemandRecovery && !s.space.AnyFault()) {
 		// In the critical path: runs after every computation (thus every
 		// potential error discovery) of the phase (Fig 2a).
-		s.eng.CriticalRecovery("r1", func() {
-			s.recoverPhase1(ver, beta, cur, prev, true)
-		})
+		s.prep.r1c.Submit(nil)
+		s.prep.r1c.Wait()
 	}
 }
 
-// runPhase2 submits x/g/z updates, the eps partials and the r2/r3
-// recovery, and waits.
+// runPhase2 replays the prepared x update, fused g/ε (and z, <z,g>) tasks
+// and the r2/r3 recovery, and waits.
 func (s *CG) runPhase2(ver int64) {
 	t := int(ver)
 	cur := 0
 	if s.doubleBuffer {
 		cur = t % 2
 	}
-	dCur := vec(s.d[cur], s.dS[cur])
-	xV, gV, qV := vec(s.x, s.xS), vec(s.g, s.gS), vec(s.q, s.qS)
-	alpha := s.alpha
+	s.iterVer, s.iterCur = ver, cur
 	s.ggPart.ResetMissing()
 	if s.pre != nil {
 		s.zgPart.ResetMissing()
 	}
 
-	// Read-modify-write updates: no overwrite flag, so a poison landing
-	// mid-task stays detected for the boundary scramble.
-	xOut := engine.Operand{Vec: xV, Ver: ver}
-	xH := s.eng.PageOp("x", nil, []engine.Operand{engine.In(xV, ver-1), engine.In(dCur, ver)}, &xOut, false, func(p, lo, hi int) bool {
-		sparse.AxpyRange(alpha, dCur.V.Data, s.x.Data, lo, hi)
-		return true
-	})
-	gOut := engine.Operand{Vec: gV, Ver: ver}
-	gH := s.eng.PageOp("g", nil, []engine.Operand{engine.In(gV, ver-1), engine.In(qV, ver)}, &gOut, false, func(p, lo, hi int) bool {
-		sparse.AxpyRange(-alpha, s.q.Data, s.g.Data, lo, hi)
-		return true
-	})
-	var zH []*taskrt.Handle
+	s.prep.x.Submit(nil)
+	gH := s.prep.g.Submit(nil)
 	if s.pre != nil {
-		// Guarded apply-M⁻¹ page operation: full-page overwrite via
-		// partial preconditioner application (§3.2).
-		zH = s.eng.ApplyPrecond("z", gH, s.pre, engine.In(gV, ver), engine.Operand{Vec: vec(s.z, s.zS), Ver: ver})
-	}
-	epsAfter := gH
-	if s.pre != nil {
-		epsAfter = append(append([]*taskrt.Handle{}, gH...), zH...)
-	}
-	eH := s.eng.DotPartials("eps", epsAfter, engine.In(gV, ver), engine.In(gV, ver), s.ggPart)
-	var zgH []*taskrt.Handle
-	if s.pre != nil {
-		zgH = s.eng.DotPartials("<z,g>", epsAfter, engine.In(vec(s.z, s.zS), ver), engine.In(gV, ver), s.zgPart)
+		s.prep.z.Submit(gH)
+		s.prep.zg.Submit(s.prep.zgAfter)
 	}
 
-	var r23 *taskrt.Handle
 	skipRecovery := s.cfg.OnDemandRecovery && !s.space.AnyFault()
-	if s.cfg.Method == MethodAFEIR && !skipRecovery {
-		after := append(append([]*taskrt.Handle{}, xH...), gH...)
-		after = append(after, zH...)
-		r23 = s.eng.OverlappedRecovery("r2r3", after, func() {
-			s.recoverPhase2(ver, cur, false)
-		})
+	overlapped := s.cfg.Method == MethodAFEIR && !skipRecovery
+	if overlapped {
+		s.prep.r23o.Submit(s.prep.r23After)
 	}
-	s.rt.WaitAll(xH)
-	s.rt.WaitAll(gH)
-	s.rt.WaitAll(zH)
-	s.rt.WaitAll(eH)
-	s.rt.WaitAll(zgH)
-	if r23 != nil {
-		s.rt.Wait(r23)
+	s.prep.x.Wait()
+	s.prep.g.Wait()
+	if s.pre != nil {
+		s.prep.z.Wait()
+		s.prep.zg.Wait()
+	}
+	if overlapped {
+		s.prep.r23o.Wait()
 	}
 	if s.cfg.Method == MethodFEIR && !(s.cfg.OnDemandRecovery && !s.space.AnyFault()) {
-		s.eng.CriticalRecovery("r2r3", func() {
-			s.recoverPhase2(ver, cur, true)
-		})
+		s.prep.r23c.Submit(nil)
+		s.prep.r23c.Wait()
 	}
 }
 
@@ -466,9 +553,10 @@ func (s *CG) verifyConvergence(_ int, tol float64) bool {
 	return s.trueResidual() < tol*10
 }
 
-// trueResidual computes ||b - A x|| / ||b|| sequentially.
+// trueResidual computes ||b - A x|| / ||b|| sequentially, in the
+// solver-owned scratch (no per-check allocation).
 func (s *CG) trueResidual() float64 {
-	r := make([]float64, s.a.N)
+	r := s.resid
 	s.a.MulVec(s.x.Data, r)
 	sparse.Sub(s.b, r, r)
 	return sparse.Norm2(r) / s.bnorm

@@ -73,6 +73,7 @@ type GMRESSolver struct {
 	rt      *taskrt.Runtime
 	eng     *engine.Engine
 	dotPart *engine.Partial
+	resid   []float64 // full-length true-residual scratch (reused)
 
 	zeta  float64 // ||z|| of the current cycle (reliable scalar)
 	steps int     // completed Arnoldi steps in the current cycle
@@ -132,6 +133,7 @@ func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver
 		sv.pre = pre
 	}
 	sv.dotPart = engine.NewPartial(sv.np)
+	sv.resid = make([]float64, a.N)
 	return sv, nil
 }
 
@@ -172,15 +174,23 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 	converged := false
 	for totalIt < maxIter {
 		sv.boundary()
-		// Start of cycle: g = b - A x (full rebuild validates g).
-		sv.rt.WaitAll(sv.eng.RawOp("g", nil, func(p, lo, hi int) {
+		// Start of cycle: g = b - A x (full rebuild validates g), fused
+		// with the <g,g> partials — the cycle residual norm and, when
+		// unpreconditioned, the Arnoldi ζ ride the rebuild's own pass.
+		sv.dotPart.ResetMissing()
+		sv.rt.WaitAll(sv.eng.RawOp("g,<g,g>", nil, func(p, lo, hi int) {
 			sv.a.MulVecRange(sv.x.Data, sv.g.Data, lo, hi)
+			var gg float64
 			for i := lo; i < hi; i++ {
-				sv.g.Data[i] = sv.b[i] - sv.g.Data[i]
+				d := sv.b[i] - sv.g.Data[i]
+				sv.g.Data[i] = d
+				gg += d * d
 			}
+			sv.dotPart.Store(p, gg)
 		}))
 		sv.clearFailed(sv.g)
-		trueRel := sparse.Norm2(sv.g.Data) / sv.bnorm
+		gg, _ := sv.dotPart.SumAvailable()
+		trueRel := math.Sqrt(math.Max(gg, 0)) / sv.bnorm
 		if sv.cfg.OnIteration != nil {
 			sv.cfg.OnIteration(totalIt, trueRel)
 		}
@@ -191,12 +201,13 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 		// The Arnoldi start vector: g, or the preconditioned residual
 		// z = M⁻¹ g (full overwrite, so the rebuild heals z losses too).
 		src := sv.g
+		sv.zeta = math.Sqrt(math.Max(gg, 0))
 		if sv.pre != nil {
 			sv.rt.WaitAll(sv.eng.RawApplyPrecond("z", nil, sv.pre, sv.g.Data, sv.z.Data))
 			sv.clearFailed(sv.z)
 			src = sv.z
+			sv.zeta = math.Sqrt(sv.eng.Dot("<z,z>", src.Data, src.Data, sv.dotPart))
 		}
-		sv.zeta = math.Sqrt(sv.eng.Dot("<z,z>", src.Data, src.Data, sv.dotPart))
 		zeta := sv.zeta
 		sv.rt.WaitAll(sv.eng.RawOp("v0", nil, func(p, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -227,17 +238,23 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 			}
 			sv.rt.WaitAll(wH)
 			// Modified Gram-Schmidt: each h_{k,l} is a chunked reduction
-			// followed by a chunked axpy.
+			// followed by a chunked axpy; the LAST axpy is fused with the
+			// normalisation norm <w,w>, saving one full pass over w.
+			var wn2 float64
 			for k := 0; k <= l; k++ {
 				hk := sv.eng.Dot("<w,v>", sv.w, sv.v[k].Data, sv.dotPart)
 				h.Set(k, l, hk)
 				sv.hCopy.Set(k, l, hk) // redundancy store
 				vk := sv.v[k].Data
-				sv.rt.WaitAll(sv.eng.RawOp("w-hv", nil, func(p, lo, hi int) {
-					sparse.AxpyRange(-hk, vk, sv.w, lo, hi)
-				}))
+				if k == l {
+					wn2 = sv.eng.AxpyNorm("w-hv,<w,w>", -hk, vk, sv.w, sv.dotPart)
+				} else {
+					sv.rt.WaitAll(sv.eng.RawOp("w-hv", nil, func(p, lo, hi int) {
+						sparse.AxpyRange(-hk, vk, sv.w, lo, hi)
+					}))
+				}
 			}
-			wn := math.Sqrt(sv.eng.Dot("<w,w>", sv.w, sv.w, sv.dotPart))
+			wn := math.Sqrt(math.Max(wn2, 0))
 			h.Set(l+1, l, wn)
 			sv.hCopy.Set(l+1, l, wn)
 			steps = l + 1
@@ -302,7 +319,7 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 }
 
 func (sv *GMRESSolver) finish(it, restarts int, converged bool, start time.Time) Result {
-	r := make([]float64, sv.a.N)
+	r := sv.resid
 	sv.a.MulVec(sv.x.Data, r)
 	sparse.Sub(sv.b, r, r)
 	_ = restarts

@@ -195,6 +195,15 @@ func (s *CG) recoverPhase1(ver int64, beta float64, cur, prev int, allowLate boo
 	if s.pre != nil {
 		src, srcS = s.z, s.zS
 	}
+	if !s.space.AnyFault() {
+		// Fast path for the steady state: with no fault bit set anywhere
+		// there is nothing to repair — pages can only be stale downstream
+		// of a fault. Partial back-fill below still runs (it is what a
+		// late repair feeds). A fault arriving mid-scan was always racy;
+		// the phase boundary and reconcile catch it, exactly as before.
+		s.fillPhase1Partials(ver, dCur, dCurS)
+		return
+	}
 	for pass := 0; pass < 4; pass++ {
 		progress := false
 		for p := 0; p < s.np; p++ {
@@ -262,6 +271,10 @@ func (s *CG) recoverPhase1(ver int64, beta float64, cur, prev int, allowLate boo
 		}
 	}
 	// Fill the partial contributions that are now computable.
+	s.fillPhase1Partials(ver, dCur, dCurS)
+}
+
+func (s *CG) fillPhase1Partials(ver int64, dCur *pagemem.Vector, dCurS []atomic.Int64) {
 	for p := 0; p < s.np; p++ {
 		if s.dqPart.Missing(p) && current(dCur, dCurS, p, ver) && current(s.q, s.qS, p, ver) {
 			lo, hi := s.layout.Range(p)
@@ -275,6 +288,11 @@ func (s *CG) recoverPhase1(ver int64, beta float64, cur, prev int, allowLate boo
 func (s *CG) recoverPhase2(ver int64, cur int, allowLate bool) {
 	dCur, dCurS := s.d[cur], s.dS[cur]
 	alpha := s.alpha
+	if !s.space.AnyFault() {
+		// Steady-state fast path: see recoverPhase1.
+		s.fillPhase2Partials(ver)
+		return
+	}
 	for pass := 0; pass < 4; pass++ {
 		progress := false
 		for p := 0; p < s.np; p++ {
@@ -343,6 +361,10 @@ func (s *CG) recoverPhase2(ver int64, cur int, allowLate bool) {
 			}
 		}
 	}
+	s.fillPhase2Partials(ver)
+}
+
+func (s *CG) fillPhase2Partials(ver int64) {
 	for p := 0; p < s.np; p++ {
 		lo, hi := s.layout.Range(p)
 		gOK := current(s.g, s.gS, p, ver)

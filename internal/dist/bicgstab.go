@@ -111,14 +111,14 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 			continue
 		}
 
-		// Phase 1: [d̂ = M⁻¹d,] q = A d̂ (halo exchange inside), <q, r̂>.
+		// Phase 1: [d̂ = M⁻¹d,] q = A d̂ (halo exchange inside) fused with
+		// the <q, r̂> reduction.
 		qSrc := s.d
 		if s.dhat != nil {
 			sub.ApplyPrecondOwned("dh", s.d, s.dhat)
 			qSrc = s.dhat
 		}
-		sub.SpMV("q", qSrc, s.q)
-		qr := sub.DotReliable("<q,r>", s.q, s.rhat)
+		qr := sub.SpMVDotReliable("q,<q,r>", qSrc, s.q, s.rhat)
 		if qr == 0 || isNaN(qr) || isNaN(s.rho) {
 			if !sub.AnyFault() {
 				res, x := s.finish(it, converged, start, s.x)
@@ -134,14 +134,18 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 		sub.RankOp("s", func(r *shard.Rank, p, lo, hi int) {
 			sparse.XpbyOutRange(s.g.Of(r).Data, -alpha, s.q.Of(r).Data, s.s.Of(r).Data, lo, hi)
 		})
+		// t = A ŝ fused with <t,t> (and, unpreconditioned, <t,s>: the SpMV
+		// input IS s there, so both reductions ride the same pass).
 		tSrc := s.s
+		var tt, ts float64
 		if s.shat != nil {
 			sub.ApplyPrecondOwned("sh", s.s, s.shat)
 			tSrc = s.shat
+			tt = sub.SpMVNorm("t,<t,t>", tSrc, s.t)
+			ts = sub.Dot("<t,s>", s.t, s.s)
+		} else {
+			ts, tt = sub.SpMVDot2("t,<t,s>,<t,t>", s.s, s.t)
 		}
-		sub.SpMV("t", tSrc, s.t)
-		tt := sub.Dot("<t,t>", s.t, s.t)
-		ts := sub.Dot("<t,s>", s.t, s.s)
 		if tt == 0 {
 			if isNaN(ts) || sub.AnyFault() {
 				s.restartFromX()
@@ -159,13 +163,12 @@ func (s *BiCGStab) Run() (core.Result, []float64, error) {
 		}
 		omega := ts / tt
 
-		// Phase 3: x += α d̂ + ω ŝ ; g = s - ω t ; <g,r̂> ; <g,g>.
-		sub.RankOp("xg", func(r *shard.Rank, p, lo, hi int) {
+		// Phase 3: x += α d̂ + ω ŝ ; g = s - ω t fused with <g,r̂> and <g,g>
+		// in the same pass over the updated g.
+		rhoNew, gg := sub.RankOpDot2("xg,<g,r>,<g,g>", func(r *shard.Rank, p, lo, hi int) (float64, float64) {
 			sparse.Axpy2Range(alpha, qSrc.Of(r).Data, omega, tSrc.Of(r).Data, s.x.Of(r).Data, lo, hi)
-			sparse.XpbyOutRange(s.s.Of(r).Data, -omega, s.t.Of(r).Data, s.g.Of(r).Data, lo, hi)
+			return sparse.XpbyDotNormRange(s.s.Of(r).Data, -omega, s.t.Of(r).Data, s.g.Of(r).Data, s.rhat, lo, hi)
 		})
-		rhoNew := sub.DotReliable("<g,r>", s.g, s.rhat)
-		gg := sub.Dot("<g,g>", s.g, s.g)
 		s.epsGG = gg
 		// rhoNew == 0 is a breakdown too (a zero ρ carried forward stalls
 		// the next α) — unless the residual already converged.

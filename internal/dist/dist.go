@@ -321,10 +321,10 @@ func (s *CG) Run() (core.Result, []float64, error) {
 				sparse.XpbyRange(src.Of(r).Data, beta, s.d.Of(r).Data, lo, hi)
 			}
 		})
-		// Halo exchange of d, then q = A d on owned rows and the <d,q>
-		// reduction — the §3.4 communication/computation pattern.
-		sub.SpMV("q", s.d, s.q)
-		dq := sub.Dot("<d,q>", s.d, s.q)
+		// Halo exchange of d, then the fused q = A d with the <d,q>
+		// reduction riding the SpMV's pass — the §3.4 communication/
+		// computation pattern with one superstep fewer.
+		dq := sub.SpMVDot("q,<d,q>", s.d, s.q)
 		num := s.epsGG
 		if s.z != nil {
 			num = s.rho
@@ -334,12 +334,11 @@ func (s *CG) Run() (core.Result, []float64, error) {
 			alpha = num / dq
 		}
 
-		// x += alpha d ; g -= alpha q ; [z = M⁻¹g ;] <g,g> [; <z,g>].
-		sub.RankOp("xg", func(r *shard.Rank, p, lo, hi int) {
+		// x += alpha d ; g -= alpha q fused with <g,g> ; [z = M⁻¹g ; <z,g>].
+		gg := sub.RankOpDot("xg,<g,g>", func(r *shard.Rank, p, lo, hi int) float64 {
 			sparse.AxpyRange(alpha, s.d.Of(r).Data, s.x.Of(r).Data, lo, hi)
-			sparse.AxpyRange(-alpha, s.q.Of(r).Data, s.g.Of(r).Data, lo, hi)
+			return sparse.AxpyDotRange(-alpha, s.q.Of(r).Data, s.g.Of(r).Data, lo, hi)
 		})
-		gg := sub.Dot("gg", s.g, s.g)
 		if s.z != nil {
 			sub.ApplyPrecondOwned("z", s.g, s.z)
 			zg := sub.Dot("<z,g>", s.z, s.g)

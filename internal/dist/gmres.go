@@ -108,9 +108,9 @@ func (s *GMRES) Run() (core.Result, []float64, error) {
 	converged := false
 	for totalIt < maxIter {
 		s.boundary(-1) // cycle start: no live basis yet
-		sub.ResidualFromX(s.x, s.g)
+		// Fused residual rebuild: <g,g> rides the g = b - A x pass.
+		gg := sub.ResidualFromXDot(s.x, s.g)
 		s.gCurrent = true
-		gg := sub.Dot("<g,g>", s.g, s.g)
 		trueRel := math.Sqrt(math.Max(gg, 0)) / sub.Bnorm
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(totalIt, trueRel)
@@ -161,16 +161,24 @@ func (s *GMRES) Run() (core.Result, []float64, error) {
 				}
 			})
 			// Modified Gram-Schmidt: each h_{k,l} is a Partial-backed
-			// allreduce followed by an owned-range axpy.
+			// allreduce followed by an owned-range axpy; the LAST axpy is
+			// fused with the normalisation norm <w,w>, saving one pass.
+			var wn2 float64
 			for k := 0; k <= l; k++ {
 				hk := sub.DotMixed("<w,v>", s.w, s.v[k])
 				s.h.Set(k, l, hk)
 				s.hCpy.Set(k, l, hk) // redundancy store
-				sub.RankOp("w-hv", func(r *shard.Rank, p, lo, hi int) {
-					sparse.AxpyRange(-hk, s.v[k].Of(r).Data, s.w[r.ID], lo, hi)
-				})
+				if k == l {
+					wn2 = sub.RankOpDot("w-hv,<w,w>", func(r *shard.Rank, p, lo, hi int) float64 {
+						return sparse.AxpyDotRange(-hk, s.v[k].Of(r).Data, s.w[r.ID], lo, hi)
+					})
+				} else {
+					sub.RankOp("w-hv", func(r *shard.Rank, p, lo, hi int) {
+						sparse.AxpyRange(-hk, s.v[k].Of(r).Data, s.w[r.ID], lo, hi)
+					})
+				}
 			}
-			wn := math.Sqrt(sub.DotScratch("<w,w>", s.w))
+			wn := math.Sqrt(math.Max(wn2, 0))
 			s.h.Set(l+1, l, wn)
 			s.hCpy.Set(l+1, l, wn)
 			steps = l + 1

@@ -1,0 +1,263 @@
+// Fused page operations: each emits ONE task per chunk where the unfused
+// pipeline emitted two dependent ones (the producing operation plus the
+// reduction over its output), cutting both the task count and the memory
+// traffic of the steady-state iteration. The version-stamp guards and
+// FEIR/AFEIR recovery semantics are identical to the ops they fuse:
+//
+//   - a page runs only when the same input operands the unfused producer
+//     checked are current; a skipped page keeps its previous version and
+//     its reduction slot stays missing — exactly what the unfused
+//     reduction would have decided from the stale stamp;
+//   - a produced page is stamped the same way (full-overwrite ops
+//     revalidate, read-modify-write ops keep late poisons detected), so
+//     the recovery relations of §3.1 apply unchanged, and the recovery
+//     tasks' partial back-fill loops (which test Partial.Missing plus
+//     page currency) work on fused and unfused partials alike.
+//
+// The one observable difference is benign: the unfused reduction task ran
+// strictly after the producer, so a fault bit raised in the gap made it
+// drop a numerically-correct contribution that recovery then recomputed.
+// The fused op computes the contribution from the values it just wrote —
+// the same values the recovery relation would reproduce.
+package engine
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// SpMVDotPage is the per-page body of the fused SpMV + dot operation:
+// out rows = A·in for page p, the <in,out> partial into xy and the
+// <out,out> partial into yy (either may be nil). Shared by the immediate
+// SpMVDot op and the prepared steady-state graphs.
+func (e *Engine) SpMVDotPage(p, lo, hi int, in, out Operand, xy, yy *Partial) {
+	if e.Resilient && !in.ConnCurrent(e.Conn[p], in.Ver, -1) {
+		return // output page keeps its OLD values; partials stay missing
+	}
+	// When only one partial is wanted, the single-dot kernel saves the
+	// other reduction's work: <in,out> is <out,w> with w = in, and
+	// <out,out> is <out,w> with w = out.
+	var sxy, syy float64
+	switch {
+	case xy != nil && yy == nil:
+		sxy = e.A.MulVecDotVecRange(in.V.Data, out.V.Data, in.V.Data, lo, hi)
+	case xy == nil && yy != nil:
+		syy = e.A.MulVecDotVecRange(in.V.Data, out.V.Data, out.V.Data, lo, hi)
+	default:
+		sxy, syy = e.A.MulVecDotRange(in.V.Data, out.V.Data, lo, hi)
+	}
+	if e.Resilient {
+		out.V.MarkRecovered(p)
+		out.S[p].Store(out.Ver)
+		if !in.Current(p, in.Ver) {
+			// A row-page whose own column-page is outside its connectivity
+			// (no diagonal nonzero): the SpMV was legal but the <in,out>
+			// contribution read a stale in page — leave it missing, as the
+			// unfused reduction's guard would have.
+			if yy != nil {
+				yy.Store(p, syy)
+			}
+			return
+		}
+	}
+	if xy != nil {
+		xy.Store(p, sxy)
+	}
+	if yy != nil {
+		yy.Store(p, syy)
+	}
+}
+
+// SpMVDot submits chunked tasks computing out rows = A * in fused with
+// the per-page partials <in, out> (into xy) and <out, out> (into yy);
+// pass nil to skip either. Guards and stamping match SpMV followed by
+// DotPartials: a row-page runs only when every connected input page is
+// current at in.Ver, the output revalidates at out.Ver, and skipped pages
+// leave their partial slots missing.
+func (e *Engine) SpMVDot(label string, after []*taskrt.Handle, in, out Operand, xy, yy *Partial) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				e.SpMVDotPage(p, lo, hi, in, out, xy, yy)
+			}
+		}}))
+	}
+	return handles
+}
+
+// SpMVDotVecPage is the per-page body of SpMVDotReliable: out rows = A·in
+// fused with the <out, y> partial against reliable-memory y (the BiCGStab
+// shadow residual). The partial guard matches DotPartialsReliable: only
+// the produced page must be current, which it is whenever the SpMV ran.
+func (e *Engine) SpMVDotVecPage(p, lo, hi int, in, out Operand, y []float64, part *Partial) {
+	if e.Resilient && !in.ConnCurrent(e.Conn[p], in.Ver, -1) {
+		return
+	}
+	wy := e.A.MulVecDotVecRange(in.V.Data, out.V.Data, y, lo, hi)
+	if e.Resilient {
+		out.V.MarkRecovered(p)
+		out.S[p].Store(out.Ver)
+	}
+	part.Store(p, wy)
+}
+
+// SpMVDotReliable submits chunked tasks computing out rows = A * in fused
+// with the per-page partials <out, y> for a reliable-memory y.
+func (e *Engine) SpMVDotReliable(label string, after []*taskrt.Handle, in, out Operand, y []float64, part *Partial) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				e.SpMVDotVecPage(p, lo, hi, in, out, y, part)
+			}
+		}}))
+	}
+	return handles
+}
+
+// AxpyDotPage is the per-page body of the fused read-modify-write update
+// y += alpha·x with the <y, y> partial of the updated values. Guards
+// match PageOp(ins={y@Ver-1, x@x.Ver}, overwrite=false) followed by
+// DotPartials(y, y): the stamp advances but a poison landing mid-task
+// stays detected, and then the contribution is dropped exactly as the
+// unfused reduction's currency guard would drop it.
+func (e *Engine) AxpyDotPage(p, lo, hi int, alpha float64, x, y Operand, yy *Partial) {
+	if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver-1)) {
+		return
+	}
+	s := sparse.AxpyDotRange(alpha, x.V.Data, y.V.Data, lo, hi)
+	if e.Resilient {
+		y.S[p].Store(y.Ver)
+		if y.V.Failed(p) {
+			return // late poison: the contribution stays missing
+		}
+	}
+	yy.Store(p, s)
+}
+
+// AxpyDot submits chunked tasks computing y += alpha * x (read-modify-
+// write: y consumed at y.Ver-1, produced at y.Ver, fault bits preserved)
+// fused with the per-page <y, y> partials of the updated values — the CG
+// phase-2 g -= αq with ε = <g,g> in one task per chunk.
+func (e *Engine) AxpyDot(label string, after []*taskrt.Handle, alpha float64, x, y Operand, yy *Partial) []*taskrt.Handle {
+	handles := make([]*taskrt.Handle, 0, len(e.chunks))
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Run: func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := e.Layout.Range(p)
+				e.AxpyDotPage(p, lo, hi, alpha, x, y, yy)
+			}
+		}}))
+	}
+	return handles
+}
+
+// ApplyPrecondPage is the per-page body of the guarded apply-M⁻¹
+// operation (ApplyPrecond): out_p = M_pp⁻¹ in_p with full-overwrite
+// stamping, for prepared steady-state graphs.
+func (e *Engine) ApplyPrecondPage(p int, m BlockApplier, in, out Operand) {
+	if e.Resilient && !in.Current(p, in.Ver) {
+		return
+	}
+	if m.ApplyBlock(p, in.V.Data, out.V.Data) != nil {
+		return
+	}
+	if e.Resilient {
+		out.V.MarkRecovered(p)
+		out.S[p].Store(out.Ver)
+	}
+}
+
+// DotPartialPage is the per-page body of the guarded DotPartials
+// reduction, for prepared steady-state graphs.
+func (e *Engine) DotPartialPage(p, lo, hi int, x, y Operand, part *Partial) {
+	if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver)) {
+		return
+	}
+	part.Store(p, sparse.DotRange(x.V.Data, y.V.Data, lo, hi))
+}
+
+// RawSpMVDot submits unguarded chunked tasks computing y rows = A * x
+// fused with the per-page partials <x, y> (into xy) and <y, y> (into yy);
+// pass nil to skip either.
+func (e *Engine) RawSpMVDot(label string, after []*taskrt.Handle, x, y []float64, xy, yy *Partial) []*taskrt.Handle {
+	return e.RawOp(label, after, func(p, lo, hi int) {
+		sxy, syy := e.A.MulVecDotRange(x, y, lo, hi)
+		if xy != nil {
+			xy.Store(p, sxy)
+		}
+		if yy != nil {
+			yy.Store(p, syy)
+		}
+	})
+}
+
+// AxpyNorm runs the fused y += alpha*x with the <y,y> partials of the
+// updated values, waits, and returns the squared norm — the GMRES final
+// orthogonalisation update fused with the Arnoldi normalisation norm
+// (unguarded, phase-boundary repair discipline).
+func (e *Engine) AxpyNorm(label string, alpha float64, x, y []float64, part *Partial) float64 {
+	part.ResetMissing()
+	e.RT.WaitAll(e.RawOp(label, nil, func(p, lo, hi int) {
+		part.Store(p, sparse.AxpyDotRange(alpha, x, y, lo, hi))
+	}))
+	sum, _ := part.SumAvailable()
+	return sum
+}
+
+// ---------------------------------------------------------------------
+// Prepared (replayed) operations.
+// ---------------------------------------------------------------------
+
+// Prepared is a reusable chunked operation: one persistent task handle
+// per chunk whose body reads per-iteration state (versions, scalars,
+// buffer roles) through the owning solver, so a steady-state iteration
+// resubmits the same handles with zero allocations. Dependencies are
+// passed at submission; handle slices returned by Handles are stable, so
+// cross-op dependency lists can be prebuilt once.
+type Prepared struct {
+	rt      *taskrt.Runtime
+	handles []*taskrt.Handle
+}
+
+// Prepare builds a prepared chunked op running body(worker, pLo, pHi) for
+// every chunk of the engine's page range.
+func (e *Engine) Prepare(label string, priority int, body func(worker, pLo, pHi int)) *Prepared {
+	p := &Prepared{rt: e.RT, handles: make([]*taskrt.Handle, 0, len(e.chunks))}
+	for _, ch := range e.chunks {
+		pLo, pHi := ch[0], ch[1]
+		p.handles = append(p.handles, e.RT.NewTask(taskrt.TaskSpec{
+			Label:    label,
+			Priority: priority,
+			Run:      func(w int) { body(w, pLo, pHi) },
+		}))
+	}
+	return p
+}
+
+// PrepareSingle builds a prepared single-task op (the per-phase recovery
+// tasks: one task, not chunked).
+func (e *Engine) PrepareSingle(label string, priority int, body func()) *Prepared {
+	return &Prepared{rt: e.RT, handles: []*taskrt.Handle{
+		e.RT.NewTask(taskrt.TaskSpec{Label: label, Priority: priority, Run: func(int) { body() }}),
+	}}
+}
+
+// Submit replays every chunk task after the given dependencies and
+// returns the persistent handles.
+func (p *Prepared) Submit(after []*taskrt.Handle) []*taskrt.Handle {
+	p.rt.ResubmitAll(p.handles, after)
+	return p.handles
+}
+
+// Handles returns the persistent task handles (stable across replays).
+func (p *Prepared) Handles() []*taskrt.Handle { return p.handles }
+
+// Wait blocks until the most recent replay of every chunk task finished.
+func (p *Prepared) Wait() { p.rt.WaitAll(p.handles) }

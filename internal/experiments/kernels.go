@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/matgen"
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// KernelsResult is the BENCH_kernels.json payload: the tracked kernel and
+// steady-state performance baseline. Later PRs regenerate it and compare
+// — the perf trajectory of the hot path starts here.
+//
+// The iteration speedup compares the frozen pre-PR hot path (see
+// kernels_baseline.go: the single-heap scheduler with an eager channel
+// per task, non-hoisted wide-index kernels, unfused ops submitted fresh
+// every iteration) against this PR's hot path (fused q/<d,q> and g/ε
+// tasks, narrow-index kernels, prepared handles replayed with zero
+// allocations on the work-stealing+helping scheduler), both driving the
+// same guarded CG iteration structure on the same matrix. Measurement
+// rounds are interleaved and the medians reported, so slow-neighbour
+// noise on virtualised runners cancels out of the ratio.
+//
+// CGIterNs/CGIterAllocs additionally measure the real core.CG solver
+// (MethodFEIR, no faults), whose iterations also carry the recovery scan
+// and reconcile passes the replicas omit.
+type KernelsResult struct {
+	Scale       int `json:"scale"`
+	Workers     int `json:"workers"`
+	PageDoubles int `json:"page_doubles"`
+	NNZ         int `json:"nnz"`
+	Iters       int `json:"iters"`
+
+	SpMVPrePRGFlops float64 `json:"spmv_pre_pr_gflops"`
+	SpMVGFlops      float64 `json:"spmv_gflops"`
+	SpMVFusedGFlops float64 `json:"spmv_fused_gflops"`
+
+	IterPrePRNs     float64 `json:"cg_iter_pre_pr_ns"`
+	IterFusedNs     float64 `json:"cg_iter_fused_ns"`
+	IterSpeedup     float64 `json:"cg_iter_speedup"`
+	IterFusedAllocs float64 `json:"cg_iter_fused_allocs"`
+
+	CGIterNs     float64 `json:"cg_solver_iter_ns"`
+	CGIterAllocs float64 `json:"cg_solver_iter_allocs"`
+
+	TaskrtStealTasksPerSec  float64 `json:"taskrt_steal_tasks_per_sec"`
+	TaskrtGlobalTasksPerSec float64 `json:"taskrt_global_tasks_per_sec"`
+}
+
+func (r *KernelsResult) String() string {
+	return fmt.Sprintf(`Kernel benchmark baseline (scale %d, %d workers, %d-double pages, %d iters)
+  SpMV pre-PR          %8.2f GFLOP/s
+  SpMV                 %8.2f GFLOP/s
+  SpMV+dots fused      %8.2f GFLOP/s
+  CG steady-state iteration:
+    pre-PR hot path (frozen)    %10.0f ns/iter
+    fused + prepared + steal    %10.0f ns/iter   (%.2fx, %.2f allocs/iter)
+  CG solver iteration (FEIR)    %10.0f ns/iter   (%.2f allocs/iter)
+  taskrt throughput: steal %.2fM tasks/s, single-queue %.2fM tasks/s`,
+		r.Scale, r.Workers, r.PageDoubles, r.Iters,
+		r.SpMVPrePRGFlops, r.SpMVGFlops, r.SpMVFusedGFlops,
+		r.IterPrePRNs, r.IterFusedNs, r.IterSpeedup, r.IterFusedAllocs,
+		r.CGIterNs, r.CGIterAllocs,
+		r.TaskrtStealTasksPerSec/1e6, r.TaskrtGlobalTasksPerSec/1e6)
+}
+
+// Kernels measures the hot-path baseline. Scale 0 means 65536 (the
+// tracked configuration), Workers 0 means 4, iters <= 0 means 200
+// measured steady-state iterations.
+func Kernels(opts Options, iters int) (*KernelsResult, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1 << 16
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	side := 1
+	for side*side < scale {
+		side++
+	}
+	a := matgen.Poisson2D(side, side)
+	b := matgen.Ones(a.N)
+	pd := opts.pageDoubles()
+
+	res := &KernelsResult{
+		Scale:       a.N,
+		Workers:     workers,
+		PageDoubles: pd,
+		NNZ:         a.NNZ(),
+		Iters:       iters,
+	}
+
+	// --- Sequential kernel GFLOP/s (interleaved medians) -----------
+	x := matgen.RandomVector(a.N, 3)
+	y := make([]float64, a.N)
+	flops := 2 * float64(a.NNZ())
+	var preT, newT, fusedT []float64
+	for rep := 0; rep < 7; rep++ {
+		preT = append(preT, bestNsOf(3, func() {
+			prePRMulVecRange(a, x, y, 0, a.N)
+		}))
+		newT = append(newT, bestNsOf(3, func() {
+			a.MulVecRange(x, y, 0, a.N)
+		}))
+		fusedT = append(fusedT, bestNsOf(3, func() {
+			sinkXY, sinkYY := a.MulVecDotRange(x, y, 0, a.N)
+			kernelSink = sinkXY + sinkYY
+		}))
+	}
+	res.SpMVPrePRGFlops = flops / median(preT)
+	res.SpMVGFlops = flops / median(newT)
+	res.SpMVFusedGFlops = (flops + 4*float64(a.N)) / median(fusedT)
+
+	// --- Steady-state iteration: frozen pre-PR vs fused ------------
+	pre := newPrePRHarness(a, b, pd, workers)
+	rtF := taskrt.New(workers)
+	fused := newCGIterHarness(a, b, pd, rtF)
+	for i := 0; i < 10; i++ { // warm both (rings, wait conds, caches)
+		pre.iterate()
+		fused.iterate()
+	}
+	// Small adjacent batches, alternating order, ratio taken per round:
+	// the two sides of each ratio share whatever slow-neighbour drift the
+	// host has at that moment, so the median ratio is far more stable
+	// than the ratio of medians on virtualised runners.
+	const batch = 5
+	rounds := iters / batch
+	if rounds < 4 {
+		rounds = 4
+	}
+	batchNs := func(h interface{ iterate() }) float64 {
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			h.iterate()
+		}
+		return float64(time.Since(t0).Nanoseconds()) / batch
+	}
+	var preNs, fusedNs, ratios []float64
+	for r := 0; r < rounds; r++ {
+		var p, f float64
+		if r%2 == 0 {
+			p = batchNs(pre)
+			f = batchNs(fused)
+		} else {
+			f = batchNs(fused)
+			p = batchNs(pre)
+		}
+		preNs = append(preNs, p)
+		fusedNs = append(fusedNs, f)
+		ratios = append(ratios, p/f)
+	}
+	res.IterPrePRNs = median(preNs)
+	res.IterFusedNs = median(fusedNs)
+	res.IterSpeedup = median(ratios)
+	res.IterFusedAllocs = fused.measureAllocs(iters)
+	pre.rt.close()
+	rtF.Close()
+
+	// --- Real solver steady state (FEIR, no faults) ----------------
+	ns, allocs, err := cgSolverSteadyState(a, b, workers, pd, iters)
+	if err != nil {
+		return nil, err
+	}
+	res.CGIterNs, res.CGIterAllocs = ns, allocs
+
+	// --- taskrt scheduling throughput ------------------------------
+	res.TaskrtStealTasksPerSec = taskThroughput(taskrt.New(workers))
+	res.TaskrtGlobalTasksPerSec = taskThroughput(taskrt.NewSingleQueue(workers))
+	return res, nil
+}
+
+var kernelSink float64
+
+// bestNsOf runs fn reps times and returns the fastest wall time in ns.
+func bestNsOf(reps int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds())
+}
+
+// cgIterHarness drives the CG steady-state iteration structure at the
+// engine level — phase 1 (d update, fused q = A d with <d,q>) and phase
+// 2 (x update, fused g -= αq with ε = <g,g>) as prepared replayed task
+// graphs — with the real recurrence scalars so the data evolves like a
+// genuine solve. Its frozen pre-PR counterpart is prePRHarness.
+type cgIterHarness struct {
+	a      *sparse.CSR
+	layout sparse.BlockLayout
+	eng    *engine.Engine
+	rt     *taskrt.Runtime
+	space  *pagemem.Space
+
+	x, g, q        engine.Vec
+	d              [2]engine.Vec
+	dqPart, ggPart *engine.Partial
+
+	ver         int64
+	cur, prev   int
+	alpha, beta float64
+	epsGG       float64
+
+	pd, pq, px, pg *engine.Prepared
+}
+
+func newCGIterHarness(a *sparse.CSR, b []float64, pageDoubles int, rt *taskrt.Runtime) *cgIterHarness {
+	layout := sparse.BlockLayout{N: a.N, BlockSize: pageDoubles}
+	h := &cgIterHarness{
+		a:      a,
+		layout: layout,
+		rt:     rt,
+		eng:    engine.New(a, layout, rt, true, 0),
+		space:  pagemem.NewSpace(a.N, pageDoubles),
+	}
+	np := layout.NumBlocks()
+	mk := func(name string) engine.Vec {
+		return engine.Vec{V: h.space.AddVector(name), S: engine.NewStamps(np)}
+	}
+	h.x, h.g, h.q = mk("x"), mk("g"), mk("q")
+	h.d[0], h.d[1] = mk("d0"), mk("d1")
+	copy(h.g.V.Data, b)
+	h.epsGG = sparse.Dot(b, b)
+	h.dqPart = engine.NewPartial(np)
+	h.ggPart = engine.NewPartial(np)
+	{
+		e := h.eng
+		h.pd = e.Prepare("d", 0, func(_, pLo, pHi int) {
+			ver, beta := h.ver, h.beta
+			dCur, dPrev := h.d[h.cur], h.d[h.prev]
+			for p := pLo; p < pHi; p++ {
+				if !h.g.Current(p, ver-1) || (beta != 0 && !dPrev.Current(p, ver-1)) {
+					continue
+				}
+				lo, hi := h.layout.Range(p)
+				if beta == 0 {
+					copy(dCur.V.Data[lo:hi], h.g.V.Data[lo:hi])
+				} else {
+					sparse.XpbyOutRange(h.g.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
+				}
+				dCur.V.MarkRecovered(p)
+				dCur.S[p].Store(ver)
+			}
+		})
+		h.pq = e.Prepare("q,<d,q>", 0, func(_, pLo, pHi int) {
+			ver := h.ver
+			in := engine.In(h.d[h.cur], ver)
+			out := engine.Operand{Vec: h.q, Ver: ver}
+			for p := pLo; p < pHi; p++ {
+				lo, hi := h.layout.Range(p)
+				e.SpMVDotPage(p, lo, hi, in, out, h.dqPart, nil)
+			}
+		})
+		h.px = e.Prepare("x", 0, func(_, pLo, pHi int) {
+			ver, alpha := h.ver, h.alpha
+			dCur := h.d[h.cur]
+			for p := pLo; p < pHi; p++ {
+				if !h.x.Current(p, ver-1) || !dCur.Current(p, ver) {
+					continue
+				}
+				lo, hi := h.layout.Range(p)
+				sparse.AxpyRange(alpha, dCur.V.Data, h.x.V.Data, lo, hi)
+				h.x.S[p].Store(ver)
+			}
+		})
+		h.pg = e.Prepare("g,eps", 0, func(_, pLo, pHi int) {
+			ver, alpha := h.ver, h.alpha
+			qIn := engine.In(h.q, ver)
+			gOut := engine.Operand{Vec: h.g, Ver: ver}
+			for p := pLo; p < pHi; p++ {
+				lo, hi := h.layout.Range(p)
+				e.AxpyDotPage(p, lo, hi, -alpha, qIn, gOut, h.ggPart)
+			}
+		})
+	}
+	return h
+}
+
+// iterate runs one steady-state CG iteration.
+func (h *cgIterHarness) iterate() {
+	t := int(h.ver)
+	h.cur, h.prev = t%2, (t+1)%2
+	beta := h.beta
+	if h.ver == 0 {
+		beta = 0
+	}
+	h.beta = beta
+	h.dqPart.ResetMissing()
+
+	dH := h.pd.Submit(nil)
+	h.pq.Submit(dH)
+	h.pd.Wait()
+	h.pq.Wait()
+
+	dq, _ := h.dqPart.SumAvailable()
+	if dq != 0 {
+		h.alpha = h.epsGG / dq
+	} else {
+		h.alpha = 0
+	}
+	h.ggPart.ResetMissing()
+
+	h.px.Submit(nil)
+	h.pg.Submit(nil)
+	h.px.Wait()
+	h.pg.Wait()
+
+	gg, _ := h.ggPart.SumAvailable()
+	if h.epsGG != 0 {
+		h.beta = gg / h.epsGG
+	} else {
+		h.beta = 0
+	}
+	h.epsGG = gg
+	h.ver++
+}
+
+// measureAllocs returns mallocs per iteration over n iterations.
+func (h *cgIterHarness) measureAllocs(n int) float64 {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		h.iterate()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(n)
+}
+
+// cgSolverSteadyState times the real core.CG (FEIR) per-iteration cost
+// and allocation rate between two OnIteration checkpoints.
+func cgSolverSteadyState(a *sparse.CSR, b []float64, workers, pageDoubles, iters int) (ns, allocs float64, err error) {
+	const warm = 20
+	last := warm + iters
+	var m0, m1 runtime.MemStats
+	var t0, t1 time.Time
+	cfg := core.Config{
+		Method:      core.MethodFEIR,
+		Workers:     workers,
+		PageDoubles: pageDoubles,
+		Tol:         1e-300, // never converges inside the window
+		MaxIter:     last + 1,
+	}
+	cfg.OnIteration = func(it int, rel float64) {
+		switch it {
+		case warm:
+			runtime.ReadMemStats(&m0)
+			t0 = time.Now()
+		case last:
+			runtime.ReadMemStats(&m1)
+			t1 = time.Now()
+		}
+	}
+	cg, err := core.NewCG(a, b, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := cg.Run(); err != nil {
+		return 0, 0, err
+	}
+	n := float64(last - warm)
+	return float64(t1.Sub(t0).Nanoseconds()) / n, float64(m1.Mallocs-m0.Mallocs) / n, nil
+}
+
+// taskThroughput measures raw scheduling throughput: waves of trivial
+// tasks submitted and drained. Closes the runtime before returning.
+func taskThroughput(rt *taskrt.Runtime) float64 {
+	defer rt.Close()
+	const wave, waves = 512, 40
+	spec := taskrt.TaskSpec{Run: func(int) {}}
+	// Warm up.
+	for i := 0; i < wave; i++ {
+		rt.Submit(spec)
+	}
+	rt.Quiesce()
+	t0 := time.Now()
+	for w := 0; w < waves; w++ {
+		for i := 0; i < wave; i++ {
+			rt.Submit(spec)
+		}
+		rt.Quiesce()
+	}
+	return float64(wave*waves) / time.Since(t0).Seconds()
+}

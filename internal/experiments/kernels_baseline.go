@@ -1,0 +1,361 @@
+package experiments
+
+// The frozen pre-PR hot path, kept verbatim as the benchmark baseline so
+// BENCH_kernels.json measures this PR's steady-state speedup against the
+// code it replaced (commit "Make preconditioning a first-class subsystem
+// ..."): the single-mutex global-heap scheduler with an eagerly
+// allocated completion channel per task, the non-hoisted wide-index SpMV
+// kernel, and the unfused op pipeline that submitted fresh closure tasks
+// for every operation of every iteration. Nothing here is reachable from
+// production code.
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+)
+
+// ---- pre-PR scheduler (verbatim mechanics) --------------------------
+
+type prePRHandle struct {
+	seq      uint64
+	priority int
+	run      func(worker int)
+	npred    int
+	succs    []*prePRHandle
+	done     bool
+	doneCh   chan struct{}
+}
+
+type prePRRuntime struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ready     prePRHeap
+	seq       uint64
+	pending   int
+	closed    bool
+	quiescent *sync.Cond
+	workers   int
+}
+
+func newPrePRRuntime(workers int) *prePRRuntime {
+	rt := &prePRRuntime{workers: workers}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.quiescent = sync.NewCond(&rt.mu)
+	for w := 0; w < workers; w++ {
+		go rt.worker(w)
+	}
+	return rt
+}
+
+func (rt *prePRRuntime) submit(run func(int), after []*prePRHandle) *prePRHandle {
+	h := &prePRHandle{run: run, doneCh: make(chan struct{})}
+	rt.mu.Lock()
+	rt.seq++
+	h.seq = rt.seq
+	rt.pending++
+	for _, pred := range after {
+		if pred != nil && !pred.done {
+			pred.succs = append(pred.succs, h)
+			h.npred++
+		}
+	}
+	if h.npred == 0 {
+		heap.Push(&rt.ready, h)
+		rt.cond.Signal()
+	}
+	rt.mu.Unlock()
+	return h
+}
+
+func (rt *prePRRuntime) waitAll(hs []*prePRHandle) {
+	for _, h := range hs {
+		<-h.doneCh
+	}
+}
+
+func (rt *prePRRuntime) close() {
+	rt.mu.Lock()
+	for rt.pending > 0 {
+		rt.quiescent.Wait()
+	}
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+func (rt *prePRRuntime) worker(w int) {
+	// The pre-PR loop kept per-worker state clocks: the time.Now calls
+	// around every task are part of its per-task cost, so they stay.
+	var useful, overhead, idle time.Duration
+	for {
+		tSched := time.Now()
+		rt.mu.Lock()
+		for rt.ready.Len() == 0 && !rt.closed {
+			tIdle := time.Now()
+			overhead += tIdle.Sub(tSched)
+			rt.cond.Wait()
+			tSched = time.Now()
+			idle += tSched.Sub(tIdle)
+		}
+		if rt.ready.Len() == 0 && rt.closed {
+			rt.mu.Unlock()
+			return
+		}
+		h := heap.Pop(&rt.ready).(*prePRHandle)
+		rt.mu.Unlock()
+		tRun := time.Now()
+		overhead += tRun.Sub(tSched)
+		h.run(w)
+		useful += time.Since(tRun)
+		_ = useful
+		_ = idle
+
+		rt.mu.Lock()
+		h.done = true
+		for _, s := range h.succs {
+			s.npred--
+			if s.npred == 0 {
+				heap.Push(&rt.ready, s)
+				rt.cond.Signal()
+			}
+		}
+		h.succs = nil
+		rt.pending--
+		if rt.pending == 0 {
+			rt.quiescent.Broadcast()
+		}
+		rt.mu.Unlock()
+		close(h.doneCh)
+	}
+}
+
+type prePRHeap []*prePRHandle
+
+func (th prePRHeap) Len() int { return len(th) }
+func (th prePRHeap) Less(i, j int) bool {
+	if th[i].priority != th[j].priority {
+		return th[i].priority > th[j].priority
+	}
+	return th[i].seq < th[j].seq
+}
+func (th prePRHeap) Swap(i, j int) { th[i], th[j] = th[j], th[i] }
+func (th *prePRHeap) Push(x any)   { *th = append(*th, x.(*prePRHandle)) }
+func (th *prePRHeap) Pop() any {
+	old := *th
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*th = old[:n-1]
+	return x
+}
+
+// ---- pre-PR kernels (verbatim) --------------------------------------
+
+func prePRMulVecRange(a *sparse.CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		end := a.RowPtr[i+1]
+		for k := a.RowPtr[i]; k < end; k++ {
+			s += a.Vals[k] * x[a.Cols[k]]
+		}
+		y[i] = s
+	}
+}
+
+func prePRDotRange(x, y []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func prePRAxpyRange(alpha float64, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+func prePRXpbyOutRange(x []float64, beta float64, y, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = x[i] + beta*y[i]
+	}
+}
+
+// ---- pre-PR CG steady-state iteration -------------------------------
+
+// prePRHarness drives the same resilient CG iteration structure as
+// cgIterHarness, the pre-PR way: six unfused chunked operations per
+// iteration (d, q, <d,q>, x, g, ε), each submitted as fresh closure
+// tasks on the pre-PR scheduler, with the same stamp guards.
+type prePRHarness struct {
+	a      *sparse.CSR
+	layout sparse.BlockLayout
+	rt     *prePRRuntime
+	chunks [][2]int
+	conn   [][]int
+	space  *pagemem.Space
+
+	x, g, q        engine.Vec
+	d              [2]engine.Vec
+	dqPart, ggPart *engine.Partial
+
+	ver         int64
+	alpha, beta float64
+	epsGG       float64
+}
+
+func newPrePRHarness(a *sparse.CSR, b []float64, pageDoubles, workers int) *prePRHarness {
+	layout := sparse.BlockLayout{N: a.N, BlockSize: pageDoubles}
+	np := layout.NumBlocks()
+	h := &prePRHarness{
+		a:      a,
+		layout: layout,
+		rt:     newPrePRRuntime(workers),
+		chunks: engine.ChunkRanges(np, workers),
+		conn:   engine.PageConnectivity(a, layout),
+		space:  pagemem.NewSpace(a.N, pageDoubles),
+	}
+	mk := func(name string) engine.Vec {
+		return engine.Vec{V: h.space.AddVector(name), S: engine.NewStamps(np)}
+	}
+	h.x, h.g, h.q = mk("x"), mk("g"), mk("q")
+	h.d[0], h.d[1] = mk("d0"), mk("d1")
+	copy(h.g.V.Data, b)
+	h.epsGG = prePRDotRange(b, b, 0, a.N)
+	h.dqPart = engine.NewPartial(np)
+	h.ggPart = engine.NewPartial(np)
+	return h
+}
+
+// chunked submits one fresh closure task per chunk — the pre-PR op shape.
+func (h *prePRHarness) chunked(after []*prePRHandle, fn func(p, lo, hi int)) []*prePRHandle {
+	handles := make([]*prePRHandle, 0, len(h.chunks))
+	for _, ch := range h.chunks {
+		pLo, pHi := ch[0], ch[1]
+		handles = append(handles, h.rt.submit(func(int) {
+			for p := pLo; p < pHi; p++ {
+				lo, hi := h.layout.Range(p)
+				fn(p, lo, hi)
+			}
+		}, after))
+	}
+	return handles
+}
+
+func (h *prePRHarness) iterate() {
+	ver := h.ver
+	t := int(ver)
+	cur, prev := t%2, (t+1)%2
+	dCur, dPrev := h.d[cur], h.d[prev]
+	beta := h.beta
+	if ver == 0 {
+		beta = 0
+	}
+	h.dqPart.ResetMissing()
+
+	dH := h.chunked(nil, func(p, lo, hi int) {
+		if !h.g.Current(p, ver-1) || (beta != 0 && !dPrev.Current(p, ver-1)) {
+			return
+		}
+		if beta == 0 {
+			copy(dCur.V.Data[lo:hi], h.g.V.Data[lo:hi])
+		} else {
+			prePRXpbyOutRange(h.g.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
+		}
+		dCur.V.MarkRecovered(p)
+		dCur.S[p].Store(ver)
+	})
+	qH := h.chunked(dH, func(p, lo, hi int) {
+		if !dCur.ConnCurrent(h.conn[p], ver, -1) {
+			return
+		}
+		prePRMulVecRange(h.a, dCur.V.Data, h.q.V.Data, lo, hi)
+		h.q.V.MarkRecovered(p)
+		h.q.S[p].Store(ver)
+	})
+	pH := h.chunked(qH, func(p, lo, hi int) {
+		if !dCur.Current(p, ver) || !h.q.Current(p, ver) {
+			return
+		}
+		h.dqPart.Store(p, prePRDotRange(dCur.V.Data, h.q.V.Data, lo, hi))
+	})
+	h.rt.waitAll(dH)
+	h.rt.waitAll(qH)
+	h.rt.waitAll(pH)
+
+	// The pre-PR FEIR solver ran a critical-path recovery task after
+	// every phase, scanning all pages for repairs and missing partials
+	// even in fault-free steady state — part of its per-iteration cost.
+	r1 := h.rt.submit(func(int) {
+		for p := 0; p < len(h.conn); p++ {
+			if h.g.Current(p, ver-1) && dCur.Current(p, ver) && h.q.Current(p, ver) &&
+				(beta == 0 || dPrev.Current(p, ver-1)) {
+				_ = h.dqPart.Missing(p)
+			}
+		}
+	}, nil)
+	h.rt.waitAll([]*prePRHandle{r1})
+
+	dq, _ := h.dqPart.SumAvailable()
+	if dq != 0 {
+		h.alpha = h.epsGG / dq
+	} else {
+		h.alpha = 0
+	}
+	alpha := h.alpha
+	h.ggPart.ResetMissing()
+
+	xH := h.chunked(nil, func(p, lo, hi int) {
+		if !h.x.Current(p, ver-1) || !dCur.Current(p, ver) {
+			return
+		}
+		prePRAxpyRange(alpha, dCur.V.Data, h.x.V.Data, lo, hi)
+		h.x.S[p].Store(ver)
+	})
+	gH := h.chunked(nil, func(p, lo, hi int) {
+		if !h.g.Current(p, ver-1) || !h.q.Current(p, ver) {
+			return
+		}
+		prePRAxpyRange(-alpha, h.q.V.Data, h.g.V.Data, lo, hi)
+		h.g.S[p].Store(ver)
+	})
+	eH := h.chunked(gH, func(p, lo, hi int) {
+		if !h.g.Current(p, ver) {
+			return
+		}
+		h.ggPart.Store(p, prePRDotRange(h.g.V.Data, h.g.V.Data, lo, hi))
+	})
+	h.rt.waitAll(xH)
+	h.rt.waitAll(gH)
+	h.rt.waitAll(eH)
+	r23 := h.rt.submit(func(int) {
+		for p := 0; p < len(h.conn); p++ {
+			if h.x.Current(p, ver) && h.g.Current(p, ver) && h.q.Current(p, ver) && dCur.Current(p, ver) {
+				_ = h.ggPart.Missing(p)
+			}
+		}
+	}, nil)
+	h.rt.waitAll([]*prePRHandle{r23})
+	// ... and the end-of-iteration reconcile swept every protected
+	// vector's stamps once more.
+	for p := 0; p < len(h.conn); p++ {
+		if !h.x.Current(p, ver) || !h.g.Current(p, ver) || !dCur.Current(p, ver) || !h.q.Current(p, ver) {
+			panic("kernels baseline: steady state lost a page")
+		}
+	}
+
+	gg, _ := h.ggPart.SumAvailable()
+	if h.epsGG != 0 {
+		h.beta = gg / h.epsGG
+	} else {
+		h.beta = 0
+	}
+	h.epsGG = gg
+	h.ver++
+}

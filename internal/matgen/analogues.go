@@ -92,6 +92,8 @@ func QA8FMAnalogue(n int) *sparse.CSR {
 			}
 		}
 	}
+	// The in-place edit invalidates the kernel shadows Clone built.
+	b.BuildIndex32()
 	return b
 }
 

@@ -230,3 +230,28 @@ func TestGridHelpers(t *testing.T) {
 		t.Fatalf("cubeSides(100) = %d,%d,%d too small", cx, cy, cz)
 	}
 }
+
+// TestAnaloguesSpMVMatchesRawArrays guards against stale kernel shadows:
+// an analogue that edits Vals after construction (qa8fm's diagonal
+// shift) must rebuild the shadows, or the shadow-dispatched SpMV would
+// silently apply a different operator than the CSR arrays describe.
+func TestAnaloguesSpMVMatchesRawArrays(t *testing.T) {
+	for _, name := range []string{"qa8fm", "thermal2", "Dubcova3"} {
+		a, err := PaperMatrix(name, 600)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := RandomVector(a.N, 11)
+		got := make([]float64, a.N)
+		a.MulVec(x, got)
+		for i := 0; i < a.N; i++ {
+			var want float64
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				want += a.Vals[k] * x[a.Cols[k]]
+			}
+			if diff := got[i] - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("%s row %d: shadow SpMV %v != raw arrays %v", name, i, got[i], want)
+			}
+		}
+	}
+}

@@ -115,7 +115,12 @@ type Substrate struct {
 	// recovery never cross a rank boundary — no extra halo traffic.
 	Pre *precond.BlockJacobi
 
-	part *engine.Partial
+	part  *engine.Partial
+	part2 *engine.Partial // second slot set for fused double reductions
+
+	// Coordinator-side gather scratch, reused across TrueResidual and
+	// LossyInterpolateOwned calls instead of allocating 2N per check.
+	gatherX, gatherRes []float64
 }
 
 // New builds the substrate for A x = b over the given number of ranks.
@@ -146,7 +151,10 @@ func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) 
 		Blocks: sparse.NewBlockSolverCache(a, layout, spd),
 		Owner:  make([]int, np),
 		part:   engine.NewPartial(np),
+		part2:  engine.NewPartial(np),
 	}
+	s.gatherX = make([]float64, a.N)
+	s.gatherRes = make([]float64, a.N)
 	if s.Bnorm == 0 {
 		s.Bnorm = 1
 	}
@@ -318,18 +326,6 @@ func (s *Substrate) DotMixed(label string, xs [][]float64, y *Vec) float64 {
 	return sum
 }
 
-// DotScratch computes the global <x, x> of a per-rank scratch vector.
-func (s *Substrate) DotScratch(label string, xs [][]float64) float64 {
-	s.part.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		hs = append(hs, r.Eng.RawDotPartials(label, nil, xs[r.ID], xs[r.ID], s.part)...)
-	}
-	s.RT.WaitAll(hs)
-	sum, _ := s.part.SumAvailable()
-	return sum
-}
-
 // SpMV computes out = A * in on owned rows after refreshing in's halo.
 func (s *Substrate) SpMV(label string, in, out *Vec) {
 	s.Exchange(in, false)
@@ -338,6 +334,113 @@ func (s *Substrate) SpMV(label string, in, out *Vec) {
 		hs = append(hs, r.Eng.RawSpMV(label, nil, in.R[r.ID].Data, out.R[r.ID].Data)...)
 	}
 	s.RT.WaitAll(hs)
+}
+
+// SpMVDot computes out = A * in on owned rows (halo refresh included)
+// fused with the global <in, out> reduction: every rank's SpMV tasks
+// store their dot partials in the same pass that writes out, and the
+// coordinator's sum plays the allreduce.
+func (s *Substrate) SpMVDot(label string, in, out *Vec) float64 {
+	xy, _ := s.spmvDots(label, in, out, true, false)
+	return xy
+}
+
+// SpMVDot2 is SpMVDot additionally returning <out, out> — the BiCGStab
+// t = A s superstep, where <t,s> and <t,t> both ride the SpMV's pass.
+func (s *Substrate) SpMVDot2(label string, in, out *Vec) (xy, yy float64) {
+	return s.spmvDots(label, in, out, true, true)
+}
+
+// SpMVNorm computes out = A * in fused with <out, out> only — the
+// preconditioned BiCGStab t = A ŝ superstep, where <t,s> pairs t with a
+// vector other than the SpMV input and stays a separate reduction.
+func (s *Substrate) SpMVNorm(label string, in, out *Vec) float64 {
+	_, yy := s.spmvDots(label, in, out, false, true)
+	return yy
+}
+
+func (s *Substrate) spmvDots(label string, in, out *Vec, wantXY, wantYY bool) (xy, yy float64) {
+	s.Exchange(in, false)
+	xyPart, yyPart := s.part, s.part2
+	if wantXY {
+		s.part.ResetMissing()
+	} else {
+		xyPart = nil
+	}
+	if wantYY {
+		s.part2.ResetMissing()
+	} else {
+		yyPart = nil
+	}
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		hs = append(hs, r.Eng.RawSpMVDot(label, nil, in.R[r.ID].Data, out.R[r.ID].Data, xyPart, yyPart)...)
+	}
+	s.RT.WaitAll(hs)
+	if wantXY {
+		xy, _ = s.part.SumAvailable()
+	}
+	if wantYY {
+		yy, _ = s.part2.SumAvailable()
+	}
+	return xy, yy
+}
+
+// SpMVDotReliable computes out = A * in on owned rows fused with the
+// global <out, y> reduction against reliable (unsharded) memory y — the
+// BiCGStab q = A d̂ superstep with its <q, r̂0> reduction.
+func (s *Substrate) SpMVDotReliable(label string, in, out *Vec, y []float64) float64 {
+	s.Exchange(in, false)
+	s.part.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		rv, ov := in.R[r.ID].Data, out.R[r.ID].Data
+		hs = append(hs, r.Eng.RawOp(label, nil, func(p, lo, hi int) {
+			s.part.Store(p, s.A.MulVecDotVecRange(rv, ov, y, lo, hi))
+		})...)
+	}
+	s.RT.WaitAll(hs)
+	sum, _ := s.part.SumAvailable()
+	return sum
+}
+
+// RankOpDot runs fn(r, p, lo, hi) for every owned page of every rank and
+// reduces the per-page values fn returns into one global sum — the fused
+// analogue of RankOp followed by Dot, for update kernels that can carry
+// their reduction in the same pass (sparse.AxpyDotRange and friends).
+func (s *Substrate) RankOpDot(label string, fn func(r *Rank, p, lo, hi int) float64) float64 {
+	s.part.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		r := r
+		hs = append(hs, r.Eng.RawOp(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func(p, lo, hi int) {
+			s.part.Store(p, fn(r, p, lo, hi))
+		})...)
+	}
+	s.RT.WaitAll(hs)
+	sum, _ := s.part.SumAvailable()
+	return sum
+}
+
+// RankOpDot2 is RankOpDot with two reductions per page — update kernels
+// that produce a pair of partials in one pass (the BiCGStab phase-3
+// g = s - ωt with both <g, r̂0> and <g, g>).
+func (s *Substrate) RankOpDot2(label string, fn func(r *Rank, p, lo, hi int) (float64, float64)) (float64, float64) {
+	s.part.ResetMissing()
+	s.part2.ResetMissing()
+	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
+	for _, r := range s.Ranks {
+		r := r
+		hs = append(hs, r.Eng.RawOp(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func(p, lo, hi int) {
+			a, b := fn(r, p, lo, hi)
+			s.part.Store(p, a)
+			s.part2.Store(p, b)
+		})...)
+	}
+	s.RT.WaitAll(hs)
+	a, _ := s.part.SumAvailable()
+	b, _ := s.part2.SumAvailable()
+	return a, b
 }
 
 // EnablePrecond builds the block-Jacobi preconditioner over the
@@ -413,14 +516,31 @@ func (s *Substrate) ResidualFromX(x, g *Vec) {
 	})
 }
 
-// TrueResidual computes ||b - A x|| / ||b|| from the gathered iterate.
+// ResidualFromXDot is ResidualFromX fused with the global <g, g>
+// reduction: the residual norm rides the rebuild's own pass.
+func (s *Substrate) ResidualFromXDot(x, g *Vec) float64 {
+	s.Exchange(x, false)
+	return s.RankOpDot("g=b-Ax,<g,g>", func(r *Rank, p, lo, hi int) float64 {
+		xd := x.R[r.ID].Data
+		gd := g.R[r.ID].Data
+		s.A.MulVecRange(xd, r.Scratch, lo, hi)
+		var gg float64
+		for i := lo; i < hi; i++ {
+			d := s.B[i] - r.Scratch[i]
+			gd[i] = d
+			gg += d * d
+		}
+		return gg
+	})
+}
+
+// TrueResidual computes ||b - A x|| / ||b|| from the gathered iterate,
+// in the substrate-owned scratch (no per-check allocation).
 func (s *Substrate) TrueResidual(x *Vec) float64 {
-	xg := make([]float64, s.A.N)
-	s.Gather(x, xg)
-	res := make([]float64, s.A.N)
-	s.A.MulVec(xg, res)
-	sparse.Sub(s.B, res, res)
-	return sparse.Norm2(res) / s.Bnorm
+	s.Gather(x, s.gatherX)
+	s.A.MulVec(s.gatherX, s.gatherRes)
+	sparse.Sub(s.B, s.gatherRes, s.gatherRes)
+	return sparse.Norm2(s.gatherRes) / s.Bnorm
 }
 
 // ApplyPending applies enqueued data losses on every rank (a task-phase
@@ -517,7 +637,7 @@ func (s *Substrate) LossyInterpolateOwned(x *Vec) int {
 	if len(failed) == 0 {
 		return 0
 	}
-	xg := make([]float64, s.A.N)
+	xg := s.gatherX
 	s.Gather(x, xg)
 	if !core.LossyInterpolate(s.A, s.Layout, s.Blocks, s.B, xg, failed) {
 		return 0

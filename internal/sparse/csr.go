@@ -15,6 +15,53 @@ type CSR struct {
 	RowPtr []int
 	Cols   []int
 	Vals   []float64
+
+	// cols32/rowPtr32 are narrow shadows of Cols/RowPtr used by the hot
+	// SpMV kernels: halving the index streams from 8 to 4 bytes per
+	// nonzero (and per row) cuts the dominant memory traffic of a
+	// memory-bound iteration by ~15-25% on stencil-like matrices. Built
+	// by the constructors (BuildIndex32 for hand-assembled matrices);
+	// nil when the matrix exceeds int32 indexing or the shadow was never
+	// built, in which case the kernels fall back to the wide arrays. The
+	// matrix is treated as immutable after assembly — code that edits
+	// Cols OR Vals in place must call BuildIndex32 again (the diagonal
+	// shadow of dia.go copies values, not just indices).
+	cols32   []int32
+	rowPtr32 []int32
+
+	// diaOffs/diaVals are the diagonal (DIA) kernel shadow for stencil
+	// and banded matrices — see dia.go. Nil when the matrix does not
+	// qualify; the kernels then use the narrow-index CSR path.
+	diaOffs []int
+	diaVals [][]float64
+}
+
+// BuildIndex32 (re)builds the kernel shadows the hot SpMV kernels read:
+// the narrow (int32) index arrays and, for stencil/banded matrices, the
+// diagonal shadow of dia.go. Constructors call it automatically;
+// hand-assembled matrices may call it to opt in. The narrow indices are
+// skipped when the column count or the nonzero count does not fit in an
+// int32.
+func (a *CSR) BuildIndex32() {
+	a.buildDIA()
+	if a.M > (1<<31-1) || len(a.Cols) > (1<<31-1) {
+		a.cols32, a.rowPtr32 = nil, nil
+		return
+	}
+	if cap(a.cols32) < len(a.Cols) {
+		a.cols32 = make([]int32, len(a.Cols))
+	}
+	a.cols32 = a.cols32[:len(a.Cols)]
+	for k, c := range a.Cols {
+		a.cols32[k] = int32(c)
+	}
+	if cap(a.rowPtr32) < len(a.RowPtr) {
+		a.rowPtr32 = make([]int32, len(a.RowPtr))
+	}
+	a.rowPtr32 = a.rowPtr32[:len(a.RowPtr)]
+	for i, p := range a.RowPtr {
+		a.rowPtr32[i] = int32(p)
+	}
 }
 
 // Triplet is a single (row, col, value) entry used to assemble matrices.
@@ -59,6 +106,7 @@ func NewCSRFromTriplets(n, m int, entries []Triplet) *CSR {
 	for i := 0; i < n; i++ {
 		a.RowPtr[i+1] += a.RowPtr[i]
 	}
+	a.BuildIndex32()
 	return a
 }
 
@@ -117,13 +165,40 @@ func (a *CSR) MulVec(x, y []float64) {
 
 // MulVecRange computes y[lo:hi] = (A*x)[lo:hi]: the row-block SpMV used by
 // strip-mined tasks. It reads the whole x (lattice-like dependency in the
-// paper's task graph) but writes only rows [lo, hi).
+// paper's task graph) but writes only rows [lo, hi). The row span is
+// sliced once per row so the inner loop runs without re-checking the
+// RowPtr-derived bounds on every nonzero.
 func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
+	if a.diaOffs != nil {
+		a.mulVecRangeDIA(x, y, lo, hi)
+		return
+	}
+	if a.cols32 != nil {
+		a.mulVecRange32(x, y, lo, hi)
+		return
+	}
+	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
+		row := rp[i]
+		cols := a.Cols[row:rp[i+1]]
+		vals := a.Vals[row:rp[i+1]]
 		var s float64
-		end := a.RowPtr[i+1]
-		for k := a.RowPtr[i]; k < end; k++ {
-			s += a.Vals[k] * x[a.Cols[k]]
+		for k, c := range cols {
+			s += vals[k] * x[c]
+		}
+		y[i] = s
+	}
+}
+
+func (a *CSR) mulVecRange32(x, y []float64, lo, hi int) {
+	rp := a.rowPtr32
+	for i := lo; i < hi; i++ {
+		row := rp[i]
+		cols := a.cols32[row:rp[i+1]]
+		vals := a.Vals[row:rp[i+1]]
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		y[i] = s
 	}
@@ -135,15 +210,17 @@ func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
 // side q_i - sum_{j != i} A_ij p_j is built with exclusion of the failed
 // block's own columns. Output is compact: y needs only hi-lo elements.
 func (a *CSR) MulVecRangeExcludingCols(x, y []float64, lo, hi, exLo, exHi int) {
+	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
+		row := rp[i]
+		cols := a.Cols[row:rp[i+1]]
+		vals := a.Vals[row:rp[i+1]]
 		var s float64
-		end := a.RowPtr[i+1]
-		for k := a.RowPtr[i]; k < end; k++ {
-			c := a.Cols[k]
+		for k, c := range cols {
 			if c >= exLo && c < exHi {
 				continue
 			}
-			s += a.Vals[k] * x[c]
+			s += vals[k] * x[c]
 		}
 		y[i-lo] = s
 	}
@@ -154,22 +231,64 @@ func (a *CSR) MulVecRangeExcludingCols(x, y []float64, lo, hi, exLo, exHi int) {
 // excluded half-open column ranges. Used for combined multi-error
 // recoveries (§2.4). The ranges need not be sorted. Output is compact:
 // y needs only hi-lo elements.
+//
+// The ranges are sorted and merged once per call; columns within a row are
+// strictly increasing, so each row advances a single cursor through the
+// merged ranges instead of scanning every exclude per nonzero — a
+// multi-DUE recovery over k pages costs O(nnz + k log k), not O(nnz·k).
 func (a *CSR) MulVecRangeExcludingBlocks(x, y []float64, lo, hi int, exclude [][2]int) {
+	merged := mergeRanges(exclude)
+	rp := a.RowPtr
 	for i := lo; i < hi; i++ {
+		row := rp[i]
+		cols := a.Cols[row:rp[i+1]]
+		vals := a.Vals[row:rp[i+1]]
 		var s float64
-		end := a.RowPtr[i+1]
-	scan:
-		for k := a.RowPtr[i]; k < end; k++ {
-			c := a.Cols[k]
-			for _, ex := range exclude {
-				if c >= ex[0] && c < ex[1] {
-					continue scan
-				}
+		ex := 0
+		for k, c := range cols {
+			for ex < len(merged) && c >= merged[ex][1] {
+				ex++
 			}
-			s += a.Vals[k] * x[c]
+			if ex < len(merged) && c >= merged[ex][0] {
+				continue
+			}
+			s += vals[k] * x[c]
 		}
 		y[i-lo] = s
 	}
+}
+
+// mergeRanges returns the half-open ranges sorted by start with
+// overlapping or touching ranges coalesced. Empty ranges are dropped. The
+// input is not modified.
+func mergeRanges(ranges [][2]int) [][2]int {
+	switch len(ranges) {
+	case 0:
+		return nil
+	case 1:
+		if ranges[0][0] >= ranges[0][1] {
+			return nil
+		}
+		return ranges
+	}
+	sorted := make([][2]int, 0, len(ranges))
+	for _, r := range ranges {
+		if r[0] < r[1] {
+			sorted = append(sorted, r)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	out := sorted[:0]
+	for _, r := range sorted {
+		if n := len(out); n > 0 && r[0] <= out[n-1][1] {
+			if r[1] > out[n-1][1] {
+				out[n-1][1] = r[1]
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // DiagBlock extracts the dense diagonal block A[lo:hi, lo:hi] in row-major
@@ -261,6 +380,7 @@ func (a *CSR) Transpose() *CSR {
 			next[c]++
 		}
 	}
+	t.BuildIndex32()
 	return t
 }
 
@@ -270,6 +390,7 @@ func (a *CSR) Clone() *CSR {
 	b.RowPtr = append([]int(nil), a.RowPtr...)
 	b.Cols = append([]int(nil), a.Cols...)
 	b.Vals = append([]float64(nil), a.Vals...)
+	b.BuildIndex32()
 	return b
 }
 

@@ -1,0 +1,152 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fused-vs-unfused microbenchmarks: each fused kernel against the
+// exact composition it replaces, on a Poisson-like banded matrix sized so
+// the vectors spill the L2 cache (where the single-pass structure pays).
+// Run with -benchmem: the kernels themselves must never allocate.
+
+const benchN = 1 << 16
+
+func benchMatrix(n int) *CSR {
+	// Pentadiagonal band: ~5 nnz/row like the 2D stencil analogues.
+	var tr []Triplet
+	for i := 0; i < n; i++ {
+		tr = append(tr, Triplet{i, i, 4})
+		for _, off := range []int{-2, -1, 1, 2} {
+			if j := i + off; j >= 0 && j < n {
+				tr = append(tr, Triplet{i, j, -1})
+			}
+		}
+	}
+	return NewCSRFromTriplets(n, n, tr)
+}
+
+func benchVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// Kernel-path attribution: the same pentadiagonal SpMV through the three
+// dispatch tiers (generic wide-index CSR, narrow-index CSR, diagonal
+// shadow). benchMatrix qualifies for the DIA shadow, so the *ThenDots /
+// *Fused benchmarks below measure the best path; these isolate each tier.
+func BenchmarkSpMVGeneric(b *testing.B) {
+	a := benchMatrix(benchN)
+	g := &CSR{N: a.N, M: a.M, RowPtr: a.RowPtr, Cols: a.Cols, Vals: a.Vals} // no shadows
+	x, y := benchVec(benchN, 1), make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MulVecRange(x, y, 0, benchN)
+	}
+}
+
+func BenchmarkSpMVIndex32(b *testing.B) {
+	a := benchMatrix(benchN)
+	c := &CSR{N: a.N, M: a.M, RowPtr: a.RowPtr, Cols: a.Cols, Vals: a.Vals}
+	c.cols32, c.rowPtr32 = a.cols32, a.rowPtr32 // narrow indices, no DIA
+	x, y := benchVec(benchN, 1), make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulVecRange(x, y, 0, benchN)
+	}
+}
+
+func BenchmarkSpMVDIA(b *testing.B) {
+	a := benchMatrix(benchN) // pentadiagonal: dispatches to the DIA shadow
+	x, y := benchVec(benchN, 1), make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecRange(x, y, 0, benchN)
+	}
+}
+
+func BenchmarkSpMVThenDots(b *testing.B) {
+	a := benchMatrix(benchN)
+	x, y := benchVec(benchN, 1), make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecRange(x, y, 0, benchN)
+		sinkF = DotRange(x, y, 0, benchN)
+		sinkF += DotRange(y, y, 0, benchN)
+	}
+}
+
+func BenchmarkSpMVDotFused(b *testing.B) {
+	a := benchMatrix(benchN)
+	x, y := benchVec(benchN, 1), make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xy, yy := a.MulVecDotRange(x, y, 0, benchN)
+		sinkF = xy + yy
+	}
+}
+
+func BenchmarkAxpyThenDot(b *testing.B) {
+	x, y := benchVec(benchN, 1), benchVec(benchN, 2)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AxpyRange(1e-9, x, y, 0, benchN)
+		sinkF = DotRange(y, y, 0, benchN)
+	}
+}
+
+func BenchmarkAxpyDotFused(b *testing.B) {
+	x, y := benchVec(benchN, 1), benchVec(benchN, 2)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = AxpyDotRange(1e-9, x, y, 0, benchN)
+	}
+}
+
+func BenchmarkXpbyThenDots(b *testing.B) {
+	x, y, w := benchVec(benchN, 1), benchVec(benchN, 2), benchVec(benchN, 3)
+	out := make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XpbyOutRange(x, -0.5, y, out, 0, benchN)
+		sinkF = DotRange(out, w, 0, benchN)
+		sinkF += DotRange(out, out, 0, benchN)
+	}
+}
+
+func BenchmarkXpbyDotNormFused(b *testing.B) {
+	x, y, w := benchVec(benchN, 1), benchVec(benchN, 2), benchVec(benchN, 3)
+	out := make([]float64, benchN)
+	b.SetBytes(int64(8 * benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ow, oo := XpbyDotNormRange(x, -0.5, y, out, w, 0, benchN)
+		sinkF = ow + oo
+	}
+}
+
+func BenchmarkExcludingBlocks(b *testing.B) {
+	a := benchMatrix(benchN)
+	x := benchVec(benchN, 1)
+	out := make([]float64, 512)
+	// Five excluded pages, unsorted — the multi-DUE recovery shape.
+	exclude := [][2]int{{4096, 4608}, {512, 1024}, {60000, 60512}, {2048, 2560}, {9000, 9512}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecRangeExcludingBlocks(x, out, 1024, 1536, exclude)
+	}
+}
+
+var sinkF float64

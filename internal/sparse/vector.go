@@ -28,10 +28,14 @@ func Dot(x, y []float64) float64 {
 
 // DotRange returns the partial inner product over the half-open index range
 // [lo, hi). It is the strip-mined building block for task-level reductions.
+// (The hot range kernels reslice once so the inner loops run bounds-check
+// free.)
 func DotRange(x, y []float64, lo, hi int) float64 {
+	xs := x[lo:hi]
+	ys := y[lo:hi:hi]
 	var s float64
-	for i := lo; i < hi; i++ {
-		s += x[i] * y[i]
+	for i, v := range xs {
+		s += v * ys[i]
 	}
 	return s
 }
@@ -48,8 +52,10 @@ func Axpy(alpha float64, x, y []float64) {
 
 // AxpyRange computes y[lo:hi] += alpha*x[lo:hi].
 func AxpyRange(alpha float64, x, y []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		y[i] += alpha * x[i]
+	xs := x[lo:hi]
+	ys := y[lo:hi]
+	for i, v := range xs {
+		ys[i] += alpha * v
 	}
 }
 
@@ -65,8 +71,10 @@ func Xpby(x []float64, beta float64, y []float64) {
 
 // XpbyRange computes y[lo:hi] = x[lo:hi] + beta*y[lo:hi].
 func XpbyRange(x []float64, beta float64, y []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		y[i] = x[i] + beta*y[i]
+	xs := x[lo:hi]
+	ys := y[lo:hi]
+	for i, v := range xs {
+		ys[i] = v + beta*ys[i]
 	}
 }
 
@@ -83,8 +91,11 @@ func XpbyOut(x []float64, beta float64, y, out []float64) {
 
 // XpbyOutRange computes out[lo:hi] = x[lo:hi] + beta*y[lo:hi].
 func XpbyOutRange(x []float64, beta float64, y, out []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		out[i] = x[i] + beta*y[i]
+	xs := x[lo:hi]
+	ys := y[lo:hi:hi]
+	os := out[lo:hi:hi]
+	for i, v := range xs {
+		os[i] = v + beta*ys[i]
 	}
 }
 
@@ -99,8 +110,11 @@ func Axpy2(a1 float64, x1 []float64, a2 float64, x2, y []float64) {
 
 // Axpy2Range computes y[lo:hi] += a1*x1[lo:hi] + a2*x2[lo:hi].
 func Axpy2Range(a1 float64, x1 []float64, a2 float64, x2, y []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		y[i] += a1*x1[i] + a2*x2[i]
+	x1s := x1[lo:hi]
+	x2s := x2[lo:hi:hi]
+	ys := y[lo:hi:hi]
+	for i, v := range x1s {
+		ys[i] += a1*v + a2*x2s[i]
 	}
 }
 
@@ -115,8 +129,12 @@ func XpbyzOut(x []float64, beta float64, y []float64, omega float64, z, out []fl
 
 // XpbyzOutRange computes out[lo:hi] = x[lo:hi] + beta*(y[lo:hi] - omega*z[lo:hi]).
 func XpbyzOutRange(x []float64, beta float64, y []float64, omega float64, z, out []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		out[i] = x[i] + beta*(y[i]-omega*z[i])
+	xs := x[lo:hi]
+	ys := y[lo:hi:hi]
+	zs := z[lo:hi:hi]
+	os := out[lo:hi:hi]
+	for i, v := range xs {
+		os[i] = v + beta*(ys[i]-omega*zs[i])
 	}
 }
 

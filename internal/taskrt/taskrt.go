@@ -9,35 +9,60 @@
 // same graph as the paper's Figure 1. The runtime keeps per-worker state
 // clocks (useful / runtime / idle) so the Table 3 breakdown can be
 // reproduced.
+//
+// Scheduling: each worker owns a FIFO run queue; default-priority tasks
+// are pushed to the enqueuing worker's own queue (round-robin across
+// queues for external submissions) and idle workers steal from their
+// peers, so the steady-state hot path never contends on a single lock.
+// Tasks with a non-zero priority flow through one shared priority heap:
+// positive priorities preempt all queued default work, negative
+// priorities (the overlapped recovery tasks) run only when a worker finds
+// no default work anywhere — exactly the paper's "recovery tasks start
+// after the reductions" discipline. NewSingleQueue builds the pre-stealing
+// scheduler (everything through the shared heap) so benchmarks can
+// attribute steal-vs-global effects.
+//
+// Handles are reusable: NewTask binds a task body without running it and
+// Resubmit/ResubmitAll replay finished handles with fresh dependencies,
+// so a solver's steady-state iteration re-issues its whole task graph
+// with zero allocations. Completion waiting is lazily allocated (a
+// sync.Cond created on the first Wait and kept across reuse) — tasks that
+// nobody waits on cost nothing.
 package taskrt
 
 import (
 	"container/heap"
-	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Handle identifies a submitted task and can be used as a dependency for
-// later tasks or waited upon.
+// later tasks or waited upon. Handles returned by NewTask can be replayed
+// with Resubmit once the previous run finished.
 type Handle struct {
 	rt       *Runtime
-	seq      uint64
 	priority int
 	label    string
 	run      func(worker int)
 
-	// Guarded by rt.mu:
-	npred int
-	succs []*Handle
-	done  bool
+	seq   uint64       // assigned per (re)submission: FIFO tie-break
+	npred atomic.Int32 // outstanding dependencies + 1 registration guard
+	doneA atomic.Bool  // fast-path mirror of done
 
-	doneCh chan struct{}
+	mu       sync.Mutex
+	succs    []*Handle // capacity reused across resubmissions
+	done     bool
+	inflight bool
+	cond     *sync.Cond // lazily created on first Wait, kept across reuse
 }
 
 // Label returns the diagnostic label of the task.
 func (h *Handle) Label() string { return h.label }
+
+// Done reports whether the most recent submission of the task finished.
+func (h *Handle) Done() bool { return h.doneA.Load() }
 
 // TaskSpec describes a task to submit.
 type TaskSpec struct {
@@ -66,39 +91,105 @@ type StateTimes struct {
 // Total returns the sum of all states.
 func (s StateTimes) Total() time.Duration { return s.Useful + s.Runtime + s.Idle }
 
+// wq is one worker's FIFO run queue: a mutex-protected growable ring.
+// The owner pops from the head; thieves steal from the head too — FIFO
+// order preserves submission order among equal-priority tasks, matching
+// the old single-heap scheduler's tie-break.
+type wq struct {
+	mu         sync.Mutex
+	buf        []*Handle // len(buf) is a power of two
+	head, tail uint64
+	_          [40]byte // pad to a cache line: queues sit in one slice
+}
+
+func (q *wq) push(h *Handle) {
+	q.mu.Lock()
+	if n := uint64(len(q.buf)); q.tail-q.head == n {
+		grown := make([]*Handle, max(16, 2*int(n)))
+		for i := q.head; i < q.tail; i++ {
+			grown[i&uint64(len(grown)-1)] = q.buf[i&(n-1)]
+		}
+		q.buf = grown
+	}
+	q.buf[q.tail&uint64(len(q.buf)-1)] = h
+	q.tail++
+	q.mu.Unlock()
+}
+
+func (q *wq) pop() *Handle {
+	q.mu.Lock()
+	if q.head == q.tail {
+		q.mu.Unlock()
+		return nil
+	}
+	i := q.head & uint64(len(q.buf)-1)
+	h := q.buf[i]
+	q.buf[i] = nil
+	q.head++
+	q.mu.Unlock()
+	return h
+}
+
 // Runtime is a fixed-size worker pool executing dependency-ordered tasks.
 type Runtime struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	ready   taskHeap
-	seq     uint64
-	pending int // submitted but not finished
-	closed  bool
+	workers    int
+	singleMode bool // every task through the shared heap (pre-stealing)
 
-	idleWaiters int
-	quiescent   *sync.Cond // signalled when pending == 0
+	qs []wq // per-worker run queues (priority-0 tasks)
 
-	workers int
+	gmu   sync.Mutex
+	gheap taskHeap // tasks with non-zero priority (all tasks in singleMode)
+	npos  atomic.Int64
+
+	seq     atomic.Uint64
+	avail   atomic.Int64 // queued-and-ready task count across all queues
+	rr      atomic.Uint64
+	pending atomic.Int64
+	closed  atomic.Bool
+
+	sleepMu   sync.Mutex
+	sleepCond *sync.Cond
+	sleepers  atomic.Int32 // updated under sleepMu
+
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	qwaiters atomic.Int32 // updated under qmu
+
+	procs int // GOMAXPROCS at construction: caps useful wake-ups
+
 	times   []StateTimes
 	timesMu []sync.Mutex
 
 	panicOnce sync.Once
-	panicked  any
+	panicked  atomic.Pointer[panicBox]
 }
 
-// New creates a runtime with the given number of workers (0 means
-// runtime.GOMAXPROCS(0)) and starts them.
-func New(workers int) *Runtime {
+type panicBox struct{ v any }
+
+// New creates a work-stealing runtime with the given number of workers
+// (0 means runtime.GOMAXPROCS(0)) and starts them.
+func New(workers int) *Runtime { return newRuntime(workers, false) }
+
+// NewSingleQueue creates a runtime whose ready tasks all flow through one
+// shared priority heap and whose waiters park instead of helping — the
+// pre-work-stealing scheduler, kept so benchmarks can attribute
+// steal+help-vs-global scheduling effects.
+func NewSingleQueue(workers int) *Runtime { return newRuntime(workers, true) }
+
+func newRuntime(workers int, single bool) *Runtime {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rt := &Runtime{
-		workers: workers,
-		times:   make([]StateTimes, workers),
-		timesMu: make([]sync.Mutex, workers),
+		workers:    workers,
+		singleMode: single,
+		procs:      runtime.GOMAXPROCS(0),
+		qs:         make([]wq, workers),
+		times:      make([]StateTimes, workers),
+		timesMu:    make([]sync.Mutex, workers),
 	}
-	rt.cond = sync.NewCond(&rt.mu)
-	rt.quiescent = sync.NewCond(&rt.mu)
+	rt.sleepCond = sync.NewCond(&rt.sleepMu)
+	rt.qcond = sync.NewCond(&rt.qmu)
 	for w := 0; w < workers; w++ {
 		go rt.worker(w)
 	}
@@ -111,97 +202,259 @@ func (rt *Runtime) NumWorkers() int { return rt.workers }
 // Submit schedules a task, returning its handle. Submitting after Close
 // panics.
 func (rt *Runtime) Submit(spec TaskSpec) *Handle {
+	h := rt.NewTask(spec)
+	rt.start(h, spec.After, -1, true)
+	return h
+}
+
+// NewTask binds a task body without submitting it — the building block of
+// prepared (replayed) task graphs. Run it with Resubmit. A never-submitted
+// task counts as finished: using it as a dependency is a no-op edge.
+func (rt *Runtime) NewTask(spec TaskSpec) *Handle {
 	if spec.Run == nil {
 		panic("taskrt: TaskSpec.Run is nil")
 	}
-	h := &Handle{
-		rt:       rt,
-		priority: spec.Priority,
-		label:    spec.Label,
-		run:      spec.Run,
-		doneCh:   make(chan struct{}),
+	h := &Handle{rt: rt, priority: spec.Priority, label: spec.Label, run: spec.Run}
+	h.done = true // a fresh prepared task counts as "finished": resubmittable
+	h.doneA.Store(true)
+	return h
+}
+
+// Resubmit replays a finished (or never-run) handle with fresh
+// dependencies: same body, label and priority, zero allocations. It
+// panics if the previous submission has not finished — waiting on the
+// handle first is the caller's job.
+func (rt *Runtime) Resubmit(h *Handle, after []*Handle) {
+	rt.resubmitOne(h, after)
+	rt.wake(1)
+}
+
+// ResubmitAll replays a batch of finished handles with one shared
+// dependency list and a single wake-up pass — the batched steady-state
+// submission of a whole chunked operation.
+func (rt *Runtime) ResubmitAll(hs []*Handle, after []*Handle) {
+	for _, h := range hs {
+		rt.resubmitOne(h, after)
 	}
-	for _, pred := range spec.After {
+	rt.wake(len(hs))
+}
+
+func (rt *Runtime) resubmitOne(h *Handle, after []*Handle) {
+	if h.rt != rt {
+		panic("taskrt: Resubmit of a task from a different runtime")
+	}
+	h.mu.Lock()
+	if h.inflight {
+		h.mu.Unlock()
+		panic("taskrt: Resubmit of an in-flight task")
+	}
+	h.mu.Unlock()
+	rt.start(h, after, -1, false)
+}
+
+// start registers h's dependencies and enqueues it when ready. enqWorker
+// is the preferred run queue (-1: round-robin).
+func (rt *Runtime) start(h *Handle, after []*Handle, enqWorker int, wake bool) {
+	if rt.closed.Load() {
+		panic("taskrt: Submit after Close")
+	}
+	for _, pred := range after {
 		if pred != nil && pred.rt != rt {
 			panic("taskrt: dependency from a different runtime")
 		}
 	}
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		panic("taskrt: Submit after Close")
-	}
-	rt.seq++
-	h.seq = rt.seq
-	rt.pending++
-	for _, pred := range spec.After {
+	h.mu.Lock()
+	h.done = false
+	h.inflight = true
+	h.doneA.Store(false)
+	h.mu.Unlock()
+	h.seq = rt.seq.Add(1)
+	rt.pending.Add(1)
+	// The extra +1 keeps h unready until registration completes, even if
+	// every predecessor finishes mid-loop.
+	h.npred.Store(1)
+	for _, pred := range after {
 		if pred == nil {
 			continue
 		}
+		pred.mu.Lock()
 		if !pred.done {
 			pred.succs = append(pred.succs, h)
-			h.npred++
+			h.npred.Add(1)
+		}
+		pred.mu.Unlock()
+	}
+	if h.npred.Add(-1) == 0 {
+		rt.enqueue(h, enqWorker, wake)
+	}
+}
+
+// enqueue places a ready task on a run queue. worker is the preferred
+// queue (-1: round-robin across queues).
+func (rt *Runtime) enqueue(h *Handle, worker int, wake bool) {
+	if rt.singleMode || h.priority != 0 {
+		rt.gmu.Lock()
+		heap.Push(&rt.gheap, h)
+		if h.priority > 0 {
+			rt.npos.Add(1)
+		}
+		rt.gmu.Unlock()
+	} else {
+		if worker < 0 {
+			worker = int(rt.rr.Add(1) % uint64(rt.workers))
+		}
+		rt.qs[worker].push(h)
+	}
+	rt.avail.Add(1)
+	if wake {
+		rt.wake(1)
+	}
+}
+
+// help lets a waiting thread pop and execute ready tasks until done()
+// holds or no work is ready. Helpers run with worker index 0 and their
+// execution time accrues to worker 0's clock — the coordinator is a team
+// member during a taskwait, as in OmpSs.
+func (rt *Runtime) help(done func() bool) {
+	var useful time.Duration
+	for !done() {
+		t := rt.tryPop(0)
+		if t == nil {
+			break
+		}
+		t0 := time.Now()
+		rt.execute(t, 0)
+		useful += time.Since(t0)
+	}
+	if useful > 0 {
+		rt.timesMu[0].Lock()
+		rt.times[0].Useful += useful
+		rt.timesMu[0].Unlock()
+	}
+}
+
+// wake rouses up to n sleeping workers. In stealing mode wake-ups are
+// capped at GOMAXPROCS-1: the thread that will Wait on the work helps
+// execute it (see help), so rousing more workers than there are spare
+// processors only adds context-switch churn — on a single-processor
+// host the whole graph runs inline in the waiter and the workers stay
+// parked. The single-queue compatibility mode keeps the pre-stealing
+// behaviour (no helping, so every wake-up is needed).
+func (rt *Runtime) wake(n int) {
+	if !rt.singleMode {
+		if spare := rt.procs - 1; n > spare {
+			n = spare
 		}
 	}
-	if h.npred == 0 {
-		heap.Push(&rt.ready, h)
-		rt.cond.Signal()
+	if n <= 0 || rt.sleepers.Load() == 0 {
+		return
 	}
-	rt.mu.Unlock()
+	rt.sleepMu.Lock()
+	if n >= rt.workers {
+		rt.sleepCond.Broadcast()
+	} else {
+		for i := 0; i < n; i++ {
+			rt.sleepCond.Signal()
+		}
+	}
+	rt.sleepMu.Unlock()
+}
+
+// tryPop finds the next task for worker w: positive-priority heap tasks
+// first, then the worker's own queue, then stealing from peers, then the
+// heap's leftovers (the negative-priority overlapped recoveries).
+func (rt *Runtime) tryPop(w int) *Handle {
+	if rt.npos.Load() > 0 {
+		if h := rt.popGlobal(true); h != nil {
+			return h
+		}
+	}
+	if !rt.singleMode {
+		if h := rt.qs[w].pop(); h != nil {
+			rt.avail.Add(-1)
+			return h
+		}
+		for i := 1; i < rt.workers; i++ {
+			if h := rt.qs[(w+i)%rt.workers].pop(); h != nil {
+				rt.avail.Add(-1)
+				return h
+			}
+		}
+	}
+	return rt.popGlobal(false)
+}
+
+func (rt *Runtime) popGlobal(onlyPositive bool) *Handle {
+	rt.gmu.Lock()
+	if len(rt.gheap) == 0 || (onlyPositive && rt.gheap[0].priority <= 0) {
+		rt.gmu.Unlock()
+		return nil
+	}
+	h := heap.Pop(&rt.gheap).(*Handle)
+	if h.priority > 0 {
+		rt.npos.Add(-1)
+	}
+	rt.gmu.Unlock()
+	rt.avail.Add(-1)
 	return h
 }
 
-// ParallelFor strip-mines the half-open range [0, n) into the given number
-// of chunks and submits one task per chunk. fn receives the chunk's
-// element range. Returns the handles of all chunk tasks.
-func (rt *Runtime) ParallelFor(n, chunks int, label string, after []*Handle, priority int, fn func(worker, lo, hi int)) []*Handle {
-	if chunks <= 0 {
-		chunks = rt.workers
+// Wait blocks until the most recent submission of the task has finished.
+//
+// A waiter does not just park: while the task is pending it HELPS — it
+// pops and executes ready tasks itself (help-first taskwait, as in
+// OmpSs/TBB). When cores are oversubscribed this collapses the dependent
+// waves of an iteration into the waiting thread with no scheduler
+// round-trips, and on free cores the coordinator simply contributes.
+// Helpers run task bodies with worker index 0 (no task in this codebase
+// keys scratch off the index) and their execution time accrues to worker
+// 0's Useful clock — see help() — so Table 3 reads worker 0 as "worker 0
+// plus the coordinating thread's team contribution".
+func (rt *Runtime) Wait(h *Handle) {
+	if !rt.singleMode { // the pre-stealing scheduler parked, faithfully
+		rt.help(func() bool { return h.doneA.Load() })
 	}
-	if chunks > n && n > 0 {
-		chunks = n
+	if h.doneA.Load() {
+		return
 	}
-	handles := make([]*Handle, 0, chunks)
-	for c := 0; c < chunks; c++ {
-		lo := c * n / chunks
-		hi := (c + 1) * n / chunks
-		if lo >= hi {
-			continue
-		}
-		handles = append(handles, rt.Submit(TaskSpec{
-			Run:      func(worker int) { fn(worker, lo, hi) },
-			After:    after,
-			Priority: priority,
-			Label:    fmt.Sprintf("%s[%d:%d]", label, lo, hi),
-		}))
+	h.mu.Lock()
+	if h.cond == nil {
+		h.cond = sync.NewCond(&h.mu)
 	}
-	return handles
+	for !h.done {
+		h.cond.Wait()
+	}
+	h.mu.Unlock()
 }
-
-// Wait blocks until the given task has finished.
-func (rt *Runtime) Wait(h *Handle) { <-h.doneCh }
 
 // WaitAll blocks until all listed tasks have finished. Nil handles are
 // ignored.
 func (rt *Runtime) WaitAll(hs []*Handle) {
 	for _, h := range hs {
 		if h != nil {
-			<-h.doneCh
+			rt.Wait(h)
 		}
 	}
 }
 
 // Quiesce blocks until every submitted task has finished. It panics with
-// the original value if any task panicked.
+// the original value if any task panicked. Like Wait, it helps execute
+// ready tasks before parking.
 func (rt *Runtime) Quiesce() {
-	rt.mu.Lock()
-	for rt.pending > 0 {
-		rt.quiescent.Wait()
+	if !rt.singleMode {
+		rt.help(func() bool { return rt.pending.Load() == 0 })
 	}
-	p := rt.panicked
-	rt.mu.Unlock()
-	if p != nil {
-		panic(p)
+	if rt.pending.Load() > 0 {
+		rt.qmu.Lock()
+		rt.qwaiters.Add(1)
+		for rt.pending.Load() > 0 {
+			rt.qcond.Wait()
+		}
+		rt.qwaiters.Add(-1)
+		rt.qmu.Unlock()
+	}
+	if p := rt.panicked.Load(); p != nil {
+		panic(p.v)
 	}
 }
 
@@ -209,10 +462,10 @@ func (rt *Runtime) Quiesce() {
 // The runtime cannot be reused.
 func (rt *Runtime) Close() {
 	rt.Quiesce()
-	rt.mu.Lock()
-	rt.closed = true
-	rt.cond.Broadcast()
-	rt.mu.Unlock()
+	rt.closed.Store(true)
+	rt.sleepMu.Lock()
+	rt.sleepCond.Broadcast()
+	rt.sleepMu.Unlock()
 }
 
 // WorkerTimes returns a snapshot of the cumulative per-worker state
@@ -247,6 +500,37 @@ func (rt *Runtime) ResetTimes() {
 	}
 }
 
+// ParallelFor strip-mines the half-open range [0, n) into the given number
+// of chunks and submits one task per chunk in a single batch (one
+// registration pass and one wake-up, not one lock round-trip per chunk).
+// fn receives the chunk's element range. Returns the handles of all chunk
+// tasks; they share the given label.
+func (rt *Runtime) ParallelFor(n, chunks int, label string, after []*Handle, priority int, fn func(worker, lo, hi int)) []*Handle {
+	if chunks <= 0 {
+		chunks = rt.workers
+	}
+	if chunks > n && n > 0 {
+		chunks = n
+	}
+	handles := make([]*Handle, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		if lo >= hi {
+			continue
+		}
+		h := rt.NewTask(TaskSpec{
+			Run:      func(worker int) { fn(worker, lo, hi) },
+			Priority: priority,
+			Label:    label,
+		})
+		rt.start(h, after, -1, false)
+		handles = append(handles, h)
+	}
+	rt.wake(len(handles))
+	return handles
+}
+
 func (rt *Runtime) worker(w int) {
 	var useful, overhead, idle time.Duration
 	flush := func() {
@@ -259,22 +543,28 @@ func (rt *Runtime) worker(w int) {
 	}
 	for {
 		tSched := time.Now()
-		rt.mu.Lock()
-		for rt.ready.Len() == 0 && !rt.closed {
-			// Account the wait as idle (load imbalance).
+		h := rt.tryPop(w)
+		if h == nil {
+			// Account the scan as scheduler time and the sleep as idle
+			// (load imbalance).
 			tIdle := time.Now()
 			overhead += tIdle.Sub(tSched)
-			rt.cond.Wait()
-			tSched = time.Now()
-			idle += tSched.Sub(tIdle)
+			exit := false
+			rt.sleepMu.Lock()
+			rt.sleepers.Add(1)
+			for rt.avail.Load() == 0 && !rt.closed.Load() {
+				rt.sleepCond.Wait()
+			}
+			rt.sleepers.Add(-1)
+			exit = rt.closed.Load() && rt.avail.Load() == 0
+			rt.sleepMu.Unlock()
+			idle += time.Since(tIdle)
+			if exit {
+				flush()
+				return
+			}
+			continue
 		}
-		if rt.ready.Len() == 0 && rt.closed {
-			rt.mu.Unlock()
-			flush()
-			return
-		}
-		h := heap.Pop(&rt.ready).(*Handle)
-		rt.mu.Unlock()
 		tRun := time.Now()
 		overhead += tRun.Sub(tSched)
 
@@ -292,33 +582,46 @@ func (rt *Runtime) execute(h *Handle, w int) {
 	defer func() {
 		if r := recover(); r != nil {
 			rt.panicOnce.Do(func() {
-				rt.mu.Lock()
-				rt.panicked = r
-				rt.mu.Unlock()
+				rt.panicked.Store(&panicBox{v: r})
 			})
 		}
-		rt.finish(h)
+		rt.finish(h, w)
 	}()
 	h.run(w)
 }
 
-func (rt *Runtime) finish(h *Handle) {
-	rt.mu.Lock()
+func (rt *Runtime) finish(h *Handle, w int) {
+	h.mu.Lock()
 	h.done = true
-	for _, s := range h.succs {
-		s.npred--
-		if s.npred == 0 {
-			heap.Push(&rt.ready, s)
-			rt.cond.Signal()
+	h.inflight = false
+	h.doneA.Store(true)
+	// Successor release runs under h.mu: once done is set, a concurrent
+	// Resubmit could re-register edges into succs, and the truncation
+	// below must not race with that. Queue pushes take no handle locks,
+	// so there is no lock-order hazard.
+	released := 0
+	for i, s := range h.succs {
+		if s.npred.Add(-1) == 0 {
+			rt.enqueue(s, w, false)
+			released++
 		}
+		h.succs[i] = nil
 	}
-	h.succs = nil
-	rt.pending--
-	if rt.pending == 0 {
-		rt.quiescent.Broadcast()
+	h.succs = h.succs[:0]
+	if h.cond != nil {
+		h.cond.Broadcast()
 	}
-	rt.mu.Unlock()
-	close(h.doneCh)
+	h.mu.Unlock()
+	if released > 1 {
+		rt.wake(released - 1) // this worker takes one itself
+	} else if released == 1 && rt.sleepers.Load() > 0 {
+		rt.wake(1)
+	}
+	if rt.pending.Add(-1) == 0 && rt.qwaiters.Load() > 0 {
+		rt.qmu.Lock()
+		rt.qcond.Broadcast()
+		rt.qmu.Unlock()
+	}
 }
 
 // taskHeap orders ready tasks by descending priority, then FIFO.

@@ -1,0 +1,92 @@
+package taskrt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Steal-vs-global attribution benchmarks: identical task graphs on the
+// work-stealing scheduler and the single-queue (pre-stealing) scheduler,
+// plus the zero-allocation prepared-graph replay. Run with -benchmem.
+
+func benchThroughput(b *testing.B, rt *Runtime) {
+	defer rt.Close()
+	var sink atomic.Int64
+	const wave = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < wave; j++ {
+			rt.Submit(TaskSpec{Run: func(int) { sink.Add(1) }})
+		}
+		rt.Quiesce()
+	}
+	b.ReportMetric(float64(wave), "tasks/op")
+}
+
+func BenchmarkThroughputSteal(b *testing.B)  { benchThroughput(b, New(4)) }
+func BenchmarkThroughputGlobal(b *testing.B) { benchThroughput(b, NewSingleQueue(4)) }
+
+func benchFanChain(b *testing.B, rt *Runtime) {
+	defer rt.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var prev *Handle
+		for d := 0; d < 8; d++ {
+			fan := rt.ParallelFor(1024, 4, "fan", []*Handle{prev}, 0, func(w, lo, hi int) {
+				sink.Add(int64(hi - lo))
+			})
+			prev = rt.Submit(TaskSpec{Run: func(int) {}, After: fan})
+		}
+		rt.Wait(prev)
+	}
+}
+
+func BenchmarkFanChainSteal(b *testing.B)  { benchFanChain(b, New(4)) }
+func BenchmarkFanChainGlobal(b *testing.B) { benchFanChain(b, NewSingleQueue(4)) }
+
+// BenchmarkResubmitIteration replays a prepared two-stage graph — the
+// steady-state solver iteration shape. With -benchmem this must report
+// 0 allocs/op.
+func BenchmarkResubmitIteration(b *testing.B) {
+	rt := New(4)
+	defer rt.Close()
+	var sink atomic.Int64
+	a := make([]*Handle, 4)
+	c := make([]*Handle, 4)
+	for i := range a {
+		a[i] = rt.NewTask(TaskSpec{Run: func(int) { sink.Add(1) }, Label: "a"})
+		c[i] = rt.NewTask(TaskSpec{Run: func(int) { sink.Add(1) }, Label: "c"})
+	}
+	for i := 0; i < 10; i++ { // warm up rings and wait conds
+		rt.ResubmitAll(a, nil)
+		rt.ResubmitAll(c, a)
+		rt.WaitAll(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.ResubmitAll(a, nil)
+		rt.ResubmitAll(c, a)
+		rt.WaitAll(c)
+	}
+}
+
+// BenchmarkSubmitIteration is the same graph shape submitted the
+// pre-reuse way: fresh handles and closures every round.
+func BenchmarkSubmitIteration(b *testing.B) {
+	rt := New(4)
+	defer rt.Close()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := make([]*Handle, 4)
+		for j := range a {
+			a[j] = rt.Submit(TaskSpec{Run: func(int) { sink.Add(1) }, Label: "a"})
+		}
+		c := make([]*Handle, 4)
+		for j := range c {
+			c[j] = rt.Submit(TaskSpec{Run: func(int) { sink.Add(1) }, Label: "c", After: a})
+		}
+		rt.WaitAll(c)
+	}
+}
