@@ -11,14 +11,24 @@
 //	due-bench -exp table2 [-scale 20000] [-reps 5]
 //	due-bench -exp fig4 -rates 1,10,50 -matrices thermal2,qa8fm
 //	due-bench -exp fig4pcg -json BENCH_fig4.json
-//	due-bench -exp kernels [-kernel-iters 200] [-json BENCH_kernels.json]
+//	due-bench -exp kernels [-scale 65536] [-workers 4] [-kernel-iters 200] [-json BENCH_kernels.json]
+//	due-bench -exp kernels -guard BENCH_kernels.json
+//	due-bench -exp distkernels [-scale 65536] [-ranks 4] [-dist-iters 200] [-json BENCH_dist.json]
 //	due-bench -exp all
 //
 // -json writes the fig4/fig4pcg cells as BENCH_fig4.json-style output so
 // the perf trajectory is tracked across PRs (CI runs a tiny-scale smoke).
 // The kernels mode measures the hot-path baseline — kernel GFLOP/s, the
 // fused-vs-unfused steady-state CG iteration, allocations per iteration
-// and taskrt scheduling throughput — and writes BENCH_kernels.json.
+// and taskrt scheduling throughput — and writes BENCH_kernels.json; its
+// -scale/-workers are the ordinary flags, so trajectory points at other
+// configurations stay comparable (both recorded in the JSON provenance).
+// The distkernels mode measures the distributed steady state — barrier
+// vs overlapped vs pipelined CG iteration across ranks — and writes
+// BENCH_dist.json. -guard compares a fresh kernels run against a
+// committed BENCH_kernels.json and exits non-zero when cg_iter_speedup
+// dropped more than 20% below the committed value (the CI
+// perf-regression gate; the tolerance absorbs machine noise).
 package main
 
 import (
@@ -44,8 +54,11 @@ func main() {
 	rates := flag.String("rates", "", "comma-separated normalized error rates for fig4 (default 1,2,5,10,20,50)")
 	matrices := flag.String("matrices", "", "comma-separated matrix subset (default all nine analogues)")
 	seed := flag.Int64("seed", 1, "injection seed")
-	jsonPath := flag.String("json", "", "write the fig4/fig4pcg sweeps (or the kernels baseline) as machine-readable JSON for cross-PR perf tracking")
+	jsonPath := flag.String("json", "", "write the fig4/fig4pcg sweeps (or the kernels/distkernels baselines) as machine-readable JSON for cross-PR perf tracking")
 	kernelIters := flag.Int("kernel-iters", 0, "measured steady-state iterations for -exp kernels (default 200)")
+	distIters := flag.Int("dist-iters", 0, "measured steady-state iterations per discipline for -exp distkernels (default 200)")
+	ranks := flag.Int("ranks", 0, "shard count for -exp distkernels (default 4)")
+	guard := flag.String("guard", "", "committed BENCH_kernels.json to compare a fresh -exp kernels run against; exits non-zero when cg_iter_speedup drops >20% below it")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -110,26 +123,28 @@ func main() {
 		}
 		return nil
 	})
-	// kernels is not part of -exp all: it is the dedicated hot-path
-	// baseline with its own scale/worker defaults (65536 rows, 4 workers).
+	// kernels/distkernels are not part of -exp all: they are the
+	// dedicated hot-path baselines with their own scale/worker defaults
+	// (65536 rows, 4 workers / 4 ranks).
 	if *exp == "kernels" {
 		res, err := experiments.Kernels(opts, *kernelIters)
 		if err != nil {
 			fatalf("kernels: %v", err)
 		}
 		fmt.Println(res)
-		path := *jsonPath
-		if path == "" {
-			path = "BENCH_kernels.json"
+		writeJSON(orDefault(*jsonPath, "BENCH_kernels.json"), res)
+		if *guard != "" {
+			guardKernels(*guard, res)
 		}
-		data, err := json.MarshalIndent(res, "", "  ")
+		return
+	}
+	if *exp == "distkernels" {
+		res, err := experiments.DistKernels(opts, *ranks, *distIters)
 		if err != nil {
-			fatalf("kernels: %v", err)
+			fatalf("distkernels: %v", err)
 		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fatalf("kernels: %v", err)
-		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Println(res)
+		writeJSON(orDefault(*jsonPath, "BENCH_dist.json"), res)
 		return
 	}
 
@@ -209,7 +224,6 @@ func main() {
 		if err := writeBenchJSON(*jsonPath, opts, fig4Results); err != nil {
 			fatalf("writing %s: %v", *jsonPath, err)
 		}
-		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 
@@ -217,16 +231,18 @@ func main() {
 // every (solver, matrix, rate, method) cell with and without
 // preconditioning, plus the harmonic-mean panels.
 type benchJSON struct {
-	Options experiments.Options       `json:"options"`
-	Fig4    []*experiments.Fig4Result `json:"fig4"`
+	Options    experiments.Options       `json:"options"`
+	Fig4       []*experiments.Fig4Result `json:"fig4"`
+	Provenance experiments.Provenance    `json:"provenance"`
 }
 
 func writeBenchJSON(path string, opts experiments.Options, results []*experiments.Fig4Result) error {
-	data, err := json.MarshalIndent(benchJSON{Options: opts, Fig4: results}, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	writeJSON(path, benchJSON{
+		Options:    opts,
+		Fig4:       results,
+		Provenance: experiments.CollectProvenance(),
+	})
+	return nil
 }
 
 func printFig4Cells(res *experiments.Fig4Result) {
@@ -235,6 +251,50 @@ func printFig4Cells(res *experiments.Fig4Result) {
 		fmt.Printf("  %-9s %-14s %3dx %-8s %8.1f%% ±%5.1f%% %d\n",
 			c.Solver, c.Matrix, c.Rate, c.Method, c.Slowdown*100, c.StdDev*100, c.Failures)
 	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatalf("marshal %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// guardKernels is the CI perf-regression gate: the fresh cg_iter_speedup
+// must not drop more than 20% below the committed artefact's. The
+// tolerance absorbs CI machine noise; a real regression (losing the
+// fused/prepared/stealing gains) far exceeds it.
+func guardKernels(committedPath string, fresh *experiments.KernelsResult) {
+	data, err := os.ReadFile(committedPath)
+	if err != nil {
+		fatalf("guard: %v", err)
+	}
+	var committed experiments.KernelsResult
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fatalf("guard: parsing %s: %v", committedPath, err)
+	}
+	if committed.IterSpeedup <= 0 {
+		fatalf("guard: %s has no positive cg_iter_speedup — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
+	}
+	floor := committed.IterSpeedup * 0.8
+	if fresh.IterSpeedup < floor {
+		fatalf("guard: cg_iter_speedup %.3f dropped more than 20%% below committed %.3f (floor %.3f) — hot-path regression\n"+
+			"guard: fresh     %+v\nguard: committed %+v\n"+
+			"guard: if the provenance lines differ in core count or Go release, regenerate the committed artefact on a comparable host instead of relaxing the gate",
+			fresh.IterSpeedup, committed.IterSpeedup, floor, fresh.Provenance, committed.Provenance)
+	}
+	fmt.Printf("guard: cg_iter_speedup %.3f within 20%% of committed %.3f\n", fresh.IterSpeedup, committed.IterSpeedup)
 }
 
 func fatalf(format string, args ...any) {

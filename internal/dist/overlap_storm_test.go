@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// Storm coverage for the communication-overlapping path: the overlapped
+// Exchange/SpMV superstep must be observationally identical to the
+// barrier path under fire — same recovery counts, same iteration counts,
+// same residuals — including DUEs landed in halo pages and boundary-row
+// outputs WHILE the superstep is in flight (via shard.Substrate.TestHook,
+// which fires between task submission and the coordinator's wait).
+
+// statsEqual compares the recovery counters that must not depend on the
+// superstep discipline.
+func statsEqual(a, b core.Stats) bool {
+	return a.FaultsSeen == b.FaultsSeen &&
+		a.RecoveredInverse == b.RecoveredInverse &&
+		a.RecoveredForward == b.RecoveredForward &&
+		a.Unrecovered == b.Unrecovered &&
+		a.Restarts == b.Restarts
+}
+
+// TestCGOverlapMatchesBarrierBitwise: without faults the overlapped CG
+// reproduces the barrier CG's residual trace and solution bitwise (same
+// kernels, same partial slots, same sum order).
+func TestCGOverlapMatchesBarrierBitwise(t *testing.T) {
+	a, b := distSystem()
+	run := func(barrier bool) ([]float64, []float64, core.Result) {
+		cfg := baseCfg(core.MethodFEIR)
+		cfg.Barrier = barrier
+		var trace []float64
+		cfg.OnIteration = func(it int, rel float64) { trace = append(trace, rel) }
+		res, x, err := SolveCG(a, b, 4, cfg)
+		if err != nil || !res.Converged {
+			t.Fatalf("barrier=%v: %+v err=%v", barrier, res, err)
+		}
+		return trace, x, res
+	}
+	tB, xB, rB := run(true)
+	tO, xO, rO := run(false)
+	if rB.Iterations != rO.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", rB.Iterations, rO.Iterations)
+	}
+	for i := range tB {
+		if tB[i] != tO[i] {
+			t.Fatalf("residual trace diverges at iteration %d: %v vs %v", i, tB[i], tO[i])
+		}
+	}
+	for i := range xB {
+		if xB[i] != xO[i] {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, xB[i], xO[i])
+		}
+	}
+}
+
+// TestCGOverlapStormMatchesBarrier: randomized 1–5 DUE campaigns into
+// owned pages of x/g/d/q (exercising strict-exchange recovery fixpoints
+// and non-strict rebuild healing), FEIR and AFEIR — recovery counts,
+// iterations and residuals must match the barrier path exactly.
+func TestCGOverlapStormMatchesBarrier(t *testing.T) {
+	a, b := distSystem()
+	probe, _, err := SolveCG(a, b, 4, baseCfg(core.MethodFEIR))
+	if err != nil || !probe.Converged {
+		t.Fatalf("fault-free run: %+v err=%v", probe, err)
+	}
+	window := probe.Iterations * 3 / 4
+	if window < 2 {
+		t.Fatalf("fault-free run too short for a storm: %+v", probe)
+	}
+	vectors := []string{"x", "g", "d", "q"}
+	for _, method := range []core.Method{core.MethodFEIR, core.MethodAFEIR} {
+		for rate := 1; rate <= 5; rate++ {
+			seed := int64(7000*int(method) + rate)
+			inj := stormSchedule(rand.New(rand.NewSource(seed)), vectors, window, rate)
+			run := func(barrier bool) core.Result {
+				cfg := baseCfg(method)
+				cfg.Barrier = barrier
+				cfg.Inject = injectOwned(inj)
+				res, _, err := SolveCG(a, b, 4, cfg)
+				if err != nil {
+					t.Fatalf("%v rate %d barrier=%v: %v", method, rate, barrier, err)
+				}
+				if !res.Converged || res.RelResidual > 1e-8 {
+					t.Fatalf("%v rate %d barrier=%v: %+v", method, rate, barrier, res)
+				}
+				return res
+			}
+			rB := run(true)
+			rO := run(false)
+			if rB.Iterations != rO.Iterations {
+				t.Fatalf("%v rate %d: iterations %d vs %d", method, rate, rB.Iterations, rO.Iterations)
+			}
+			if !statsEqual(rB.Stats, rO.Stats) {
+				t.Fatalf("%v rate %d: stats diverge\nbarrier: %+v\noverlap: %+v", method, rate, rB.Stats, rO.Stats)
+			}
+			if d := math.Abs(rB.RelResidual - rO.RelResidual); d > 1e-12*(1+rB.RelResidual) {
+				t.Fatalf("%v rate %d: residuals %v vs %v", method, rate, rB.RelResidual, rO.RelResidual)
+			}
+			if rO.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v rate %d: no faults seen", method, rate)
+			}
+		}
+	}
+}
+
+// midFlightInjection lands count DUEs from inside the SpMV superstep
+// while its tasks are in flight: alternating between a halo (ghost) page
+// of d and a boundary-row output page of q on a rotating rank.
+func midFlightInjection(s *CG, count int) *int {
+	fires := 0
+	seen := 0
+	s.sub.TestHook = func(stage string) {
+		// One firing per iteration's SpMV superstep, both disciplines.
+		if stage != "spmv" && !strings.HasPrefix(stage, "overlap:") {
+			return
+		}
+		fires++
+		if fires%4 != 0 || seen >= count {
+			return
+		}
+		var target *shard.Rank
+		for _, r := range s.sub.Ranks {
+			if r.ID == (fires/4)%len(s.sub.Ranks) && len(r.Halo) > 0 && len(r.Boundary) > 0 {
+				target = r
+			}
+		}
+		if target == nil {
+			return
+		}
+		if seen%2 == 0 {
+			s.d.Of(target).Poison(target.Halo[0]) // in-flight ghost page
+		} else {
+			s.q.Of(target).Poison(target.Boundary[0]) // in-flight boundary output
+		}
+		seen++
+	}
+	return &seen
+}
+
+// TestCGOverlapMidFlightDUEs: DUEs raised while the overlapped
+// Exchange/SpMV superstep is in flight — into halo pages of the
+// exchanged vector and into boundary-row output pages — must yield
+// exactly the barrier path's recovery counts and residuals, for FEIR and
+// AFEIR at 1–5 DUEs.
+func TestCGOverlapMidFlightDUEs(t *testing.T) {
+	a, b := distSystem()
+	for _, method := range []core.Method{core.MethodFEIR, core.MethodAFEIR} {
+		for count := 1; count <= 5; count++ {
+			run := func(barrier bool) core.Result {
+				cfg := baseCfg(method)
+				cfg.Barrier = barrier
+				s, err := NewCG(a, b, 4, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				injected := midFlightInjection(s, count)
+				res, _, err := s.Run()
+				if err != nil {
+					t.Fatalf("%v count %d barrier=%v: %v", method, count, barrier, err)
+				}
+				if !res.Converged || res.RelResidual > 1e-8 {
+					t.Fatalf("%v count %d barrier=%v: %+v", method, count, barrier, res)
+				}
+				if *injected == 0 {
+					t.Fatalf("%v count %d barrier=%v: no mid-flight DUE landed", method, count, barrier)
+				}
+				return res
+			}
+			rB := run(true)
+			rO := run(false)
+			if rB.Iterations != rO.Iterations {
+				t.Fatalf("%v count %d: iterations %d vs %d", method, count, rB.Iterations, rO.Iterations)
+			}
+			if !statsEqual(rB.Stats, rO.Stats) {
+				t.Fatalf("%v count %d: stats diverge\nbarrier: %+v\noverlap: %+v", method, count, rB.Stats, rO.Stats)
+			}
+			if rO.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v count %d: faults invisible", method, count)
+			}
+			if d := math.Abs(rB.RelResidual - rO.RelResidual); d > 1e-12*(1+rB.RelResidual) {
+				t.Fatalf("%v count %d: residuals %v vs %v", method, count, rB.RelResidual, rO.RelResidual)
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Pipelined distributed CG (Ghysels & Vanroose): the communication-
+// avoiding variant with a SINGLE fused reduction point per iteration,
+// whose sum the coordinator performs while the next SpMV's task graph is
+// already in flight — the paper's asynchrony (Fig 2b) applied to the
+// allreduce itself. The recurrence keeps the auxiliary vectors
+//
+//	w = A r,  s = A p,  z = A s
+//
+// so the two inner products γ = <r,r> and δ = <w,r> ride the one fused
+// vector-update pass (sparse.PipeCGUpdateRange) and the SpMV q = A w is
+// the only communication superstep. Faults are repaired exactly for the
+// iterate pair (x, r) through the same Table 1 relations as CG; w is
+// rebuilt from its invariant w = A r, and the direction recurrences
+// (p, s, z) restart with β = 0 — an exact restart of the direction, not
+// of the iterate, mirroring CG's d/q handling.
+package dist
+
+import (
+	"time"
+
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/sparse"
+)
+
+// PipeCG is the pipelined rank-partitioned CG on the shard substrate.
+type PipeCG struct {
+	base
+	x, r, w, p, sv, z, q *shard.Vec
+
+	gamma, gammaOld float64 // <r,r> current and previous
+	delta           float64 // <w,r>
+	alphaOld        float64
+	restartPending  bool
+	haveFused       bool // γ/δ partials await their deferred sum
+
+	stepQ         *shard.OverlapStep    // q = A w, halo overlapped (nil: Barrier)
+	stepU         *shard.PreparedRankOp // fused update + γ/δ partials
+	updFn         func(r *shard.Rank, p, lo, hi int) (float64, float64)
+	uAlpha, uBeta float64
+}
+
+// NewPipeCG builds a pipelined distributed CG over the given number of
+// ranks. The pipelined recurrence has no checkpoint rollback or
+// preconditioned variant.
+func NewPipeCG(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*PipeCG, error) {
+	if cfg.Method == core.MethodCheckpoint {
+		return nil, fmt.Errorf("dist: pipecg has no checkpoint rollback (use cg)")
+	}
+	if cfg.UsePrecond {
+		return nil, fmt.Errorf("dist: pipecg has no preconditioned variant")
+	}
+	s := &PipeCG{}
+	if err := s.setup(a, rhs, ranks, cfg, true); err != nil {
+		return nil, err
+	}
+	s.x = s.sub.AddVector("x")
+	s.r = s.sub.AddVector("g") // residual: named g so shared x/g tooling applies
+	s.w = s.sub.AddVector("w")
+	s.p = s.sub.AddVector("p")
+	s.sv = s.sub.AddVector("s")
+	s.z = s.sub.AddVector("z")
+	s.q = s.sub.AddVector("q")
+	s.track(s.x, s.r, s.w, s.p, s.sv, s.z, s.q)
+	return s, nil
+}
+
+// SolvePipeCG runs the pipelined distributed CG on A x = b.
+func SolvePipeCG(a *sparse.CSR, b []float64, ranks int, cfg Config) (core.Result, []float64, error) {
+	s, err := NewPipeCG(a, b, ranks, cfg)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return s.Run()
+}
+
+// Run executes the solve. It may be called once; the substrate's task
+// pool is released on return.
+func (s *PipeCG) Run() (core.Result, []float64, error) {
+	defer s.sub.Close()
+	s.sub.RT.ResetTimes()
+	start := time.Now()
+	sub := s.sub
+	tol := s.cfg.tol()
+	maxIter := s.cfg.maxIter(sub.A.N)
+
+	if !s.cfg.Barrier {
+		s.stepQ = sub.NewOverlapStep("q=Aw", s.w, s.q, nil, false, false)
+	}
+	s.updFn = func(r *shard.Rank, p, lo, hi int) (float64, float64) {
+		return sparse.PipeCGUpdateRange(s.uAlpha, s.uBeta,
+			s.q.Of(r).Data, s.z.Of(r).Data, s.w.Of(r).Data, s.sv.Of(r).Data,
+			s.r.Of(r).Data, s.p.Of(r).Data, s.x.Of(r).Data, lo, hi)
+	}
+	s.stepU = sub.PrepareRankOpDot2("pipeupd", s.updFn)
+
+	// x = 0, r = b, w = A r, γ = <r,r>, δ = <w,r>; p/s/z build with β=0.
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(s.r.Of(r).Data[lo:hi], sub.B[lo:hi])
+	})
+	s.refreshScalars()
+	s.restartPending = true
+
+	var it int
+	converged := false
+	for it = 0; it < maxIter; it++ {
+		s.inject(it)
+		if !s.boundary() {
+			continue // restart-style recovery consumed the iteration
+		}
+
+		// Issue the q = A w superstep, then sum last iteration's fused
+		// γ/δ partials while its halo import and interior rows run — the
+		// pipelined allreduce/SpMV overlap. (The convergence test of the
+		// pipelined method inherently trails the SpMV issue by design:
+		// γ completes under the SpMV it overlaps.)
+		if s.stepQ != nil {
+			s.stepQ.Start()
+		} else {
+			sub.SpMV("q=Aw", s.w, s.q)
+		}
+		if s.haveFused {
+			s.gamma, s.delta = s.stepU.Sums2()
+			s.haveFused = false
+		}
+		rel := relFromEps(s.gamma, sub.Bnorm)
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(it, rel)
+		}
+		if rel < tol {
+			if s.stepQ != nil {
+				s.stepQ.Finish() // drain before gathering/restarting
+			}
+			if sub.TrueResidual(s.x) < tol*10 {
+				converged = true
+				break
+			}
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+
+		beta := 0.0
+		alpha := 0.0
+		if s.restartPending {
+			if s.delta != 0 && !isNaN(s.delta) && !isNaN(s.gamma) {
+				alpha = s.gamma / s.delta
+			}
+		} else {
+			if s.gammaOld != 0 && !isNaN(s.gamma) {
+				beta = s.gamma / s.gammaOld
+			}
+			den := s.delta - beta*s.gamma/s.alphaOld
+			if den != 0 && !isNaN(den) {
+				alpha = s.gamma / den
+			}
+		}
+		if alpha == 0 || isNaN(alpha) {
+			// Scalar breakdown: rebuild the recurrence from the iterate.
+			if s.stepQ != nil {
+				s.stepQ.Finish()
+			}
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		if s.stepQ != nil {
+			s.stepQ.Finish()
+		}
+
+		// One fused pass: z/s/p recurrences, x/r/w updates, γ/δ partials.
+		// The sums are deferred to the next iteration's SpMV window.
+		s.uAlpha, s.uBeta = alpha, beta
+		s.stepU.Run()
+		s.haveFused = true
+		s.gammaOld, s.alphaOld = s.gamma, alpha
+		s.restartPending = false
+	}
+
+	res, x := s.finish(it, converged, start, s.x)
+	return res, x, nil
+}
+
+// refreshScalars recomputes γ and δ from the vectors (init and recovery;
+// the steady state carries them as fused update partials instead).
+func (s *PipeCG) refreshScalars() {
+	s.sub.SpMV("w=Ar", s.r, s.w)
+	s.gamma = s.sub.Dot("<r,r>", s.r, s.r)
+	s.delta = s.sub.Dot("<w,r>", s.w, s.r)
+	s.haveFused = false
+}
+
+// restartFromX rebuilds the whole recurrence from the owned iterate
+// shards: blank any failed x pages, r = b - A x, w = A r, directions
+// restart with β = 0.
+func (s *PipeCG) restartFromX() {
+	blankOwned(s.sub, true, s.x)
+	for _, r := range s.sub.Ranks {
+		r.Space.ClearAll()
+	}
+	s.sub.ResidualFromX(s.x, s.r)
+	s.refreshScalars()
+	s.restartPending = true
+}
+
+// boundary applies pending losses and resolves them per the configured
+// method, mirroring CG's discipline. Returns false when a restart
+// consumed the iteration.
+func (s *PipeCG) boundary() bool {
+	sub := s.sub
+	sub.ApplyPending()
+	if !sub.AnyFault() {
+		return true
+	}
+	sub.HealGhosts()
+	if !sub.OwnedFault() {
+		return true
+	}
+	switch s.cfg.Method {
+	case core.MethodFEIR, core.MethodAFEIR:
+		if s.exactRecover() {
+			return true
+		}
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	case core.MethodLossy:
+		if n := sub.LossyInterpolateOwned(s.x); n > 0 {
+			s.stats.LossyInterpolations += n
+		}
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	default:
+		// Blank-page forward recovery: keep running; the true-residual
+		// safety check catches a lying recurrence, as in CG.
+		blankOwned(sub, false, s.x, s.r, s.w, s.p, s.sv, s.z, s.q)
+		return true
+	}
+}
+
+// exactRecover repairs the iterate pair (x, r) exactly through the
+// g = b - A x relations, rebuilds w from its invariant w = A r, and
+// restarts the direction recurrences (p, s, z — and the transient q)
+// with β = 0. The iterate is untouched by the directions' restart, so
+// the repair is exact in the CG sense.
+func (s *PipeCG) exactRecover() bool {
+	for _, r := range s.sub.Ranks {
+		for _, v := range []*shard.Vec{s.p, s.sv, s.z, s.q} {
+			for _, p := range v.Of(r).FailedPages() {
+				if !r.Owns(p) {
+					continue
+				}
+				v.Of(r).Remap(p)
+				v.Of(r).MarkRecovered(p)
+			}
+		}
+	}
+	if !recoverXG(s.sub, s.cfg.Method, s.x, s.r) {
+		return false
+	}
+	// Damaged w pages count as forward repairs: refreshScalars below
+	// rebuilds the whole w = A r invariant from the recovered r.
+	for _, r := range s.sub.Ranks {
+		for _, p := range r.OwnedFailed(s.w) {
+			s.w.Of(r).Remap(p)
+			s.w.Of(r).MarkRecovered(p)
+			r.Stats.RecoveredForward++
+		}
+	}
+	if s.sub.OwnedFault() {
+		return false
+	}
+	// γ/δ are stale after any repair; rebuild w = A r and the scalars,
+	// and restart the directions.
+	s.refreshScalars()
+	s.restartPending = true
+	return true
+}

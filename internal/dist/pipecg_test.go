@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+func TestSolvePipeCGMatchesSequential(t *testing.T) {
+	a, b := distSystem()
+	for _, ranks := range []int{1, 3, 4} {
+		res, x, err := SolvePipeCG(a, b, ranks, baseCfg(core.MethodIdeal))
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !res.Converged {
+			t.Fatalf("ranks=%d: not converged: %+v", ranks, res)
+		}
+		want := make([]float64, a.N)
+		if _, err := solver.CG(a, b, want, solver.Options{Tol: 1e-9}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("ranks=%d: x[%d] = %v, want %v", ranks, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPipeCGMatchesDistCGNoFault is the acceptance gate for the new
+// registry capability: on no-fault runs the pipelined variant solves to
+// the same tolerance as dist cg, with a comparable iteration count (the
+// pipelined recurrence is mathematically equivalent in exact arithmetic).
+func TestPipeCGMatchesDistCGNoFault(t *testing.T) {
+	a, b := distSystem()
+	cfg := baseCfg(core.MethodFEIR)
+	ref, xRef, err := SolveCG(a, b, 4, cfg)
+	if err != nil || !ref.Converged {
+		t.Fatalf("dist cg: %+v err=%v", ref, err)
+	}
+	res, x, err := SolvePipeCG(a, b, 4, cfg)
+	if err != nil || !res.Converged {
+		t.Fatalf("pipecg: %+v err=%v", res, err)
+	}
+	if res.RelResidual > 1e-8 {
+		t.Fatalf("pipecg residual %v", res.RelResidual)
+	}
+	var maxDiff float64
+	for i := range x {
+		if d := math.Abs(x[i] - xRef[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Fatalf("pipecg and dist cg solutions diverge by %v", maxDiff)
+	}
+	// Rounding paths differ, but the pipelined recurrence must not need
+	// substantially more iterations on a well-conditioned system.
+	if res.Iterations > ref.Iterations*3/2+5 {
+		t.Fatalf("pipecg took %d iterations vs cg %d", res.Iterations, ref.Iterations)
+	}
+}
+
+// TestPipeCGBarrierMatchesOverlapBitwise: the overlapped graph defers
+// only the reduction sums; it must produce the exact residual trace and
+// solution of the barrier discipline.
+func TestPipeCGBarrierMatchesOverlapBitwise(t *testing.T) {
+	a, b := distSystem()
+	run := func(barrier bool) ([]float64, []float64, core.Result) {
+		cfg := baseCfg(core.MethodFEIR)
+		cfg.Barrier = barrier
+		var trace []float64
+		cfg.OnIteration = func(it int, rel float64) { trace = append(trace, rel) }
+		res, x, err := SolvePipeCG(a, b, 4, cfg)
+		if err != nil || !res.Converged {
+			t.Fatalf("barrier=%v: %+v err=%v", barrier, res, err)
+		}
+		return trace, x, res
+	}
+	tB, xB, rB := run(true)
+	tO, xO, rO := run(false)
+	if rB.Iterations != rO.Iterations || len(tB) != len(tO) {
+		t.Fatalf("iteration counts differ: %d vs %d", rB.Iterations, rO.Iterations)
+	}
+	for i := range tB {
+		if tB[i] != tO[i] {
+			t.Fatalf("residual trace diverges at %d: %v vs %v", i, tB[i], tO[i])
+		}
+	}
+	for i := range xB {
+		if xB[i] != xO[i] {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, xB[i], xO[i])
+		}
+	}
+}
+
+func TestPipeCGStormFEIR(t *testing.T) {
+	a, b := asymmetricDistSPD(1000)
+	base, xBase, err := SolvePipeCG(a, b, 4, baseCfg(core.MethodFEIR))
+	if err != nil || !base.Converged {
+		t.Fatalf("fault-free: %+v err=%v", base, err)
+	}
+	third := base.Iterations / 3
+	if third < 1 {
+		t.Fatalf("fault-free run too short: %+v", base)
+	}
+	for _, method := range []core.Method{core.MethodFEIR, core.MethodAFEIR} {
+		cfg := baseCfg(method)
+		cfg.Inject = injectOwned([]distInjection{
+			{it: third, rank: 0, vec: "x", off: 1},
+			{it: 2 * third, rank: 1, vec: "g", off: 2},
+			{it: 2*third + 1, rank: 2, vec: "w", off: 0},
+		})
+		res, x, err := SolvePipeCG(a, b, 4, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("%v storm: %+v", method, res)
+		}
+		if res.Stats.FaultsSeen != 3 {
+			t.Fatalf("%v: faults seen %d, want 3", method, res.Stats.FaultsSeen)
+		}
+		if res.Stats.RecoveredInverse == 0 {
+			t.Fatalf("%v: expected exact x recoveries: %+v", method, res.Stats)
+		}
+		var maxDiff float64
+		for i := range x {
+			if d := math.Abs(x[i] - xBase[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-6 {
+			t.Fatalf("%v: solutions diverged by %v after exact recovery", method, maxDiff)
+		}
+	}
+}
+
+func TestPipeCGRejectsUnsupportedConfig(t *testing.T) {
+	a, b := distSystem()
+	cfg := baseCfg(core.MethodCheckpoint)
+	if _, err := NewPipeCG(a, b, 2, cfg); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("checkpoint not rejected: %v", err)
+	}
+	cfg = baseCfg(core.MethodFEIR)
+	cfg.UsePrecond = true
+	if _, err := NewPipeCG(a, b, 2, cfg); err == nil || !strings.Contains(err.Error(), "precond") {
+		t.Fatalf("precond not rejected: %v", err)
+	}
+}
+
+// asymmetricDistSPD builds the SPD cousin of asymmetricDist (symmetric
+// off-diagonals) so the pipelined CG storm runs on CG-suitable data with
+// the same page geometry (16 pages of 64 across 4 ranks).
+func asymmetricDistSPD(n int) (*sparse.CSR, []float64) {
+	var tr []sparse.Triplet
+	for i := 0; i < n; i++ {
+		tr = append(tr, sparse.Triplet{Row: i, Col: i, Val: 4})
+		if i > 0 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i - 1, Val: -1})
+		}
+		if i < n-1 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	a := sparse.NewCSRFromTriplets(n, n, tr)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = 1 + float64(i%7)/7
+	}
+	b := make([]float64, n)
+	a.MulVec(want, b)
+	return a, b
+}

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/shard"
+	"repro/internal/sparse"
+)
+
+// DistKernelsResult is the BENCH_dist.json payload: the tracked
+// distributed hot-path baseline, started in the PR that made the
+// distributed steady state communication-overlapping. Three disciplines
+// drive the SAME substrate primitives the real dist solvers run:
+//
+//   - barrier:    the pre-overlap supersteps (d update, halo exchange at
+//     a full barrier, fused SpMV+dot, fused x/g update), closures
+//     submitted fresh each iteration;
+//   - overlapped: the prepared shard.OverlapStep graph — d-update, per-
+//     page halo import, interior rows under the in-flight import,
+//     boundary rows gated on their ghosts — plus the prepared x/g
+//     update, replayed with zero allocations;
+//   - pipelined:  the pipelined CG recurrence (single fused reduction
+//     per iteration, its sum overlapped with the next SpMV).
+//
+// Rounds are interleaved and the per-round ratios' medians reported, as
+// in BENCH_kernels.json, so slow-neighbour drift cancels out of the
+// speedups.
+//
+// The overlap/barrier contrast is a latency-hiding effect: it needs idle
+// cores to run interior rows under the in-flight halo import, exactly as
+// the FEIR/AFEIR contrast needs idle cores to overlap recovery (see the
+// experiments package docs). On a single-core host every task serialises
+// through the helping coordinator and the two disciplines collapse to
+// the same schedule — the speedup then reflects only the overlapped
+// path's cheaper superstep structure (fewer sync points, single-dot
+// fused kernel, zero allocations). The provenance block records
+// gomaxprocs/num_cpu so trajectory points are read against the core
+// count they were measured with; the equivalence of the two paths is
+// pinned by the bitwise and storm tests in internal/dist, not by this
+// benchmark.
+type DistKernelsResult struct {
+	Scale       int `json:"scale"`
+	Ranks       int `json:"ranks"`
+	Workers     int `json:"workers"`
+	PageDoubles int `json:"page_doubles"`
+	NNZ         int `json:"nnz"`
+	Iters       int `json:"iters"`
+
+	BarrierIterNs  float64 `json:"dist_cg_iter_barrier_ns"`
+	OverlapIterNs  float64 `json:"dist_cg_iter_overlap_ns"`
+	PipeIterNs     float64 `json:"dist_cg_iter_pipelined_ns"`
+	OverlapSpeedup float64 `json:"dist_cg_overlap_speedup"`
+	PipeSpeedup    float64 `json:"dist_cg_pipelined_speedup"`
+
+	BarrierAllocs float64 `json:"dist_cg_barrier_allocs"`
+	OverlapAllocs float64 `json:"dist_cg_overlap_allocs"`
+	PipeAllocs    float64 `json:"dist_cg_pipelined_allocs"`
+
+	Provenance Provenance `json:"provenance"`
+}
+
+func (r *DistKernelsResult) String() string {
+	return fmt.Sprintf(`Distributed kernel baseline (scale %d, %d ranks, %d workers, %d-double pages, %d iters)
+  dist CG steady-state iteration:
+    barrier supersteps          %10.0f ns/iter   (%.2f allocs/iter)
+    overlapped + prepared       %10.0f ns/iter   (%.2fx, %.2f allocs/iter)
+    pipelined + prepared        %10.0f ns/iter   (%.2fx, %.2f allocs/iter)`,
+		r.Scale, r.Ranks, r.Workers, r.PageDoubles, r.Iters,
+		r.BarrierIterNs, r.BarrierAllocs,
+		r.OverlapIterNs, r.OverlapSpeedup, r.OverlapAllocs,
+		r.PipeIterNs, r.PipeSpeedup, r.PipeAllocs)
+}
+
+// DistKernels measures the distributed hot-path baseline. Scale 0 means
+// 65536 and Workers 0 means 4 (the tracked configuration: one worker per
+// rank); ranks <= 0 means 4, iters <= 0 means 200 measured steady-state
+// iterations per discipline.
+func DistKernels(opts Options, ranks, iters int) (*DistKernelsResult, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1 << 16
+	}
+	if ranks <= 0 {
+		ranks = 4
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	side := 1
+	for side*side < scale {
+		side++
+	}
+	a := matgen.Poisson2D(side, side)
+	b := matgen.Ones(a.N)
+	pd := opts.pageDoubles()
+
+	bar, err := newDistCGHarness(a, b, ranks, pd, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	defer bar.sub.Close()
+	ovl, err := newDistCGHarness(a, b, ranks, pd, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	defer ovl.sub.Close()
+	pipe, err := newDistPipeHarness(a, b, ranks, pd, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer pipe.sub.Close()
+
+	res := &DistKernelsResult{
+		Scale:       a.N,
+		Ranks:       ranks,
+		Workers:     workers,
+		PageDoubles: pd,
+		NNZ:         a.NNZ(),
+		Iters:       iters,
+		Provenance:  CollectProvenance(),
+	}
+
+	for i := 0; i < 10; i++ { // warm rings, conds, succ capacity, caches
+		bar.iterate()
+		ovl.iterate()
+		pipe.iterate()
+	}
+	// The overlapped graph must be replaying the exact barrier
+	// iteration: after identical warmups the recurrences agree bitwise.
+	if bar.epsGG != ovl.epsGG {
+		return nil, fmt.Errorf("distkernels: barrier/overlap recurrences diverged (%v vs %v)", bar.epsGG, ovl.epsGG)
+	}
+
+	const batch = 5
+	rounds := iters / batch
+	if rounds < 4 {
+		rounds = 4
+	}
+	batchNs := func(h interface{ iterate() }) float64 {
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			h.iterate()
+		}
+		return float64(time.Since(t0).Nanoseconds()) / batch
+	}
+	var barNs, ovlNs, pipeNs, ovlRatio, pipeRatio []float64
+	order := [][3]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}, {0, 2, 1}, {1, 2, 0}}
+	for r := 0; r < rounds; r++ {
+		var ns [3]float64
+		for _, k := range order[r%len(order)] {
+			switch k {
+			case 0:
+				ns[0] = batchNs(bar)
+			case 1:
+				ns[1] = batchNs(ovl)
+			case 2:
+				ns[2] = batchNs(pipe)
+			}
+		}
+		barNs = append(barNs, ns[0])
+		ovlNs = append(ovlNs, ns[1])
+		pipeNs = append(pipeNs, ns[2])
+		ovlRatio = append(ovlRatio, ns[0]/ns[1])
+		pipeRatio = append(pipeRatio, ns[0]/ns[2])
+	}
+	res.BarrierIterNs = median(barNs)
+	res.OverlapIterNs = median(ovlNs)
+	res.PipeIterNs = median(pipeNs)
+	res.OverlapSpeedup = median(ovlRatio)
+	res.PipeSpeedup = median(pipeRatio)
+
+	res.BarrierAllocs = measureAllocsPerIter(bar, iters)
+	res.OverlapAllocs = measureAllocsPerIter(ovl, iters)
+	res.PipeAllocs = measureAllocsPerIter(pipe, iters)
+	return res, nil
+}
+
+func measureAllocsPerIter(h interface{ iterate() }, n int) float64 {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		h.iterate()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(n)
+}
+
+// distCGHarness drives the distributed CG steady-state iteration on a
+// real shard substrate — the same primitives dist.CG runs, minus the
+// convergence bookkeeping — in either superstep discipline. The barrier
+// variant submits its closures fresh each iteration, exactly as the
+// solver's barrier branch does.
+type distCGHarness struct {
+	sub        *shard.Substrate
+	x, g, d, q *shard.Vec
+	barrier    bool
+
+	stepA               *shard.OverlapStep
+	stepB               *shard.PreparedRankOp
+	stepBeta, stepAlpha float64
+
+	beta, epsGG float64
+	it          int
+}
+
+func newDistCGHarness(a *sparse.CSR, b []float64, ranks, pd, workers int, barrier bool) (*distCGHarness, error) {
+	sub, err := shard.New(a, b, ranks, pd, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	h := &distCGHarness{sub: sub, barrier: barrier}
+	h.x = sub.AddVector("x")
+	h.g = sub.AddVector("g")
+	h.d = sub.AddVector("d")
+	h.q = sub.AddVector("q")
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(h.g.Of(r).Data[lo:hi], sub.B[lo:hi])
+	})
+	h.epsGG = sub.Dot("gg", h.g, h.g)
+	if !barrier {
+		h.stepA = sub.NewOverlapStep("d|q,<d,q>", h.d, h.q, func(r *shard.Rank, p, lo, hi int) {
+			if h.stepBeta == 0 {
+				copy(h.d.Of(r).Data[lo:hi], h.g.Of(r).Data[lo:hi])
+			} else {
+				sparse.XpbyRange(h.g.Of(r).Data, h.stepBeta, h.d.Of(r).Data, lo, hi)
+			}
+		}, true, false)
+		h.stepB = sub.PrepareRankOpDot("xg,<g,g>", func(r *shard.Rank, p, lo, hi int) float64 {
+			sparse.AxpyRange(h.stepAlpha, h.d.Of(r).Data, h.x.Of(r).Data, lo, hi)
+			return sparse.AxpyDotRange(-h.stepAlpha, h.q.Of(r).Data, h.g.Of(r).Data, lo, hi)
+		})
+	}
+	return h, nil
+}
+
+func (h *distCGHarness) iterate() {
+	sub := h.sub
+	sub.ApplyPending() // the per-iteration fault-boundary scan (no faults)
+	beta := h.beta
+	if h.it == 0 {
+		beta = 0
+	}
+	var dq float64
+	if h.barrier {
+		sub.RankOp("d", func(r *shard.Rank, p, lo, hi int) {
+			if beta == 0 {
+				copy(h.d.Of(r).Data[lo:hi], h.g.Of(r).Data[lo:hi])
+			} else {
+				sparse.XpbyRange(h.g.Of(r).Data, beta, h.d.Of(r).Data, lo, hi)
+			}
+		})
+		dq = sub.SpMVDot("q,<d,q>", h.d, h.q)
+	} else {
+		h.stepBeta = beta
+		dq, _ = h.stepA.Run()
+	}
+	alpha := 0.0
+	if dq != 0 && !math.IsNaN(dq) && !math.IsNaN(h.epsGG) {
+		alpha = h.epsGG / dq
+	}
+	var gg float64
+	if h.barrier {
+		gg = sub.RankOpDot("xg,<g,g>", func(r *shard.Rank, p, lo, hi int) float64 {
+			sparse.AxpyRange(alpha, h.d.Of(r).Data, h.x.Of(r).Data, lo, hi)
+			return sparse.AxpyDotRange(-alpha, h.q.Of(r).Data, h.g.Of(r).Data, lo, hi)
+		})
+	} else {
+		h.stepAlpha = alpha
+		gg = h.stepB.RunDot()
+	}
+	if h.epsGG != 0 && !math.IsNaN(gg) {
+		h.beta = gg / h.epsGG
+	} else {
+		h.beta = 0
+	}
+	h.epsGG = gg
+	h.it++
+}
+
+// distPipeHarness drives the pipelined CG steady-state iteration: one
+// fused update superstep whose γ/δ sums are deferred into the next
+// SpMV's in-flight window.
+type distPipeHarness struct {
+	sub                  *shard.Substrate
+	x, r, w, p, sv, z, q *shard.Vec
+
+	stepQ         *shard.OverlapStep
+	stepU         *shard.PreparedRankOp
+	uAlpha, uBeta float64
+
+	gamma, gammaOld, delta, alphaOld float64
+	haveFused                        bool
+	it                               int
+}
+
+func newDistPipeHarness(a *sparse.CSR, b []float64, ranks, pd, workers int) (*distPipeHarness, error) {
+	sub, err := shard.New(a, b, ranks, pd, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	h := &distPipeHarness{sub: sub}
+	h.x = sub.AddVector("x")
+	h.r = sub.AddVector("g")
+	h.w = sub.AddVector("w")
+	h.p = sub.AddVector("p")
+	h.sv = sub.AddVector("s")
+	h.z = sub.AddVector("z")
+	h.q = sub.AddVector("q")
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(h.r.Of(r).Data[lo:hi], sub.B[lo:hi])
+	})
+	sub.SpMV("w=Ar", h.r, h.w)
+	h.gamma = sub.Dot("<r,r>", h.r, h.r)
+	h.delta = sub.Dot("<w,r>", h.w, h.r)
+	h.stepQ = sub.NewOverlapStep("q=Aw", h.w, h.q, nil, false, false)
+	h.stepU = sub.PrepareRankOpDot2("pipeupd", func(r *shard.Rank, p, lo, hi int) (float64, float64) {
+		return sparse.PipeCGUpdateRange(h.uAlpha, h.uBeta,
+			h.q.Of(r).Data, h.z.Of(r).Data, h.w.Of(r).Data, h.sv.Of(r).Data,
+			h.r.Of(r).Data, h.p.Of(r).Data, h.x.Of(r).Data, lo, hi)
+	})
+	return h, nil
+}
+
+func (h *distPipeHarness) iterate() {
+	sub := h.sub
+	sub.ApplyPending()
+	h.stepQ.Start()
+	if h.haveFused {
+		h.gamma, h.delta = h.stepU.Sums2()
+		h.haveFused = false
+	}
+	beta := 0.0
+	alpha := 0.0
+	if h.it == 0 {
+		if h.delta != 0 && !math.IsNaN(h.delta) {
+			alpha = h.gamma / h.delta
+		}
+	} else {
+		if h.gammaOld != 0 && !math.IsNaN(h.gamma) {
+			beta = h.gamma / h.gammaOld
+		}
+		den := h.delta - beta*h.gamma/h.alphaOld
+		if den != 0 && !math.IsNaN(den) {
+			alpha = h.gamma / den
+		}
+	}
+	h.stepQ.Finish()
+	h.uAlpha, h.uBeta = alpha, beta
+	h.stepU.Run()
+	h.haveFused = true
+	h.gammaOld = h.gamma
+	if alpha != 0 {
+		h.alphaOld = alpha
+	} else {
+		h.alphaOld = 1
+	}
+	h.it++
+}

@@ -51,6 +51,8 @@ type KernelsResult struct {
 
 	TaskrtStealTasksPerSec  float64 `json:"taskrt_steal_tasks_per_sec"`
 	TaskrtGlobalTasksPerSec float64 `json:"taskrt_global_tasks_per_sec"`
+
+	Provenance Provenance `json:"provenance"`
 }
 
 func (r *KernelsResult) String() string {
@@ -99,6 +101,7 @@ func Kernels(opts Options, iters int) (*KernelsResult, error) {
 		PageDoubles: pd,
 		NNZ:         a.NNZ(),
 		Iters:       iters,
+		Provenance:  CollectProvenance(),
 	}
 
 	// --- Sequential kernel GFLOP/s (interleaved medians) -----------

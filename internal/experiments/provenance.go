@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Provenance records the environment a bench artefact was produced in,
+// so trajectory points across PRs are comparable (a speedup measured
+// with a different Go release, core count or commit is a different
+// point, not a regression).
+type Provenance struct {
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	GitDescribe string `json:"git_describe,omitempty"`
+}
+
+// CollectProvenance snapshots the current environment. The git describe
+// is best-effort: absent when the binary runs outside a work tree.
+func CollectProvenance() Provenance {
+	p := Provenance{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output(); err == nil {
+		p.GitDescribe = strings.TrimSpace(string(out))
+	}
+	return p
+}

@@ -168,6 +168,21 @@ func init() {
 			Run:     func() (core.Result, error) { return s.Run() },
 		}, nil
 	})
+	// pipecg is the pipelined distributed CG (single fused reduction per
+	// iteration, allreduce overlapped with the next SpMV). It exists only
+	// on the rank-sharded substrate and has no preconditioned variant or
+	// checkpoint rollback; the capability declaration and the explicit
+	// ranks check keep both rejections loud.
+	Register("pipecg", Capabilities{Distributed: true}, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+		if cfg.Ranks <= 0 {
+			return nil, fmt.Errorf("registry: solver \"pipecg\" is distributed-only (set -ranks)")
+		}
+		s, err := dist.NewPipeCG(a, b, cfg.Ranks, cfg.distConfig())
+		if err != nil {
+			return nil, err
+		}
+		return distInstance(s), nil
+	})
 	Register("bicgstab", all, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
 			s, err := dist.NewBiCGStab(a, b, cfg.Ranks, cfg.distConfig())

@@ -126,3 +126,34 @@ func TestBuiltinsDeclareFullCapabilities(t *testing.T) {
 		}
 	}
 }
+
+// TestPipeCGRegistration pins the pipelined CG entry: distributed runs
+// converge to the cg solution, single-node and preconditioned requests
+// are rejected naming the solver.
+func TestPipeCGRegistration(t *testing.T) {
+	caps, ok := Caps("pipecg")
+	if !ok {
+		t.Fatal("pipecg not registered")
+	}
+	if caps.Precond || !caps.Distributed {
+		t.Fatalf("pipecg caps = %+v, want distributed-only", caps)
+	}
+	a, b := testSystem(t)
+	if _, err := New("pipecg", a, b, testCfg(true, 2)); err == nil || !strings.Contains(err.Error(), "pipecg") {
+		t.Fatalf("UsePrecond not rejected: %v", err)
+	}
+	if _, err := New("pipecg", a, b, testCfg(false, 0)); err == nil || !strings.Contains(err.Error(), "pipecg") {
+		t.Fatalf("single-node not rejected: %v", err)
+	}
+	inst, err := New("pipecg", a, b, testCfg(false, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Run()
+	if err != nil || !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("pipecg run: %+v err=%v", res, err)
+	}
+	if inst.RankStats == nil || len(inst.RankStats()) != 2 {
+		t.Fatal("pipecg instance missing per-rank stats")
+	}
+}

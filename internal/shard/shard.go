@@ -52,6 +52,13 @@ type Rank struct {
 	Space *pagemem.Space
 	// Halo lists the off-rank global pages this rank's rows read.
 	Halo []int
+	// Interior lists the owned pages whose row connectivity stays inside
+	// the owned range: their SpMV tasks never read a ghost page, so an
+	// overlapped superstep runs them while the halo import is still in
+	// flight. Boundary lists the remaining owned pages, whose tasks are
+	// gated on the ghost pages they read (see OverlapStep).
+	Interior []int
+	Boundary []int
 	// Eng is the shared engine restricted to the rank's owned pages: one
 	// task per phase per rank, like the paper's one-process-per-rank runs.
 	Eng *engine.Engine
@@ -115,12 +122,52 @@ type Substrate struct {
 	// recovery never cross a rank boundary — no extra halo traffic.
 	Pre *precond.BlockJacobi
 
+	// TestHook, when non-nil, is invoked by the supersteps while their
+	// tasks are in flight (after submission, before the coordinator
+	// waits), with a stage tag. Storm tests use it to land DUEs into halo
+	// pages and boundary-row outputs mid-superstep; production code never
+	// sets it.
+	TestHook func(stage string)
+
 	part  *engine.Partial
 	part2 *engine.Partial // second slot set for fused double reductions
 
 	// Coordinator-side gather scratch, reused across TrueResidual and
 	// LossyInterpolateOwned calls instead of allocating 2N per check.
 	gatherX, gatherRes []float64
+
+	// Prepared per-rank superstep tasks plus one argument slot per
+	// superstep kind. Supersteps are strictly sequential (each ends in a
+	// barrier), so the one shared task set and the argument fields are
+	// reused across calls — no handle slices, closures or label formatting
+	// are allocated per superstep (the single-node solvers are 0
+	// allocs/iter; the substrate's barrier path now matches).
+	rankTasks []*taskrt.Handle // one per rank, body: stepFn(rank)
+	stepFn    func(r *Rank)
+
+	forEachFn func(r *Rank)                                   // ForEachRank body
+	opFn      func(r *Rank, p, lo, hi int)                    // RankOp body
+	opDotFn   func(r *Rank, p, lo, hi int) float64            // RankOpDot body
+	opDot2Fn  func(r *Rank, p, lo, hi int) (float64, float64) // RankOpDot2 body
+	xchVec    *Vec
+	xchStrict bool
+	dotX      *Vec
+	dotY      *Vec
+	dotYRel   []float64   // DotReliable second operand
+	dotXs     [][]float64 // DotMixed per-rank first operands
+	spmvIn    *Vec
+	spmvOut   *Vec
+	spmvXY    *engine.Partial // nil: skip the <in,out> partials
+	spmvYY    *engine.Partial // nil: skip the <out,out> partials
+	spmvRelY  []float64       // SpMVDotReliable reduction operand
+	preIn     *Vec            // ApplyPrecondOwned operands
+	preOut    *Vec
+
+	// Bound step bodies (method values created once, not per call).
+	forEachStepF, opStepF, opDotStepF, opDot2StepF func(r *Rank)
+	xchStepF, dotStepF, dotRelStepF, dotMixStepF   func(r *Rank)
+	spmvStepF, spmvDotStepF, spmvRelStepF          func(r *Rank)
+	precondStepF                                   func(r *Rank)
 }
 
 // New builds the substrate for A x = b over the given number of ranks.
@@ -194,19 +241,62 @@ func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) 
 		}
 		s.Ranks[id] = r
 	}
-	// Halo sets: every off-rank page read by an owned row.
+	// Halo sets: every off-rank page read by an owned row. The same pass
+	// splits the owned pages into interior rows (connectivity confined to
+	// the owned range — free to run under a still-in-flight halo import)
+	// and boundary rows (gated on the ghost pages they read).
 	for _, r := range s.Ranks {
 		seen := map[int]bool{}
 		for p := r.PLo; p < r.PHi; p++ {
+			interior := true
 			for _, j := range s.Conn[p] {
-				if !r.Owns(j) && !seen[j] {
-					seen[j] = true
-					r.Halo = append(r.Halo, j)
+				if !r.Owns(j) {
+					interior = false
+					if !seen[j] {
+						seen[j] = true
+						r.Halo = append(r.Halo, j)
+					}
 				}
+			}
+			if interior {
+				r.Interior = append(r.Interior, p)
+			} else {
+				r.Boundary = append(r.Boundary, p)
 			}
 		}
 	}
+	// One prepared task per rank, replayed by every barrier superstep with
+	// the body routed through stepFn — zero allocations per superstep.
+	s.rankTasks = make([]*taskrt.Handle, len(s.Ranks))
+	for i, r := range s.Ranks {
+		r := r
+		s.rankTasks[i] = s.RT.NewTask(taskrt.TaskSpec{
+			Label: "superstep",
+			Run:   func(int) { s.stepFn(r) },
+		})
+	}
+	s.forEachStepF = s.forEachStep
+	s.opStepF = s.opStep
+	s.opDotStepF = s.opDotStep
+	s.opDot2StepF = s.opDot2Step
+	s.xchStepF = s.xchStep
+	s.dotStepF = s.dotStep
+	s.dotRelStepF = s.dotRelStep
+	s.dotMixStepF = s.dotMixStep
+	s.spmvStepF = s.spmvStep
+	s.spmvDotStepF = s.spmvDotStep
+	s.spmvRelStepF = s.spmvRelStep
+	s.precondStepF = s.precondStep
 	return s, nil
+}
+
+// runStep replays the per-rank superstep tasks with the given body and
+// waits — the allocation-free BSP superstep primitive every barrier
+// operation below routes through.
+func (s *Substrate) runStep(fn func(r *Rank)) {
+	s.stepFn = fn
+	s.RT.ResubmitAll(s.rankTasks, nil)
+	s.RT.WaitAll(s.rankTasks)
 }
 
 // Close releases the task pool.
@@ -231,30 +321,30 @@ func (s *Substrate) Spaces() []*pagemem.Space {
 }
 
 // ForEachRank runs fn(r) as one task per rank on the shared pool and
-// waits — the BSP superstep primitive for rank-granular work.
+// waits — the BSP superstep primitive for rank-granular work. The label
+// is diagnostic only; the caller's closure is the only per-call
+// allocation.
 func (s *Substrate) ForEachRank(label string, fn func(r *Rank)) {
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		r := r
-		hs = append(hs, s.RT.Submit(taskrt.TaskSpec{
-			Label: fmt.Sprintf("rank%d:%s", r.ID, label),
-			Run:   func(int) { fn(r) },
-		}))
-	}
-	s.RT.WaitAll(hs)
+	_ = label
+	s.forEachFn = fn
+	s.runStep(s.forEachStepF)
 }
 
-// RankOp runs fn(r, p, lo, hi) for every owned page of every rank through
-// the rank engines' chunked page operations, and waits.
+func (s *Substrate) forEachStep(r *Rank) { s.forEachFn(r) }
+
+// RankOp runs fn(r, p, lo, hi) for every owned page of every rank as one
+// task per rank, and waits.
 func (s *Substrate) RankOp(label string, fn func(r *Rank, p, lo, hi int)) {
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		r := r
-		hs = append(hs, r.Eng.RawOp(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func(p, lo, hi int) {
-			fn(r, p, lo, hi)
-		})...)
+	_ = label
+	s.opFn = fn
+	s.runStep(s.opStepF)
+}
+
+func (s *Substrate) opStep(r *Rank) {
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.opFn(r, p, lo, hi)
 	}
-	s.RT.WaitAll(hs)
 }
 
 // Exchange imports every rank's halo pages of v from their owners — the
@@ -262,26 +352,31 @@ func (s *Substrate) RankOp(label string, fn func(r *Rank, p, lo, hi int)) {
 // quiescent, so concurrent rank tasks read disjoint owned ranges while
 // writing only their own ghost pages. Importing overwrites the whole
 // ghost page, which heals any DUE that landed in it (the halo pages of a
-// vector are as replaceable as a recomputed q).
+// vector are as replaceable as a recomputed q). OverlapStep runs the same
+// per-page import without the barrier.
 //
 // strict additionally propagates the owner's fault state: a halo page
 // whose owner copy is failed is marked failed locally instead of copied,
 // so the local Table 1 relation guards see exactly the global failure
 // map during recovery fixpoints.
 func (s *Substrate) Exchange(v *Vec, strict bool) {
-	s.ForEachRank("xch:"+v.Name, func(r *Rank) {
-		local := v.R[r.ID]
-		for _, p := range r.Halo {
-			own := v.R[s.Owner[p]]
-			if strict && own.Failed(p) {
-				local.MarkFailed(p)
-				continue
-			}
-			lo, hi := s.Layout.Range(p)
-			copy(local.Data[lo:hi], own.Data[lo:hi])
-			local.MarkRecovered(p)
+	s.xchVec, s.xchStrict = v, strict
+	s.runStep(s.xchStepF)
+}
+
+func (s *Substrate) xchStep(r *Rank) {
+	v, strict := s.xchVec, s.xchStrict
+	local := v.R[r.ID]
+	for _, p := range r.Halo {
+		own := v.R[s.Owner[p]]
+		if strict && own.Failed(p) {
+			local.MarkFailed(p)
+			continue
 		}
-	})
+		lo, hi := s.Layout.Range(p)
+		copy(local.Data[lo:hi], own.Data[lo:hi])
+		local.MarkRecovered(p)
+	}
 }
 
 // Dot computes the global inner product <x, y> over owned pages: each
@@ -289,51 +384,78 @@ func (s *Substrate) Exchange(v *Vec, strict bool) {
 // slots are disjoint across ranks), and the coordinator's sum plays the
 // allreduce.
 func (s *Substrate) Dot(label string, x, y *Vec) float64 {
+	_ = label
 	s.part.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		hs = append(hs, r.Eng.RawDotPartials(label, nil, x.R[r.ID].Data, y.R[r.ID].Data, s.part)...)
-	}
-	s.RT.WaitAll(hs)
+	s.dotX, s.dotY = x, y
+	s.runStep(s.dotStepF)
 	sum, _ := s.part.SumAvailable()
 	return sum
+}
+
+func (s *Substrate) dotStep(r *Rank) {
+	x, y := s.dotX.R[r.ID].Data, s.dotY.R[r.ID].Data
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.part.Store(p, sparse.DotRange(x, y, lo, hi))
+	}
 }
 
 // DotReliable is Dot with the second operand in reliable (unsharded)
 // memory, e.g. the BiCGStab shadow residual.
 func (s *Substrate) DotReliable(label string, x *Vec, y []float64) float64 {
+	_ = label
 	s.part.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		hs = append(hs, r.Eng.RawDotPartials(label, nil, x.R[r.ID].Data, y, s.part)...)
-	}
-	s.RT.WaitAll(hs)
+	s.dotX, s.dotYRel = x, y
+	s.runStep(s.dotRelStepF)
 	sum, _ := s.part.SumAvailable()
 	return sum
+}
+
+func (s *Substrate) dotRelStep(r *Rank) {
+	x, y := s.dotX.R[r.ID].Data, s.dotYRel
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.part.Store(p, sparse.DotRange(x, y, lo, hi))
+	}
 }
 
 // DotMixed computes a global inner product where each rank contributes
 // <xs[rank], y> over its owned pages — for per-rank scratch (like the
 // GMRES w) against a sharded vector.
 func (s *Substrate) DotMixed(label string, xs [][]float64, y *Vec) float64 {
+	_ = label
 	s.part.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		hs = append(hs, r.Eng.RawDotPartials(label, nil, xs[r.ID], y.R[r.ID].Data, s.part)...)
-	}
-	s.RT.WaitAll(hs)
+	s.dotXs, s.dotY = xs, y
+	s.runStep(s.dotMixStepF)
 	sum, _ := s.part.SumAvailable()
 	return sum
 }
 
+func (s *Substrate) dotMixStep(r *Rank) {
+	x, y := s.dotXs[r.ID], s.dotY.R[r.ID].Data
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.part.Store(p, sparse.DotRange(x, y, lo, hi))
+	}
+}
+
 // SpMV computes out = A * in on owned rows after refreshing in's halo.
 func (s *Substrate) SpMV(label string, in, out *Vec) {
+	_ = label
 	s.Exchange(in, false)
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		hs = append(hs, r.Eng.RawSpMV(label, nil, in.R[r.ID].Data, out.R[r.ID].Data)...)
+	if s.TestHook != nil {
+		s.TestHook("spmv")
 	}
-	s.RT.WaitAll(hs)
+	s.spmvIn, s.spmvOut = in, out
+	s.runStep(s.spmvStepF)
+}
+
+func (s *Substrate) spmvStep(r *Rank) {
+	in, out := s.spmvIn.R[r.ID].Data, s.spmvOut.R[r.ID].Data
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.A.MulVecRange(in, out, lo, hi)
+	}
 }
 
 // SpMVDot computes out = A * in on owned rows (halo refresh included)
@@ -360,23 +482,22 @@ func (s *Substrate) SpMVNorm(label string, in, out *Vec) float64 {
 }
 
 func (s *Substrate) spmvDots(label string, in, out *Vec, wantXY, wantYY bool) (xy, yy float64) {
+	_ = label
 	s.Exchange(in, false)
-	xyPart, yyPart := s.part, s.part2
+	if s.TestHook != nil {
+		s.TestHook("spmv")
+	}
+	s.spmvXY, s.spmvYY = nil, nil
 	if wantXY {
 		s.part.ResetMissing()
-	} else {
-		xyPart = nil
+		s.spmvXY = s.part
 	}
 	if wantYY {
 		s.part2.ResetMissing()
-	} else {
-		yyPart = nil
+		s.spmvYY = s.part2
 	}
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		hs = append(hs, r.Eng.RawSpMVDot(label, nil, in.R[r.ID].Data, out.R[r.ID].Data, xyPart, yyPart)...)
-	}
-	s.RT.WaitAll(hs)
+	s.spmvIn, s.spmvOut = in, out
+	s.runStep(s.spmvDotStepF)
 	if wantXY {
 		xy, _ = s.part.SumAvailable()
 	}
@@ -386,22 +507,39 @@ func (s *Substrate) spmvDots(label string, in, out *Vec, wantXY, wantYY bool) (x
 	return xy, yy
 }
 
+func (s *Substrate) spmvDotStep(r *Rank) {
+	in, out := s.spmvIn.R[r.ID].Data, s.spmvOut.R[r.ID].Data
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		sxy, syy := s.A.MulVecDotRange(in, out, lo, hi)
+		if s.spmvXY != nil {
+			s.spmvXY.Store(p, sxy)
+		}
+		if s.spmvYY != nil {
+			s.spmvYY.Store(p, syy)
+		}
+	}
+}
+
 // SpMVDotReliable computes out = A * in on owned rows fused with the
 // global <out, y> reduction against reliable (unsharded) memory y — the
 // BiCGStab q = A d̂ superstep with its <q, r̂0> reduction.
 func (s *Substrate) SpMVDotReliable(label string, in, out *Vec, y []float64) float64 {
+	_ = label
 	s.Exchange(in, false)
 	s.part.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		rv, ov := in.R[r.ID].Data, out.R[r.ID].Data
-		hs = append(hs, r.Eng.RawOp(label, nil, func(p, lo, hi int) {
-			s.part.Store(p, s.A.MulVecDotVecRange(rv, ov, y, lo, hi))
-		})...)
-	}
-	s.RT.WaitAll(hs)
+	s.spmvIn, s.spmvOut, s.spmvRelY = in, out, y
+	s.runStep(s.spmvRelStepF)
 	sum, _ := s.part.SumAvailable()
 	return sum
+}
+
+func (s *Substrate) spmvRelStep(r *Rank) {
+	in, out := s.spmvIn.R[r.ID].Data, s.spmvOut.R[r.ID].Data
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.part.Store(p, s.A.MulVecDotVecRange(in, out, s.spmvRelY, lo, hi))
+	}
 }
 
 // RankOpDot runs fn(r, p, lo, hi) for every owned page of every rank and
@@ -409,38 +547,42 @@ func (s *Substrate) SpMVDotReliable(label string, in, out *Vec, y []float64) flo
 // analogue of RankOp followed by Dot, for update kernels that can carry
 // their reduction in the same pass (sparse.AxpyDotRange and friends).
 func (s *Substrate) RankOpDot(label string, fn func(r *Rank, p, lo, hi int) float64) float64 {
+	_ = label
 	s.part.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		r := r
-		hs = append(hs, r.Eng.RawOp(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func(p, lo, hi int) {
-			s.part.Store(p, fn(r, p, lo, hi))
-		})...)
-	}
-	s.RT.WaitAll(hs)
+	s.opDotFn = fn
+	s.runStep(s.opDotStepF)
 	sum, _ := s.part.SumAvailable()
 	return sum
+}
+
+func (s *Substrate) opDotStep(r *Rank) {
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		s.part.Store(p, s.opDotFn(r, p, lo, hi))
+	}
 }
 
 // RankOpDot2 is RankOpDot with two reductions per page — update kernels
 // that produce a pair of partials in one pass (the BiCGStab phase-3
 // g = s - ωt with both <g, r̂0> and <g, g>).
 func (s *Substrate) RankOpDot2(label string, fn func(r *Rank, p, lo, hi int) (float64, float64)) (float64, float64) {
+	_ = label
 	s.part.ResetMissing()
 	s.part2.ResetMissing()
-	hs := make([]*taskrt.Handle, 0, len(s.Ranks))
-	for _, r := range s.Ranks {
-		r := r
-		hs = append(hs, r.Eng.RawOp(fmt.Sprintf("rank%d:%s", r.ID, label), nil, func(p, lo, hi int) {
-			a, b := fn(r, p, lo, hi)
-			s.part.Store(p, a)
-			s.part2.Store(p, b)
-		})...)
-	}
-	s.RT.WaitAll(hs)
+	s.opDot2Fn = fn
+	s.runStep(s.opDot2StepF)
 	a, _ := s.part.SumAvailable()
 	b, _ := s.part2.SumAvailable()
 	return a, b
+}
+
+func (s *Substrate) opDot2Step(r *Rank) {
+	for p := r.PLo; p < r.PHi; p++ {
+		lo, hi := s.Layout.Range(p)
+		a, b := s.opDot2Fn(r, p, lo, hi)
+		s.part.Store(p, a)
+		s.part2.Store(p, b)
+	}
 }
 
 // EnablePrecond builds the block-Jacobi preconditioner over the
@@ -463,9 +605,16 @@ func (s *Substrate) EnablePrecond() error {
 // exactly that page of in, so the operation is embarrassingly
 // rank-parallel with zero communication.
 func (s *Substrate) ApplyPrecondOwned(label string, in, out *Vec) {
-	s.RankOp(label, func(r *Rank, p, lo, hi int) {
-		_ = s.Pre.ApplyBlock(p, in.Of(r).Data, out.Of(r).Data)
-	})
+	_ = label
+	s.preIn, s.preOut = in, out
+	s.runStep(s.precondStepF)
+}
+
+func (s *Substrate) precondStep(r *Rank) {
+	in, out := s.preIn.Of(r).Data, s.preOut.Of(r).Data
+	for p := r.PLo; p < r.PHi; p++ {
+		_ = s.Pre.ApplyBlock(p, in, out)
+	}
 }
 
 // RecoverPrecondOwned repairs every failed owned page of z by partial
