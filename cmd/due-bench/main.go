@@ -25,10 +25,17 @@
 // configurations stay comparable (both recorded in the JSON provenance).
 // The distkernels mode measures the distributed steady state — barrier
 // vs overlapped vs pipelined CG iteration across ranks — and writes
-// BENCH_dist.json. -guard compares a fresh kernels run against a
-// committed BENCH_kernels.json and exits non-zero when cg_iter_speedup
-// dropped more than 20% below the committed value (the CI
-// perf-regression gate; the tolerance absorbs machine noise).
+// BENCH_dist.json. -guard compares a fresh kernels (or distkernels) run
+// against the committed artefact and exits non-zero when the tracked
+// speedup dropped more than 20% below the committed value (the CI
+// perf-regression gate; the tolerance absorbs machine noise). The guard
+// first refuses — with exit code 3, distinct from a regression — to
+// compare artefacts whose num_cpu differs from the runner's: a parity
+// number measured on one core is a different point on the trajectory,
+// not a regression, and the refusal tells CI to regenerate instead of
+// failing the build. Benching with GOMAXPROCS == 1 prints a loud
+// warning and marks the JSON with "degraded_provenance" for the same
+// reason.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -58,7 +66,7 @@ func main() {
 	kernelIters := flag.Int("kernel-iters", 0, "measured steady-state iterations for -exp kernels (default 200)")
 	distIters := flag.Int("dist-iters", 0, "measured steady-state iterations per discipline for -exp distkernels (default 200)")
 	ranks := flag.Int("ranks", 0, "shard count for -exp distkernels (default 4)")
-	guard := flag.String("guard", "", "committed BENCH_kernels.json to compare a fresh -exp kernels run against; exits non-zero when cg_iter_speedup drops >20% below it")
+	guard := flag.String("guard", "", "committed BENCH_kernels.json / BENCH_dist.json to compare a fresh -exp kernels / distkernels run against; exits 1 when the tracked speedup drops >20% below it, 3 when the artefact's num_cpu differs from this runner's (regenerate, don't compare)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -127,6 +135,7 @@ func main() {
 	// dedicated hot-path baselines with their own scale/worker defaults
 	// (65536 rows, 4 workers / 4 ranks).
 	if *exp == "kernels" {
+		warnDegraded()
 		res, err := experiments.Kernels(opts, *kernelIters)
 		if err != nil {
 			fatalf("kernels: %v", err)
@@ -139,12 +148,16 @@ func main() {
 		return
 	}
 	if *exp == "distkernels" {
+		warnDegraded()
 		res, err := experiments.DistKernels(opts, *ranks, *distIters)
 		if err != nil {
 			fatalf("distkernels: %v", err)
 		}
 		fmt.Println(res)
 		writeJSON(orDefault(*jsonPath, "BENCH_dist.json"), res)
+		if *guard != "" {
+			guardDistKernels(*guard, res)
+		}
 		return
 	}
 
@@ -271,6 +284,39 @@ func writeJSON(path string, v any) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// warnDegraded makes single-core bench runs impossible to mistake for
+// regressions: with GOMAXPROCS == 1 every latency-hiding contrast
+// (overlap vs barrier, recovery overlap, affinity) collapses to parity,
+// so the numbers are a different trajectory, not a slowdown. The JSON
+// carries the same fact as "degraded_provenance": true.
+func warnDegraded() {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
+	fmt.Fprintln(os.Stderr, "WARNING: GOMAXPROCS == 1 — DEGRADED BENCH PROVENANCE")
+	fmt.Fprintln(os.Stderr, "Overlap, pipelining and affinity gains need idle cores; on one core")
+	fmt.Fprintln(os.Stderr, "they collapse to parity. These numbers are NOT comparable to multi-")
+	fmt.Fprintln(os.Stderr, "core artefacts and must not be committed as the tracked trajectory.")
+	fmt.Fprintln(os.Stderr, "The JSON is marked with \"degraded_provenance\": true.")
+	fmt.Fprintln(os.Stderr, strings.Repeat("=", 72))
+}
+
+// guardProvenance refuses — with exit code 3, distinct from the exit 1
+// of a real regression — to compare artefacts across different core
+// counts: the overlap/pipelining/affinity speedups are functions of
+// num_cpu, so a mismatch means "regenerate on this host", never "the
+// code got slower". CI treats exit 3 as the regenerate-and-commit path.
+func guardProvenance(committedPath string, committed, fresh experiments.Provenance) {
+	if committed.NumCPU == fresh.NumCPU {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "guard: REFUSING to compare %s: committed num_cpu=%d, this runner num_cpu=%d\n"+
+		"guard: speedups are functions of the core count — regenerate the artefact on this host (exit 3)\n",
+		committedPath, committed.NumCPU, fresh.NumCPU)
+	os.Exit(3)
+}
+
 // guardKernels is the CI perf-regression gate: the fresh cg_iter_speedup
 // must not drop more than 20% below the committed artefact's. The
 // tolerance absorbs CI machine noise; a real regression (losing the
@@ -284,6 +330,7 @@ func guardKernels(committedPath string, fresh *experiments.KernelsResult) {
 	if err := json.Unmarshal(data, &committed); err != nil {
 		fatalf("guard: parsing %s: %v", committedPath, err)
 	}
+	guardProvenance(committedPath, committed.Provenance, fresh.Provenance)
 	if committed.IterSpeedup <= 0 {
 		fatalf("guard: %s has no positive cg_iter_speedup — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
 	}
@@ -295,6 +342,43 @@ func guardKernels(committedPath string, fresh *experiments.KernelsResult) {
 			fresh.IterSpeedup, committed.IterSpeedup, floor, fresh.Provenance, committed.Provenance)
 	}
 	fmt.Printf("guard: cg_iter_speedup %.3f within 20%% of committed %.3f\n", fresh.IterSpeedup, committed.IterSpeedup)
+}
+
+// guardDistKernels gates the distributed baseline: the overlap speedup
+// (timing, 20% tolerance for machine noise) and the communication-
+// avoiding reduction ratio (structural — counted from the substrates'
+// own reduction counters, ≈ 2k in the steady state, so any drop means
+// cacg started spending extra reduction supersteps, not that the
+// machine was busy).
+func guardDistKernels(committedPath string, fresh *experiments.DistKernelsResult) {
+	data, err := os.ReadFile(committedPath)
+	if err != nil {
+		fatalf("guard: %v", err)
+	}
+	var committed experiments.DistKernelsResult
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fatalf("guard: parsing %s: %v", committedPath, err)
+	}
+	guardProvenance(committedPath, committed.Provenance, fresh.Provenance)
+	if committed.OverlapSpeedup <= 0 || committed.CAReductionRatio <= 0 {
+		fatalf("guard: %s has no positive dist_cg_overlap_speedup / ca_reduction_ratio — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
+	}
+	bad := false
+	if floor := committed.OverlapSpeedup * 0.8; fresh.OverlapSpeedup < floor {
+		fmt.Fprintf(os.Stderr, "guard: dist_cg_overlap_speedup %.3f dropped more than 20%% below committed %.3f (floor %.3f) — overlap regression\n",
+			fresh.OverlapSpeedup, committed.OverlapSpeedup, floor)
+		bad = true
+	}
+	if floor := committed.CAReductionRatio * 0.8; fresh.CAReductionRatio < floor {
+		fmt.Fprintf(os.Stderr, "guard: ca_reduction_ratio %.2f dropped more than 20%% below committed %.2f (floor %.2f) — cacg is spending extra reductions\n",
+			fresh.CAReductionRatio, committed.CAReductionRatio, floor)
+		bad = true
+	}
+	if bad {
+		fatalf("guard: fresh     %+v\nguard: committed %+v", fresh.Provenance, committed.Provenance)
+	}
+	fmt.Printf("guard: dist_cg_overlap_speedup %.3f and ca_reduction_ratio %.2f within 20%% of committed (%.3f, %.2f)\n",
+		fresh.OverlapSpeedup, fresh.CAReductionRatio, committed.OverlapSpeedup, committed.CAReductionRatio)
 }
 
 func fatalf(format string, args ...any) {

@@ -41,6 +41,7 @@ func main() {
 	solverName := flag.String("solver", "cg", strings.Join(registry.Names(), " | "))
 	precond := flag.Bool("precond", false, "use the block-Jacobi preconditioner (all solvers, single-node and -ranks)")
 	ranks := flag.Int("ranks", 0, "run distributed across N ranks on the sharded substrate (0 = single-node)")
+	basisK := flag.Int("basis-k", 0, "s-step basis size for -solver cacg (0 = 4): one global reduction per k iterations")
 	rate := flag.Float64("rate", 0, "expected DUEs per solver run (0 = no injection)")
 	tol := flag.Float64("tol", 1e-10, "relative residual tolerance")
 	workers := flag.Int("workers", 8, "task-pool size (all solvers)")
@@ -62,7 +63,8 @@ func main() {
 			Tol:        *tol,
 			UsePrecond: *precond,
 		},
-		Ranks: *ranks,
+		Ranks:  *ranks,
+		BasisK: *basisK,
 	}
 	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v workers=%d ranks=%d\n",
 		a.N, a.NNZ(), m, *solverName, *precond, *workers, *ranks)

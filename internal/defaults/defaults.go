@@ -20,7 +20,16 @@ const (
 	MaxIterFactor = 10
 	// GMRESRestart is the Arnoldi cycle length m when none is configured.
 	GMRESRestart = 30
+	// BasisK is the s-step basis size of the communication-avoiding CG
+	// when none is configured: k = 4 keeps the monomial basis well away
+	// from its conditioning cliff while already folding four iterations
+	// into one global reduction.
+	BasisK = 4
 )
+
+// BasisKOr resolves a configured s-step basis size, falling back to
+// BasisK.
+func BasisKOr(v int) int { return Int(v, BasisK) }
 
 // GMRESRestartOr resolves a configured restart length, falling back to
 // GMRESRestart.

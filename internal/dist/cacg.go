@@ -1,0 +1,505 @@
+// Communication-avoiding s-step CG (Chronopoulos & Gear's block
+// recurrence on the shard substrate): each outer step performs k
+// back-to-back halo-overlapped SpMV supersteps to grow the monomial
+// Krylov basis K = [r, Ar, …, A^k r], then folds EVERY inner product the
+// step needs — the basis Gram block G = KᵀK and the coupling blocks
+// KᵀP, KᵀAP against the previous directions — into ONE global block
+// reduction (shard.PreparedRankOpDotBlock). The coordinator recurrences
+// then produce the direction-combination matrix B, the step coefficients
+// a = W⁻¹ Pᵀr and the residual-norm recurrence without touching the
+// vectors again, and a single fused pass (sparse.CACGUpdateRange)
+// advances x, r and the direction block in place. Classic CG spends 2
+// reductions per iteration, pipecg 1; cacg spends 1 per k iterations.
+//
+// The monomial basis is the communication-optimal and conditioning-worst
+// choice, so the step is guarded twice: the Gram factorization degrades
+// to a truncated Cholesky (fewer directions this step, β=0 restart next
+// step) rather than dividing by a broken pivot, and the residual-norm
+// recurrence is cross-checked each outer step against the exact <r,r>
+// the next Gram block delivers for free — on drift the residual is
+// replaced (r = b - A x) and the directions restart. Neither guard costs
+// a reduction superstep.
+//
+// Faults follow the CG/pipecg discipline: the protected pair (x, r) is
+// repaired exactly through the Table 1 relations (recoverXG); the basis
+// and direction blocks are transient and restart with β = 0 — an exact
+// restart of the directions, not of the iterate.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/sparse"
+)
+
+// cacgDriftRel is the relative mismatch between the recurrence residual
+// norm and the exact <r,r> (free in the next Gram block) beyond which
+// the residual is replaced.
+const cacgDriftRel = 1e-6
+
+// CACG is the communication-avoiding s-step CG on the shard substrate.
+type CACG struct {
+	base
+	k    int          // basis size: inner iterations per outer step
+	x, r *shard.Vec   // protected iterate pair (r named g for x/g tooling)
+	v    []*shard.Vec // Krylov basis; v[0] aliases r
+	pd   []*shard.Vec // direction block P, k columns
+	apd  []*shard.Vec // its A-image AP
+
+	gamma          float64 // <r,r>: recurrence value, cross-checked per step
+	restartPending bool    // next step builds P = K_s fresh (β = 0)
+
+	// Coordinator state carried across outer steps: W = PᵀAP and its
+	// Cholesky factor (solves the next step's B columns), Z = APᵀAP for
+	// the residual-norm recurrence. Row-major k×k.
+	wp, zp []float64
+	wchol  *sparse.Cholesky
+
+	stepV []*shard.OverlapStep // v[j+1] = A v[j]; nil when cfg.Barrier
+	gram  *shard.PreparedRankOpDotBlock
+	stepU *shard.PreparedRankOp
+
+	cols  [][][]float64 // per rank: [v0..vk, P0..Pk-1, AP0..APk-1] data
+	gbuf  []float64     // Gram block destination: G | KᵀP | KᵀAP
+	nG    int           // symmetric G entries: (k+1)(k+2)/2
+	gPos  []int         // row offsets into the packed upper triangle
+	uA    []float64     // step coefficients read by the update closure
+	uB    []float64     // B, column-major b[l*k+j]; read when uHasB
+	uHasB bool
+}
+
+// NewCACG builds a communication-avoiding distributed CG over the given
+// number of ranks. The block recurrence has no checkpoint rollback or
+// preconditioned variant.
+func NewCACG(a *sparse.CSR, rhs []float64, ranks int, cfg Config) (*CACG, error) {
+	if cfg.Method == core.MethodCheckpoint {
+		return nil, fmt.Errorf("dist: cacg has no checkpoint rollback (use cg)")
+	}
+	if cfg.UsePrecond {
+		return nil, fmt.Errorf("dist: cacg has no preconditioned variant")
+	}
+	k := cfg.basisK()
+	if k > sparse.MaxCACGBasis {
+		return nil, fmt.Errorf("dist: cacg basis size %d out of range [1, %d]", k, sparse.MaxCACGBasis)
+	}
+	s := &CACG{k: k}
+	if err := s.setup(a, rhs, ranks, cfg, true); err != nil {
+		return nil, err
+	}
+	s.x = s.sub.AddVector("x")
+	s.r = s.sub.AddVector("g") // residual: named g so shared x/g tooling applies
+	s.v = make([]*shard.Vec, k+1)
+	s.v[0] = s.r
+	for j := 1; j <= k; j++ {
+		s.v[j] = s.sub.AddVector(fmt.Sprintf("v%d", j))
+	}
+	s.pd = make([]*shard.Vec, k)
+	s.apd = make([]*shard.Vec, k)
+	for j := 0; j < k; j++ {
+		s.pd[j] = s.sub.AddVector(fmt.Sprintf("p%d", j))
+		s.apd[j] = s.sub.AddVector(fmt.Sprintf("ap%d", j))
+	}
+	s.track(s.x, s.r)
+	s.track(s.v[1:]...)
+	s.track(s.pd...)
+	s.track(s.apd...)
+
+	s.wp = make([]float64, k*k)
+	s.zp = make([]float64, k*k)
+	s.uA = make([]float64, k)
+	s.uB = make([]float64, k*k)
+	s.nG = (k + 1) * (k + 2) / 2
+	s.gPos = make([]int, k+1)
+	for i, off := 0, 0; i <= k; i++ {
+		s.gPos[i] = off - i // gAt(i,j) = gbuf[gPos[i]+j] for j >= i
+		off += k + 1 - i
+	}
+	return s, nil
+}
+
+// SolveCACG runs the communication-avoiding distributed CG on A x = b.
+func SolveCACG(a *sparse.CSR, b []float64, ranks int, cfg Config) (core.Result, []float64, error) {
+	s, err := NewCACG(a, b, ranks, cfg)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return s.Run()
+}
+
+// BasisK reports the resolved basis size.
+func (s *CACG) BasisK() int { return s.k }
+
+// gAt reads the symmetric basis Gram entry <v_i, v_j>.
+func (s *CACG) gAt(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	return s.gbuf[s.gPos[i]+j]
+}
+
+// c1At reads <v_i, P_j>; c2At reads <v_i, AP_j>.
+func (s *CACG) c1At(i, j int) float64 { return s.gbuf[s.nG+i*s.k+j] }
+func (s *CACG) c2At(i, j int) float64 { return s.gbuf[s.nG+(s.k+1)*s.k+i*s.k+j] }
+
+// prepare builds the replayable graphs once: the per-rank column table,
+// the Gram block superstep and the fused update.
+func (s *CACG) prepare() {
+	sub, k := s.sub, s.k
+	nc := 3*k + 1
+	s.cols = make([][][]float64, len(sub.Ranks))
+	for ri, r := range sub.Ranks {
+		cs := make([][]float64, nc)
+		for j := 0; j <= k; j++ {
+			cs[j] = s.v[j].Of(r).Data
+		}
+		for j := 0; j < k; j++ {
+			cs[k+1+j] = s.pd[j].Of(r).Data
+			cs[2*k+1+j] = s.apd[j].Of(r).Data
+		}
+		s.cols[ri] = cs
+	}
+
+	pairs := make([][2]int32, 0, s.nG+2*(k+1)*k)
+	for i := 0; i <= k; i++ {
+		for j := i; j <= k; j++ {
+			pairs = append(pairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+	for blk := 0; blk < 2; blk++ { // KᵀP then KᵀAP
+		for i := 0; i <= k; i++ {
+			for j := 0; j < k; j++ {
+				pairs = append(pairs, [2]int32{int32(i), int32((blk+1)*k + 1 + j)})
+			}
+		}
+	}
+	s.gbuf = make([]float64, len(pairs))
+	s.gram = sub.PrepareRankOpDotBlock("gram", len(pairs), func(r *shard.Rank, p, lo, hi int, out []float64) {
+		sparse.PairDotsRange(s.cols[r.ID], pairs, out, lo, hi)
+	})
+
+	// The fused update's rr partial is deliberately never summed in the
+	// steady state: the recurrence plus the next Gram's exact <r,r> cover
+	// the drift check without an extra reduction superstep.
+	s.stepU = sub.PrepareRankOpDot("caupd", func(r *shard.Rank, p, lo, hi int) float64 {
+		cs := s.cols[r.ID]
+		var b []float64
+		if s.uHasB {
+			b = s.uB
+		}
+		return sparse.CACGUpdateRange(cs[:k+1], cs[k+1:2*k+1], cs[2*k+1:], b, s.uA,
+			s.x.Of(r).Data, s.r.Of(r).Data, lo, hi)
+	})
+}
+
+// Run executes the solve. It may be called once; the substrate's task
+// pool is released on return.
+func (s *CACG) Run() (core.Result, []float64, error) {
+	defer s.sub.Close()
+	s.sub.RT.ResetTimes()
+	start := time.Now()
+	sub := s.sub
+	tol := s.cfg.tol()
+	maxIter := s.cfg.maxIter(sub.A.N)
+	k := s.k
+
+	if !s.cfg.Barrier {
+		s.stepV = make([]*shard.OverlapStep, k)
+		for j := 0; j < k; j++ {
+			s.stepV[j] = sub.NewOverlapStep(fmt.Sprintf("v%d=Av%d", j+1, j),
+				s.v[j], s.v[j+1], nil, false, false)
+		}
+	}
+	s.prepare()
+
+	// x = 0, r = b, γ = <r,r>.
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(s.r.Of(r).Data[lo:hi], sub.B[lo:hi])
+	})
+	s.gamma = sub.Dot("<r,r>", s.r, s.r)
+	s.restartPending = true
+
+	m := make([]float64, k)
+	u := make([]float64, k)
+	wm := make([]float64, k*k)
+	zm := make([]float64, k*k)
+	rhs := make([]float64, k)
+
+	var it int
+	converged := false
+	for it = 0; it < maxIter; it += k {
+		rel := relFromEps(s.gamma, sub.Bnorm)
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(it, rel)
+		}
+		if rel < tol {
+			if sub.TrueResidual(s.x) < tol*10 {
+				converged = true
+				break
+			}
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		s.inject(it)
+		if !s.boundary() {
+			continue // restart-style recovery consumed the outer step
+		}
+
+		// k back-to-back overlapped SpMV supersteps grow the basis off the
+		// live residual (v0 ≡ r): each step's halo import runs under its
+		// own interior rows, and no reduction separates them.
+		for j := 0; j < k; j++ {
+			if s.stepV != nil {
+				s.stepV[j].Run()
+			} else {
+				sub.SpMV("v=Av", s.v[j], s.v[j+1])
+			}
+		}
+
+		// The one reduction superstep of the outer step: G, KᵀP, KᵀAP.
+		for i := range s.gbuf {
+			s.gbuf[i] = 0
+		}
+		missing := s.gram.Run(s.gbuf)
+		actual := s.gAt(0, 0) // exact <r,r> at basis time, free
+		if missing > 0 || isNaN(actual) {
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		if !s.restartPending {
+			// Drift guard: the recurrence γ must match the exact <r,r>.
+			if d := math.Abs(actual - s.gamma); d > cacgDriftRel*math.Max(math.Abs(actual), math.Abs(s.gamma)) {
+				// Residual replacement: r = b - A x, directions restart.
+				// The basis just built came from the drifted r, so the
+				// step is abandoned; no reduction superstep is spent.
+				sub.ResidualFromX(s.x, s.r)
+				s.gamma = actual
+				s.restartPending = true
+				s.stats.Restarts++
+				continue
+			}
+		}
+		s.gamma = actual
+
+		// B: make the new directions A-conjugate to the previous block,
+		// column l solving W_prev B_l = -(K_sᵀAP_prev)_l via the carried
+		// Cholesky factor. A restart (β = 0) drops the coupling entirely.
+		s.uHasB = !s.restartPending && s.wchol != nil
+		if s.uHasB {
+			for l := 0; l < k; l++ {
+				for j := 0; j < k; j++ {
+					rhs[j] = -s.c2At(l, j)
+				}
+				s.wchol.Solve(rhs)
+				copy(s.uB[l*k:(l+1)*k], rhs)
+			}
+		}
+
+		// Coordinator recurrences, all from the one Gram block:
+		//   m = Pᵀr,  u = APᵀr,  W = PᵀAP,  Z = APᵀAP
+		// with P = K_s + P_prev B and AP = K_shift + AP_prev B.
+		for l := 0; l < k; l++ {
+			mv := s.gAt(l, 0)
+			uv := s.gAt(0, l+1)
+			if s.uHasB {
+				for j := 0; j < k; j++ {
+					mv += s.uB[l*k+j] * s.c1At(0, j)
+					uv += s.uB[l*k+j] * s.c2At(0, j)
+				}
+			}
+			m[l], u[l] = mv, uv
+		}
+		for l := 0; l < k; l++ {
+			for t := 0; t < k; t++ {
+				wv := s.gAt(l, t+1)
+				zv := s.gAt(l+1, t+1)
+				if s.uHasB {
+					for j := 0; j < k; j++ {
+						wv += s.c2At(l, j)*s.uB[t*k+j] + s.uB[l*k+j]*s.c1At(t+1, j)
+						zv += s.c2At(l+1, j)*s.uB[t*k+j] + s.uB[l*k+j]*s.c2At(t+1, j)
+					}
+					for j := 0; j < k; j++ {
+						bl := s.uB[l*k+j]
+						for q := 0; q < k; q++ {
+							wv += bl * s.wp[j*k+q] * s.uB[t*k+q]
+							zv += bl * s.zp[j*k+q] * s.uB[t*k+q]
+						}
+					}
+				}
+				wm[l*k+t] = wv
+				zm[l*k+t] = zv
+			}
+		}
+		// W and Z are symmetric in exact arithmetic; symmetrize so the
+		// Cholesky sees one consistent matrix.
+		for l := 0; l < k; l++ {
+			for t := l + 1; t < k; t++ {
+				av := 0.5 * (wm[l*k+t] + wm[t*k+l])
+				wm[l*k+t], wm[t*k+l] = av, av
+				av = 0.5 * (zm[l*k+t] + zm[t*k+l])
+				zm[l*k+t], zm[t*k+l] = av, av
+			}
+		}
+
+		// a = W⁻¹ m, guarding the factorization: when a pivot of the
+		// (monomial-basis) W goes non-positive, truncate to the leading
+		// directions that still factor instead of dividing by noise.
+		c := k
+		var chol *sparse.Cholesky
+		for ; c > 0; c-- {
+			d := sparse.NewDense(c, c)
+			for l := 0; l < c; l++ {
+				copy(d.Data[l*c:(l+1)*c], wm[l*k:l*k+c])
+			}
+			if ch, err := sparse.NewCholesky(d); err == nil {
+				chol = ch
+				break
+			}
+		}
+		bad := chol == nil
+		for l := 0; l < c && !bad; l++ {
+			bad = isNaN(m[l])
+		}
+		if bad {
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		copy(s.uA[:c], m[:c])
+		chol.Solve(s.uA[:c])
+		for l := c; l < k; l++ {
+			s.uA[l] = 0
+		}
+
+		// Residual-norm recurrence: <r',r'> = <r,r> - 2 aᵀu + aᵀZ a.
+		rr := actual
+		for l := 0; l < k; l++ {
+			rr -= 2 * s.uA[l] * u[l]
+		}
+		for l := 0; l < k; l++ {
+			for t := 0; t < k; t++ {
+				rr += s.uA[l] * zm[l*k+t] * s.uA[t]
+			}
+		}
+
+		// One fused pass advances x, r and writes the new P/AP block.
+		s.stepU.Run()
+
+		copy(s.wp, wm)
+		copy(s.zp, zm)
+		if c == k {
+			s.wchol = chol
+			s.restartPending = false
+		} else {
+			// Truncated step: the directions kept their full-rank write
+			// but conjugacy is suspect; restart them next step.
+			s.wchol = nil
+			s.restartPending = true
+		}
+		if isNaN(rr) {
+			s.restartFromX()
+			s.stats.Restarts++
+			continue
+		}
+		s.gamma = math.Max(rr, 0) // ≤ 0: converged-to-roundoff, let the true-residual check decide
+	}
+
+	res, x := s.finish(it, converged, start, s.x)
+	return res, x, nil
+}
+
+// transients lists the vectors that restart with β = 0 instead of being
+// repaired: the basis tail and both direction blocks.
+func (s *CACG) transients() []*shard.Vec {
+	vs := make([]*shard.Vec, 0, 3*s.k)
+	vs = append(vs, s.v[1:]...)
+	vs = append(vs, s.pd...)
+	vs = append(vs, s.apd...)
+	return vs
+}
+
+// restartFromX rebuilds the recurrence from the owned iterate shards:
+// blank any failed x pages, r = b - A x with the fused <r,r>, directions
+// restart with β = 0.
+func (s *CACG) restartFromX() {
+	blankOwned(s.sub, true, s.x)
+	for _, r := range s.sub.Ranks {
+		r.Space.ClearAll()
+	}
+	s.gamma = s.sub.ResidualFromXDot(s.x, s.r)
+	s.restartPending = true
+	s.wchol = nil
+}
+
+// boundary applies pending losses and resolves them per the configured
+// method, mirroring CG's discipline. Returns false when a restart
+// consumed the outer step.
+func (s *CACG) boundary() bool {
+	sub := s.sub
+	sub.ApplyPending()
+	if !sub.AnyFault() {
+		return true
+	}
+	sub.HealGhosts()
+	if !sub.OwnedFault() {
+		return true
+	}
+	switch s.cfg.Method {
+	case core.MethodFEIR, core.MethodAFEIR:
+		if s.exactRecover() {
+			return true
+		}
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	case core.MethodLossy:
+		if n := sub.LossyInterpolateOwned(s.x); n > 0 {
+			s.stats.LossyInterpolations += n
+		}
+		s.restartFromX()
+		s.stats.Restarts++
+		return false
+	default:
+		// Blank-page forward recovery: keep running; the drift guard and
+		// the true-residual safety check catch a lying recurrence.
+		blankOwned(sub, false, s.x, s.r)
+		blankOwned(sub, false, s.transients()...)
+		s.restartPending = true
+		return true
+	}
+}
+
+// exactRecover repairs the protected pair (x, r) exactly through the
+// g = b - A x relations; the basis and direction blocks are transient —
+// they blank and restart with β = 0, so the repair is exact in the CG
+// sense (the iterate is untouched by the directions' restart).
+func (s *CACG) exactRecover() bool {
+	for _, r := range s.sub.Ranks {
+		for _, v := range s.transients() {
+			for _, p := range v.Of(r).FailedPages() {
+				if !r.Owns(p) {
+					continue
+				}
+				v.Of(r).Remap(p)
+				v.Of(r).MarkRecovered(p)
+			}
+		}
+	}
+	if !recoverXG(s.sub, s.cfg.Method, s.x, s.r) {
+		return false
+	}
+	if s.sub.OwnedFault() {
+		return false
+	}
+	// γ is stale after any repair; one recovery reduction refreshes it,
+	// and the directions restart.
+	s.gamma = s.sub.Dot("<r,r>", s.r, s.r)
+	s.restartPending = true
+	s.wchol = nil
+	return true
+}

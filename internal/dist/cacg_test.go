@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/solver"
+)
+
+func TestCACGMatchesSequential(t *testing.T) {
+	a, b := distSystem()
+	want := make([]float64, a.N)
+	if _, err := solver.CG(a, b, want, solver.Options{Tol: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 3, 4} {
+		res, x, err := SolveCACG(a, b, ranks, baseCfg(core.MethodIdeal))
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !res.Converged {
+			t.Fatalf("ranks=%d: not converged: %+v", ranks, res)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("ranks=%d: x[%d] = %v, want %v", ranks, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCACGToleranceEqualsDistCG: on the fig-5 class problem cacg reaches
+// the same tolerance as distributed CG for every supported basis size —
+// the communication saving must not cost convergence.
+func TestCACGToleranceEqualsDistCG(t *testing.T) {
+	a, b := distSystem()
+	ref, _, err := SolveCG(a, b, 4, baseCfg(core.MethodIdeal))
+	if err != nil || !ref.Converged {
+		t.Fatalf("cg reference: %+v err=%v", ref, err)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := baseCfg(core.MethodIdeal)
+		cfg.BasisK = k
+		res, _, err := SolveCACG(a, b, 4, cfg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("k=%d: %+v (cg: rel=%v)", k, res, ref.RelResidual)
+		}
+	}
+}
+
+// TestCACGReductionBudget pins the headline claim: the steady state
+// spends exactly one global reduction superstep per outer step, so a
+// whole solve stays within ⌈iters/k⌉ plus one reduction per restart-
+// style recovery plus a small constant (init γ and the true-residual
+// confirmations), for every basis size.
+func TestCACGReductionBudget(t *testing.T) {
+	a, b := distSystem()
+	for _, k := range []int{2, 4, 8} {
+		cfg := baseCfg(core.MethodIdeal)
+		cfg.BasisK = k
+		s, err := NewCACG(a, b, 4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := s.Run()
+		if err != nil || !res.Converged {
+			t.Fatalf("k=%d: %+v err=%v", k, res, err)
+		}
+		outer := (res.Iterations + k - 1) / k
+		budget := int64(outer + res.Stats.Restarts + 4)
+		if got := s.Reductions(); got > budget {
+			t.Fatalf("k=%d: %d reductions exceeds budget %d (outer=%d restarts=%d)",
+				k, got, budget, outer, res.Stats.Restarts)
+		}
+		if got := s.Reductions(); got >= int64(res.Iterations) {
+			t.Fatalf("k=%d: %d reductions for %d iterations — no communication saving",
+				k, got, res.Iterations)
+		}
+	}
+}
+
+// TestCACGBarrierMatchesOverlapBitwise: the k overlapped basis supersteps
+// must reproduce the barrier path's residual trace and solution bitwise,
+// like CG's overlap path.
+func TestCACGBarrierMatchesOverlapBitwise(t *testing.T) {
+	a, b := distSystem()
+	run := func(barrier bool) ([]float64, []float64, core.Result) {
+		cfg := baseCfg(core.MethodFEIR)
+		cfg.Barrier = barrier
+		var trace []float64
+		cfg.OnIteration = func(it int, rel float64) { trace = append(trace, rel) }
+		res, x, err := SolveCACG(a, b, 4, cfg)
+		if err != nil || !res.Converged {
+			t.Fatalf("barrier=%v: %+v err=%v", barrier, res, err)
+		}
+		return trace, x, res
+	}
+	tB, xB, rB := run(true)
+	tO, xO, rO := run(false)
+	if rB.Iterations != rO.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", rB.Iterations, rO.Iterations)
+	}
+	for i := range tB {
+		if tB[i] != tO[i] {
+			t.Fatalf("residual trace diverges at outer step %d: %v vs %v", i, tB[i], tO[i])
+		}
+	}
+	for i := range xB {
+		if xB[i] != xO[i] {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, xB[i], xO[i])
+		}
+	}
+}
+
+// cacgStormSchedule draws count injections aligned to cacg's outer-step
+// boundaries (the Inject hook fires once per outer step, at iteration
+// multiples of k).
+func cacgStormSchedule(rng *rand.Rand, vectors []string, window, k, count int) []distInjection {
+	steps := window / k
+	if steps < 1 {
+		steps = 1
+	}
+	inj := make([]distInjection, count)
+	for i := range inj {
+		inj[i] = distInjection{
+			it:   k * (1 + rng.Intn(steps)),
+			rank: rng.Intn(8),
+			vec:  vectors[rng.Intn(len(vectors))],
+			off:  rng.Intn(64),
+		}
+	}
+	return inj
+}
+
+// TestCACGStormMatchesBarrier: randomized 1–5 DUE campaigns into the
+// protected pair, the basis tail and the direction blocks, FEIR and
+// AFEIR — the overlapped path must reproduce the barrier path's recovery
+// counts, iterations and residuals exactly, and both must converge like
+// distributed CG does under fire.
+func TestCACGStormMatchesBarrier(t *testing.T) {
+	a, b := distSystem()
+	const k = 4
+	probe := func() core.Result {
+		cfg := baseCfg(core.MethodFEIR)
+		cfg.BasisK = k
+		res, _, err := SolveCACG(a, b, 4, cfg)
+		if err != nil || !res.Converged {
+			t.Fatalf("fault-free run: %+v err=%v", res, err)
+		}
+		return res
+	}()
+	window := probe.Iterations * 3 / 4
+	if window < 2*k {
+		t.Fatalf("fault-free run too short for a storm: %+v", probe)
+	}
+	vectors := []string{"x", "g", "v2", "p0", "ap1"}
+	for _, method := range []core.Method{core.MethodFEIR, core.MethodAFEIR} {
+		for rate := 1; rate <= 5; rate++ {
+			seed := int64(9000*int(method) + rate)
+			inj := cacgStormSchedule(rand.New(rand.NewSource(seed)), vectors, window, k, rate)
+			run := func(barrier bool) core.Result {
+				cfg := baseCfg(method)
+				cfg.BasisK = k
+				cfg.Barrier = barrier
+				cfg.Inject = injectOwned(inj)
+				res, _, err := SolveCACG(a, b, 4, cfg)
+				if err != nil {
+					t.Fatalf("%v rate %d barrier=%v: %v", method, rate, barrier, err)
+				}
+				if !res.Converged || res.RelResidual > 1e-8 {
+					t.Fatalf("%v rate %d barrier=%v: %+v", method, rate, barrier, res)
+				}
+				return res
+			}
+			rB := run(true)
+			rO := run(false)
+			if rB.Iterations != rO.Iterations {
+				t.Fatalf("%v rate %d: iterations %d vs %d", method, rate, rB.Iterations, rO.Iterations)
+			}
+			if !statsEqual(rB.Stats, rO.Stats) {
+				t.Fatalf("%v rate %d: stats diverge\nbarrier: %+v\noverlap: %+v", method, rate, rB.Stats, rO.Stats)
+			}
+			if rO.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v rate %d: no faults seen", method, rate)
+			}
+			if d := math.Abs(rB.RelResidual - rO.RelResidual); d > 1e-12*(1+rB.RelResidual) {
+				t.Fatalf("%v rate %d: residuals %v vs %v", method, rate, rB.RelResidual, rO.RelResidual)
+			}
+		}
+	}
+}
+
+// cacgMidBasisInjection lands count DUEs from inside the basis-building
+// SpMV supersteps while their tasks are in flight: alternating between a
+// halo (ghost) page of the basis vector being exchanged and a boundary-
+// row output page of the one being produced.
+func cacgMidBasisInjection(s *CACG, count int) *int {
+	fires := 0
+	seen := 0
+	s.sub.TestHook = func(stage string) {
+		if stage != "spmv" && !strings.HasPrefix(stage, "overlap:") {
+			return
+		}
+		fires++ // k firings per outer step, both disciplines
+		if fires%5 != 0 || seen >= count {
+			return
+		}
+		var target *shard.Rank
+		for _, r := range s.sub.Ranks {
+			if r.ID == (fires/5)%len(s.sub.Ranks) && len(r.Halo) > 0 && len(r.Boundary) > 0 {
+				target = r
+			}
+		}
+		if target == nil {
+			return
+		}
+		j := 1 + seen%(s.k-1) // basis tail vector v[j]
+		if seen%2 == 0 {
+			s.v[j].Of(target).Poison(target.Halo[0]) // in-flight ghost page
+		} else {
+			s.v[j+1].Of(target).Poison(target.Boundary[0]) // in-flight output
+		}
+		seen++
+	}
+	return &seen
+}
+
+// TestCACGMidBasisDUEs: DUEs raised while a mid-basis SpMV superstep is
+// in flight — ghost pages of v_j being exchanged and boundary outputs of
+// v_{j+1} being produced — must yield exactly the barrier path's
+// recovery counts and residuals, for FEIR and AFEIR at 1–5 DUEs.
+func TestCACGMidBasisDUEs(t *testing.T) {
+	a, b := distSystem()
+	for _, method := range []core.Method{core.MethodFEIR, core.MethodAFEIR} {
+		for count := 1; count <= 5; count++ {
+			run := func(barrier bool) core.Result {
+				cfg := baseCfg(method)
+				cfg.BasisK = 4
+				cfg.Barrier = barrier
+				s, err := NewCACG(a, b, 4, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				injected := cacgMidBasisInjection(s, count)
+				res, _, err := s.Run()
+				if err != nil {
+					t.Fatalf("%v count %d barrier=%v: %v", method, count, barrier, err)
+				}
+				if !res.Converged || res.RelResidual > 1e-8 {
+					t.Fatalf("%v count %d barrier=%v: %+v", method, count, barrier, res)
+				}
+				if *injected == 0 {
+					t.Fatalf("%v count %d barrier=%v: no mid-basis DUE landed", method, count, barrier)
+				}
+				return res
+			}
+			rB := run(true)
+			rO := run(false)
+			if rB.Iterations != rO.Iterations {
+				t.Fatalf("%v count %d: iterations %d vs %d", method, count, rB.Iterations, rO.Iterations)
+			}
+			if !statsEqual(rB.Stats, rO.Stats) {
+				t.Fatalf("%v count %d: stats diverge\nbarrier: %+v\noverlap: %+v", method, count, rB.Stats, rO.Stats)
+			}
+			if rO.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v count %d: faults invisible", method, count)
+			}
+			if d := math.Abs(rB.RelResidual - rO.RelResidual); d > 1e-12*(1+rB.RelResidual) {
+				t.Fatalf("%v count %d: residuals %v vs %v", method, count, rB.RelResidual, rO.RelResidual)
+			}
+		}
+	}
+}
+
+// TestCACGRejectsUnsupportedConfig: the block recurrence must refuse
+// loudly what it cannot honor.
+func TestCACGRejectsUnsupportedConfig(t *testing.T) {
+	a, b := distSystem()
+	if _, err := NewCACG(a, b, 4, baseCfg(core.MethodCheckpoint)); err == nil {
+		t.Fatal("checkpoint accepted")
+	}
+	cfg := baseCfg(core.MethodIdeal)
+	cfg.UsePrecond = true
+	if _, err := NewCACG(a, b, 4, cfg); err == nil {
+		t.Fatal("precond accepted")
+	}
+	cfg = baseCfg(core.MethodIdeal)
+	cfg.BasisK = 9
+	if _, err := NewCACG(a, b, 4, cfg); err == nil {
+		t.Fatal("oversized basis accepted")
+	}
+}

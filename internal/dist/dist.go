@@ -47,6 +47,10 @@ type Config struct {
 	CheckpointInterval int
 	// Restart is the GMRES restart length; 0 means 30.
 	Restart int
+	// BasisK is the s-step basis size of the communication-avoiding CG
+	// (cacg): each outer step performs BasisK SpMV supersteps and exactly
+	// one global reduction. 0 means 4.
+	BasisK int
 	// UsePrecond enables the block-Jacobi preconditioned variant (PCG,
 	// PBiCGStab, PGMRES). Blocks coincide with pages and never cross rank
 	// boundaries, so application and recovery stay rank-local (§5.1).
@@ -76,6 +80,8 @@ func (c Config) maxIter(n int) int { return defaults.MaxIterOr(c.MaxIter, n) }
 func (c Config) ckptInterval() int { return defaults.CheckpointIntervalOr(c.CheckpointInterval) }
 
 func (c Config) restart() int { return defaults.GMRESRestartOr(c.Restart) }
+
+func (c Config) basisK() int { return defaults.BasisKOr(c.BasisK) }
 
 // base carries the state shared by all three distributed solvers.
 type base struct {
@@ -122,6 +128,11 @@ func (b *base) DynamicVectors() []*pagemem.Vector { return b.dynamic }
 
 // RankStats returns a snapshot of each rank's resilience counters.
 func (b *base) RankStats() []core.Stats { return b.sub.RankStats() }
+
+// Reductions reports how many global reduction supersteps the substrate
+// performed — the communication metric the s-step variant exists to
+// shrink. Valid after Run returned.
+func (b *base) Reductions() int64 { return b.sub.Reductions() }
 
 func (b *base) inject(it int) {
 	if b.cfg.Inject != nil {

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartialBlock(t *testing.T) {
+	b := NewPartialBlock(3, 4)
+	if b.Width() != 4 {
+		t.Fatalf("width %d", b.Width())
+	}
+	out := make([]float64, 4)
+	if missing := b.SumAvailable(out); missing != 3 {
+		t.Fatalf("fresh block: %d missing, want 3", missing)
+	}
+	b.StoreRow(0, []float64{1, 2, 3, 4})
+	b.StoreRow(2, []float64{10, 20, 30, 40})
+	if missing := b.SumAvailable(out); missing != 1 {
+		t.Fatalf("%d missing, want 1", missing)
+	}
+	for k, want := range []float64{11, 22, 33, 44} {
+		if out[k] != want {
+			t.Fatalf("out[%d] = %v, want %v", k, out[k], want)
+		}
+	}
+	// SumAvailable accumulates: a second call doubles the sums.
+	b.SumAvailable(out)
+	if out[0] != 22 {
+		t.Fatalf("accumulation broken: out[0] = %v, want 22", out[0])
+	}
+	// A stored row whose slot 0 is NaN counts as missing (rows are
+	// stored whole, so slot 0 is the page's presence bit).
+	b.StoreRow(1, []float64{math.NaN(), 5, 5, 5})
+	for i := range out {
+		out[i] = 0
+	}
+	if missing := b.SumAvailable(out); missing != 1 {
+		t.Fatalf("NaN slot-0 row: %d missing, want 1", missing)
+	}
+	b.ResetMissing()
+	if missing := b.SumAvailable(out); missing != 3 {
+		t.Fatalf("after reset: %d missing, want 3", missing)
+	}
+}

@@ -53,26 +53,42 @@ type DistKernelsResult struct {
 	BarrierIterNs  float64 `json:"dist_cg_iter_barrier_ns"`
 	OverlapIterNs  float64 `json:"dist_cg_iter_overlap_ns"`
 	PipeIterNs     float64 `json:"dist_cg_iter_pipelined_ns"`
+	CAIterNs       float64 `json:"dist_cg_iter_ca_ns"` // per inner iteration (outer step / k)
 	OverlapSpeedup float64 `json:"dist_cg_overlap_speedup"`
 	PipeSpeedup    float64 `json:"dist_cg_pipelined_speedup"`
+	CASpeedup      float64 `json:"dist_cg_ca_speedup"`
 
 	BarrierAllocs float64 `json:"dist_cg_barrier_allocs"`
 	OverlapAllocs float64 `json:"dist_cg_overlap_allocs"`
 	PipeAllocs    float64 `json:"dist_cg_pipelined_allocs"`
+	CAAllocs      float64 `json:"dist_cg_ca_allocs"`
+
+	// Reduction-superstep accounting, measured from the substrates' own
+	// counters over the timed iterations: classic CG spends 2 global
+	// reductions per iteration, pipecg 1, cacg 1 per k iterations.
+	// CAReductionRatio is barrier-CG reductions-per-iter over cacg's —
+	// the communication-avoiding factor (≈ 2k).
+	CABasisK            int     `json:"ca_basis_k"`
+	BarrierRedPerIter   float64 `json:"dist_cg_reductions_per_iter"`
+	PipelineRedPerIter  float64 `json:"dist_cg_pipelined_reductions_per_iter"`
+	CAReductionsPerIter float64 `json:"ca_reductions_per_iter"`
+	CAReductionRatio    float64 `json:"ca_reduction_ratio"`
 
 	Provenance Provenance `json:"provenance"`
 }
 
 func (r *DistKernelsResult) String() string {
 	return fmt.Sprintf(`Distributed kernel baseline (scale %d, %d ranks, %d workers, %d-double pages, %d iters)
-  dist CG steady-state iteration:
-    barrier supersteps          %10.0f ns/iter   (%.2f allocs/iter)
+  dist CG steady-state iteration:               time                      reductions/iter
+    barrier supersteps          %10.0f ns/iter   (%.2f allocs/iter)       %.2f
     overlapped + prepared       %10.0f ns/iter   (%.2fx, %.2f allocs/iter)
-    pipelined + prepared        %10.0f ns/iter   (%.2fx, %.2f allocs/iter)`,
+    pipelined + prepared        %10.0f ns/iter   (%.2fx, %.2f allocs/iter) %.2f
+    comm-avoiding s-step (k=%d) %10.0f ns/iter   (%.2fx, %.2f allocs/iter) %.3f  (ratio %.1fx)`,
 		r.Scale, r.Ranks, r.Workers, r.PageDoubles, r.Iters,
-		r.BarrierIterNs, r.BarrierAllocs,
+		r.BarrierIterNs, r.BarrierAllocs, r.BarrierRedPerIter,
 		r.OverlapIterNs, r.OverlapSpeedup, r.OverlapAllocs,
-		r.PipeIterNs, r.PipeSpeedup, r.PipeAllocs)
+		r.PipeIterNs, r.PipeSpeedup, r.PipeAllocs, r.PipelineRedPerIter,
+		r.CABasisK, r.CAIterNs, r.CASpeedup, r.CAAllocs, r.CAReductionsPerIter, r.CAReductionRatio)
 }
 
 // DistKernels measures the distributed hot-path baseline. Scale 0 means
@@ -117,6 +133,12 @@ func DistKernels(opts Options, ranks, iters int) (*DistKernelsResult, error) {
 		return nil, err
 	}
 	defer pipe.sub.Close()
+	const basisK = 4 // the tracked cacg configuration (defaults.BasisK)
+	ca, err := newDistCAHarness(a, b, ranks, pd, workers, basisK)
+	if err != nil {
+		return nil, err
+	}
+	defer ca.sub.Close()
 
 	res := &DistKernelsResult{
 		Scale:       a.N,
@@ -128,16 +150,24 @@ func DistKernels(opts Options, ranks, iters int) (*DistKernelsResult, error) {
 		Provenance:  CollectProvenance(),
 	}
 
+	res.CABasisK = basisK
+
 	for i := 0; i < 10; i++ { // warm rings, conds, succ capacity, caches
 		bar.iterate()
 		ovl.iterate()
 		pipe.iterate()
+		ca.iterate()
 	}
 	// The overlapped graph must be replaying the exact barrier
 	// iteration: after identical warmups the recurrences agree bitwise.
 	if bar.epsGG != ovl.epsGG {
 		return nil, fmt.Errorf("distkernels: barrier/overlap recurrences diverged (%v vs %v)", bar.epsGG, ovl.epsGG)
 	}
+
+	// Reduction accounting starts after warmup so init-time Dots drop out.
+	barRed0, barIt0 := bar.sub.Reductions(), bar.it
+	pipeRed0, pipeIt0 := pipe.sub.Reductions(), pipe.it
+	caRed0, caIt0 := ca.sub.Reductions(), ca.it
 
 	const batch = 5
 	rounds := iters / batch
@@ -151,10 +181,10 @@ func DistKernels(opts Options, ranks, iters int) (*DistKernelsResult, error) {
 		}
 		return float64(time.Since(t0).Nanoseconds()) / batch
 	}
-	var barNs, ovlNs, pipeNs, ovlRatio, pipeRatio []float64
-	order := [][3]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}, {0, 2, 1}, {1, 2, 0}}
+	var barNs, ovlNs, pipeNs, caNs, ovlRatio, pipeRatio, caRatio []float64
+	order := [][4]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 0, 3, 2}, {2, 3, 0, 1}, {0, 2, 3, 1}, {1, 3, 2, 0}}
 	for r := 0; r < rounds; r++ {
-		var ns [3]float64
+		var ns [4]float64
 		for _, k := range order[r%len(order)] {
 			switch k {
 			case 0:
@@ -163,23 +193,37 @@ func DistKernels(opts Options, ranks, iters int) (*DistKernelsResult, error) {
 				ns[1] = batchNs(ovl)
 			case 2:
 				ns[2] = batchNs(pipe)
+			case 3:
+				// One cacg outer step advances basisK iterations; report
+				// per inner iteration for an apples-to-apples column.
+				ns[3] = batchNs(ca) / float64(basisK)
 			}
 		}
 		barNs = append(barNs, ns[0])
 		ovlNs = append(ovlNs, ns[1])
 		pipeNs = append(pipeNs, ns[2])
+		caNs = append(caNs, ns[3])
 		ovlRatio = append(ovlRatio, ns[0]/ns[1])
 		pipeRatio = append(pipeRatio, ns[0]/ns[2])
+		caRatio = append(caRatio, ns[0]/ns[3])
 	}
 	res.BarrierIterNs = median(barNs)
 	res.OverlapIterNs = median(ovlNs)
 	res.PipeIterNs = median(pipeNs)
+	res.CAIterNs = median(caNs)
 	res.OverlapSpeedup = median(ovlRatio)
 	res.PipeSpeedup = median(pipeRatio)
+	res.CASpeedup = median(caRatio)
 
 	res.BarrierAllocs = measureAllocsPerIter(bar, iters)
 	res.OverlapAllocs = measureAllocsPerIter(ovl, iters)
 	res.PipeAllocs = measureAllocsPerIter(pipe, iters)
+	res.CAAllocs = measureAllocsPerIter(ca, iters/basisK) / float64(basisK)
+
+	res.BarrierRedPerIter = float64(bar.sub.Reductions()-barRed0) / float64(bar.it-barIt0)
+	res.PipelineRedPerIter = float64(pipe.sub.Reductions()-pipeRed0) / float64(pipe.it-pipeIt0)
+	res.CAReductionsPerIter = float64(ca.sub.Reductions()-caRed0) / float64((ca.it-caIt0)*basisK)
+	res.CAReductionRatio = res.BarrierRedPerIter / res.CAReductionsPerIter
 	return res, nil
 }
 
@@ -362,5 +406,110 @@ func (h *distPipeHarness) iterate() {
 	} else {
 		h.alphaOld = 1
 	}
+	h.it++
+}
+
+// distCAHarness drives the communication-avoiding s-step CG steady-state
+// outer step on a real shard substrate — the same supersteps dist.CACG
+// replays: k back-to-back overlapped basis SpMVs, the one Gram block
+// reduction and the fused block update. The coordinator recurrence is
+// pinned to a = 0, B = 0 (a stationary iteration with exactly the real
+// step's memory traffic and flops — the update's B loop runs in full),
+// so timing needs no convergence bookkeeping.
+type distCAHarness struct {
+	sub     *shard.Substrate
+	k       int
+	x, r    *shard.Vec
+	v       []*shard.Vec
+	pd, apd []*shard.Vec
+
+	stepV []*shard.OverlapStep
+	gram  *shard.PreparedRankOpDotBlock
+	stepU *shard.PreparedRankOp
+
+	cols   [][][]float64
+	gbuf   []float64
+	uA, uB []float64
+	it     int
+}
+
+func newDistCAHarness(a *sparse.CSR, b []float64, ranks, pd, workers, k int) (*distCAHarness, error) {
+	sub, err := shard.New(a, b, ranks, pd, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	h := &distCAHarness{sub: sub, k: k}
+	h.x = sub.AddVector("x")
+	h.r = sub.AddVector("g")
+	h.v = make([]*shard.Vec, k+1)
+	h.v[0] = h.r
+	for j := 1; j <= k; j++ {
+		h.v[j] = sub.AddVector(fmt.Sprintf("v%d", j))
+	}
+	h.pd = make([]*shard.Vec, k)
+	h.apd = make([]*shard.Vec, k)
+	for j := 0; j < k; j++ {
+		h.pd[j] = sub.AddVector(fmt.Sprintf("p%d", j))
+		h.apd[j] = sub.AddVector(fmt.Sprintf("ap%d", j))
+	}
+	sub.RankOp("init", func(r *shard.Rank, p, lo, hi int) {
+		copy(h.r.Of(r).Data[lo:hi], sub.B[lo:hi])
+	})
+
+	nc := 3*k + 1
+	h.cols = make([][][]float64, len(sub.Ranks))
+	for ri, r := range sub.Ranks {
+		cs := make([][]float64, nc)
+		for j := 0; j <= k; j++ {
+			cs[j] = h.v[j].Of(r).Data
+		}
+		for j := 0; j < k; j++ {
+			cs[k+1+j] = h.pd[j].Of(r).Data
+			cs[2*k+1+j] = h.apd[j].Of(r).Data
+		}
+		h.cols[ri] = cs
+	}
+	var pairs [][2]int32
+	for i := 0; i <= k; i++ {
+		for j := i; j <= k; j++ {
+			pairs = append(pairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+	for blk := 0; blk < 2; blk++ {
+		for i := 0; i <= k; i++ {
+			for j := 0; j < k; j++ {
+				pairs = append(pairs, [2]int32{int32(i), int32((blk+1)*k + 1 + j)})
+			}
+		}
+	}
+	h.gbuf = make([]float64, len(pairs))
+	h.uA = make([]float64, k)
+	h.uB = make([]float64, k*k)
+
+	h.stepV = make([]*shard.OverlapStep, k)
+	for j := 0; j < k; j++ {
+		h.stepV[j] = sub.NewOverlapStep(fmt.Sprintf("v%d=Av%d", j+1, j), h.v[j], h.v[j+1], nil, false, false)
+	}
+	h.gram = sub.PrepareRankOpDotBlock("gram", len(pairs), func(r *shard.Rank, p, lo, hi int, out []float64) {
+		sparse.PairDotsRange(h.cols[r.ID], pairs, out, lo, hi)
+	})
+	h.stepU = sub.PrepareRankOpDot("caupd", func(r *shard.Rank, p, lo, hi int) float64 {
+		cs := h.cols[r.ID]
+		return sparse.CACGUpdateRange(cs[:k+1], cs[k+1:2*k+1], cs[2*k+1:], h.uB, h.uA,
+			h.x.Of(r).Data, h.r.Of(r).Data, lo, hi)
+	})
+	return h, nil
+}
+
+func (h *distCAHarness) iterate() {
+	h.sub.ApplyPending()
+	for j := 0; j < h.k; j++ {
+		h.stepV[j].Run()
+	}
+	for i := range h.gbuf {
+		h.gbuf[i] = 0
+	}
+	h.gram.Run(h.gbuf)
+	h.stepU.Run() // rr partials deferred and never summed, as in the solver
 	h.it++
 }

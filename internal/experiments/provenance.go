@@ -15,6 +15,11 @@ type Provenance struct {
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	NumCPU      int    `json:"num_cpu"`
 	GitDescribe string `json:"git_describe,omitempty"`
+	// Degraded marks artefacts produced with GOMAXPROCS == 1: every
+	// latency-hiding contrast (overlap vs barrier, FEIR vs trivial,
+	// affinity) collapses to parity on one core, so such numbers must
+	// never be read as regressions — or committed as the trajectory.
+	Degraded bool `json:"degraded_provenance,omitempty"`
 }
 
 // CollectProvenance snapshots the current environment. The git describe
@@ -24,6 +29,7 @@ func CollectProvenance() Provenance {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Degraded:   runtime.GOMAXPROCS(0) == 1,
 	}
 	if out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output(); err == nil {
 		p.GitDescribe = strings.TrimSpace(string(out))

@@ -84,7 +84,7 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 		st.upd = make([]*taskrt.Handle, len(s.Ranks))
 		for i, r := range s.Ranks {
 			r := r
-			st.upd[i] = rt.NewTask(taskrt.TaskSpec{Label: label + ":upd", Run: func(int) {
+			st.upd[i] = rt.NewTask(taskrt.TaskSpec{Label: label + ":upd", Home: taskrt.HomeWorker(i), Run: func(int) {
 				for p := r.PLo; p < r.PHi; p++ {
 					lo, hi := s.Layout.Range(p)
 					st.pre(r, p, lo, hi)
@@ -102,7 +102,9 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 		haloOf[i] = make(map[int]*taskrt.Handle, len(r.Halo))
 		for _, p := range r.Halo {
 			p := p
-			h := rt.NewTask(taskrt.TaskSpec{Label: label + ":halo", Run: func(int) {
+			// The import writes rank i's ghost page: home it with the
+			// reader's other tasks, not the owner's.
+			h := rt.NewTask(taskrt.TaskSpec{Label: label + ":halo", Home: taskrt.HomeWorker(i), Run: func(int) {
 				local := st.in.R[r.ID]
 				lo, hi := s.Layout.Range(p)
 				copy(local.Data[lo:hi], st.in.R[s.Owner[p]].Data[lo:hi])
@@ -120,7 +122,7 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 
 	for i, r := range s.Ranks {
 		r := r
-		st.interior = append(st.interior, rt.NewTask(taskrt.TaskSpec{Label: label + ":int", Run: func(int) {
+		st.interior = append(st.interior, rt.NewTask(taskrt.TaskSpec{Label: label + ":int", Home: taskrt.HomeWorker(i), Run: func(int) {
 			for _, p := range r.Interior {
 				lo, hi := s.Layout.Range(p)
 				st.page(r, p, lo, hi)
@@ -134,7 +136,7 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 
 		for _, p := range r.Boundary {
 			p := p
-			st.boundary = append(st.boundary, rt.NewTask(taskrt.TaskSpec{Label: label + ":bnd", Run: func(int) {
+			st.boundary = append(st.boundary, rt.NewTask(taskrt.TaskSpec{Label: label + ":bnd", Home: taskrt.HomeWorker(i), Run: func(int) {
 				lo, hi := s.Layout.Range(p)
 				st.page(r, p, lo, hi)
 			}}))
@@ -213,6 +215,9 @@ func (st *OverlapStep) Start() {
 // every substrate barrier.
 func (st *OverlapStep) Finish() (xy, yy float64) {
 	st.sub.RT.WaitAll(st.wait)
+	if st.xy != nil || st.yy != nil {
+		st.sub.reductions++
+	}
 	if st.xy != nil {
 		xy, _ = st.xy.SumAvailable()
 	}
@@ -242,7 +247,7 @@ func (s *Substrate) prepareRankOp(label string, dots int, body func(r *Rank)) *P
 	op := &PreparedRankOp{sub: s, dots: dots, tasks: make([]*taskrt.Handle, len(s.Ranks))}
 	for i, r := range s.Ranks {
 		r := r
-		op.tasks[i] = s.RT.NewTask(taskrt.TaskSpec{Label: label, Run: func(int) { body(r) }})
+		op.tasks[i] = s.RT.NewTask(taskrt.TaskSpec{Label: label, Home: taskrt.HomeWorker(i), Run: func(int) { body(r) }})
 	}
 	return op
 }
@@ -300,14 +305,20 @@ func (op *PreparedRankOp) Submit() {
 // (the allreduce/SpMV overlap).
 func (op *PreparedRankOp) Wait() { op.sub.RT.WaitAll(op.tasks) }
 
-// Sums returns the first reduction of the latest finished replay.
+// Sums returns the first reduction of the latest finished replay. A
+// replay whose partials are never summed counts no reduction superstep —
+// the deferred-sum discipline lets a solver carry fused partials it only
+// consumes on drift checks (the s-step CG's rr) without paying for an
+// allreduce it did not perform.
 func (op *PreparedRankOp) Sums() float64 {
+	op.sub.reductions++
 	a, _ := op.sub.part.SumAvailable()
 	return a
 }
 
 // Sums2 returns both reductions of the latest finished replay.
 func (op *PreparedRankOp) Sums2() (float64, float64) {
+	op.sub.reductions++
 	a, _ := op.sub.part.SumAvailable()
 	b, _ := op.sub.part2.SumAvailable()
 	return a, b
@@ -329,4 +340,72 @@ func (op *PreparedRankOp) RunDot() float64 {
 func (op *PreparedRankOp) RunDot2() (float64, float64) {
 	op.Run()
 	return op.Sums2()
+}
+
+// PreparedRankOpDotBlock is a replayable rank op with a vector-valued
+// fused reduction: every page contributes a w-wide row of partials and
+// one coordinator superstep sums them all. It is the block counterpart
+// of PrepareRankOpDot — the s-step CG packs an entire Gram matrix
+// (G, K'P, K'AP) into one such row, collapsing what classic CG spreads
+// over 2s reductions into a single superstep per outer step.
+type PreparedRankOpDotBlock struct {
+	sub   *Substrate
+	part  *engine.PartialBlock
+	tasks []*taskrt.Handle
+}
+
+// PrepareRankOpDotBlock prepares a replayable block-reduction superstep
+// of width w. fn fills out (pre-zeroed, length w) with the page's
+// contribution; rows land in an op-owned PartialBlock so concurrent
+// block ops never share partial state with the substrate's scalar
+// buffers.
+func (s *Substrate) PrepareRankOpDotBlock(label string, w int, fn func(r *Rank, p, lo, hi int, out []float64)) *PreparedRankOpDotBlock {
+	op := &PreparedRankOpDotBlock{
+		sub:   s,
+		part:  engine.NewPartialBlock(s.NP, w),
+		tasks: make([]*taskrt.Handle, len(s.Ranks)),
+	}
+	for i, r := range s.Ranks {
+		r := r
+		scratch := make([]float64, w) // per-rank: tasks of one op never share
+		op.tasks[i] = s.RT.NewTask(taskrt.TaskSpec{Label: label, Home: taskrt.HomeWorker(i), Run: func(int) {
+			for p := r.PLo; p < r.PHi; p++ {
+				lo, hi := s.Layout.Range(p)
+				for k := range scratch {
+					scratch[k] = 0
+				}
+				fn(r, p, lo, hi, scratch)
+				op.part.StoreRow(p, scratch)
+			}
+		}})
+	}
+	return op
+}
+
+// Submit resets the op's partial block and replays its tasks.
+func (op *PreparedRankOpDotBlock) Submit() {
+	op.part.ResetMissing()
+	op.sub.RT.ResubmitAll(op.tasks, nil)
+	if hook := op.sub.TestHook; hook != nil {
+		hook("rankop")
+	}
+}
+
+// Wait blocks until the latest replay finished, without summing.
+func (op *PreparedRankOpDotBlock) Wait() { op.sub.RT.WaitAll(op.tasks) }
+
+// Sums accumulates the block reduction of the latest finished replay
+// into dst (length = the op's width) and reports how many pages were
+// lost to DUEs. One call is one reduction superstep however wide the
+// block is — that is the whole point.
+func (op *PreparedRankOpDotBlock) Sums(dst []float64) (missing int) {
+	op.sub.reductions++
+	return op.part.SumAvailable(dst)
+}
+
+// Run replays, waits and sums into dst.
+func (op *PreparedRankOpDotBlock) Run(dst []float64) (missing int) {
+	op.Submit()
+	op.Wait()
+	return op.Sums(dst)
 }

@@ -132,6 +132,15 @@ type Substrate struct {
 	part  *engine.Partial
 	part2 *engine.Partial // second slot set for fused double reductions
 
+	// reductions counts global reduction supersteps: every coordinator
+	// partial-sum that plays an allreduce (scalar or block) adds one,
+	// regardless of how many values ride it — the communication-cost
+	// metric of the s-step argument (a fused γ/δ pair and a whole Gram
+	// block each count one, like one MPI_Allreduce of a small buffer).
+	// Solvers snapshot it around recovery blocks to attribute steady-
+	// state vs recovery communication.
+	reductions int64
+
 	// Coordinator-side gather scratch, reused across TrueResidual and
 	// LossyInterpolateOwned calls instead of allocating 2N per check.
 	gatherX, gatherRes []float64
@@ -267,11 +276,15 @@ func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) 
 	}
 	// One prepared task per rank, replayed by every barrier superstep with
 	// the body routed through stepFn — zero allocations per superstep.
+	// Each rank's task is homed to worker (rank mod workers): the same
+	// worker re-touches the same owned pages superstep after superstep,
+	// so the interior/boundary partition keeps its cache residency.
 	s.rankTasks = make([]*taskrt.Handle, len(s.Ranks))
 	for i, r := range s.Ranks {
 		r := r
 		s.rankTasks[i] = s.RT.NewTask(taskrt.TaskSpec{
 			Label: "superstep",
+			Home:  taskrt.HomeWorker(i),
 			Run:   func(int) { s.stepFn(r) },
 		})
 	}
@@ -301,6 +314,11 @@ func (s *Substrate) runStep(fn func(r *Rank)) {
 
 // Close releases the task pool.
 func (s *Substrate) Close() { s.RT.Close() }
+
+// Reductions returns the number of global reduction supersteps performed
+// so far (coordinator partial-sums; see the field comment). Coordinator-
+// side only, so a plain read.
+func (s *Substrate) Reductions() int64 { return s.reductions }
 
 // AddVector registers one protected vector on every rank's fault domain.
 func (s *Substrate) AddVector(name string) *Vec {
@@ -388,6 +406,7 @@ func (s *Substrate) Dot(label string, x, y *Vec) float64 {
 	s.part.ResetMissing()
 	s.dotX, s.dotY = x, y
 	s.runStep(s.dotStepF)
+	s.reductions++
 	sum, _ := s.part.SumAvailable()
 	return sum
 }
@@ -407,6 +426,7 @@ func (s *Substrate) DotReliable(label string, x *Vec, y []float64) float64 {
 	s.part.ResetMissing()
 	s.dotX, s.dotYRel = x, y
 	s.runStep(s.dotRelStepF)
+	s.reductions++
 	sum, _ := s.part.SumAvailable()
 	return sum
 }
@@ -427,6 +447,7 @@ func (s *Substrate) DotMixed(label string, xs [][]float64, y *Vec) float64 {
 	s.part.ResetMissing()
 	s.dotXs, s.dotY = xs, y
 	s.runStep(s.dotMixStepF)
+	s.reductions++
 	sum, _ := s.part.SumAvailable()
 	return sum
 }
@@ -498,6 +519,9 @@ func (s *Substrate) spmvDots(label string, in, out *Vec, wantXY, wantYY bool) (x
 	}
 	s.spmvIn, s.spmvOut = in, out
 	s.runStep(s.spmvDotStepF)
+	if wantXY || wantYY {
+		s.reductions++
+	}
 	if wantXY {
 		xy, _ = s.part.SumAvailable()
 	}
@@ -530,6 +554,7 @@ func (s *Substrate) SpMVDotReliable(label string, in, out *Vec, y []float64) flo
 	s.part.ResetMissing()
 	s.spmvIn, s.spmvOut, s.spmvRelY = in, out, y
 	s.runStep(s.spmvRelStepF)
+	s.reductions++
 	sum, _ := s.part.SumAvailable()
 	return sum
 }
@@ -551,6 +576,7 @@ func (s *Substrate) RankOpDot(label string, fn func(r *Rank, p, lo, hi int) floa
 	s.part.ResetMissing()
 	s.opDotFn = fn
 	s.runStep(s.opDotStepF)
+	s.reductions++
 	sum, _ := s.part.SumAvailable()
 	return sum
 }
@@ -571,6 +597,7 @@ func (s *Substrate) RankOpDot2(label string, fn func(r *Rank, p, lo, hi int) (fl
 	s.part2.ResetMissing()
 	s.opDot2Fn = fn
 	s.runStep(s.opDot2StepF)
+	s.reductions++
 	a, _ := s.part.SumAvailable()
 	b, _ := s.part2.SumAvailable()
 	return a, b
@@ -686,6 +713,7 @@ func (s *Substrate) ResidualFromXDot(x, g *Vec) float64 {
 // TrueResidual computes ||b - A x|| / ||b|| from the gathered iterate,
 // in the substrate-owned scratch (no per-check allocation).
 func (s *Substrate) TrueResidual(x *Vec) float64 {
+	s.reductions++
 	s.Gather(x, s.gatherX)
 	s.A.MulVec(s.gatherX, s.gatherRes)
 	sparse.Sub(s.B, s.gatherRes, s.gatherRes)

@@ -1,0 +1,96 @@
+// Kernels for the communication-avoiding s-step CG (internal/dist cacg):
+// the batched pair-dot Gram kernel and the one-pass block update. Both
+// follow the fused-kernel contract of this package — every floating-point
+// operation happens in the exact order of the unfused composition, so
+// results agree bitwise with the naive kernels (pinned in cacg_test.go).
+package sparse
+
+// pairDotsMaxCols bounds the per-element gather buffer of PairDotsRange;
+// an s-step CG with s ≤ 8 touches at most 3s+1 = 25 columns.
+const pairDotsMaxCols = 32
+
+// PairDotsRange accumulates, for every pair (a, b) in pairs,
+// out[k] += Σ_{i in [lo,hi)} cols[a][i]·cols[b][i] — the Gram-block
+// kernel of the s-step CG: one pass over the basis/direction columns
+// produces every inner product the coordinator recurrences need, instead
+// of one DotRange pass per pair. Each out[k] accumulates in ascending-i
+// order, bitwise identical to DotRange(cols[a], cols[b], lo, hi).
+func PairDotsRange(cols [][]float64, pairs [][2]int32, out []float64, lo, hi int) {
+	if len(cols) <= pairDotsMaxCols {
+		var v [pairDotsMaxCols]float64
+		for i := lo; i < hi; i++ {
+			for j, c := range cols {
+				v[j] = c[i]
+			}
+			for k, pr := range pairs {
+				out[k] += v[pr[0]] * v[pr[1]]
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		for k, pr := range pairs {
+			out[k] += cols[pr[0]][i] * cols[pr[1]][i]
+		}
+	}
+}
+
+// cacgMaxS bounds the per-element recurrence buffers of CACGUpdateRange.
+const cacgMaxS = 8
+
+// MaxCACGBasis is the largest s-step basis size the fused kernels
+// support (3s+1 = 25 columns stays under the PairDotsRange gather
+// buffer, and the monomial basis is numerically hopeless beyond it
+// anyway).
+const MaxCACGBasis = cacgMaxS
+
+// CACGUpdateRange is the whole vector phase of one s-step CG outer step
+// fused into a single pass over [lo, hi): with K the s+1 Krylov basis
+// columns (K[0] may alias r — every read of element i happens before any
+// write to it), P and AP the s previous direction columns and their
+// A-images, B the s×s column-major direction-combination matrix and a the
+// s step coefficients,
+//
+//	Pnew[l]  = K[l]   + Σ_j B[j + l·s]·P[j]     (B == nil: Pnew[l] = K[l])
+//	APnew[l] = K[l+1] + Σ_j B[j + l·s]·AP[j]
+//	x += Σ_l a[l]·Pnew[l] ;  r -= Σ_l a[l]·APnew[l]
+//
+// writing Pnew/APnew over P/AP in place and returning the partial
+// rr = Σ r[i]² of the updated residual values, so the drift check can
+// ride the update's own pass. Element-wise the operations are
+// independent and ordered exactly as the unfused composition (copy, then
+// per-j axpys, then per-l axpys, then DotRange), so the results agree
+// bitwise — pinned by TestCACGUpdateMatchesUnfused.
+func CACGUpdateRange(kc, pc, apc [][]float64, b, a []float64, x, r []float64, lo, hi int) (rr float64) {
+	s := len(pc)
+	var pn, apn [cacgMaxS]float64
+	for i := lo; i < hi; i++ {
+		for l := 0; l < s; l++ {
+			pv := kc[l][i]
+			av := kc[l+1][i]
+			if b != nil {
+				for j := 0; j < s; j++ {
+					c := b[l*s+j]
+					pv += c * pc[j][i]
+					av += c * apc[j][i]
+				}
+			}
+			pn[l] = pv
+			apn[l] = av
+		}
+		xv := x[i]
+		rv := r[i]
+		for l := 0; l < s; l++ {
+			xv += a[l] * pn[l]
+			rv -= a[l] * apn[l]
+		}
+		x[i] = xv
+		r[i] = rv
+		for l := 0; l < s; l++ {
+			pc[l][i] = pn[l]
+			apc[l][i] = apn[l]
+		}
+		rr += rv * rv
+	}
+	return rr
+}

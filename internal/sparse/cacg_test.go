@@ -1,0 +1,140 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randCols(m, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, m)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = rng.NormFloat64()
+		}
+	}
+	return cols
+}
+
+// TestPairDotsMatchesDotRange pins PairDotsRange bitwise against one
+// DotRange call per pair, on both the gathered fast path and the
+// wide-column fallback.
+func TestPairDotsMatchesDotRange(t *testing.T) {
+	for _, m := range []int{3, 13, pairDotsMaxCols + 5} {
+		n := 500
+		cols := randCols(m, n, int64(m))
+		rng := rand.New(rand.NewSource(int64(m) * 7))
+		var pairs [][2]int32
+		for k := 0; k < 2*m; k++ {
+			pairs = append(pairs, [2]int32{int32(rng.Intn(m)), int32(rng.Intn(m))})
+		}
+		for _, rr := range [][2]int{{0, n}, {17, 431}, {n - 1, n}} {
+			lo, hi := rr[0], rr[1]
+			out := make([]float64, len(pairs))
+			PairDotsRange(cols, pairs, out, lo, hi)
+			for k, pr := range pairs {
+				want := DotRange(cols[pr[0]], cols[pr[1]], lo, hi)
+				if out[k] != want {
+					t.Fatalf("m=%d [%d,%d) pair %d (%d,%d): %v vs %v",
+						m, lo, hi, k, pr[0], pr[1], out[k], want)
+				}
+			}
+		}
+	}
+}
+
+// cacgUpdateUnfused is the naive composition CACGUpdateRange fuses: copy,
+// per-column axpys, then DotRange — the bitwise reference.
+func cacgUpdateUnfused(kc, pc, apc [][]float64, b, a []float64, x, r []float64, lo, hi int) float64 {
+	s := len(pc)
+	n := len(x)
+	// Snapshot K[0] in case it aliases r (the fused kernel reads each
+	// element before writing it; the composition must see the same data).
+	k0 := append([]float64(nil), kc[0]...)
+	kcols := append([][]float64{k0}, kc[1:]...)
+	pn := make([][]float64, s)
+	apn := make([][]float64, s)
+	for l := 0; l < s; l++ {
+		pn[l] = make([]float64, n)
+		apn[l] = make([]float64, n)
+		copy(pn[l][lo:hi], kcols[l][lo:hi])
+		copy(apn[l][lo:hi], kcols[l+1][lo:hi])
+		if b != nil {
+			for j := 0; j < s; j++ {
+				AxpyRange(b[l*s+j], pc[j], pn[l], lo, hi)
+				AxpyRange(b[l*s+j], apc[j], apn[l], lo, hi)
+			}
+		}
+	}
+	for l := 0; l < s; l++ {
+		AxpyRange(a[l], pn[l], x, lo, hi)
+		AxpyRange(-a[l], apn[l], r, lo, hi)
+	}
+	for l := 0; l < s; l++ {
+		copy(pc[l][lo:hi], pn[l][lo:hi])
+		copy(apc[l][lo:hi], apn[l][lo:hi])
+	}
+	return DotRange(r, r, lo, hi)
+}
+
+func TestCACGUpdateMatchesUnfused(t *testing.T) {
+	n := 300
+	for _, s := range []int{1, 2, 4, 8} {
+		for _, withB := range []bool{false, true} {
+			for _, alias := range []bool{false, true} {
+				seed := int64(s*100 + 17)
+				kc := randCols(s+1, n, seed)
+				pcF, pcU := randCols(s, n, seed+1), randCols(s, n, seed+1)
+				apF, apU := randCols(s, n, seed+2), randCols(s, n, seed+2)
+				xF, xU := randVec(n, seed+3), randVec(n, seed+3)
+				rF, rU := randVec(n, seed+4), randVec(n, seed+4)
+				kcF := kc
+				kcU := randCols(s+1, n, seed) // fresh identical copy
+				if alias {
+					// K[0] IS the residual, as in the solver steady state.
+					kcF = append([][]float64{rF}, kc[1:]...)
+					kcU = append([][]float64{rU}, kcU[1:]...)
+				}
+				var bm []float64
+				if withB {
+					rng := rand.New(rand.NewSource(seed + 5))
+					bm = make([]float64, s*s)
+					for i := range bm {
+						bm[i] = rng.NormFloat64()
+					}
+				}
+				av := randVec(s, seed+6)
+				lo, hi := 13, n-29
+				rrF := CACGUpdateRange(kcF, pcF, apF, bm, av, xF, rF, lo, hi)
+				rrU := cacgUpdateUnfused(kcU, pcU, apU, bm, av, xU, rU, lo, hi)
+				// The unfused rr covers [lo,hi) of the updated r only when
+				// r is compared over the same range.
+				if rrF != DotRange(rF, rF, lo, hi) {
+					t.Fatalf("s=%d b=%v alias=%v: fused rr %v != recomputed %v",
+						s, withB, alias, rrF, DotRange(rF, rF, lo, hi))
+				}
+				if rrF != rrU {
+					t.Fatalf("s=%d b=%v alias=%v: rr %v vs %v", s, withB, alias, rrF, rrU)
+				}
+				for i := lo; i < hi; i++ {
+					if xF[i] != xU[i] {
+						t.Fatalf("s=%d b=%v alias=%v: x[%d] %v vs %v", s, withB, alias, i, xF[i], xU[i])
+					}
+					if rF[i] != rU[i] {
+						t.Fatalf("s=%d b=%v alias=%v: r[%d] %v vs %v", s, withB, alias, i, rF[i], rU[i])
+					}
+					for l := 0; l < s; l++ {
+						if pcF[l][i] != pcU[l][i] || apF[l][i] != apU[l][i] {
+							t.Fatalf("s=%d b=%v alias=%v: P/AP[%d][%d] mismatch", s, withB, alias, l, i)
+						}
+					}
+				}
+				// Outside the range nothing moves.
+				if xF[0] != xU[0] || rF[n-1] != rU[n-1] {
+					t.Fatalf("s=%d: out-of-range elements touched", s)
+				}
+			}
+		}
+	}
+}

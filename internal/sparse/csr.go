@@ -34,16 +34,33 @@ type CSR struct {
 	// qualify; the kernels then use the narrow-index CSR path.
 	diaOffs []int
 	diaVals [][]float64
+
+	// SELL-C-σ kernel shadow for short-row matrices the DIA shadow
+	// rejects — see sellcs.go. sellPtr indexes chunks into the packed
+	// column-major sellVals/sellCols streams; sellWin maps σ windows to
+	// chunk ranges so row-range queries stay cheap; sellRows/sellLens
+	// give each chunk lane its backing row and length; sellMin is the
+	// chunk's unguarded dense depth. Nil when the matrix does not
+	// qualify (or DIA won).
+	sellPtr  []int32
+	sellWin  []int32
+	sellRows []int32
+	sellLens []int32
+	sellMin  []int32
+	sellVals []float64
+	sellCols []int32
 }
 
 // BuildIndex32 (re)builds the kernel shadows the hot SpMV kernels read:
-// the narrow (int32) index arrays and, for stencil/banded matrices, the
-// diagonal shadow of dia.go. Constructors call it automatically;
+// the narrow (int32) index arrays, the diagonal shadow of dia.go for
+// stencil/banded matrices, and the SELL-C-σ shadow of sellcs.go for
+// short-row matrices DIA rejects. Constructors call it automatically;
 // hand-assembled matrices may call it to opt in. The narrow indices are
 // skipped when the column count or the nonzero count does not fit in an
 // int32.
 func (a *CSR) BuildIndex32() {
 	a.buildDIA()
+	defer a.buildSELL()
 	if a.M > (1<<31-1) || len(a.Cols) > (1<<31-1) {
 		a.cols32, a.rowPtr32 = nil, nil
 		return
@@ -171,6 +188,10 @@ func (a *CSR) MulVec(x, y []float64) {
 func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
 	if a.diaOffs != nil {
 		a.mulVecRangeDIA(x, y, lo, hi)
+		return
+	}
+	if a.sellPtr != nil {
+		a.mulVecRangeSELL(x, y, lo, hi)
 		return
 	}
 	if a.cols32 != nil {

@@ -17,6 +17,9 @@ func (a *CSR) MulVecDotRange(x, y []float64, lo, hi int) (xy, yy float64) {
 	if a.diaOffs != nil {
 		return a.mulVecDotRangeDIA(x, y, lo, hi)
 	}
+	if a.sellPtr != nil {
+		return a.mulVecDotRangeSELL(x, y, lo, hi)
+	}
 	if a.cols32 != nil {
 		return a.mulVecDotRange32(x, y, lo, hi)
 	}
@@ -62,6 +65,9 @@ func (a *CSR) mulVecDotRange32(x, y []float64, lo, hi int) (xy, yy float64) {
 func (a *CSR) MulVecDotVecRange(x, y, w []float64, lo, hi int) (wy float64) {
 	if a.diaOffs != nil {
 		return a.mulVecDotVecRangeDIA(x, y, w, lo, hi)
+	}
+	if a.sellPtr != nil {
+		return a.mulVecDotVecRangeSELL(x, y, w, lo, hi)
 	}
 	if a.cols32 != nil {
 		return a.mulVecDotVecRange32(x, y, w, lo, hi)

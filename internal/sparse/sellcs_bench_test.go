@@ -1,0 +1,27 @@
+package sparse
+
+import "testing"
+
+func benchSpMV(b *testing.B, a *CSR) {
+	x := randVec(a.N, 1)
+	y := make([]float64, a.N)
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecRange(x, y, 0, a.N)
+	}
+}
+
+func BenchmarkSpMVShortRowSELL(b *testing.B) {
+	a := randShortRowCSR(40000, 1)
+	if a.ShadowName() != "sell" {
+		b.Fatalf("shadow %s", a.ShadowName())
+	}
+	benchSpMV(b, a)
+}
+
+func BenchmarkSpMVShortRowCSR32(b *testing.B) {
+	a := randShortRowCSR(40000, 1)
+	a.DisableShadow("sell")
+	benchSpMV(b, a)
+}

@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randShortRowCSR builds a square matrix with 3..12 random columns per
+// row (diagonal always present): short-rowed and diagonally unstructured,
+// the family the SELL-C-σ shadow exists for.
+func randShortRowCSR(n int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var tr []Triplet
+	for i := 0; i < n; i++ {
+		tr = append(tr, Triplet{i, i, 4 + rng.Float64()})
+		extra := 2 + rng.Intn(10)
+		for k := 0; k < extra; k++ {
+			j := rng.Intn(n)
+			tr = append(tr, Triplet{i, j, rng.NormFloat64()})
+		}
+	}
+	return NewCSRFromTriplets(n, n, tr)
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestSELLSelection(t *testing.T) {
+	if got := randShortRowCSR(1000, 1).ShadowName(); got != "sell" {
+		t.Fatalf("random short-row matrix: shadow %q, want sell", got)
+	}
+	// Stencils keep the DIA shadow.
+	nx := 40
+	var st []Triplet
+	for i := 0; i < nx*nx; i++ {
+		st = append(st, Triplet{i, i, 4})
+		for _, j := range []int{i - nx, i - 1, i + 1, i + nx} {
+			if j >= 0 && j < nx*nx {
+				st = append(st, Triplet{i, j, -1})
+			}
+		}
+	}
+	if got := NewCSRFromTriplets(nx*nx, nx*nx, st).ShadowName(); got != "dia" {
+		t.Fatalf("stencil: shadow %q, want dia", got)
+	}
+	// Matrices below the size floor stay on the narrow-index CSR path.
+	if got := randShortRowCSR(100, 2).ShadowName(); got == "sell" {
+		t.Fatalf("small matrix selected sell")
+	}
+	// Long rows (avg > sellMaxAvgRow) keep the row-major kernel.
+	rng := rand.New(rand.NewSource(3))
+	var tr []Triplet
+	n := 600
+	for i := 0; i < n; i++ {
+		for k := 0; k < 40; k++ {
+			tr = append(tr, Triplet{i, rng.Intn(n), 1 + rng.Float64()})
+		}
+	}
+	if got := NewCSRFromTriplets(n, n, tr).ShadowName(); got == "sell" {
+		t.Fatalf("long-row matrix selected sell")
+	}
+}
+
+// TestSELLMatchesCSRBitwise pins the SELL kernels bitwise against both
+// CSR tiers on full, page-aligned and misaligned ranges, across sizes
+// that exercise partial windows and partial chunks.
+func TestSELLMatchesCSRBitwise(t *testing.T) {
+	for _, n := range []int{512, 513, 1000, 1289} {
+		for seed := int64(0); seed < 3; seed++ {
+			a := randShortRowCSR(n, 100+seed)
+			if a.ShadowName() != "sell" {
+				t.Fatalf("n=%d seed=%d: shadow %q", n, seed, a.ShadowName())
+			}
+			ref32 := a.Clone()
+			ref32.DisableShadow("sell")
+			refWide := a.Clone()
+			refWide.DisableShadow("sell")
+			refWide.DisableShadow("int32")
+			x := randVec(n, 200+seed)
+			w := randVec(n, 300+seed)
+			ranges := [][2]int{{0, n}, {0, 64}, {64, 128}, {17, n - 23}, {n - 1, n}, {255, 257}}
+			for _, rr := range ranges {
+				lo, hi := rr[0], rr[1]
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					continue
+				}
+				got, want, wide := make([]float64, n), make([]float64, n), make([]float64, n)
+				a.MulVecRange(x, got, lo, hi)
+				ref32.MulVecRange(x, want, lo, hi)
+				refWide.MulVecRange(x, wide, lo, hi)
+				for i := lo; i < hi; i++ {
+					if got[i] != want[i] || got[i] != wide[i] {
+						t.Fatalf("n=%d seed=%d [%d,%d): row %d sell=%v csr32=%v csr=%v",
+							n, seed, lo, hi, i, got[i], want[i], wide[i])
+					}
+				}
+				gxy, gyy := a.MulVecDotRange(x, got, lo, hi)
+				wxy, wyy := ref32.MulVecDotRange(x, want, lo, hi)
+				if gxy != wxy || gyy != wyy {
+					t.Fatalf("n=%d seed=%d [%d,%d): fused dots (%v,%v) vs (%v,%v)",
+						n, seed, lo, hi, gxy, gyy, wxy, wyy)
+				}
+				gwy := a.MulVecDotVecRange(x, got, w, lo, hi)
+				wwy := ref32.MulVecDotVecRange(x, want, w, lo, hi)
+				if gwy != wwy {
+					t.Fatalf("n=%d seed=%d [%d,%d): fused vec dot %v vs %v",
+						n, seed, lo, hi, gwy, wwy)
+				}
+			}
+		}
+	}
+}
+
+// TestSELLRecoveryPathsUnperturbed: the exclusion kernels recovery uses
+// (MulVecRangeExcludingCols/Blocks) read the wide arrays, which the SELL
+// shadow must leave untouched — a recovery-style exclusion sweep on the
+// shadowed matrix is bitwise the sweep on a shadow-free clone, and the
+// shadowed SpMV around the healed region agrees too.
+func TestSELLRecoveryPathsUnperturbed(t *testing.T) {
+	n := 1000
+	a := randShortRowCSR(n, 7)
+	if a.ShadowName() != "sell" {
+		t.Fatalf("shadow %q", a.ShadowName())
+	}
+	bare := a.Clone()
+	bare.DisableShadow("sell")
+	bare.DisableShadow("int32")
+	x := randVec(n, 8)
+	lo, hi := 128, 192 // the "failed page" rows
+	got := make([]float64, hi-lo)
+	want := make([]float64, hi-lo)
+	a.MulVecRangeExcludingCols(x, got, lo, hi, 256, 320)
+	bare.MulVecRangeExcludingCols(x, want, lo, hi, 256, 320)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ExcludingCols row %d: %v vs %v", lo+i, got[i], want[i])
+		}
+	}
+	ex := [][2]int{{256, 320}, {600, 664}, {64, 128}}
+	a.MulVecRangeExcludingBlocks(x, got, lo, hi, ex)
+	bare.MulVecRangeExcludingBlocks(x, want, lo, hi, ex)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ExcludingBlocks row %d: %v vs %v", lo+i, got[i], want[i])
+		}
+	}
+	// Post-heal SpMV over the failed page's rows.
+	gy, wy := make([]float64, n), make([]float64, n)
+	a.MulVecRange(x, gy, lo, hi)
+	bare.MulVecRange(x, wy, lo, hi)
+	for i := lo; i < hi; i++ {
+		if gy[i] != wy[i] {
+			t.Fatalf("post-heal row %d: %v vs %v", i, gy[i], wy[i])
+		}
+	}
+}

@@ -1,0 +1,26 @@
+//go:build linux
+
+package taskrt
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// pinThreadToCPU binds the calling OS thread to the given CPU via raw
+// sched_setaffinity (tid 0 = current thread). The caller must hold the
+// thread with runtime.LockOSThread. Best-effort: an error leaves the
+// thread where the scheduler put it.
+func pinThreadToCPU(cpu int) error {
+	var mask [16]uint64 // 1024-bit cpu_set_t
+	if cpu < 0 || cpu >= len(mask)*64 {
+		return syscall.EINVAL
+	}
+	mask[cpu/64] = 1 << (cpu % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package taskrt
+
+import "errors"
+
+// pinThreadToCPU is unavailable off Linux: the locked OS thread is the
+// whole affinity story there.
+func pinThreadToCPU(int) error { return errors.New("taskrt: cpu pinning unsupported on this platform") }

@@ -32,6 +32,7 @@ package taskrt
 
 import (
 	"container/heap"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 type Handle struct {
 	rt       *Runtime
 	priority int
+	home     int // 1-based preferred worker queue; 0 = any
 	label    string
 	run      func(worker int)
 
@@ -75,9 +77,20 @@ type TaskSpec struct {
 	// Priority orders ready tasks: higher runs first. The paper gives
 	// recovery tasks lower priority than reductions (§3.3.2).
 	Priority int
+	// Home is a placement hint: when non-zero, every (re)submission of
+	// the task enqueues on worker Home-1's run queue instead of
+	// round-robin or the releasing worker's queue (use HomeWorker to
+	// encode a worker index). A task that touches the same pages every
+	// superstep keeps its data resident in one worker's cache across
+	// replays. It is a hint, not a bind: idle workers still steal, and
+	// non-zero-priority tasks flow through the shared heap regardless.
+	Home int
 	// Label is a diagnostic name ("q", "<d,q>", "r1", ...).
 	Label string
 }
+
+// HomeWorker encodes worker index w as a TaskSpec.Home value.
+func HomeWorker(w int) int { return w + 1 }
 
 // StateTimes is the cumulative per-worker time accounting used for the
 // Table 3 breakdown: Useful (executing task bodies), Runtime (scheduler
@@ -190,11 +203,41 @@ func newRuntime(workers int, single bool) *Runtime {
 	}
 	rt.sleepCond = sync.NewCond(&rt.sleepMu)
 	rt.qcond = sync.NewCond(&rt.qmu)
+	pin := pinCPUs.Load()
 	for w := 0; w < workers; w++ {
-		go rt.worker(w)
+		w := w
+		go func() {
+			if pin {
+				// Stable worker→thread→core identity: the goroutine stays
+				// on one OS thread and that thread on one core, so the
+				// Home-hint page locality survives the OS scheduler.
+				runtime.LockOSThread()
+				_ = pinThreadToCPU(w % runtime.NumCPU())
+			}
+			rt.worker(w)
+		}()
 	}
 	return rt
 }
+
+// pinCPUs opts worker threads into OS-level core pinning (see
+// EnableCPUPinning). Read once at construction.
+var pinCPUs atomic.Bool
+
+func init() {
+	if os.Getenv("DUE_PIN_CPUS") == "1" {
+		pinCPUs.Store(true)
+	}
+}
+
+// EnableCPUPinning requests that runtimes constructed AFTER the call lock
+// each worker goroutine to an OS thread and pin that thread to core
+// (worker mod NumCPU) — the worker→core affinity leg of the Home-hint
+// locality model. Default off (shared machines and CI runners schedule
+// better unpinned); the DUE_PIN_CPUS=1 environment variable turns it on
+// at process start. Pinning is best-effort: platforms without a
+// sched_setaffinity equivalent keep only the thread lock.
+func EnableCPUPinning(on bool) { pinCPUs.Store(on) }
 
 // NumWorkers returns the pool size.
 func (rt *Runtime) NumWorkers() int { return rt.workers }
@@ -214,7 +257,7 @@ func (rt *Runtime) NewTask(spec TaskSpec) *Handle {
 	if spec.Run == nil {
 		panic("taskrt: TaskSpec.Run is nil")
 	}
-	h := &Handle{rt: rt, priority: spec.Priority, label: spec.Label, run: spec.Run}
+	h := &Handle{rt: rt, priority: spec.Priority, home: spec.Home, label: spec.Label, run: spec.Run}
 	h.done = true // a fresh prepared task counts as "finished": resubmittable
 	h.doneA.Store(true)
 	return h
@@ -300,7 +343,11 @@ func (rt *Runtime) enqueue(h *Handle, worker int, wake bool) {
 		}
 		rt.gmu.Unlock()
 	} else {
-		if worker < 0 {
+		if h.home > 0 {
+			// Affinity hint: always land on the home queue, overriding
+			// both round-robin and the releasing worker's locality.
+			worker = (h.home - 1) % rt.workers
+		} else if worker < 0 {
 			worker = int(rt.rr.Add(1) % uint64(rt.workers))
 		}
 		rt.qs[worker].push(h)
