@@ -66,7 +66,9 @@ func main() {
 	kernelIters := flag.Int("kernel-iters", 0, "measured steady-state iterations for -exp kernels (default 200)")
 	distIters := flag.Int("dist-iters", 0, "measured steady-state iterations per discipline for -exp distkernels (default 200)")
 	ranks := flag.Int("ranks", 0, "shard count for -exp distkernels (default 4)")
-	guard := flag.String("guard", "", "committed BENCH_kernels.json / BENCH_dist.json to compare a fresh -exp kernels / distkernels run against; exits 1 when the tracked speedup drops >20% below it, 3 when the artefact's num_cpu differs from this runner's (regenerate, don't compare)")
+	serveClients := flag.Int("serve-clients", 0, "concurrent clients for -exp serve (default 4)")
+	serveRequests := flag.Int("serve-requests", 0, "measured cached solves for -exp serve (default 40)")
+	guard := flag.String("guard", "", "committed BENCH_kernels.json / BENCH_dist.json / BENCH_serve.json to compare a fresh -exp kernels / distkernels / serve run against; exits 1 when the tracked speedup drops >20% below it, 3 when the artefact's num_cpu differs from this runner's (regenerate, don't compare)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -157,6 +159,27 @@ func main() {
 		writeJSON(orDefault(*jsonPath, "BENCH_dist.json"), res)
 		if *guard != "" {
 			guardDistKernels(*guard, res)
+		}
+		return
+	}
+	if *exp == "serve" {
+		warnDegraded()
+		res, err := experiments.Serve(experiments.ServeOptions{
+			Scale:    *scale,
+			Workers:  *workers,
+			Clients:  *serveClients,
+			Requests: *serveRequests,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		fmt.Println(res)
+		path := orDefault(*jsonPath, "BENCH_serve.json")
+		refuseDegradedOverwrite(path, res.Provenance)
+		writeJSON(path, res)
+		if *guard != "" {
+			guardServe(*guard, res)
 		}
 		return
 	}
@@ -379,6 +402,62 @@ func guardDistKernels(committedPath string, fresh *experiments.DistKernelsResult
 	}
 	fmt.Printf("guard: dist_cg_overlap_speedup %.3f and ca_reduction_ratio %.2f within 20%% of committed (%.3f, %.2f)\n",
 		fresh.OverlapSpeedup, fresh.CAReductionRatio, committed.OverlapSpeedup, committed.CAReductionRatio)
+}
+
+// guardServe gates the serving layer on two axes: cached throughput
+// (timing, the usual 20% tolerance for machine noise) and the
+// zero-rebuild claim (structural — counted by the factorization and
+// graph-preparation counters over the measured warm window, so any
+// nonzero value means the operator cache stopped amortizing setup, not
+// that the machine was busy).
+func guardServe(committedPath string, fresh *experiments.ServeResult) {
+	data, err := os.ReadFile(committedPath)
+	if err != nil {
+		fatalf("guard: %v", err)
+	}
+	var committed experiments.ServeResult
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fatalf("guard: parsing %s: %v", committedPath, err)
+	}
+	guardProvenance(committedPath, committed.Provenance, fresh.Provenance)
+	if committed.CachedSolvesPerSec <= 0 {
+		fatalf("guard: %s has no positive cached_solves_per_sec — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
+	}
+	if fresh.FactorizationsAfterWarmup != 0 || fresh.GraphPrepsAfterWarmup != 0 {
+		fatalf("guard: warm traffic performed %d factorizations and %d graph preparations — the operator cache stopped amortizing setup (structural regression, not machine noise)",
+			fresh.FactorizationsAfterWarmup, fresh.GraphPrepsAfterWarmup)
+	}
+	floor := committed.CachedSolvesPerSec * 0.8
+	if fresh.CachedSolvesPerSec < floor {
+		fatalf("guard: cached_solves_per_sec %.2f dropped more than 20%% below committed %.2f (floor %.2f) — serving-path regression\n"+
+			"guard: fresh     %+v\nguard: committed %+v\n"+
+			"guard: if the provenance lines differ in core count or Go release, regenerate the committed artefact on a comparable host instead of relaxing the gate",
+			fresh.CachedSolvesPerSec, committed.CachedSolvesPerSec, floor, fresh.Provenance, committed.Provenance)
+	}
+	fmt.Printf("guard: cached_solves_per_sec %.2f within 20%% of committed %.2f; zero rebuilds after warmup\n",
+		fresh.CachedSolvesPerSec, committed.CachedSolvesPerSec)
+}
+
+// refuseDegradedOverwrite is the write-side counterpart of the guard's
+// exit-3 refusal: -exp serve must not silently replace a committed
+// multi-core BENCH_serve.json with a single-core regeneration, because
+// the single-core point is a different trajectory, not an update.
+func refuseDegradedOverwrite(path string, fresh experiments.Provenance) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // nothing committed at this path yet
+	}
+	var committed struct {
+		Provenance experiments.Provenance `json:"provenance"`
+	}
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return // not a bench artefact; writeJSON will replace it knowingly
+	}
+	if committed.Provenance.NumCPU > 1 && fresh.NumCPU == 1 {
+		fmt.Fprintf(os.Stderr, "refusing to overwrite %s: the committed artefact was measured on %d CPUs and this runner has 1 — regenerate on a comparable host, or pass -json to write the degraded point elsewhere\n",
+			path, committed.Provenance.NumCPU)
+		os.Exit(3)
+	}
 }
 
 func fatalf(format string, args ...any) {

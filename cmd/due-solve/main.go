@@ -65,6 +65,9 @@ func main() {
 		},
 		Ranks:  *ranks,
 		BasisK: *basisK,
+		// One process-wide pool: probe and main runs share it instead of
+		// stacking two pools' workers onto the same cores.
+		SharedPool: true,
 	}
 	fmt.Printf("system: n=%d nnz=%d, method=%s solver=%s precond=%v workers=%d ranks=%d\n",
 		a.N, a.NNZ(), m, *solverName, *precond, *workers, *ranks)

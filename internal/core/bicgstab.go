@@ -122,7 +122,15 @@ func NewBiCGStab(a *sparse.CSR, b []float64, cfg Config) (*BiCGStabSolver, error
 	sv.s = sv.space.AddVector("s")
 	sv.t = sv.space.AddVector("t")
 	sv.rhat = make([]float64, a.N)
-	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false) // LU: general A
+	if cfg.Blocks != nil {
+		if cfg.Blocks.A != a || cfg.Blocks.Layout != sv.layout || cfg.Blocks.SPD {
+			return nil, fmt.Errorf("core: shared block cache mismatch (want matrix %p layout %+v spd=false, have %p %+v spd=%v)",
+				a, sv.layout, cfg.Blocks.A, cfg.Blocks.Layout, cfg.Blocks.SPD)
+		}
+		sv.blocks = cfg.Blocks
+	} else {
+		sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false) // LU: general A
+	}
 	sv.resilient = cfg.Method == MethodFEIR || cfg.Method == MethodAFEIR
 	if cfg.UsePrecond {
 		// Reuse the recovery cache's LU factorizations as the
@@ -175,8 +183,12 @@ var ErrRecurrenceBreakdown = fmt.Errorf("core: recurrence breakdown")
 // vector and the resilience statistics.
 func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 	start := time.Now()
-	sv.rt = taskrt.New(sv.cfg.workers())
-	defer sv.rt.Close()
+	if sv.cfg.RT != nil {
+		sv.rt = sv.cfg.RT // externally owned (shared pool): never closed here
+	} else {
+		sv.rt = taskrt.New(sv.cfg.workers())
+		defer sv.rt.Close()
+	}
 	sv.eng = engine.New(sv.a, sv.layout, sv.rt, sv.resilient, 0)
 	sv.conn = sv.eng.Conn
 	sv.rel = &Relations{a: sv.a, layout: sv.layout, conn: sv.conn, blocks: sv.blocks, b: sv.b, scratch: sv.scratch, stats: &sv.stats}
@@ -196,6 +208,9 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 	var it int
 	converged := false
 	for it = 0; it < maxIter; it++ {
+		if sv.cfg.Cancelled != nil && sv.cfg.Cancelled() {
+			return sv.finish(it, false, start), sv.x.Data, ErrCancelled
+		}
 		ver := int64(it)
 		cur, prev := it%2, (it+1)%2
 		dIn := vec(sv.d[prev], sv.dS[prev])

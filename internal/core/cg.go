@@ -121,7 +121,15 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 	} else {
 		s.d[1] = s.d[0]
 	}
-	s.blocks = sparse.NewBlockSolverCache(a, s.layout, true)
+	if cfg.Blocks != nil {
+		if cfg.Blocks.A != a || cfg.Blocks.Layout != s.layout || !cfg.Blocks.SPD {
+			return nil, fmt.Errorf("core: shared block cache mismatch (want matrix %p layout %+v spd=true, have %p %+v spd=%v)",
+				a, s.layout, cfg.Blocks.A, cfg.Blocks.Layout, cfg.Blocks.SPD)
+		}
+		s.blocks = cfg.Blocks
+	} else {
+		s.blocks = sparse.NewBlockSolverCache(a, s.layout, true)
+	}
 	if cfg.UsePrecond {
 		s.z = s.space.AddVector("z")
 		// Reuse the recovery cache's Cholesky factorizations as the
@@ -183,18 +191,113 @@ func (s *CG) DynamicVectors() []*pagemem.Vector {
 // Run returned.
 func (s *CG) Stats() Stats { return s.stats }
 
-// vec couples a solver vector with its stamps for the engine operations.
-func vec(v *pagemem.Vector, st engine.Stamps) engine.Vec { return engine.Vec{V: v, S: st} }
+// Solution returns the iterate vector's backing array. Only valid after
+// Run returned; the next Run (or resetState) overwrites it.
+func (s *CG) Solution() []float64 { return s.x.Data }
 
-// Run executes the solve and returns its Result. Run may be called once.
-func (s *CG) Run() (Result, error) {
-	start := time.Now()
-	s.rt = taskrt.New(s.cfg.workers())
-	defer s.rt.Close()
+// SetCancelled installs (or clears) the per-request cancellation poll —
+// pooled instances carry a different request context each checkout.
+func (s *CG) SetCancelled(f func() bool) { s.cfg.Cancelled = f }
+
+// SetOnIteration installs (or clears) the per-request residual trace hook.
+func (s *CG) SetOnIteration(f func(it int, relRes float64)) { s.cfg.OnIteration = f }
+
+// Rebind replaces the right-hand side in place — the Relations layer and
+// the prepared task bodies keep their reference to the same backing array,
+// so a pooled instance serves a new RHS without rebuilding anything.
+func (s *CG) Rebind(b []float64) error {
+	if len(b) != s.a.N {
+		return fmt.Errorf("core: rhs length %d for n=%d", len(b), s.a.N)
+	}
+	copy(s.b, b)
+	s.bnorm = sparse.Norm2(b)
+	if s.bnorm == 0 {
+		s.bnorm = 1
+	}
+	return nil
+}
+
+// resetState returns the instance to its pre-Run state so a pooled solver
+// can serve a fresh request: failed pages remapped, vectors zeroed, stamps
+// and scalar recurrences cleared, counters rezeroed. Idempotent on a fresh
+// instance.
+func (s *CG) resetState() {
+	blankAllFailed(s.space)
+	zero := func(v *pagemem.Vector) {
+		for i := range v.Data {
+			v.Data[i] = 0
+		}
+	}
+	zero(s.x)
+	zero(s.g)
+	zero(s.q)
+	zero(s.d[0])
+	if s.doubleBuffer {
+		zero(s.d[1])
+	}
+	if s.z != nil {
+		zero(s.z)
+	}
+	s.xS.Fill(-1)
+	s.gS.Fill(-1)
+	s.qS.Fill(-1)
+	s.dS[0].Fill(-1)
+	if s.doubleBuffer {
+		s.dS[1].Fill(-1)
+	}
+	if s.zS != nil {
+		s.zS.Fill(-1)
+	}
+	s.stats = Stats{}
+	s.alpha, s.beta, s.rho, s.epsGG = 0, 0, 0, 0
+	if s.cfg.Method == MethodCheckpoint {
+		disk := s.cfg.Disk
+		if disk == nil {
+			disk = NewSimDisk(0)
+		}
+		s.ck = newCheckpointer(disk, s.cfg.CheckpointInterval, s.cfg.ExpectedMTBE, s.a.N, s.cfg.UsePrecond)
+	}
+}
+
+// buildEngine constructs the engine, relations and prepared task graph on
+// the current runtime. Called once per Run in owned-pool mode, once per
+// instance lifetime in shared-pool mode.
+func (s *CG) buildEngine() {
 	s.eng = engine.New(s.a, s.layout, s.rt, s.resilient, 0)
 	s.conn = s.eng.Conn
 	s.rel = &Relations{a: s.a, layout: s.layout, conn: s.conn, blocks: s.blocks, b: s.b, scratch: s.scratch, stats: &s.stats}
 	s.buildPrepared()
+}
+
+// ensureEngine lazily builds the engine against the external runtime. The
+// prepared graph survives across Runs — the zero-rebuild property the
+// serving layer's counter test pins.
+func (s *CG) ensureEngine() {
+	if s.eng != nil {
+		return
+	}
+	s.rt = s.cfg.RT
+	s.buildEngine()
+}
+
+// vec couples a solver vector with its stamps for the engine operations.
+func vec(v *pagemem.Vector, st engine.Stamps) engine.Vec { return engine.Vec{V: v, S: st} }
+
+// Run executes the solve and returns its Result. Run may be called
+// repeatedly (with Rebind in between to change the RHS): with Config.RT
+// set, the engine and prepared task graphs are built on the first Run and
+// replayed by every later one; with a solver-owned pool they are rebuilt
+// per Run (and the pool closed after).
+func (s *CG) Run() (Result, error) {
+	start := time.Now()
+	if s.cfg.RT != nil {
+		s.ensureEngine()
+	} else {
+		s.rt = taskrt.New(s.cfg.workers())
+		defer func() { s.rt.Close(); s.rt, s.eng = nil, nil }()
+		s.buildEngine()
+	}
+	s.resetState()
 
 	tol := s.cfg.tol()
 	maxIter := s.cfg.maxIter(s.a.N)
@@ -212,6 +315,15 @@ func (s *CG) Run() (Result, error) {
 	var t int
 	converged := false
 	for t = 0; t < maxIter; t++ {
+		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			return Result{
+				Iterations:  t,
+				RelResidual: s.trueResidual(),
+				Elapsed:     time.Since(start),
+				Stats:       s.stats,
+				WorkerTimes: s.rt.WorkerTimes(),
+			}, ErrCancelled
+		}
 		rel := math.Sqrt(math.Max(s.epsGG, 0)) / s.bnorm
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(t, rel)
@@ -301,9 +413,10 @@ func (s *CG) Run() (Result, error) {
 // read the iter* fields the coordinator sets before submission.
 func (s *CG) buildPrepared() {
 	e := s.eng
+	prio := s.cfg.TaskPriority
 	// d = src + β d' (src = g, or z when preconditioned). Full overwrite:
 	// skipped pages keep their old version, produced pages revalidate.
-	s.prep.d = e.Prepare("d", 0, func(_, pLo, pHi int) {
+	s.prep.d = e.Prepare("d", prio, func(_, pLo, pHi int) {
 		ver, beta := s.iterVer, s.iterBeta
 		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
 		dPrev := vec(s.d[s.iterPrev], s.dS[s.iterPrev])
@@ -332,7 +445,7 @@ func (s *CG) buildPrepared() {
 	// Fused q = A d with the <d,q> partials: one task per chunk instead
 	// of the SpMV + reduction pair. Skipped q pages keep the OLD A·dPrev
 	// values, pairing with dPrev.
-	s.prep.q = e.Prepare("q,<d,q>", 0, func(_, pLo, pHi int) {
+	s.prep.q = e.Prepare("q,<d,q>", prio, func(_, pLo, pHi int) {
 		ver := s.iterVer
 		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
 		in := engine.In(dCur, ver)
@@ -344,7 +457,7 @@ func (s *CG) buildPrepared() {
 	})
 	// x += α d: read-modify-write, so a poison landing mid-task stays
 	// detected for the boundary scramble.
-	s.prep.x = e.Prepare("x", 0, func(_, pLo, pHi int) {
+	s.prep.x = e.Prepare("x", prio, func(_, pLo, pHi int) {
 		ver, alpha := s.iterVer, s.alpha
 		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
 		xV := vec(s.x, s.xS)
@@ -360,7 +473,7 @@ func (s *CG) buildPrepared() {
 		}
 	})
 	// Fused g -= α q with the ε = <g,g> partials (read-modify-write).
-	s.prep.g = e.Prepare("g,eps", 0, func(_, pLo, pHi int) {
+	s.prep.g = e.Prepare("g,eps", prio, func(_, pLo, pHi int) {
 		ver, alpha := s.iterVer, s.alpha
 		qIn := engine.In(vec(s.q, s.qS), ver)
 		gOut := engine.Operand{Vec: vec(s.g, s.gS), Ver: ver}
@@ -372,7 +485,7 @@ func (s *CG) buildPrepared() {
 	if s.pre != nil {
 		// Guarded apply-M⁻¹ page operation: full-page overwrite via
 		// partial preconditioner application (§3.2), then <z,g>.
-		s.prep.z = e.Prepare("z", 0, func(_, pLo, pHi int) {
+		s.prep.z = e.Prepare("z", prio, func(_, pLo, pHi int) {
 			ver := s.iterVer
 			gIn := engine.In(vec(s.g, s.gS), ver)
 			zOut := engine.Operand{Vec: vec(s.z, s.zS), Ver: ver}
@@ -380,7 +493,7 @@ func (s *CG) buildPrepared() {
 				e.ApplyPrecondPage(p, s.pre, gIn, zOut)
 			}
 		})
-		s.prep.zg = e.Prepare("<z,g>", 0, func(_, pLo, pHi int) {
+		s.prep.zg = e.Prepare("<z,g>", prio, func(_, pLo, pHi int) {
 			ver := s.iterVer
 			zIn := engine.In(vec(s.z, s.zS), ver)
 			gIn := engine.In(vec(s.g, s.gS), ver)
@@ -398,10 +511,10 @@ func (s *CG) buildPrepared() {
 	r23 := func(allowLate bool) func() {
 		return func() { s.recoverPhase2(s.iterVer, s.iterCur, allowLate) }
 	}
-	s.prep.r1o = e.PrepareSingle("r1", -1, r1(false))
-	s.prep.r23o = e.PrepareSingle("r2r3", -1, r23(false))
-	s.prep.r1c = e.PrepareSingle("r1", 0, r1(true))
-	s.prep.r23c = e.PrepareSingle("r2r3", 0, r23(true))
+	s.prep.r1o = e.PrepareSingle("r1", s.cfg.overlapPriority(), r1(false))
+	s.prep.r23o = e.PrepareSingle("r2r3", s.cfg.overlapPriority(), r23(false))
+	s.prep.r1c = e.PrepareSingle("r1", prio, r1(true))
+	s.prep.r23c = e.PrepareSingle("r2r3", prio, r23(true))
 
 	// Prebuilt dependency lists: prepared handles are stable objects, so
 	// the concatenations are allocated once.

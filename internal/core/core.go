@@ -17,12 +17,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/defaults"
+	"repro/internal/sparse"
 	"repro/internal/taskrt"
 )
+
+// ErrCancelled is returned by Run when Config.Cancelled reports true at an
+// iteration boundary. The solver state is left consistent (the prepared
+// graph is quiescent), so a pooled instance can be reset and reused.
+var ErrCancelled = errors.New("core: solve cancelled")
 
 // Method selects the resilience scheme of a solver run (§5.1).
 type Method int
@@ -124,6 +131,37 @@ type Config struct {
 	// OnIteration, when non-nil, is called once per iteration with the
 	// relative recurrence residual — the Figure 3 trace hook.
 	OnIteration func(it int, relRes float64)
+	// RT, when non-nil, is an externally owned task runtime (typically the
+	// process-wide taskrt.Shared pool). The solver submits to it but never
+	// closes it, and builds its engine and prepared task graphs once —
+	// subsequent Runs on the same instance replay them. When nil the
+	// solver owns a private pool per Run (the historical behaviour).
+	RT *taskrt.Runtime
+	// Blocks, when non-nil, is a prefactorized diagonal-block solver cache
+	// shared across solver instances for the same operator; the
+	// constructor uses it instead of building (and factorizing) its own.
+	// It must have been built for the same matrix, block size and SPD
+	// setting — constructors reject mismatches loudly.
+	Blocks *sparse.BlockSolverCache
+	// Cancelled, when non-nil, is polled at iteration boundaries; when it
+	// reports true the solve stops and Run returns ErrCancelled. The
+	// serving layer wires context.Done into this.
+	Cancelled func() bool
+	// TaskPriority is the base priority of the solver's compute tasks on
+	// the shared runtime (higher runs first; 0 keeps the per-worker FIFO
+	// fast path). Overlapped recovery tasks always run below every
+	// request's compute tier.
+	TaskPriority int
+}
+
+// overlapPriority is the priority of overlapped (AFEIR) recovery tasks:
+// strictly below the compute tier of every request, preserving the §3.3.2
+// "recoveries after reductions" ordering under concurrent solves.
+func (c Config) overlapPriority() int {
+	if c.TaskPriority-1 < 0 {
+		return c.TaskPriority - 1
+	}
+	return -1
 }
 
 func (c Config) workers() int {

@@ -122,7 +122,15 @@ func NewGMRES(a *sparse.CSR, b []float64, restart int, cfg Config) (*GMRESSolver
 	}
 	sv.w = make([]float64, a.N)
 	sv.hCopy = sparse.NewDense(restart+1, restart)
-	sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false)
+	if cfg.Blocks != nil {
+		if cfg.Blocks.A != a || cfg.Blocks.Layout != sv.layout || cfg.Blocks.SPD {
+			return nil, fmt.Errorf("core: shared block cache mismatch (want matrix %p layout %+v spd=false, have %p %+v spd=%v)",
+				a, sv.layout, cfg.Blocks.A, cfg.Blocks.Layout, cfg.Blocks.SPD)
+		}
+		sv.blocks = cfg.Blocks
+	} else {
+		sv.blocks = sparse.NewBlockSolverCache(a, sv.layout, false)
+	}
 	if cfg.UsePrecond {
 		// Reuse the recovery cache's LU factorizations as the
 		// preconditioner blocks — they are the same A_pp (§5.1).
@@ -152,8 +160,12 @@ func (sv *GMRESSolver) DynamicVectors() []*pagemem.Vector {
 // Run executes the resilient solve and returns the result and solution.
 func (sv *GMRESSolver) Run() (Result, []float64, error) {
 	start := time.Now()
-	sv.rt = taskrt.New(sv.cfg.workers())
-	defer sv.rt.Close()
+	if sv.cfg.RT != nil {
+		sv.rt = sv.cfg.RT // externally owned (shared pool): never closed here
+	} else {
+		sv.rt = taskrt.New(sv.cfg.workers())
+		defer sv.rt.Close()
+	}
 	sv.eng = engine.New(sv.a, sv.layout, sv.rt, false, 0)
 	sv.conn = sv.eng.Conn
 	sv.rel = &Relations{a: sv.a, layout: sv.layout, conn: sv.conn, blocks: sv.blocks, b: sv.b,
@@ -173,6 +185,9 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 	restarts := 0
 	converged := false
 	for totalIt < maxIter {
+		if sv.cfg.Cancelled != nil && sv.cfg.Cancelled() {
+			return sv.finish(totalIt, restarts, false, start), sv.x.Data, ErrCancelled
+		}
 		sv.boundary()
 		// Start of cycle: g = b - A x (full rebuild validates g), fused
 		// with the <g,g> partials — the cycle residual norm and, when

@@ -6,6 +6,8 @@
 // helpers, so a paper-wide constant changes in exactly one place.
 package defaults
 
+import "time"
+
 const (
 	// Tol is the relative residual convergence threshold (§5.4).
 	Tol = 1e-10
@@ -25,6 +27,19 @@ const (
 	// from its conditioning cliff while already folding four iterations
 	// into one global reduction.
 	BasisK = 4
+	// ServeQueueDepth bounds the due-serve admission queue: a request
+	// arriving past it is rejected immediately — shedding load beats
+	// unbounded queueing latency.
+	ServeQueueDepth = 256
+	// ServeConcurrent is the number of solves due-serve dispatches
+	// concurrently onto the shared pool.
+	ServeConcurrent = 4
+	// ServeTimeout is the per-request wall-clock budget enforced via
+	// context cancellation.
+	ServeTimeout = 2 * time.Minute
+	// ServeCacheBytes caps the operator-context cache (CSR + factorized
+	// diagonal blocks); least-recently-used contexts are evicted past it.
+	ServeCacheBytes = 256 << 20
 )
 
 // BasisKOr resolves a configured s-step basis size, falling back to
@@ -49,6 +64,32 @@ func MaxIterOr(v, n int) int { return Int(v, MaxIterFactor*n) }
 // CheckpointIntervalOr resolves a configured checkpoint period, falling
 // back to CheckpointInterval.
 func CheckpointIntervalOr(v int) int { return Int(v, CheckpointInterval) }
+
+// ServeQueueDepthOr resolves a configured admission-queue bound, falling
+// back to ServeQueueDepth.
+func ServeQueueDepthOr(v int) int { return Int(v, ServeQueueDepth) }
+
+// ServeConcurrentOr resolves a configured dispatch width, falling back to
+// ServeConcurrent.
+func ServeConcurrentOr(v int) int { return Int(v, ServeConcurrent) }
+
+// ServeTimeoutOr resolves a configured per-request budget, falling back
+// to ServeTimeout.
+func ServeTimeoutOr(v time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return ServeTimeout
+}
+
+// ServeCacheBytesOr resolves a configured cache cap, falling back to
+// ServeCacheBytes.
+func ServeCacheBytesOr(v int64) int64 {
+	if v > 0 {
+		return v
+	}
+	return ServeCacheBytes
+}
 
 // Float returns v unless it is non-positive, in which case d.
 func Float(v, d float64) float64 {

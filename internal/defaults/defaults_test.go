@@ -1,6 +1,9 @@
 package defaults
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestFloatFallback(t *testing.T) {
 	if got := Float(0, 2.5); got != 2.5 {
@@ -55,5 +58,34 @@ func TestPaperConstants(t *testing.T) {
 	}
 	if got := GMRESRestartOr(20); got != 20 {
 		t.Fatalf("GMRESRestartOr(20) = %v", got)
+	}
+}
+
+func TestServeConstants(t *testing.T) {
+	// The serving-layer zero-value fallbacks: due-serve, the serve bench
+	// and the in-process tests all resolve through these, so pin them.
+	if got := ServeQueueDepthOr(0); got != 256 {
+		t.Fatalf("ServeQueueDepthOr(0) = %v", got)
+	}
+	if got := ServeQueueDepthOr(8); got != 8 {
+		t.Fatalf("ServeQueueDepthOr(8) = %v", got)
+	}
+	if got := ServeConcurrentOr(0); got != 4 {
+		t.Fatalf("ServeConcurrentOr(0) = %v", got)
+	}
+	if got := ServeConcurrentOr(2); got != 2 {
+		t.Fatalf("ServeConcurrentOr(2) = %v", got)
+	}
+	if got := ServeTimeoutOr(0); got != 2*time.Minute {
+		t.Fatalf("ServeTimeoutOr(0) = %v", got)
+	}
+	if got := ServeTimeoutOr(time.Second); got != time.Second {
+		t.Fatalf("ServeTimeoutOr(1s) = %v", got)
+	}
+	if got := ServeCacheBytesOr(0); got != 256<<20 {
+		t.Fatalf("ServeCacheBytesOr(0) = %v", got)
+	}
+	if got := ServeCacheBytesOr(1 << 20); got != 1<<20 {
+		t.Fatalf("ServeCacheBytesOr(1MiB) = %v", got)
 	}
 }

@@ -231,6 +231,10 @@ func (s *CACG) Run() (core.Result, []float64, error) {
 	var it int
 	converged := false
 	for it = 0; it < maxIter; it += k {
+		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			res, x := s.finish(it, false, start, s.x)
+			return res, x, core.ErrCancelled
+		}
 		rel := relFromEps(s.gamma, sub.Bnorm)
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(it, rel)

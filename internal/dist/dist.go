@@ -28,6 +28,7 @@ import (
 	"repro/internal/pagemem"
 	"repro/internal/shard"
 	"repro/internal/sparse"
+	"repro/internal/taskrt"
 )
 
 // Config parametrises a distributed solve.
@@ -69,6 +70,16 @@ type Config struct {
 	Inject func(it int, ranks []*shard.Rank)
 	// OnIteration, when non-nil, receives the recurrence residual trace.
 	OnIteration func(it int, relRes float64)
+	// RT, when non-nil, is an externally owned task pool (typically
+	// taskrt.Shared) the substrate submits to but never closes. nil keeps
+	// the historical private pool per substrate.
+	RT *taskrt.Runtime
+	// Blocks, when non-nil, is a prefactorized diagonal-block cache shared
+	// across substrates for the same operator; mismatches are rejected.
+	Blocks *sparse.BlockSolverCache
+	// Cancelled, when non-nil, is polled at iteration boundaries; when it
+	// reports true the solve stops and Run returns core.ErrCancelled.
+	Cancelled func() bool
 }
 
 func (c Config) pageDoubles() int { return defaults.PageDoublesOr(c.PageDoubles) }
@@ -92,7 +103,8 @@ type base struct {
 }
 
 func (b *base) setup(a *sparse.CSR, rhs []float64, ranks int, cfg Config, spd bool) error {
-	sub, err := shard.New(a, rhs, ranks, cfg.pageDoubles(), cfg.Workers, spd)
+	sub, err := shard.NewOpts(a, rhs, ranks, cfg.pageDoubles(), cfg.Workers, spd,
+		shard.Options{RT: cfg.RT, Blocks: cfg.Blocks})
 	if err != nil {
 		return err
 	}
@@ -332,6 +344,10 @@ func (s *CG) Run() (core.Result, []float64, error) {
 	var it int
 	converged := false
 	for it = 0; it < maxIter; it++ {
+		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			res, x := s.finish(it, false, start, s.x)
+			return res, x, core.ErrCancelled
+		}
 		rel := relFromEps(s.epsGG, sub.Bnorm)
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(it, rel)

@@ -107,6 +107,10 @@ func (s *GMRES) Run() (core.Result, []float64, error) {
 	totalIt := 0
 	converged := false
 	for totalIt < maxIter {
+		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			result, x := s.finish(totalIt, false, start, s.x)
+			return result, x, core.ErrCancelled
+		}
 		s.boundary(-1) // cycle start: no live basis yet
 		// Fused residual rebuild: <g,g> rides the g = b - A x pass.
 		gg := sub.ResidualFromXDot(s.x, s.g)

@@ -106,6 +106,10 @@ func (s *PipeCG) Run() (core.Result, []float64, error) {
 	var it int
 	converged := false
 	for it = 0; it < maxIter; it++ {
+		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			res, x := s.finish(it, false, start, s.x)
+			return res, x, core.ErrCancelled
+		}
 		s.inject(it)
 		if !s.boundary() {
 			continue // restart-style recovery consumed the iteration

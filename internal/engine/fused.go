@@ -22,6 +22,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"repro/internal/sparse"
 	"repro/internal/taskrt"
 )
@@ -226,9 +228,19 @@ type Prepared struct {
 	handles []*taskrt.Handle
 }
 
+// graphPreps counts task-graph preparations process-wide. The serving
+// layer's zero-rebuild guarantee is pinned against it: repeated solves on
+// a cached operator context must not move this counter after warmup.
+var graphPreps atomic.Int64
+
+// GraphPrepCount returns the number of prepared task graphs built so far
+// (Prepare + PrepareSingle calls, process-wide).
+func GraphPrepCount() int64 { return graphPreps.Load() }
+
 // Prepare builds a prepared chunked op running body(worker, pLo, pHi) for
 // every chunk of the engine's page range.
 func (e *Engine) Prepare(label string, priority int, body func(worker, pLo, pHi int)) *Prepared {
+	graphPreps.Add(1)
 	p := &Prepared{rt: e.RT, handles: make([]*taskrt.Handle, 0, len(e.chunks))}
 	for _, ch := range e.chunks {
 		pLo, pHi := ch[0], ch[1]
@@ -244,6 +256,7 @@ func (e *Engine) Prepare(label string, priority int, body func(worker, pLo, pHi 
 // PrepareSingle builds a prepared single-task op (the per-phase recovery
 // tasks: one task, not chunked).
 func (e *Engine) PrepareSingle(label string, priority int, body func()) *Prepared {
+	graphPreps.Add(1)
 	return &Prepared{rt: e.RT, handles: []*taskrt.Handle{
 		e.RT.NewTask(taskrt.TaskSpec{Label: label, Priority: priority, Run: func(int) { body() }}),
 	}}

@@ -1,0 +1,318 @@
+// Operator contexts: the cacheable half of solver construction. Building
+// a solver splits into (1) everything derivable from the operator alone —
+// CSR shadows, the prefactorized diagonal-block caches that double as
+// block-Jacobi preconditioners, the shard layout — and (2) a cheap
+// per-request binding of RHS and launch configuration. An OperatorContext
+// owns (1) plus a pool of warm solver instances whose prepared task
+// graphs replay across requests, so two solves against the same matrix
+// never refactorize or re-prepare; a ContextCache keeps contexts for
+// repeated-operator traffic under a memory cap.
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/defaults"
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// spdFor maps a solver name to the factorization family its recovery
+// relations and preconditioner use: Cholesky for the CG family, LU for
+// the general-matrix methods. Must agree with the solvers' own choices.
+func spdFor(name string) bool {
+	switch name {
+	case "bicgstab", "gmres":
+		return false
+	}
+	return true // cg, pipecg, cacg
+}
+
+// poolKey identifies one reusable solver build: every Config field that
+// is baked into construction (per-request fields — RHS, cancellation,
+// trace hooks — are rebound at checkout instead).
+type poolKey struct {
+	name               string
+	method             core.Method
+	workers            int
+	usePrecond         bool
+	tol                float64
+	maxIter            int
+	fallback           core.Fallback
+	onDemand           bool
+	taskPriority       int
+	checkpointInterval int
+}
+
+// OperatorContext is the cached, shareable state for one matrix. All
+// methods are safe for concurrent use; the block caches are prefactorized
+// before they are handed out, so solver-side lookups are read-only.
+type OperatorContext struct {
+	Key         string
+	A           *sparse.CSR
+	PageDoubles int
+	Layout      sparse.BlockLayout
+
+	mu     sync.Mutex
+	blocks map[bool]*sparse.BlockSolverCache // spd -> prefactorized cache
+	pool   map[poolKey][]*pooledCG
+}
+
+type pooledCG struct {
+	s    *core.CG
+	inst *Instance
+}
+
+// NewOperatorContext builds the context for one matrix. pageDoubles <= 0
+// means the paper's 4 KiB page.
+func NewOperatorContext(key string, a *sparse.CSR, pageDoubles int) *OperatorContext {
+	pd := defaults.PageDoublesOr(pageDoubles)
+	return &OperatorContext{
+		Key:         key,
+		A:           a,
+		PageDoubles: pd,
+		Layout:      sparse.BlockLayout{N: a.N, BlockSize: pd},
+		blocks:      make(map[bool]*sparse.BlockSolverCache),
+		pool:        make(map[poolKey][]*pooledCG),
+	}
+}
+
+// Blocks returns the prefactorized diagonal-block cache of the requested
+// family, factorizing it on first use (the expensive step this whole
+// layer exists to amortize).
+func (c *OperatorContext) Blocks(spd bool) *sparse.BlockSolverCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bc, ok := c.blocks[spd]; ok {
+		return bc
+	}
+	bc := sparse.NewBlockSolverCache(c.A, c.Layout, spd)
+	bc.PrefactorizeLenient()
+	c.blocks[spd] = bc
+	return bc
+}
+
+// SizeBytes estimates the resident cost of the context: the CSR (values,
+// index arrays and their narrow shadows) plus one dense factor per
+// factorized diagonal block. The estimate drives cache eviction only, so
+// page-granularity accuracy is enough.
+func (c *OperatorContext) SizeBytes() int64 {
+	nnz := int64(len(c.A.Vals))
+	n := int64(c.A.N)
+	bytes := nnz*8 + nnz*8 + (n+1)*8 // vals + cols + rowptr
+	bytes += nnz*4 + (n+1)*4         // int32 shadows (worst case: present)
+	c.mu.Lock()
+	nc := int64(len(c.blocks))
+	c.mu.Unlock()
+	bs := int64(c.PageDoubles)
+	bytes += nc * int64(c.Layout.NumBlocks()) * bs * bs * 8
+	return bytes
+}
+
+func keyFor(name string, cfg Config) poolKey {
+	return poolKey{
+		name:               name,
+		method:             cfg.Method,
+		workers:            cfg.Workers,
+		usePrecond:         cfg.UsePrecond,
+		tol:                defaults.TolOr(cfg.Tol),
+		maxIter:            cfg.MaxIter,
+		fallback:           cfg.Fallback,
+		onDemand:           cfg.OnDemandRecovery,
+		taskPriority:       cfg.TaskPriority,
+		checkpointInterval: cfg.CheckpointInterval,
+	}
+}
+
+// Checkout is one request's hold on a solver bound to this context.
+// Release returns poolable instances to the warm pool; calling it on a
+// non-poolable checkout is a no-op. A Checkout must not be used after
+// Release.
+type Checkout struct {
+	Instance *Instance
+	// Warm reports whether the checkout reused a pooled instance (and so
+	// skipped construction entirely).
+	Warm bool
+
+	ctx      *OperatorContext
+	key      poolKey
+	cg       *pooledCG
+	released bool
+}
+
+// Checkout binds a solver for one request against the cached operator.
+// The request supplies only RHS and launch configuration; the context
+// supplies the matrix, the factorized block caches and (for the pooled
+// single-node CG family) a warm instance whose prepared task graphs
+// replay as-is. Non-pooled solvers are built fresh but still share the
+// block cache and the process-wide task pool, so the dominant setup cost
+// is amortized for every method.
+func (c *OperatorContext) Checkout(name string, b []float64, cfg Config) (*Checkout, error) {
+	if pd := defaults.PageDoublesOr(cfg.PageDoubles); pd != c.PageDoubles {
+		return nil, fmt.Errorf("registry: page size %d does not match cached context (%d)", pd, c.PageDoubles)
+	}
+	cfg.Blocks = c.Blocks(spdFor(name))
+	if cfg.RT == nil {
+		cfg.RT = taskrt.Shared(cfg.Workers)
+	}
+
+	// The single-node CG family is fully reusable: Rebind + reset instead
+	// of construction. Everything else (distributed substrates, the
+	// Krylov-basis methods) is rebuilt per request on shared resources.
+	if name == "cg" && cfg.Ranks == 0 {
+		key := keyFor(name, cfg)
+		c.mu.Lock()
+		if q := c.pool[key]; len(q) > 0 {
+			p := q[len(q)-1]
+			c.pool[key] = q[:len(q)-1]
+			c.mu.Unlock()
+			if err := p.s.Rebind(b); err != nil {
+				return nil, err
+			}
+			p.s.SetCancelled(cfg.Cancelled)
+			p.s.SetOnIteration(cfg.OnIteration)
+			return &Checkout{Instance: p.inst, Warm: true, ctx: c, key: key, cg: p}, nil
+		}
+		c.mu.Unlock()
+		s, err := core.NewCG(c.A, b, cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		inst := &Instance{
+			Spaces:   []*pagemem.Space{s.Space()},
+			Dynamic:  s.DynamicVectors(),
+			Run:      func() (core.Result, error) { return s.Run() },
+			Solution: s.Solution,
+		}
+		return &Checkout{Instance: inst, ctx: c, key: key, cg: &pooledCG{s: s, inst: inst}}, nil
+	}
+
+	inst, err := New(name, c.A, b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkout{Instance: inst, ctx: c}, nil
+}
+
+// Release returns a poolable instance to the context's warm pool. The
+// per-request hooks are cleared first so a stale cancellation can never
+// abort the next tenant's solve.
+func (co *Checkout) Release() {
+	if co.released || co.cg == nil {
+		return
+	}
+	co.released = true
+	co.cg.s.SetCancelled(nil)
+	co.cg.s.SetOnIteration(nil)
+	co.ctx.mu.Lock()
+	co.ctx.pool[co.key] = append(co.ctx.pool[co.key], co.cg)
+	co.ctx.mu.Unlock()
+}
+
+// ContextCache is an LRU of operator contexts under a memory cap, the
+// matrix-handle store of the serving layer. In-flight solves hold their
+// own *OperatorContext references, so eviction never invalidates a
+// running request — the context just stops being findable by handle.
+type ContextCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	items    map[string]*cacheEntry
+	tick     int64
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	ctx  *OperatorContext
+	used int64
+}
+
+// NewContextCache builds a cache; capBytes <= 0 means
+// defaults.ServeCacheBytes.
+func NewContextCache(capBytes int64) *ContextCache {
+	return &ContextCache{
+		capBytes: defaults.ServeCacheBytesOr(capBytes),
+		items:    make(map[string]*cacheEntry),
+	}
+}
+
+// Get returns the context for a matrix handle, updating recency and the
+// hit/miss counters.
+func (cc *ContextCache) Get(key string) (*OperatorContext, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	e, ok := cc.items[key]
+	if !ok {
+		cc.misses++
+		return nil, false
+	}
+	cc.hits++
+	cc.tick++
+	e.used = cc.tick
+	return e.ctx, true
+}
+
+// Put inserts (or replaces) the context for a matrix handle and evicts
+// least-recently-used entries while the cache exceeds its cap. The newly
+// inserted entry is never evicted — a matrix larger than the whole cap
+// still gets to serve its own requests.
+func (cc *ContextCache) Put(key string, a *sparse.CSR, pageDoubles int) *OperatorContext {
+	ctx := NewOperatorContext(key, a, pageDoubles)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.tick++
+	cc.items[key] = &cacheEntry{ctx: ctx, used: cc.tick}
+	cc.evictLocked(key)
+	return ctx
+}
+
+func (cc *ContextCache) evictLocked(keep string) {
+	for len(cc.items) > 1 && cc.bytesLocked() > cc.capBytes {
+		var lruKey string
+		var lruUsed int64
+		for k, e := range cc.items {
+			if k == keep {
+				continue
+			}
+			if lruKey == "" || e.used < lruUsed {
+				lruKey, lruUsed = k, e.used
+			}
+		}
+		if lruKey == "" {
+			return
+		}
+		delete(cc.items, lruKey)
+	}
+}
+
+func (cc *ContextCache) bytesLocked() int64 {
+	var total int64
+	for _, e := range cc.items {
+		total += e.ctx.SizeBytes()
+	}
+	return total
+}
+
+// Bytes returns the estimated resident size of all cached contexts.
+func (cc *ContextCache) Bytes() int64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.bytesLocked()
+}
+
+// Len returns the number of cached contexts.
+func (cc *ContextCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.items)
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (cc *ContextCache) Counters() (hits, misses int64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses
+}

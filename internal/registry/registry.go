@@ -17,6 +17,7 @@ import (
 	"repro/internal/pagemem"
 	"repro/internal/shard"
 	"repro/internal/sparse"
+	"repro/internal/taskrt"
 )
 
 // Config extends the single-node configuration with the distributed
@@ -35,6 +36,11 @@ type Config struct {
 	// iteration with the substrate's ranks — the deterministic injection
 	// hook of the distributed validation runs.
 	RankInject func(it int, ranks []*shard.Rank)
+	// SharedPool routes the instance's tasks through the process-wide
+	// taskrt.Shared pool instead of constructing a private one — the fix
+	// for registry.New silently oversubscribing GOMAXPROCS with one pool
+	// per instance. Ignored when core.Config.RT is already set.
+	SharedPool bool
 }
 
 func (c Config) distConfig() dist.Config {
@@ -50,6 +56,9 @@ func (c Config) distConfig() dist.Config {
 		UsePrecond:         c.UsePrecond,
 		Inject:             c.RankInject,
 		OnIteration:        c.OnIteration,
+		RT:                 c.RT,
+		Blocks:             c.Blocks,
+		Cancelled:          c.Cancelled,
 	}
 }
 
@@ -66,6 +75,9 @@ type Instance struct {
 	// RankStats, when non-nil, snapshots the per-rank recovery counters
 	// after Run returned.
 	RankStats func() []core.Stats
+	// Solution returns the solution vector; only valid after Run
+	// returned (and overwritten by the next Run on a pooled instance).
+	Solution func() []float64
 }
 
 // Builder constructs an instance of one named method for either topology.
@@ -125,6 +137,9 @@ func New(name string, a *sparse.CSR, b []float64, cfg Config) (*Instance, error)
 	if cfg.Ranks > 0 && !e.caps.Distributed {
 		return nil, fmt.Errorf("registry: solver %q has no distributed variant (drop -ranks)", name)
 	}
+	if cfg.SharedPool && cfg.RT == nil {
+		cfg.RT = taskrt.Shared(cfg.Workers)
+	}
 	return e.build(a, b, cfg)
 }
 
@@ -137,15 +152,19 @@ type distSolver interface {
 }
 
 func distInstance(s distSolver) *Instance {
-	return &Instance{
-		Spaces:  s.Spaces(),
-		Dynamic: s.DynamicVectors(),
-		Run: func() (core.Result, error) {
-			res, _, err := s.Run()
-			return res, err
-		},
+	inst := &Instance{
+		Spaces:    s.Spaces(),
+		Dynamic:   s.DynamicVectors(),
 		RankStats: s.RankStats,
 	}
+	var sol []float64
+	inst.Run = func() (core.Result, error) {
+		res, x, err := s.Run()
+		sol = x
+		return res, err
+	}
+	inst.Solution = func() []float64 { return sol }
+	return inst
 }
 
 // all declares the full capability set of the three built-in methods:
@@ -167,9 +186,10 @@ func init() {
 			return nil, err
 		}
 		return &Instance{
-			Spaces:  []*pagemem.Space{s.Space()},
-			Dynamic: s.DynamicVectors(),
-			Run:     func() (core.Result, error) { return s.Run() },
+			Spaces:   []*pagemem.Space{s.Space()},
+			Dynamic:  s.DynamicVectors(),
+			Run:      func() (core.Result, error) { return s.Run() },
+			Solution: s.Solution,
 		}, nil
 	})
 	// pipecg is the pipelined distributed CG (single fused reduction per
@@ -213,14 +233,18 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &Instance{
+		inst := &Instance{
 			Spaces:  []*pagemem.Space{s.Space()},
 			Dynamic: s.DynamicVectors(),
-			Run: func() (core.Result, error) {
-				res, _, err := s.Run()
-				return res, err
-			},
-		}, nil
+		}
+		var sol []float64
+		inst.Run = func() (core.Result, error) {
+			res, x, err := s.Run()
+			sol = x
+			return res, err
+		}
+		inst.Solution = func() []float64 { return sol }
+		return inst, nil
 	})
 	Register("gmres", all, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
@@ -234,13 +258,17 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &Instance{
+		inst := &Instance{
 			Spaces:  []*pagemem.Space{s.Space()},
 			Dynamic: s.DynamicVectors(),
-			Run: func() (core.Result, error) {
-				res, _, err := s.Run()
-				return res, err
-			},
-		}, nil
+		}
+		var sol []float64
+		inst.Run = func() (core.Result, error) {
+			res, x, err := s.Run()
+			sol = x
+			return res, err
+		}
+		inst.Solution = func() []float64 { return sol }
+		return inst, nil
 	})
 }

@@ -1,0 +1,396 @@
+// Package serve is the solve-as-a-service layer: a long-running server
+// that accepts solve requests against cached operators and runs them
+// concurrently on the process-wide task pool. The production-scale
+// pieces the one-shot CLIs lack live here:
+//
+//   - admission control: a bounded priority queue; a request arriving
+//     past the bound is rejected immediately instead of queueing without
+//     limit, and higher-priority requests dispatch first (their solver
+//     tasks also ride the work-stealing heap at that priority);
+//   - operator caching: matrices are registered once and referenced by
+//     handle; repeated solves reuse the context's factorizations, warm
+//     solver instances and prepared task graphs (registry.Checkout);
+//   - per-request deadlines and cancellation via context, polled by the
+//     solvers at iteration boundaries;
+//   - per-tenant fault domains: every request's instance owns its
+//     pagemem spaces, so a DUE storm in one tenant's solve cannot touch
+//     another's data — isolation is structural, not scheduled;
+//   - graceful drain: shutdown stops admissions, lets queued and
+//     in-flight solves finish, and only then releases the pool.
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/defaults"
+	"repro/internal/inject"
+	"repro/internal/registry"
+	"repro/internal/sparse"
+)
+
+// Sentinel admission errors: the HTTP layer maps these to 429/503.
+var (
+	ErrQueueFull     = errors.New("serve: admission queue full")
+	ErrDraining      = errors.New("serve: server is draining")
+	ErrUnknownMatrix = errors.New("serve: unknown matrix handle")
+)
+
+// Options configures a Server. Zero values resolve through
+// internal/defaults (ServeQueueDepth, ServeConcurrent, ServeTimeout,
+// ServeCacheBytes).
+type Options struct {
+	// QueueDepth bounds the admission queue.
+	QueueDepth int
+	// Concurrent is the number of solves dispatched at once.
+	Concurrent int
+	// Timeout is the default per-request budget (requests may set a
+	// shorter one).
+	Timeout time.Duration
+	// CacheBytes caps the operator-context cache.
+	CacheBytes int64
+	// Workers sizes the shared task pool on first use; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Request is one solve submission. Matrix references a handle registered
+// via RegisterMatrix (or an earlier inline submission).
+type Request struct {
+	Matrix   string        `json:"matrix"`
+	Solver   string        `json:"solver,omitempty"` // registry name; "" = cg
+	Method   string        `json:"method,omitempty"` // resilience scheme; "" = ideal
+	Precond  bool          `json:"precond,omitempty"`
+	Tol      float64       `json:"tol,omitempty"`
+	MaxIter  int           `json:"max_iter,omitempty"`
+	Ranks    int           `json:"ranks,omitempty"`
+	B        []float64     `json:"b,omitempty"` // nil = all-ones RHS
+	Priority int           `json:"priority,omitempty"`
+	Timeout  time.Duration `json:"timeout_ns,omitempty"`
+	Tenant   string        `json:"tenant,omitempty"`
+	// DUEMTBE, when positive, runs a wall-clock DUE storm against this
+	// request's own fault domain for the duration of the solve.
+	DUEMTBE time.Duration `json:"due_mtbe_ns,omitempty"`
+	Seed    int64         `json:"seed,omitempty"`
+	// WantSolution includes the solution vector in the response.
+	WantSolution bool `json:"want_solution,omitempty"`
+}
+
+// Response reports one completed solve.
+type Response struct {
+	Converged   bool          `json:"converged"`
+	Iterations  int           `json:"iterations"`
+	RelResidual float64       `json:"rel_residual"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	Queued      time.Duration `json:"queued_ns"`
+	Warm        bool          `json:"warm"`
+	Injected    int           `json:"injected"`
+	Stats       core.Stats    `json:"stats"`
+	X           []float64     `json:"x,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of server counters.
+type Stats struct {
+	Accepted    int64 `json:"accepted"`
+	Rejected    int64 `json:"rejected"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	WarmSolves  int64 `json:"warm_solves"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Cached      int   `json:"cached_matrices"`
+	CacheBytes  int64 `json:"cache_bytes"`
+	QueueLen    int   `json:"queue_len"`
+}
+
+// pending is one queued request plus its completion channel.
+type pending struct {
+	req      *Request
+	enqueued time.Time
+	seq      int64
+	done     chan outcome
+	index    int // heap bookkeeping
+}
+
+type outcome struct {
+	resp *Response
+	err  error
+}
+
+// Server runs solves against cached operator contexts. Create with New,
+// submit with Submit (safe for concurrent use), stop with Drain.
+type Server struct {
+	opts  Options
+	cache *registry.ContextCache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    pendingHeap
+	seq      int64
+	draining bool
+
+	inflight sync.WaitGroup
+	workers  sync.WaitGroup
+
+	accepted, rejected, completed, failed, warm int64
+}
+
+// New builds a server and starts its dispatchers.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts,
+		cache: registry.NewContextCache(opts.CacheBytes),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	n := defaults.ServeConcurrentOr(opts.Concurrent)
+	s.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go s.dispatch()
+	}
+	return s
+}
+
+// Cache exposes the operator-context cache (the HTTP layer and tests
+// inspect it).
+func (s *Server) Cache() *registry.ContextCache { return s.cache }
+
+// RegisterMatrix caches an operator context under the handle and returns
+// it. Re-registering a handle replaces the context.
+func (s *Server) RegisterMatrix(key string, a *sparse.CSR, pageDoubles int) *registry.OperatorContext {
+	return s.cache.Put(key, a, pageDoubles)
+}
+
+// Submit runs one request to completion: admission, queueing, dispatch,
+// solve. It blocks until the solve finished, failed, timed out or was
+// rejected — concurrency comes from calling Submit on many goroutines
+// (one per client), as the HTTP layer does.
+func (s *Server) Submit(req *Request) (*Response, error) {
+	p := &pending{req: req, enqueued: time.Now(), done: make(chan outcome, 1)}
+	s.mu.Lock()
+	if s.draining {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s.queue.Len() >= defaults.ServeQueueDepthOr(s.opts.QueueDepth) {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	p.seq = s.seq
+	s.accepted++
+	heap.Push(&s.queue, p)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	out := <-p.done
+	return out.resp, out.err
+}
+
+// Drain stops admissions, waits for every queued and in-flight solve to
+// finish, and stops the dispatchers. Safe to call once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.workers.Wait()
+	s.inflight.Wait()
+}
+
+// Snapshot returns current server counters.
+func (s *Server) Snapshot() Stats {
+	hits, misses := s.cache.Counters()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Accepted:    s.accepted,
+		Rejected:    s.rejected,
+		Completed:   s.completed,
+		Failed:      s.failed,
+		WarmSolves:  s.warm,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Cached:      s.cache.Len(),
+		CacheBytes:  s.cache.Bytes(),
+		QueueLen:    s.queue.Len(),
+	}
+}
+
+// dispatch is one worker loop: pop the highest-priority request, run it.
+// Draining dispatchers first empty the queue, then exit.
+func (s *Server) dispatch() {
+	defer s.workers.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 && s.draining {
+			s.mu.Unlock()
+			return
+		}
+		p := heap.Pop(&s.queue).(*pending)
+		s.inflight.Add(1)
+		s.mu.Unlock()
+
+		resp, err := s.execute(p)
+		s.mu.Lock()
+		if err != nil {
+			s.failed++
+		} else {
+			s.completed++
+			if resp.Warm {
+				s.warm++
+			}
+		}
+		s.mu.Unlock()
+		p.done <- outcome{resp: resp, err: err}
+		s.inflight.Done()
+	}
+}
+
+// execute runs one admitted request against its cached operator context.
+func (s *Server) execute(p *pending) (*Response, error) {
+	req := p.req
+	octx, ok := s.cache.Get(req.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMatrix, req.Matrix)
+	}
+	method, err := ParseMethod(req.Method)
+	if err != nil {
+		return nil, err
+	}
+	solver := req.Solver
+	if solver == "" {
+		solver = "cg"
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = defaults.ServeTimeoutOr(s.opts.Timeout)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	b := req.B
+	if b == nil {
+		b = make([]float64, octx.A.N)
+		for i := range b {
+			b[i] = 1
+		}
+	} else if len(b) != octx.A.N {
+		return nil, fmt.Errorf("serve: rhs length %d for n=%d", len(b), octx.A.N)
+	}
+
+	cfg := registry.Config{
+		Config: core.Config{
+			Method:  method,
+			Workers: s.opts.Workers,
+			// The fault-granularity layout belongs to the cached operator,
+			// not the request: a request cannot ask for a different page
+			// size without registering the matrix under another handle.
+			PageDoubles:  octx.PageDoubles,
+			Tol:          req.Tol,
+			MaxIter:      req.MaxIter,
+			UsePrecond:   req.Precond,
+			TaskPriority: req.Priority,
+			Cancelled:    func() bool { return cctx.Err() != nil },
+		},
+		Ranks: req.Ranks,
+	}
+	co, err := octx.Checkout(solver, b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Release()
+
+	// Per-tenant storm: the injector targets this instance's own fault
+	// domain, so concurrent tenants' solves are untouched by design.
+	var in *inject.Injector
+	if req.DUEMTBE > 0 {
+		seed := req.Seed
+		if seed == 0 {
+			seed = p.seq
+		}
+		in = inject.NewInjector(co.Instance.Spaces[0], co.Instance.Dynamic, req.DUEMTBE, seed)
+		in.Start()
+	}
+	res, runErr := co.Instance.Run()
+	injected := 0
+	if in != nil {
+		in.Stop()
+		injected = in.Injected()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	resp := &Response{
+		Converged:   res.Converged,
+		Iterations:  res.Iterations,
+		RelResidual: res.RelResidual,
+		Elapsed:     res.Elapsed,
+		Queued:      time.Since(p.enqueued) - res.Elapsed,
+		Warm:        co.Warm,
+		Injected:    injected,
+		Stats:       res.Stats,
+	}
+	if req.WantSolution && co.Instance.Solution != nil {
+		resp.X = append([]float64(nil), co.Instance.Solution()...)
+	}
+	return resp, nil
+}
+
+// ParseMethod maps the wire name of a resilience scheme to core.Method.
+// "" means Ideal.
+func ParseMethod(s string) (core.Method, error) {
+	switch strings.ToLower(s) {
+	case "", "ideal":
+		return core.MethodIdeal, nil
+	case "trivial":
+		return core.MethodTrivial, nil
+	case "lossy":
+		return core.MethodLossy, nil
+	case "ckpt", "checkpoint":
+		return core.MethodCheckpoint, nil
+	case "feir":
+		return core.MethodFEIR, nil
+	case "afeir":
+		return core.MethodAFEIR, nil
+	}
+	return 0, fmt.Errorf("serve: unknown method %q", s)
+}
+
+// pendingHeap orders requests by descending priority, FIFO within a
+// priority tier — the admission-side mirror of the task heap.
+type pendingHeap []*pending
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].req.Priority != h[j].req.Priority {
+		return h[i].req.Priority > h[j].req.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *pendingHeap) Push(x any) {
+	p := x.(*pending)
+	p.index = len(*h)
+	*h = append(*h, p)
+}
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+)
+
+// newTestServer builds a server with one registered 900-row Poisson
+// operator under the handle "m" and drains it at test end.
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	srv := New(opts)
+	t.Cleanup(srv.Drain)
+	srv.RegisterMatrix("m", matgen.Poisson2D(30, 30), 64)
+	return srv
+}
+
+func fastReq() *Request {
+	return &Request{Matrix: "m", Solver: "cg", Precond: true, Tol: 1e-10}
+}
+
+// slowReq runs until its deadline: an unreachable tolerance with a huge
+// iteration budget, cancelled by the per-request timeout.
+func slowReq(timeout time.Duration) *Request {
+	return &Request{Matrix: "m", Solver: "cg", Tol: 1e-300, MaxIter: 1 << 30, Timeout: timeout}
+}
+
+func TestWarmReuseAndCounters(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1})
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Submit(fastReq())
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		if !resp.Converged {
+			t.Fatalf("solve %d did not converge: %+v", i, resp)
+		}
+		if i == 0 && resp.Warm {
+			t.Fatal("first solve claims a warm instance")
+		}
+		if i > 0 && !resp.Warm {
+			t.Fatalf("solve %d did not reuse the pooled instance", i)
+		}
+	}
+	s := srv.Snapshot()
+	if s.Completed != 3 || s.WarmSolves != 2 || s.CacheHits != 3 || s.Failed != 0 {
+		t.Fatalf("counters completed=%d warm=%d hits=%d failed=%d, want 3/2/3/0", s.Completed, s.WarmSolves, s.CacheHits, s.Failed)
+	}
+}
+
+func TestUnknownMatrix(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1})
+	if _, err := srv.Submit(&Request{Matrix: "nope"}); !errors.Is(err, ErrUnknownMatrix) {
+		t.Fatalf("want ErrUnknownMatrix, got %v", err)
+	}
+}
+
+func TestTimeoutCancelsSolve(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1})
+	start := time.Now()
+	_, err := srv.Submit(slowReq(100 * time.Millisecond))
+	if !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("want core.ErrCancelled, got %v", err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("cancellation took %v — deadline not honoured at iteration granularity", e)
+	}
+	if s := srv.Snapshot(); s.Failed != 1 {
+		t.Fatalf("failed=%d, want 1", s.Failed)
+	}
+}
+
+// waitFor polls a server predicate — admission bookkeeping is internal,
+// so tests observe it through Snapshot.
+func waitFor(t *testing.T, srv *Server, what string, pred func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred(srv.Snapshot()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s: %+v", what, srv.Snapshot())
+}
+
+func TestQueueFull(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1, QueueDepth: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupies the only dispatcher until its deadline
+		defer wg.Done()
+		_, _ = srv.Submit(slowReq(time.Second))
+	}()
+	waitFor(t, srv, "dispatcher to pick up the slow solve", func(s Stats) bool {
+		return s.Accepted == 1 && s.QueueLen == 0
+	})
+	wg.Add(1)
+	go func() { // fills the single queue slot
+		defer wg.Done()
+		if _, err := srv.Submit(fastReq()); err != nil {
+			t.Errorf("queued request failed: %v", err)
+		}
+	}()
+	waitFor(t, srv, "queue slot to fill", func(s Stats) bool { return s.QueueLen == 1 })
+	if _, err := srv.Submit(fastReq()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if s := srv.Snapshot(); s.Rejected != 1 {
+		t.Fatalf("rejected=%d, want 1", s.Rejected)
+	}
+	wg.Wait()
+}
+
+// TestPriorityDispatchOrder: with one dispatcher busy, a high-priority
+// request admitted after a low-priority one must still run first.
+func TestPriorityDispatchOrder(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = srv.Submit(slowReq(time.Second))
+	}()
+	waitFor(t, srv, "dispatcher busy", func(s Stats) bool {
+		return s.Accepted == 1 && s.QueueLen == 0
+	})
+
+	// The low-priority request burns its whole 300ms budget, the
+	// high-priority one solves in milliseconds: if the heap dispatches
+	// high first, it returns long before low; if FIFO order leaked
+	// through, high returns after low's 300ms.
+	var lowDone, highDone time.Time
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		req := slowReq(300 * time.Millisecond)
+		req.Priority = -1
+		_, _ = srv.Submit(req)
+		lowDone = time.Now()
+	}()
+	waitFor(t, srv, "low queued", func(s Stats) bool { return s.QueueLen == 1 })
+	go func() {
+		defer wg.Done()
+		req := fastReq()
+		req.Priority = 3
+		if _, err := srv.Submit(req); err != nil {
+			t.Errorf("high: %v", err)
+		}
+		highDone = time.Now()
+	}()
+	waitFor(t, srv, "high queued", func(s Stats) bool { return s.QueueLen == 2 })
+	wg.Wait()
+	if !highDone.Before(lowDone) {
+		t.Fatalf("high-priority request finished %v after the low-priority one — dispatch ignored priority", highDone.Sub(lowDone))
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	srv := New(Options{Concurrent: 1})
+	srv.RegisterMatrix("m", matgen.Poisson2D(20, 20), 64)
+	if _, err := srv.Submit(&Request{Matrix: "m", Tol: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain()
+	if _, err := srv.Submit(&Request{Matrix: "m"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining, got %v", err)
+	}
+}
+
+// TestStormTenantIsolation runs a DUE-storm tenant concurrently with a
+// clean tenant against the same cached operator: the storm's injector
+// targets only its own request's fault domain, so the clean solve sees
+// zero injections and both converge. Under -race this is the gate for
+// concurrent solves sharing one context.
+func TestStormTenantIsolation(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 2})
+	var wg sync.WaitGroup
+	var stormResp, cleanResp *Response
+	var stormErr, cleanErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		stormResp, stormErr = srv.Submit(&Request{
+			Matrix: "m", Solver: "cg", Method: "afeir", Precond: true,
+			Tol: 1e-10, Tenant: "storm", DUEMTBE: 50 * time.Microsecond, Seed: 7,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		cleanResp, cleanErr = srv.Submit(&Request{
+			Matrix: "m", Solver: "cg", Precond: true, Tol: 1e-10, Tenant: "clean",
+		})
+	}()
+	wg.Wait()
+	if stormErr != nil || cleanErr != nil {
+		t.Fatalf("storm err=%v clean err=%v", stormErr, cleanErr)
+	}
+	if !stormResp.Converged || !cleanResp.Converged {
+		t.Fatalf("converged: storm=%v clean=%v", stormResp.Converged, cleanResp.Converged)
+	}
+	if cleanResp.Injected != 0 {
+		t.Fatalf("clean tenant saw %d injections — fault domains are not isolated", cleanResp.Injected)
+	}
+}
+
+func TestWantSolution(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1})
+	resp, err := srv.Submit(&Request{Matrix: "m", Precond: true, Tol: 1e-10, WantSolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.X) != 900 {
+		t.Fatalf("solution length %d, want 900", len(resp.X))
+	}
+}

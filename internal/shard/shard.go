@@ -141,6 +141,10 @@ type Substrate struct {
 	// state vs recovery communication.
 	reductions int64
 
+	// ownRT records whether the substrate created RT (and must close it)
+	// or was handed an external, shared pool (Options.RT).
+	ownRT bool
+
 	// Coordinator-side gather scratch, reused across TrueResidual and
 	// LossyInterpolateOwned calls instead of allocating 2N per check.
 	gatherX, gatherRes []float64
@@ -179,10 +183,29 @@ type Substrate struct {
 	precondStepF                                   func(r *Rank)
 }
 
+// Options carries serving-layer resources a substrate can share instead
+// of building its own. The zero value reproduces the historical behaviour
+// (private pool, private block cache).
+type Options struct {
+	// RT is an externally owned task pool (typically taskrt.Shared); the
+	// substrate submits to it but Close leaves it running. nil means a
+	// private pool sized by the workers argument.
+	RT *taskrt.Runtime
+	// Blocks is a prefactorized diagonal-block cache for the same
+	// operator, layout and SPD setting; nil means a private cache
+	// factorized here. Mismatches are rejected loudly.
+	Blocks *sparse.BlockSolverCache
+}
+
 // New builds the substrate for A x = b over the given number of ranks.
 // workers <= 0 means one pool worker per rank; spd selects the diagonal
 // block factorization family for the inverse relations.
 func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) (*Substrate, error) {
+	return NewOpts(a, b, ranks, pageDoubles, workers, spd, Options{})
+}
+
+// NewOpts is New with shared serving-layer resources.
+func NewOpts(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool, opts Options) (*Substrate, error) {
 	if a.N != a.M {
 		return nil, fmt.Errorf("shard: non-square matrix %dx%d", a.N, a.M)
 	}
@@ -204,10 +227,19 @@ func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) 
 		Bnorm:  sparse.Norm2(b),
 		Layout: layout,
 		NP:     np,
-		Blocks: sparse.NewBlockSolverCache(a, layout, spd),
 		Owner:  make([]int, np),
 		part:   engine.NewPartial(np),
 		part2:  engine.NewPartial(np),
+	}
+	sharedBlocks := opts.Blocks != nil
+	if sharedBlocks {
+		if opts.Blocks.A != a || opts.Blocks.Layout != layout || opts.Blocks.SPD != spd {
+			return nil, fmt.Errorf("shard: shared block cache mismatch (want matrix %p layout %+v spd=%v, have %p %+v spd=%v)",
+				a, layout, spd, opts.Blocks.A, opts.Blocks.Layout, opts.Blocks.SPD)
+		}
+		s.Blocks = opts.Blocks
+	} else {
+		s.Blocks = sparse.NewBlockSolverCache(a, layout, spd)
 	}
 	s.gatherX = make([]float64, a.N)
 	s.gatherRes = make([]float64, a.N)
@@ -218,14 +250,22 @@ func New(a *sparse.CSR, b []float64, ranks, pageDoubles, workers int, spd bool) 
 	// everything up front so the cache is read-only afterwards (the paper
 	// notes these factorizations come for free with block-Jacobi, §5.1).
 	// Leniently: a non-factorizable block only disables that block's
-	// inverse repair, it does not make the system unsolvable.
-	s.Blocks.PrefactorizeLenient()
+	// inverse repair, it does not make the system unsolvable. A shared
+	// cache arrives prefactorized — that is the point of sharing it.
+	if !sharedBlocks {
+		s.Blocks.PrefactorizeLenient()
+	}
 
 	parts := engine.ChunkRanges(np, ranks)
-	if workers <= 0 {
-		workers = len(parts)
+	if opts.RT != nil {
+		s.RT = opts.RT
+	} else {
+		if workers <= 0 {
+			workers = len(parts)
+		}
+		s.RT = taskrt.New(workers)
+		s.ownRT = true
 	}
-	s.RT = taskrt.New(workers)
 	s.Eng = engine.New(a, layout, s.RT, false, len(parts))
 	s.Conn = s.Eng.Conn
 
@@ -312,8 +352,13 @@ func (s *Substrate) runStep(fn func(r *Rank)) {
 	s.RT.WaitAll(s.rankTasks)
 }
 
-// Close releases the task pool.
-func (s *Substrate) Close() { s.RT.Close() }
+// Close releases the task pool when the substrate owns it; an externally
+// owned pool (Options.RT) is left running.
+func (s *Substrate) Close() {
+	if s.ownRT {
+		s.RT.Close()
+	}
+}
 
 // Reductions returns the number of global reduction supersteps performed
 // so far (coordinator partial-sums; see the field comment). Coordinator-

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // ErrSingular is returned when a factorization meets an (effectively)
@@ -362,10 +363,20 @@ func (s qrSolver) SolveInPlace(rhs []float64) error {
 	return nil
 }
 
+// factorizations counts every diagonal-block factorization performed by
+// the process — the setup cost the operator-context cache exists to
+// amortise. Tests pin "zero factorizations after warmup" against it.
+var factorizations atomic.Int64
+
+// FactorizationCount returns the number of diagonal-block factorizations
+// performed by this process so far.
+func FactorizationCount() int64 { return factorizations.Load() }
+
 // FactorizeBlock builds a BlockSolver for a dense diagonal block, trying
 // Cholesky when spd is claimed, then LU, then QR least squares, mirroring
 // the paper's §2.3 strategy.
 func FactorizeBlock(block *Dense, spd bool) (BlockSolver, error) {
+	factorizations.Add(1)
 	if spd {
 		if c, err := NewCholesky(block); err == nil {
 			return cholSolver{c}, nil

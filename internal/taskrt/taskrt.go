@@ -147,6 +147,7 @@ func (q *wq) pop() *Handle {
 type Runtime struct {
 	workers    int
 	singleMode bool // every task through the shared heap (pre-stealing)
+	shared     bool // process-wide pool: Close drains instead of shutting down
 
 	qs []wq // per-worker run queues (priority-0 tasks)
 
@@ -241,6 +242,58 @@ func EnableCPUPinning(on bool) { pinCPUs.Store(on) }
 
 // NumWorkers returns the pool size.
 func (rt *Runtime) NumWorkers() int { return rt.workers }
+
+// IsShared reports whether this runtime is the process-wide shared pool
+// (see Shared), whose Close drains instead of shutting workers down.
+func (rt *Runtime) IsShared() bool { return rt.shared }
+
+var (
+	sharedMu sync.Mutex
+	sharedRT *Runtime
+)
+
+// Shared returns the process-wide shared worker pool, creating it with the
+// given size (0 means GOMAXPROCS) on first call. Every later call returns
+// the SAME pool regardless of the requested size: one process gets one
+// pool, so concurrent solver instances never oversubscribe the machine
+// with per-instance worker sets (the pre-serving bug: registry.New built
+// a fresh pool per instance even when Workers matched an existing one).
+// Close on the shared pool is a no-op; use CloseShared to actually shut
+// it down (tests, process exit).
+func Shared(workers int) *Runtime {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedRT == nil || sharedRT.closed.Load() {
+		sharedRT = newRuntime(workers, false)
+		sharedRT.shared = true
+	}
+	return sharedRT
+}
+
+// SharedSize returns the worker count of the shared pool, or 0 when no
+// shared pool exists yet — callers can report whether a Workers request
+// was honoured or coalesced onto an existing pool.
+func SharedSize() int {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedRT == nil || sharedRT.closed.Load() {
+		return 0
+	}
+	return sharedRT.workers
+}
+
+// CloseShared shuts the process-wide pool down (if one exists) after all
+// submitted work completes. The next Shared call creates a fresh pool.
+func CloseShared() {
+	sharedMu.Lock()
+	rt := sharedRT
+	sharedRT = nil
+	sharedMu.Unlock()
+	if rt != nil {
+		rt.shared = false
+		rt.Close()
+	}
+}
 
 // Submit schedules a task, returning its handle. Submitting after Close
 // panics.
@@ -506,8 +559,14 @@ func (rt *Runtime) Quiesce() {
 }
 
 // Close shuts the workers down after all submitted work completes.
-// The runtime cannot be reused.
+// The runtime cannot be reused. On the process-wide shared pool (see
+// Shared) Close is a no-op: a solver that waited on its own handles has
+// nothing left to drain, and a global Quiesce would barrier on every
+// concurrent solve's work. Use CloseShared to really shut it down.
 func (rt *Runtime) Close() {
+	if rt.shared {
+		return
+	}
 	rt.Quiesce()
 	rt.closed.Store(true)
 	rt.sleepMu.Lock()
