@@ -266,6 +266,8 @@ func main() {
 // benchJSON is the machine-readable fig4 artefact tracked across PRs:
 // every (solver, matrix, rate, method) cell with and without
 // preconditioning, plus the harmonic-mean panels.
+//
+//due:bench-artefact
 type benchJSON struct {
 	Options    experiments.Options       `json:"options"`
 	Fig4       []*experiments.Fig4Result `json:"fig4"`

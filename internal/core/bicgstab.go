@@ -190,6 +190,7 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 		defer sv.rt.Close()
 	}
 	sv.eng = engine.New(sv.a, sv.layout, sv.rt, sv.resilient, 0)
+	sv.eng.RecoveryPriority = sv.cfg.overlapPriority()
 	sv.conn = sv.eng.Conn
 	sv.rel = &Relations{a: sv.a, layout: sv.layout, conn: sv.conn, blocks: sv.blocks, b: sv.b, scratch: sv.scratch, stats: &sv.stats}
 
@@ -409,6 +410,8 @@ func (sv *BiCGStabSolver) Run() (Result, []float64, error) {
 // low priority after the producer tasks (AFEIR, Fig 2b) or in the
 // critical path once the whole phase finished (FEIR, Fig 2a). waitFor
 // lists every task of the phase; it is always awaited before returning.
+//
+//due:recovery
 func (sv *BiCGStabSolver) runRecovery(label string, after []*taskrt.Handle, fn func(allowLate bool), waitFor []*taskrt.Handle) {
 	skip := !sv.resilient || (sv.cfg.OnDemandRecovery && !sv.space.AnyFault())
 	var r *taskrt.Handle

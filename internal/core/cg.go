@@ -264,6 +264,7 @@ func (s *CG) resetState() {
 // instance lifetime in shared-pool mode.
 func (s *CG) buildEngine() {
 	s.eng = engine.New(s.a, s.layout, s.rt, s.resilient, 0)
+	s.eng.RecoveryPriority = s.cfg.overlapPriority()
 	s.conn = s.eng.Conn
 	s.rel = &Relations{a: s.a, layout: s.layout, conn: s.conn, blocks: s.blocks, b: s.b, scratch: s.scratch, stats: &s.stats}
 	s.buildPrepared()
@@ -416,6 +417,7 @@ func (s *CG) buildPrepared() {
 	prio := s.cfg.TaskPriority
 	// d = src + β d' (src = g, or z when preconditioned). Full overwrite:
 	// skipped pages keep their old version, produced pages revalidate.
+	//due:hotpath
 	s.prep.d = e.Prepare("d", prio, func(_, pLo, pHi int) {
 		ver, beta := s.iterVer, s.iterBeta
 		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
@@ -445,6 +447,7 @@ func (s *CG) buildPrepared() {
 	// Fused q = A d with the <d,q> partials: one task per chunk instead
 	// of the SpMV + reduction pair. Skipped q pages keep the OLD A·dPrev
 	// values, pairing with dPrev.
+	//due:hotpath
 	s.prep.q = e.Prepare("q,<d,q>", prio, func(_, pLo, pHi int) {
 		ver := s.iterVer
 		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
@@ -457,6 +460,7 @@ func (s *CG) buildPrepared() {
 	})
 	// x += α d: read-modify-write, so a poison landing mid-task stays
 	// detected for the boundary scramble.
+	//due:hotpath
 	s.prep.x = e.Prepare("x", prio, func(_, pLo, pHi int) {
 		ver, alpha := s.iterVer, s.alpha
 		dCur := vec(s.d[s.iterCur], s.dS[s.iterCur])
@@ -473,6 +477,7 @@ func (s *CG) buildPrepared() {
 		}
 	})
 	// Fused g -= α q with the ε = <g,g> partials (read-modify-write).
+	//due:hotpath
 	s.prep.g = e.Prepare("g,eps", prio, func(_, pLo, pHi int) {
 		ver, alpha := s.iterVer, s.alpha
 		qIn := engine.In(vec(s.q, s.qS), ver)
@@ -485,6 +490,7 @@ func (s *CG) buildPrepared() {
 	if s.pre != nil {
 		// Guarded apply-M⁻¹ page operation: full-page overwrite via
 		// partial preconditioner application (§3.2), then <z,g>.
+		//due:hotpath
 		s.prep.z = e.Prepare("z", prio, func(_, pLo, pHi int) {
 			ver := s.iterVer
 			gIn := engine.In(vec(s.g, s.gS), ver)
@@ -493,6 +499,7 @@ func (s *CG) buildPrepared() {
 				e.ApplyPrecondPage(p, s.pre, gIn, zOut)
 			}
 		})
+		//due:hotpath
 		s.prep.zg = e.Prepare("<z,g>", prio, func(_, pLo, pHi int) {
 			ver := s.iterVer
 			zIn := engine.In(vec(s.z, s.zS), ver)
@@ -511,9 +518,15 @@ func (s *CG) buildPrepared() {
 	r23 := func(allowLate bool) func() {
 		return func() { s.recoverPhase2(s.iterVer, s.iterCur, allowLate) }
 	}
+	//due:recovery
 	s.prep.r1o = e.PrepareSingle("r1", s.cfg.overlapPriority(), r1(false))
+	//due:recovery
 	s.prep.r23o = e.PrepareSingle("r2r3", s.cfg.overlapPriority(), r23(false))
+	//due:allow(priority-clamp) FEIR recovery is critical-path by design (Fig 2a): the coordinator blocks on it, so it runs at the compute tier, not below it
+	//due:recovery
 	s.prep.r1c = e.PrepareSingle("r1", prio, r1(true))
+	//due:allow(priority-clamp) FEIR recovery is critical-path by design (Fig 2a): the coordinator blocks on it, so it runs at the compute tier, not below it
+	//due:recovery
 	s.prep.r23c = e.PrepareSingle("r2r3", prio, r23(true))
 
 	// Prebuilt dependency lists: prepared handles are stable objects, so

@@ -167,6 +167,7 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 		defer sv.rt.Close()
 	}
 	sv.eng = engine.New(sv.a, sv.layout, sv.rt, false, 0)
+	sv.eng.RecoveryPriority = sv.cfg.overlapPriority()
 	sv.conn = sv.eng.Conn
 	sv.rel = &Relations{a: sv.a, layout: sv.layout, conn: sv.conn, blocks: sv.blocks, b: sv.b,
 		scratch: make([]float64, sv.cfg.pageDoubles()), stats: &sv.stats}
@@ -249,6 +250,7 @@ func (sv *GMRESSolver) Run() (Result, []float64, error) {
 			var rOverlap *taskrt.Handle
 			if sv.cfg.Method == MethodAFEIR && !(sv.cfg.OnDemandRecovery && !sv.space.AnyFault()) {
 				liveSteps := sv.steps // snapshot: the step counter advances mid-phase
+				//due:recovery
 				rOverlap = sv.eng.OverlappedRecovery("rV", wH, func() { sv.repairPasses(liveSteps) })
 			}
 			sv.rt.WaitAll(wH)

@@ -170,6 +170,11 @@ type Engine struct {
 	// every operation runs unconditionally on every page (the Ideal,
 	// Trivial, Lossy and Checkpoint methods).
 	Resilient bool
+	// RecoveryPriority is the task priority for overlapped (AFEIR)
+	// recovery. New sets -1; solvers running compute at a non-default
+	// tier must lower it via Config.overlapPriority() so recovery stays
+	// strictly below their own compute tasks. Clamped to ≤ -1 at use.
+	RecoveryPriority int
 
 	nchunks int
 	chunks  [][2]int
@@ -183,14 +188,15 @@ func New(a *sparse.CSR, layout sparse.BlockLayout, rt *taskrt.Runtime, resilient
 	}
 	np := layout.NumBlocks()
 	return &Engine{
-		RT:        rt,
-		A:         a,
-		Layout:    layout,
-		NP:        np,
-		Conn:      PageConnectivity(a, layout),
-		Resilient: resilient,
-		nchunks:   nchunks,
-		chunks:    ChunkRanges(np, nchunks),
+		RT:               rt,
+		A:                a,
+		Layout:           layout,
+		NP:               np,
+		Conn:             PageConnectivity(a, layout),
+		Resilient:        resilient,
+		RecoveryPriority: -1,
+		nchunks:          nchunks,
+		chunks:           ChunkRanges(np, nchunks),
 	}
 }
 
@@ -404,8 +410,14 @@ func (e *Engine) Dot(label string, x, y []float64, part *Partial) float64 {
 // OverlappedRecovery submits fn as a single low-priority task after the
 // given producers — the AFEIR discipline (Fig 2b): it starts only once a
 // worker is free, overlapping with whatever reduction tasks still run.
+//
+//due:recovery
 func (e *Engine) OverlappedRecovery(label string, after []*taskrt.Handle, fn func()) *taskrt.Handle {
-	return e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Priority: -1, Run: func(int) { fn() }})
+	prio := e.RecoveryPriority
+	if prio > -1 {
+		prio = -1
+	}
+	return e.RT.Submit(taskrt.TaskSpec{Label: label, After: after, Priority: prio, Run: func(int) { fn() }})
 }
 
 // CriticalRecovery runs fn as a task on the runtime and waits for it —

@@ -32,6 +32,8 @@ import (
 // out rows = A·in for page p, the <in,out> partial into xy and the
 // <out,out> partial into yy (either may be nil). Shared by the immediate
 // SpMVDot op and the prepared steady-state graphs.
+//
+//due:hotpath
 func (e *Engine) SpMVDotPage(p, lo, hi int, in, out Operand, xy, yy *Partial) {
 	if e.Resilient && !in.ConnCurrent(e.Conn[p], in.Ver, -1) {
 		return // output page keeps its OLD values; partials stay missing
@@ -94,6 +96,8 @@ func (e *Engine) SpMVDot(label string, after []*taskrt.Handle, in, out Operand, 
 // fused with the <out, y> partial against reliable-memory y (the BiCGStab
 // shadow residual). The partial guard matches DotPartialsReliable: only
 // the produced page must be current, which it is whenever the SpMV ran.
+//
+//due:hotpath
 func (e *Engine) SpMVDotVecPage(p, lo, hi int, in, out Operand, y []float64, part *Partial) {
 	if e.Resilient && !in.ConnCurrent(e.Conn[p], in.Ver, -1) {
 		return
@@ -128,6 +132,8 @@ func (e *Engine) SpMVDotReliable(label string, after []*taskrt.Handle, in, out O
 // DotPartials(y, y): the stamp advances but a poison landing mid-task
 // stays detected, and then the contribution is dropped exactly as the
 // unfused reduction's currency guard would drop it.
+//
+//due:hotpath
 func (e *Engine) AxpyDotPage(p, lo, hi int, alpha float64, x, y Operand, yy *Partial) {
 	if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver-1)) {
 		return
@@ -163,6 +169,8 @@ func (e *Engine) AxpyDot(label string, after []*taskrt.Handle, alpha float64, x,
 // ApplyPrecondPage is the per-page body of the guarded apply-M⁻¹
 // operation (ApplyPrecond): out_p = M_pp⁻¹ in_p with full-overwrite
 // stamping, for prepared steady-state graphs.
+//
+//due:hotpath
 func (e *Engine) ApplyPrecondPage(p int, m BlockApplier, in, out Operand) {
 	if e.Resilient && !in.Current(p, in.Ver) {
 		return
@@ -178,6 +186,8 @@ func (e *Engine) ApplyPrecondPage(p int, m BlockApplier, in, out Operand) {
 
 // DotPartialPage is the per-page body of the guarded DotPartials
 // reduction, for prepared steady-state graphs.
+//
+//due:hotpath
 func (e *Engine) DotPartialPage(p, lo, hi int, x, y Operand, part *Partial) {
 	if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver)) {
 		return

@@ -42,6 +42,8 @@ import (
 // count they were measured with; the equivalence of the two paths is
 // pinned by the bitwise and storm tests in internal/dist, not by this
 // benchmark.
+//
+//due:bench-artefact
 type DistKernelsResult struct {
 	Scale       int `json:"scale"`
 	Ranks       int `json:"ranks"`

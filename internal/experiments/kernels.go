@@ -31,6 +31,8 @@ import (
 // CGIterNs/CGIterAllocs additionally measure the real core.CG solver
 // (MethodFEIR, no faults), whose iterations also carry the recovery scan
 // and reconcile passes the replicas omit.
+//
+//due:bench-artefact
 type KernelsResult struct {
 	Scale       int `json:"scale"`
 	Workers     int `json:"workers"`
@@ -296,6 +298,7 @@ func newCGIterHarness(a *sparse.CSR, b []float64, pageDoubles int, rt *taskrt.Ru
 	h.ggPart = engine.NewPartial(np)
 	{
 		e := h.eng
+		//due:hotpath
 		h.pd = e.Prepare("d", 0, func(_, pLo, pHi int) {
 			ver, beta := h.ver, h.beta
 			dCur, dPrev := h.d[h.cur], h.d[h.prev]
@@ -313,6 +316,7 @@ func newCGIterHarness(a *sparse.CSR, b []float64, pageDoubles int, rt *taskrt.Ru
 				dCur.S[p].Store(ver)
 			}
 		})
+		//due:hotpath
 		h.pq = e.Prepare("q,<d,q>", 0, func(_, pLo, pHi int) {
 			ver := h.ver
 			in := engine.In(h.d[h.cur], ver)
@@ -322,6 +326,7 @@ func newCGIterHarness(a *sparse.CSR, b []float64, pageDoubles int, rt *taskrt.Ru
 				e.SpMVDotPage(p, lo, hi, in, out, h.dqPart, nil)
 			}
 		})
+		//due:hotpath
 		h.px = e.Prepare("x", 0, func(_, pLo, pHi int) {
 			ver, alpha := h.ver, h.alpha
 			dCur := h.d[h.cur]
@@ -334,6 +339,7 @@ func newCGIterHarness(a *sparse.CSR, b []float64, pageDoubles int, rt *taskrt.Ru
 				h.x.S[p].Store(ver)
 			}
 		})
+		//due:hotpath
 		h.pg = e.Prepare("g,eps", 0, func(_, pLo, pHi int) {
 			ver, alpha := h.ver, h.alpha
 			qIn := engine.In(h.q, ver)

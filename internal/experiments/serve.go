@@ -53,6 +53,8 @@ func (o ServeOptions) storm() int    { return defaults.Int(o.Storm, 12) }
 // under the three mixes, latency tails on the cached path, and the
 // counter-verified claim that warm traffic performs zero factorizations
 // and zero task-graph preparations.
+//
+//due:bench-artefact
 type ServeResult struct {
 	Matrix      string `json:"matrix"`
 	N           int    `json:"n"`

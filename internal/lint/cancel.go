@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// cancellationPoll guarantees every registered solver can be torn down:
+// a solver's Run method owns the main iteration loop, and if that loop
+// never polls Config.Cancelled the admission controller's cancel signal
+// is dead letter — the solve runs to convergence while the tenant has
+// long since hung up. Scope: internal/core and internal/dist, where the
+// registered solvers live. A Run method is recognized by returning a
+// Result (the solver contract) and containing at least one loop.
+var cancellationPoll = &Analyzer{
+	Name: "cancellation-poll",
+	Doc:  "every registered solver's main iteration loop must poll Config.Cancelled",
+	Run:  runCancellationPoll,
+}
+
+func runCancellationPoll(ctx *Context, pkg *Package, report reportFunc) {
+	if !pathUnder(pkg.Path, "internal/core") && !pathUnder(pkg.Path, "internal/dist") {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name != "Run" || fn.Recv == nil {
+				continue
+			}
+			if !returnsResult(fn) || !containsLoop(fn.Body) {
+				continue
+			}
+			if !loopPollsCancelled(fn.Body) {
+				report(fn.Pos(), "solver Run loop never polls Config.Cancelled; the solve cannot be torn down mid-iteration")
+			}
+		}
+	}
+}
+
+func returnsResult(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		name := ""
+		switch t := field.Type.(type) {
+		case *ast.Ident:
+			name = t.Name
+		case *ast.SelectorExpr:
+			name = t.Sel.Name
+		case *ast.StarExpr:
+			switch inner := t.X.(type) {
+			case *ast.Ident:
+				name = inner.Name
+			case *ast.SelectorExpr:
+				name = inner.Sel.Name
+			}
+		}
+		if name == "Result" {
+			return true
+		}
+	}
+	return false
+}
+
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopPollsCancelled reports whether any for/range loop in the body
+// references Cancelled somewhere in its own subtree.
+func loopPollsCancelled(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			loopBody = x.Body
+		case *ast.RangeStmt:
+			loopBody = x.Body
+		default:
+			return !found
+		}
+		ast.Inspect(loopBody, func(m ast.Node) bool {
+			if name, _ := identName(m); name == "Cancelled" {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestRepoTreeLintClean pins that due-lint exits 0 on the repository at
+// HEAD: no invariant violations, no tool failures. The tree stays
+// lint-clean by construction — a change that trips an analyzer must
+// either fix the violation or carry a reviewed //due:allow waiver.
+func TestRepoTreeLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, _, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Main(Config{Dir: root})
+	if err != nil {
+		t.Fatalf("due-lint tool failure: %v", err)
+	}
+	for _, e := range res.ToolErrs {
+		t.Errorf("tool failure: %s", e)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("violation: %s", d)
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchProvenance makes bench artefacts self-describing forever: every
+// BENCH_*.json on disk must carry the provenance block (host, CPU,
+// go version, commit) or cross-machine comparisons silently lie. The
+// contract has two halves:
+//
+//   - every struct annotated //due:bench-artefact must carry a field
+//     tagged json:"provenance";
+//   - every value handed to writeJSON must be (a pointer to) a
+//     registered bench-artefact type, and raw os.WriteFile calls must
+//     not mint BENCH_*.json paths behind the schema's back.
+var benchProvenance = &Analyzer{
+	Name: "bench-provenance",
+	Doc:  "every experiment writing a BENCH_*.json must attach the provenance block",
+	Run:  runBenchProvenance,
+}
+
+var benchPathRE = regexp.MustCompile(`BENCH_.*\.json`)
+
+// registerArtefacts validates each //due:bench-artefact struct of pkg
+// and records the compliant ones in the cross-package registry. Called
+// for every loaded package before any analyzer runs.
+func registerArtefacts(ctx *Context, pkg *Package) {
+	for _, d := range pkg.Dirs.OfKind(DirBenchArtefact) {
+		spec := typeSpecOf(d.Node)
+		if spec == nil {
+			continue // due-directive reports unattached/mistargeted separately
+		}
+		st, ok := spec.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		if hasProvenanceField(st) {
+			ctx.artefacts[pkg.Path+"."+spec.Name.Name] = true
+		}
+	}
+}
+
+func typeSpecOf(n ast.Node) *ast.TypeSpec {
+	switch x := n.(type) {
+	case *ast.TypeSpec:
+		return x
+	case *ast.GenDecl:
+		for _, s := range x.Specs {
+			if ts, ok := s.(*ast.TypeSpec); ok {
+				return ts
+			}
+		}
+	}
+	return nil
+}
+
+func hasProvenanceField(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if f.Tag == nil {
+			continue
+		}
+		tag, err := strconv.Unquote(f.Tag.Value)
+		if err != nil {
+			continue
+		}
+		name := reflect.StructTag(tag).Get("json")
+		if name == "provenance" || strings.HasPrefix(name, "provenance,") {
+			return true
+		}
+	}
+	return false
+}
+
+func runBenchProvenance(ctx *Context, pkg *Package, report reportFunc) {
+	// Half one: annotated structs missing the block.
+	for _, d := range pkg.Dirs.OfKind(DirBenchArtefact) {
+		spec := typeSpecOf(d.Node)
+		if spec == nil {
+			report(d.Pos, "//due:bench-artefact must annotate a struct type declaration")
+			continue
+		}
+		st, ok := spec.Type.(*ast.StructType)
+		if !ok {
+			report(spec.Pos(), "//due:bench-artefact must annotate a struct type")
+			continue
+		}
+		if !hasProvenanceField(st) {
+			report(spec.Pos(), "bench artefact %s has no json:\"provenance\" field; the artefact would be unattributable", spec.Name.Name)
+		}
+	}
+	// Half two: writer call sites.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A bench writer is writeJSON(path string, v) — an HTTP
+			// responder named writeJSON(w, status, v) is not a bench
+			// artefact sink.
+			if name, _ := identName(call.Fun); name == "writeJSON" && len(call.Args) == 2 &&
+				isStringExpr(pkg.Info, call.Args[0]) {
+				checkWriteJSONArg(ctx, pkg, call.Args[1], report)
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WriteFile" {
+				if id, ok := sel.X.(*ast.Ident); ok && isPackage(pkg.Info, id, "os") {
+					if callMintsBenchPath(call) {
+						report(call.Pos(), "raw os.WriteFile mints a BENCH_*.json; route it through writeJSON with a //due:bench-artefact schema")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWriteJSONArg resolves the payload's type and demands it be a
+// registered artefact.
+func checkWriteJSONArg(ctx *Context, pkg *Package, arg ast.Expr, report reportFunc) {
+	t := typeOf(pkg.Info, arg)
+	if t == nil {
+		report(arg.Pos(), "cannot resolve the type written to a bench artefact; annotate it //due:bench-artefact")
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		report(arg.Pos(), "bench artefact payload is not a named struct; declare a //due:bench-artefact schema")
+		return
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !ctx.artefacts[key] {
+		report(arg.Pos(), "%s is not a registered bench artefact; annotate it //due:bench-artefact and give it a json:\"provenance\" field", named.Obj().Name())
+	}
+}
+
+func callMintsBenchPath(call *ast.CallExpr) bool {
+	found := false
+	for _, a := range call.Args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.BasicLit); ok && benchPathRE.MatchString(lit.Value) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,36 @@
+// Fixture for cancellation-poll under an internal/core path.
+package core
+
+type Result struct{ Iters int }
+
+type Config struct{ Cancelled func() bool }
+
+type goodSolver struct{ cfg Config }
+
+func (s *goodSolver) Run() (Result, error) {
+	for it := 0; it < 100; it++ {
+		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			break
+		}
+	}
+	return Result{}, nil
+}
+
+type badSolver struct{ cfg Config }
+
+func (s *badSolver) Run() (Result, error) { // want "never polls Config.Cancelled"
+	sum := 0
+	for it := 0; it < 100; it++ {
+		sum += it
+	}
+	return Result{Iters: sum}, nil
+}
+
+// helper has a loop but is not a solver Run: out of scope.
+func helper() int {
+	n := 0
+	for i := 0; i < 3; i++ {
+		n += i
+	}
+	return n
+}

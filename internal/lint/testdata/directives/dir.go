@@ -1,0 +1,14 @@
+// Fixture for the due-directive grammar check.
+package directives
+
+//due:frobnicate
+func a() {} // want "unknown //due: directive"
+
+//due:allow(hotpath-alloc)
+func b() {} // want "has no reason"
+
+//due:allow(no-such-check) tempting but wrong
+func c() {} // want "unknown check"
+
+//due:allow(hotpath-alloc) nothing here ever triggers it
+func d() {} // want "unused waiver"

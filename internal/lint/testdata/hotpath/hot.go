@@ -1,0 +1,38 @@
+// Fixture for the hotpath-alloc analyzer.
+package hot
+
+import "fmt"
+
+type task struct {
+	buf  []float64
+	name string
+}
+
+//due:hotpath
+func (t *task) good(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t.buf[i] = 0
+	}
+}
+
+//due:hotpath
+func (t *task) bad(n int) {
+	s := make([]float64, n)     // want "make allocates"
+	t.buf = append(t.buf, s...) // want "append may grow"
+	fmt.Println(len(s))         // want "fmt.Println allocates"
+	m := map[string]int{}       // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	p := new(int) // want "new allocates"
+	_ = p
+	q := &task{} // want "composite literal escapes"
+	_ = q
+	f := func() {} // want "closure creation allocates"
+	f()
+	go t.good(0, n)       // want "go statement spawns"
+	t.name += "x"         // want "string concatenation allocates"
+	label := t.name + "y" // want "string concatenation allocates"
+	raw := []byte(label)  // want "conversion copies"
+	_ = raw
+}

@@ -1,0 +1,39 @@
+// Fixture for priority-clamp under an internal/core path.
+package core
+
+type Config struct{ TaskPriority int }
+
+func (c *Config) overlapPriority() int {
+	if p := c.TaskPriority - 1; p < -1 {
+		return p
+	}
+	return -1
+}
+
+type TaskSpec struct {
+	Label    string
+	Priority int
+}
+
+type rt struct{}
+
+func (r *rt) Submit(spec TaskSpec) {}
+
+func (r *rt) PrepareSingle(label string, prio int, fn func()) {}
+
+type solver struct {
+	cfg Config
+	rt  *rt
+}
+
+func (s *solver) build() {
+	//due:recovery
+	s.rt.PrepareSingle("r1", s.cfg.overlapPriority(), func() {})
+	//due:recovery
+	s.rt.PrepareSingle("r2", s.cfg.TaskPriority, func() {}) // want "reads raw Config.TaskPriority"
+	prio := 0
+	//due:recovery
+	s.rt.PrepareSingle("r3", prio, func() {})         // want "never consults the overlap clamp"
+	s.rt.Submit(TaskSpec{Label: "rec", Priority: -1}) // want "hardcoded negative task priority"
+	s.rt.Submit(TaskSpec{Label: "compute", Priority: prio})
+}

@@ -1,0 +1,35 @@
+// Fixture for bench-provenance.
+package exp
+
+import (
+	"encoding/json"
+	"os"
+)
+
+type Provenance struct {
+	Host string `json:"host"`
+}
+
+//due:bench-artefact
+type GoodResult struct {
+	N          int        `json:"n"`
+	Provenance Provenance `json:"provenance"`
+}
+
+//due:bench-artefact
+type NakedResult struct { // want "no json:.provenance. field"
+	N int `json:"n"`
+}
+
+type UntrackedResult struct{ N int }
+
+func writeJSON(path string, v any) {
+	b, _ := json.Marshal(v)
+	_ = os.WriteFile(path, b, 0o644)
+}
+
+func emit() {
+	writeJSON("BENCH_good.json", &GoodResult{})
+	writeJSON("BENCH_bad.json", UntrackedResult{}) // want "not a registered bench artefact"
+	_ = os.WriteFile("BENCH_raw.json", nil, 0o644) // want "raw os.WriteFile mints"
+}

@@ -1,0 +1,20 @@
+// Fixture for reduction-accounting under an internal/dist path: the
+// transport layer must never sum partials itself.
+package dist
+
+type partial struct{ vals []float64 }
+
+func (p *partial) SumAvailable() (float64, int) {
+	var s float64
+	for _, v := range p.vals {
+		s += v
+	}
+	return s, 0
+}
+
+type coordinator struct{ part *partial }
+
+func (c *coordinator) allreduce() float64 {
+	v, _ := c.part.SumAvailable() // want "bypasses the Substrate accounting"
+	return v
+}

@@ -1,0 +1,35 @@
+// Fixture for reduction-accounting under an internal/shard path.
+package shard
+
+type partial struct{ vals []float64 }
+
+func (p *partial) SumAvailable() (float64, int) {
+	var s float64
+	for _, v := range p.vals {
+		s += v
+	}
+	return s, 0
+}
+
+type sub struct {
+	reductions int64
+	part       *partial
+}
+
+func (s *sub) goodDot() float64 {
+	s.reductions++
+	v, _ := s.part.SumAvailable()
+	return v
+}
+
+func (s *sub) goodDot2() (float64, float64) {
+	s.reductions += 1
+	a, _ := s.part.SumAvailable()
+	b, _ := s.part.SumAvailable()
+	return a, b
+}
+
+func (s *sub) badDot() float64 {
+	v, _ := s.part.SumAvailable() // want "SumAvailable without a reductions"
+	return v
+}

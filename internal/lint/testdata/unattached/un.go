@@ -1,0 +1,6 @@
+// Fixture: a directive trailing the last declaration governs nothing.
+package un
+
+func a() {}
+
+//due:hotpath

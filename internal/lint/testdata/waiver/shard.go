@@ -1,0 +1,38 @@
+// Fixture for the waiver grammar: //due:allow(<check>) suppresses
+// exactly its named check on its node, and nothing else.
+package shard
+
+type partial struct{ vals []float64 }
+
+func (p *partial) SumAvailable() (float64, int) {
+	var s float64
+	for _, v := range p.vals {
+		s += v
+	}
+	return s, 0
+}
+
+type sub struct {
+	reductions int64
+	part       *partial
+}
+
+// deferred's reduction-accounting violation is waived: no diagnostic.
+//
+//due:allow(reduction-accounting) fixture: deferred-sum discipline, accounted by the caller
+func (s *sub) deferred() float64 {
+	v, _ := s.part.SumAvailable()
+	return v
+}
+
+// hot carries the same waiver, which must NOT leak onto the
+// hotpath-alloc violation sharing the function.
+//
+//due:hotpath
+//due:allow(reduction-accounting) fixture: the waiver must not leak across checks
+func (s *sub) hot(n int) []float64 {
+	buf := make([]float64, n) // want "make allocates"
+	v, _ := s.part.SumAvailable()
+	_ = v
+	return buf
+}

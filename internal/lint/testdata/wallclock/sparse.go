@@ -1,0 +1,21 @@
+// Fixture for no-wallclock-rand under an internal/sparse path.
+package sparse
+
+import (
+	"math/rand" // want "math/rand import"
+	"time"
+)
+
+func kernel(x []float64) float64 {
+	start := time.Now() // want "time.Now in a reproducible kernel"
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	_ = start
+	return s + rand.Float64()
+}
+
+// elapsed takes a duration value: referencing the time package for
+// types is fine, only the clock calls are banned.
+func elapsed(d time.Duration) float64 { return d.Seconds() }

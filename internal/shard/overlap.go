@@ -84,6 +84,7 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 		st.upd = make([]*taskrt.Handle, len(s.Ranks))
 		for i, r := range s.Ranks {
 			r := r
+			//due:hotpath
 			st.upd[i] = rt.NewTask(taskrt.TaskSpec{Label: label + ":upd", Home: taskrt.HomeWorker(i), Run: func(int) {
 				for p := r.PLo; p < r.PHi; p++ {
 					lo, hi := s.Layout.Range(p)
@@ -104,6 +105,7 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 			p := p
 			// The import writes rank i's ghost page: home it with the
 			// reader's other tasks, not the owner's.
+			//due:hotpath
 			h := rt.NewTask(taskrt.TaskSpec{Label: label + ":halo", Home: taskrt.HomeWorker(i), Run: func(int) {
 				local := st.in.R[r.ID]
 				lo, hi := s.Layout.Range(p)
@@ -122,12 +124,14 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 
 	for i, r := range s.Ranks {
 		r := r
-		st.interior = append(st.interior, rt.NewTask(taskrt.TaskSpec{Label: label + ":int", Home: taskrt.HomeWorker(i), Run: func(int) {
+		//due:hotpath
+		intTask := rt.NewTask(taskrt.TaskSpec{Label: label + ":int", Home: taskrt.HomeWorker(i), Run: func(int) {
 			for _, p := range r.Interior {
 				lo, hi := s.Layout.Range(p)
 				st.page(r, p, lo, hi)
 			}
-		}}))
+		}})
+		st.interior = append(st.interior, intTask)
 		var dep []*taskrt.Handle
 		if pre != nil {
 			dep = []*taskrt.Handle{st.upd[i]}
@@ -136,10 +140,12 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 
 		for _, p := range r.Boundary {
 			p := p
-			st.boundary = append(st.boundary, rt.NewTask(taskrt.TaskSpec{Label: label + ":bnd", Home: taskrt.HomeWorker(i), Run: func(int) {
+			//due:hotpath
+			bndTask := rt.NewTask(taskrt.TaskSpec{Label: label + ":bnd", Home: taskrt.HomeWorker(i), Run: func(int) {
 				lo, hi := s.Layout.Range(p)
 				st.page(r, p, lo, hi)
-			}}))
+			}})
+			st.boundary = append(st.boundary, bndTask)
 			var dep []*taskrt.Handle
 			if pre != nil {
 				dep = append(dep, st.upd[i])
@@ -166,6 +172,8 @@ func (s *Substrate) NewOverlapStep(label string, in, out *Vec, pre func(r *Rank,
 // reduction's work, exactly as engine.SpMVDotPage does on the single-node
 // hot path: <in,out> is <out,w> with w = in, and <out,out> is <out,w>
 // with w = out.
+//
+//due:hotpath
 func (st *OverlapStep) page(r *Rank, p, lo, hi int) {
 	in, out := st.in.R[r.ID].Data, st.out.R[r.ID].Data
 	switch {
@@ -247,6 +255,7 @@ func (s *Substrate) prepareRankOp(label string, dots int, body func(r *Rank)) *P
 	op := &PreparedRankOp{sub: s, dots: dots, tasks: make([]*taskrt.Handle, len(s.Ranks))}
 	for i, r := range s.Ranks {
 		r := r
+		//due:hotpath
 		op.tasks[i] = s.RT.NewTask(taskrt.TaskSpec{Label: label, Home: taskrt.HomeWorker(i), Run: func(int) { body(r) }})
 	}
 	return op
@@ -254,6 +263,7 @@ func (s *Substrate) prepareRankOp(label string, dots int, body func(r *Rank)) *P
 
 // PrepareRankOp prepares a replayable RankOp.
 func (s *Substrate) PrepareRankOp(label string, fn func(r *Rank, p, lo, hi int)) *PreparedRankOp {
+	//due:hotpath
 	return s.prepareRankOp(label, 0, func(r *Rank) {
 		for p := r.PLo; p < r.PHi; p++ {
 			lo, hi := s.Layout.Range(p)
@@ -265,6 +275,7 @@ func (s *Substrate) PrepareRankOp(label string, fn func(r *Rank, p, lo, hi int))
 // PrepareRankOpDot prepares a replayable RankOpDot (one fused reduction,
 // stored in the substrate's shared partial buffer).
 func (s *Substrate) PrepareRankOpDot(label string, fn func(r *Rank, p, lo, hi int) float64) *PreparedRankOp {
+	//due:hotpath
 	return s.prepareRankOp(label, 1, func(r *Rank) {
 		for p := r.PLo; p < r.PHi; p++ {
 			lo, hi := s.Layout.Range(p)
@@ -276,6 +287,7 @@ func (s *Substrate) PrepareRankOpDot(label string, fn func(r *Rank, p, lo, hi in
 // PrepareRankOpDot2 prepares a replayable RankOpDot2 (two fused
 // reductions).
 func (s *Substrate) PrepareRankOpDot2(label string, fn func(r *Rank, p, lo, hi int) (float64, float64)) *PreparedRankOp {
+	//due:hotpath
 	return s.prepareRankOp(label, 2, func(r *Rank) {
 		for p := r.PLo; p < r.PHi; p++ {
 			lo, hi := s.Layout.Range(p)
@@ -368,6 +380,7 @@ func (s *Substrate) PrepareRankOpDotBlock(label string, w int, fn func(r *Rank, 
 	for i, r := range s.Ranks {
 		r := r
 		scratch := make([]float64, w) // per-rank: tasks of one op never share
+		//due:hotpath
 		op.tasks[i] = s.RT.NewTask(taskrt.TaskSpec{Label: label, Home: taskrt.HomeWorker(i), Run: func(int) {
 			for p := r.PLo; p < r.PHi; p++ {
 				lo, hi := s.Layout.Range(p)

@@ -427,6 +427,7 @@ func (s *Substrate) Exchange(v *Vec, strict bool) {
 	s.runStep(s.xchStepF)
 }
 
+//due:hotpath
 func (s *Substrate) xchStep(r *Rank) {
 	v, strict := s.xchVec, s.xchStrict
 	local := v.R[r.ID]
@@ -456,6 +457,7 @@ func (s *Substrate) Dot(label string, x, y *Vec) float64 {
 	return sum
 }
 
+//due:hotpath
 func (s *Substrate) dotStep(r *Rank) {
 	x, y := s.dotX.R[r.ID].Data, s.dotY.R[r.ID].Data
 	for p := r.PLo; p < r.PHi; p++ {
@@ -476,6 +478,7 @@ func (s *Substrate) DotReliable(label string, x *Vec, y []float64) float64 {
 	return sum
 }
 
+//due:hotpath
 func (s *Substrate) dotRelStep(r *Rank) {
 	x, y := s.dotX.R[r.ID].Data, s.dotYRel
 	for p := r.PLo; p < r.PHi; p++ {
@@ -497,6 +500,7 @@ func (s *Substrate) DotMixed(label string, xs [][]float64, y *Vec) float64 {
 	return sum
 }
 
+//due:hotpath
 func (s *Substrate) dotMixStep(r *Rank) {
 	x, y := s.dotXs[r.ID], s.dotY.R[r.ID].Data
 	for p := r.PLo; p < r.PHi; p++ {
@@ -516,6 +520,7 @@ func (s *Substrate) SpMV(label string, in, out *Vec) {
 	s.runStep(s.spmvStepF)
 }
 
+//due:hotpath
 func (s *Substrate) spmvStep(r *Rank) {
 	in, out := s.spmvIn.R[r.ID].Data, s.spmvOut.R[r.ID].Data
 	for p := r.PLo; p < r.PHi; p++ {
@@ -576,6 +581,7 @@ func (s *Substrate) spmvDots(label string, in, out *Vec, wantXY, wantYY bool) (x
 	return xy, yy
 }
 
+//due:hotpath
 func (s *Substrate) spmvDotStep(r *Rank) {
 	in, out := s.spmvIn.R[r.ID].Data, s.spmvOut.R[r.ID].Data
 	for p := r.PLo; p < r.PHi; p++ {
@@ -604,6 +610,7 @@ func (s *Substrate) SpMVDotReliable(label string, in, out *Vec, y []float64) flo
 	return sum
 }
 
+//due:hotpath
 func (s *Substrate) spmvRelStep(r *Rank) {
 	in, out := s.spmvIn.R[r.ID].Data, s.spmvOut.R[r.ID].Data
 	for p := r.PLo; p < r.PHi; p++ {
@@ -626,6 +633,7 @@ func (s *Substrate) RankOpDot(label string, fn func(r *Rank, p, lo, hi int) floa
 	return sum
 }
 
+//due:hotpath
 func (s *Substrate) opDotStep(r *Rank) {
 	for p := r.PLo; p < r.PHi; p++ {
 		lo, hi := s.Layout.Range(p)
@@ -648,6 +656,7 @@ func (s *Substrate) RankOpDot2(label string, fn func(r *Rank, p, lo, hi int) (fl
 	return a, b
 }
 
+//due:hotpath
 func (s *Substrate) opDot2Step(r *Rank) {
 	for p := r.PLo; p < r.PHi; p++ {
 		lo, hi := s.Layout.Range(p)
@@ -826,6 +835,8 @@ func (s *Substrate) HealGhosts() {
 // critical path (Fig 2a), one rank at a time. Repairs must be rank-local
 // (reads confined to the rank's own vectors) — cross-rank data moves only
 // through a prior strict Exchange.
+//
+//due:recovery
 func (s *Substrate) Recover(method core.Method, label string, fn func(r *Rank)) {
 	if method == core.MethodAFEIR {
 		hs := make([]*taskrt.Handle, 0, len(s.Ranks))

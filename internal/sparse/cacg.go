@@ -15,6 +15,8 @@ const pairDotsMaxCols = 32
 // produces every inner product the coordinator recurrences need, instead
 // of one DotRange pass per pair. Each out[k] accumulates in ascending-i
 // order, bitwise identical to DotRange(cols[a], cols[b], lo, hi).
+//
+//due:hotpath
 func PairDotsRange(cols [][]float64, pairs [][2]int32, out []float64, lo, hi int) {
 	if len(cols) <= pairDotsMaxCols {
 		var v [pairDotsMaxCols]float64
@@ -61,6 +63,8 @@ const MaxCACGBasis = cacgMaxS
 // independent and ordered exactly as the unfused composition (copy, then
 // per-j axpys, then per-l axpys, then DotRange), so the results agree
 // bitwise — pinned by TestCACGUpdateMatchesUnfused.
+//
+//due:hotpath
 func CACGUpdateRange(kc, pc, apc [][]float64, b, a []float64, x, r []float64, lo, hi int) (rr float64) {
 	s := len(pc)
 	var pn, apn [cacgMaxS]float64

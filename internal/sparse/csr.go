@@ -185,6 +185,8 @@ func (a *CSR) MulVec(x, y []float64) {
 // paper's task graph) but writes only rows [lo, hi). The row span is
 // sliced once per row so the inner loop runs without re-checking the
 // RowPtr-derived bounds on every nonzero.
+//
+//due:hotpath
 func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
 	if a.diaOffs != nil {
 		a.mulVecRangeDIA(x, y, lo, hi)
@@ -211,6 +213,7 @@ func (a *CSR) MulVecRange(x, y []float64, lo, hi int) {
 	}
 }
 
+//due:hotpath
 func (a *CSR) mulVecRange32(x, y []float64, lo, hi int) {
 	rp := a.rowPtr32
 	for i := lo; i < hi; i++ {
@@ -230,6 +233,8 @@ func (a *CSR) mulVecRange32(x, y []float64, lo, hi int) {
 // This is the off-block part of a block relation: the recovery right-hand
 // side q_i - sum_{j != i} A_ij p_j is built with exclusion of the failed
 // block's own columns. Output is compact: y needs only hi-lo elements.
+//
+//due:hotpath
 func (a *CSR) MulVecRangeExcludingCols(x, y []float64, lo, hi, exLo, exHi int) {
 	rp := a.RowPtr
 	for i := lo; i < hi; i++ {

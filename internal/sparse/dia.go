@@ -80,6 +80,8 @@ func (a *CSR) buildDIA() {
 // diaBlockMul computes y[b0:b1] = (A*x)[b0:b1] by streaming each
 // diagonal across the block. y stays cache-hot, and each inner loop is
 // a contiguous bounds-check-free stream.
+//
+//due:hotpath
 func (a *CSR) diaBlockMul(x, y []float64, b0, b1, n int) {
 	yb := y[b0:b1]
 	for i := range yb {
@@ -107,6 +109,8 @@ func (a *CSR) diaBlockMul(x, y []float64, b0, b1, n int) {
 
 // mulVecRangeDIA computes y[lo:hi] = (A*x)[lo:hi] from the diagonal
 // shadow.
+//
+//due:hotpath
 func (a *CSR) mulVecRangeDIA(x, y []float64, lo, hi int) {
 	n := a.N
 	for b0 := lo; b0 < hi; b0 += diaBlock {
@@ -121,6 +125,8 @@ func (a *CSR) mulVecRangeDIA(x, y []float64, lo, hi int) {
 // mulVecDotRangeDIA is the fused variant: the dot partials are taken in
 // a short second pass over each block while it is still L1-hot, in the
 // same ascending-row order as the CSR fused kernel.
+//
+//due:hotpath
 func (a *CSR) mulVecDotRangeDIA(x, y []float64, lo, hi int) (xy, yy float64) {
 	n := a.N
 	for b0 := lo; b0 < hi; b0 += diaBlock {
@@ -141,6 +147,8 @@ func (a *CSR) mulVecDotRangeDIA(x, y []float64, lo, hi int) (xy, yy float64) {
 }
 
 // mulVecDotVecRangeDIA fuses the <y, w> partial instead.
+//
+//due:hotpath
 func (a *CSR) mulVecDotVecRangeDIA(x, y, w []float64, lo, hi int) (wy float64) {
 	n := a.N
 	for b0 := lo; b0 < hi; b0 += diaBlock {

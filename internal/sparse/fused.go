@@ -13,6 +13,8 @@ package sparse
 // yy = Σ y[i]·y[i] for i in [lo, hi). It is the CG phase-1 kernel
 // (q = A d with <d,q>) and, with x the BiCGStab intermediate s, the
 // phase-2 kernel (t = A s with <t,s> and <t,t>).
+//
+//due:hotpath
 func (a *CSR) MulVecDotRange(x, y []float64, lo, hi int) (xy, yy float64) {
 	if a.diaOffs != nil {
 		return a.mulVecDotRangeDIA(x, y, lo, hi)
@@ -41,6 +43,7 @@ func (a *CSR) MulVecDotRange(x, y []float64, lo, hi int) (xy, yy float64) {
 	return xy, yy
 }
 
+//due:hotpath
 func (a *CSR) mulVecDotRange32(x, y []float64, lo, hi int) (xy, yy float64) {
 	rp := a.rowPtr32
 	for i := lo; i < hi; i++ {
@@ -62,6 +65,8 @@ func (a *CSR) mulVecDotRange32(x, y []float64, lo, hi int) (xy, yy float64) {
 // partial inner product wy = Σ y[i]·w[i] against a third vector — the
 // BiCGStab phase-1 kernel q = A d̂ with <q, r̂0> (the shadow residual lives
 // in reliable memory, so it is a plain slice).
+//
+//due:hotpath
 func (a *CSR) MulVecDotVecRange(x, y, w []float64, lo, hi int) (wy float64) {
 	if a.diaOffs != nil {
 		return a.mulVecDotVecRangeDIA(x, y, w, lo, hi)
@@ -87,6 +92,7 @@ func (a *CSR) MulVecDotVecRange(x, y, w []float64, lo, hi int) (wy float64) {
 	return wy
 }
 
+//due:hotpath
 func (a *CSR) mulVecDotVecRange32(x, y, w []float64, lo, hi int) (wy float64) {
 	rp := a.rowPtr32
 	for i := lo; i < hi; i++ {
@@ -107,6 +113,8 @@ func (a *CSR) mulVecDotVecRange32(x, y, w []float64, lo, hi int) (wy float64) {
 // squared norm Σ y[i]·y[i] of the updated values — the CG phase-2 kernel
 // g -= α q with ε = <g,g>, and the GMRES kernel for the last
 // orthogonalisation update fused with the Arnoldi normalisation norm.
+//
+//due:hotpath
 func AxpyDotRange(alpha float64, x, y []float64, lo, hi int) (yy float64) {
 	xs := x[lo:hi]
 	ys := y[lo:hi:hi]
@@ -120,6 +128,8 @@ func AxpyDotRange(alpha float64, x, y []float64, lo, hi int) (yy float64) {
 
 // XpbyNormRange computes out[lo:hi] = x[lo:hi] + beta*y[lo:hi] fused with
 // the partial squared norm Σ out[i]·out[i] of the produced values.
+//
+//due:hotpath
 func XpbyNormRange(x []float64, beta float64, y, out []float64, lo, hi int) (oo float64) {
 	xs := x[lo:hi]
 	ys := y[lo:hi:hi]
@@ -145,6 +155,8 @@ func XpbyNormRange(x []float64, beta float64, y, out []float64, lo, hi int) (oo 
 // operations are independent, so the per-element interleaving produces
 // bitwise the same values as the six unfused Xpby/Axpy passes followed by
 // two DotRange passes (pinned by TestPipeCGUpdateMatchesUnfused).
+//
+//due:hotpath
 func PipeCGUpdateRange(alpha, beta float64, q, z, w, s, r, p, x []float64, lo, hi int) (gamma, delta float64) {
 	qs := q[lo:hi]
 	zs := z[lo:hi:hi]
@@ -174,6 +186,8 @@ func PipeCGUpdateRange(alpha, beta float64, q, z, w, s, r, p, x []float64, lo, h
 // XpbyDotNormRange is XpbyNormRange additionally fused with the partial
 // inner product Σ out[i]·w[i] against a third vector — the BiCGStab
 // phase-3 kernel g = s - ω t with both <g, r̂0> and <g, g> in one pass.
+//
+//due:hotpath
 func XpbyDotNormRange(x []float64, beta float64, y, out, w []float64, lo, hi int) (ow, oo float64) {
 	xs := x[lo:hi]
 	ys := y[lo:hi:hi]

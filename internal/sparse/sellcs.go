@@ -145,6 +145,8 @@ func (a *CSR) buildSELL() {
 // dense unguarded sweep up to the chunk's shortest real row, then a
 // length-guarded ragged tail. Lanes without a backing row accumulate
 // padding slots (0·x[0]) that the callers never store.
+//
+//due:hotpath
 func (a *CSR) sellChunk(x []float64, c int, acc *[sellC]float64) {
 	base := int(a.sellPtr[c])
 	width := (int(a.sellPtr[c+1]) - base) / sellC
@@ -175,6 +177,8 @@ func (a *CSR) sellChunk(x []float64, c int, acc *[sellC]float64) {
 // mulVecRangeSELL computes y[lo:hi] = (A*x)[lo:hi] from the SELL shadow.
 // Chunks never cross a σ window, so only the windows at the range
 // boundaries need the per-lane row-range guard on the scatter.
+//
+//due:hotpath
 func (a *CSR) mulVecRangeSELL(x, y []float64, lo, hi int) {
 	w0, w1 := lo/sellSigma, (hi-1)/sellSigma
 	for w := w0; w <= w1; w++ {
@@ -208,6 +212,8 @@ func (a *CSR) mulVecRangeSELL(x, y []float64, lo, hi int) {
 // a short ascending-row pass over each window while it is still hot — the
 // same discipline (and bitwise the same reduction order) as the DIA and
 // CSR fused kernels.
+//
+//due:hotpath
 func (a *CSR) mulVecDotRangeSELL(x, y []float64, lo, hi int) (xy, yy float64) {
 	w0, w1 := lo/sellSigma, (hi-1)/sellSigma
 	for w := w0; w <= w1; w++ {
@@ -229,6 +235,8 @@ func (a *CSR) mulVecDotRangeSELL(x, y []float64, lo, hi int) (xy, yy float64) {
 }
 
 // mulVecDotVecRangeSELL fuses the <y, w> partial instead.
+//
+//due:hotpath
 func (a *CSR) mulVecDotVecRangeSELL(x, y, w []float64, lo, hi int) (wy float64) {
 	w0, w1 := lo/sellSigma, (hi-1)/sellSigma
 	for wi := w0; wi <= w1; wi++ {

@@ -30,6 +30,8 @@ func Dot(x, y []float64) float64 {
 // [lo, hi). It is the strip-mined building block for task-level reductions.
 // (The hot range kernels reslice once so the inner loops run bounds-check
 // free.)
+//
+//due:hotpath
 func DotRange(x, y []float64, lo, hi int) float64 {
 	xs := x[lo:hi]
 	ys := y[lo:hi:hi]
@@ -51,6 +53,8 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // AxpyRange computes y[lo:hi] += alpha*x[lo:hi].
+//
+//due:hotpath
 func AxpyRange(alpha float64, x, y []float64, lo, hi int) {
 	xs := x[lo:hi]
 	ys := y[lo:hi]
@@ -70,6 +74,8 @@ func Xpby(x []float64, beta float64, y []float64) {
 }
 
 // XpbyRange computes y[lo:hi] = x[lo:hi] + beta*y[lo:hi].
+//
+//due:hotpath
 func XpbyRange(x []float64, beta float64, y []float64, lo, hi int) {
 	xs := x[lo:hi]
 	ys := y[lo:hi]
@@ -90,6 +96,8 @@ func XpbyOut(x []float64, beta float64, y, out []float64) {
 }
 
 // XpbyOutRange computes out[lo:hi] = x[lo:hi] + beta*y[lo:hi].
+//
+//due:hotpath
 func XpbyOutRange(x []float64, beta float64, y, out []float64, lo, hi int) {
 	xs := x[lo:hi]
 	ys := y[lo:hi:hi]
@@ -109,6 +117,8 @@ func Axpy2(a1 float64, x1 []float64, a2 float64, x2, y []float64) {
 }
 
 // Axpy2Range computes y[lo:hi] += a1*x1[lo:hi] + a2*x2[lo:hi].
+//
+//due:hotpath
 func Axpy2Range(a1 float64, x1 []float64, a2 float64, x2, y []float64, lo, hi int) {
 	x1s := x1[lo:hi]
 	x2s := x2[lo:hi:hi]
@@ -128,6 +138,8 @@ func XpbyzOut(x []float64, beta float64, y []float64, omega float64, z, out []fl
 }
 
 // XpbyzOutRange computes out[lo:hi] = x[lo:hi] + beta*(y[lo:hi] - omega*z[lo:hi]).
+//
+//due:hotpath
 func XpbyzOutRange(x []float64, beta float64, y []float64, omega float64, z, out []float64, lo, hi int) {
 	xs := x[lo:hi]
 	ys := y[lo:hi:hi]
