@@ -14,6 +14,8 @@
 //	due-bench -exp kernels [-scale 65536] [-workers 4] [-kernel-iters 200] [-json BENCH_kernels.json]
 //	due-bench -exp kernels -guard BENCH_kernels.json
 //	due-bench -exp distkernels [-scale 65536] [-ranks 4] [-dist-iters 200] [-json BENCH_dist.json]
+//	due-bench -exp policy [-scale 4096] [-seed 1] [-json BENCH_policy.json]
+//	due-bench -exp policy -guard BENCH_policy.json
 //	due-bench -exp all
 //
 // -json writes the fig4/fig4pcg cells as BENCH_fig4.json-style output so
@@ -53,7 +55,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2, table3, fig3, fig4, fig4pcg, fig5, all")
+	exp := flag.String("exp", "all", "experiment: table2, table3, fig3, fig4, fig4pcg, fig5, all (plus the dedicated kernels, distkernels, serve, policy baselines)")
 	scale := flag.Int("scale", 0, "matrix dimension for the workload analogues (default 4096)")
 	reps := flag.Int("reps", 0, "repetitions per configuration (default 3; paper uses 50)")
 	workers := flag.Int("workers", 0, "task-pool size (default 8, the paper's socket width)")
@@ -68,7 +70,7 @@ func main() {
 	ranks := flag.Int("ranks", 0, "shard count for -exp distkernels (default 4)")
 	serveClients := flag.Int("serve-clients", 0, "concurrent clients for -exp serve (default 4)")
 	serveRequests := flag.Int("serve-requests", 0, "measured cached solves for -exp serve (default 40)")
-	guard := flag.String("guard", "", "committed BENCH_kernels.json / BENCH_dist.json / BENCH_serve.json to compare a fresh -exp kernels / distkernels / serve run against; exits 1 when the tracked speedup drops >20% below it, 3 when the artefact's num_cpu differs from this runner's (regenerate, don't compare)")
+	guard := flag.String("guard", "", "committed BENCH_kernels.json / BENCH_dist.json / BENCH_serve.json / BENCH_policy.json to compare a fresh -exp kernels / distkernels / serve / policy run against; exits 1 when the tracked speedup drops >20% below it, 3 when the artefact's num_cpu differs from this runner's (regenerate, don't compare)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -159,6 +161,28 @@ func main() {
 		writeJSON(orDefault(*jsonPath, "BENCH_dist.json"), res)
 		if *guard != "" {
 			guardDistKernels(*guard, res)
+		}
+		return
+	}
+	if *exp == "policy" {
+		warnDegraded()
+		res, err := experiments.RunPolicy(experiments.PolicyOptions{
+			Scale:       *scale,
+			Workers:     *workers,
+			PageDoubles: *pages,
+			Tol:         *tol,
+			Reps:        *reps,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fatalf("policy: %v", err)
+		}
+		fmt.Println(res)
+		path := orDefault(*jsonPath, "BENCH_policy.json")
+		refuseDegradedOverwrite(path, res.Provenance)
+		writeJSON(path, res)
+		if *guard != "" {
+			guardPolicy(*guard, res)
 		}
 		return
 	}
@@ -438,6 +462,51 @@ func guardServe(committedPath string, fresh *experiments.ServeResult) {
 	}
 	fmt.Printf("guard: cached_solves_per_sec %.2f within 20%% of committed %.2f; zero rebuilds after warmup\n",
 		fresh.CachedSolvesPerSec, committed.CachedSolvesPerSec)
+}
+
+// guardPolicy gates the adaptive-resilience layer on two axes. The
+// structural axis is counter-based and noise-free: the adaptive run
+// must converge under the scripted ramp, actually switch methods, and
+// detect silent flips through the checksum coverage — losing any of
+// those means the controller or the ABFT path broke, not that the
+// machine was busy. The timing axis bounds the adaptive run against the
+// best static comparator with a percentage-POINT slack (the quantity is
+// already a relative overhead, so a ratio floor would misfire around
+// zero).
+func guardPolicy(committedPath string, fresh *experiments.PolicyResult) {
+	data, err := os.ReadFile(committedPath)
+	if err != nil {
+		fatalf("guard: %v", err)
+	}
+	var committed experiments.PolicyResult
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fatalf("guard: parsing %s: %v", committedPath, err)
+	}
+	guardProvenance(committedPath, committed.Provenance, fresh.Provenance)
+	if len(committed.Runs) == 0 || len(committed.Decisions) == 0 {
+		fatalf("guard: %s has no runs/decisions — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
+	}
+	var adaptive *experiments.PolicyRun
+	for i := range fresh.Runs {
+		if fresh.Runs[i].Name == "adaptive" {
+			adaptive = &fresh.Runs[i]
+		}
+	}
+	if adaptive == nil {
+		fatalf("guard: fresh run has no adaptive comparator")
+	}
+	if !adaptive.Converged || adaptive.Switches < 1 || adaptive.SDCDetected == 0 {
+		fatalf("guard: adaptive run structural failure: converged=%v switches=%d sdc_detected=%d — controller or ABFT coverage broke (structural, not machine noise)",
+			adaptive.Converged, adaptive.Switches, adaptive.SDCDetected)
+	}
+	ceiling := committed.AdaptiveVsBestStaticPct + 25
+	if fresh.AdaptiveVsBestStaticPct > ceiling {
+		fatalf("guard: adaptive_vs_best_static_pct %.1f%% exceeds committed %.1f%% by more than 25 points (ceiling %.1f%%) — the controller stopped earning its keep\n"+
+			"guard: fresh     %+v\nguard: committed %+v",
+			fresh.AdaptiveVsBestStaticPct, committed.AdaptiveVsBestStaticPct, ceiling, fresh.Provenance, committed.Provenance)
+	}
+	fmt.Printf("guard: adaptive converged with %d switches, %d SDC detections; vs best static %+.1f%% (committed %+.1f%%)\n",
+		adaptive.Switches, adaptive.SDCDetected, fresh.AdaptiveVsBestStaticPct, committed.AdaptiveVsBestStaticPct)
 }
 
 // refuseDegradedOverwrite is the write-side counterpart of the guard's

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pagemem"
+)
+
+func abftConfig(method Method, precond bool) Config {
+	cfg := testConfig(method)
+	cfg.ABFT = true
+	cfg.UsePrecond = precond
+	return cfg
+}
+
+// flipHook builds an OnIteration hook firing scripted silent flips.
+// Enqueued flips (immediate=false) are applied by the solver's own next
+// boundary (ScramblePending), corrupting whatever the page holds THEN;
+// immediate flips are applied right at the loop top — a quiescent point
+// with no task in flight — corrupting the previous iteration's content
+// before its consumers read it. The two timings together cover both ends
+// of each page's SDC window.
+type flip struct {
+	it        int
+	vec       string
+	page      int
+	elem      int
+	bit       uint
+	immediate bool
+}
+
+func flipHook(t *testing.T, space *pagemem.Space, flips []flip, prev func(int, float64)) func(int, float64) {
+	return func(it int, rel float64) {
+		for _, f := range flips {
+			if f.it == it {
+				v := space.VectorByName(f.vec)
+				if v == nil {
+					t.Errorf("no vector %q", f.vec)
+					continue
+				}
+				v.FlipBit(f.page, f.elem, f.bit)
+				if f.immediate {
+					space.ApplySilentPending()
+				}
+			}
+		}
+		if prev != nil {
+			prev(it, rel)
+		}
+	}
+}
+
+func runWithFlips(t *testing.T, cfg Config, flips []flip) (Result, *CG) {
+	t.Helper()
+	a, b := testSystem()
+	cg, err := NewCG(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.OnIteration = flipHook(t, cg.Space(), flips, cfg.OnIteration)
+	cg.cfg = cfg2 // NewCG copied cfg by value
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cg
+}
+
+// On clean data the checksum-carrying kernels are the SAME arithmetic as
+// the plain ones: an ABFT run must converge in the identical number of
+// iterations with the bitwise-identical solution.
+func TestABFTCleanRunBitwiseEqual(t *testing.T) {
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		for _, pre := range []bool{false, true} {
+			a, b := testSystem()
+			plain, err := NewCG(a, b, func() Config { c := testConfig(m); c.UsePrecond = pre; return c }())
+			if err != nil {
+				t.Fatal(err)
+			}
+			resP, err := plain.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			abft, err := NewCG(a, b, abftConfig(m, pre))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resA, err := abft.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resA.Converged || resA.Iterations != resP.Iterations {
+				t.Fatalf("%v precond=%v: ABFT %d iters (conv=%v) vs plain %d", m, pre, resA.Iterations, resA.Converged, resP.Iterations)
+			}
+			for i := range plain.Solution() {
+				if math.Float64bits(plain.Solution()[i]) != math.Float64bits(abft.Solution()[i]) {
+					t.Fatalf("%v precond=%v: solution differs at %d: % x vs % x", m, pre, i, plain.Solution()[i], abft.Solution()[i])
+				}
+			}
+			if resA.Stats.SDCDetected != 0 {
+				t.Fatalf("%v precond=%v: false SDC detections: %d", m, pre, resA.Stats.SDCDetected)
+			}
+		}
+	}
+}
+
+// A single silent flip in EVERY protected vector is detected, converted to
+// a Poison, recovered exactly, and the run converges at the fault-free
+// iteration count. Each vector's flip is timed inside ITS live window:
+// x/g/z are corrupted at the loop top (previous iteration's content, read
+// by this iteration), the direction buffers at the iteration where they
+// hold the consumed dPrev (d0 after odd writes, d1 after even), and q just
+// after its phase-1 production, before the phase-2 read.
+func TestABFTSingleFlipEachVectorDetectedAndRecovered(t *testing.T) {
+	a, b := testSystem()
+	base := idealIterations(t, a, b)
+	idealPre, err := NewCG(a, b, func() Config { c := testConfig(MethodIdeal); c.UsePrecond = true; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPre, err := idealPre.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePre := resPre.Iterations
+	cases := []flip{
+		{it: 6, vec: "x", page: 7, elem: 11, bit: 51, immediate: true},
+		{it: 6, vec: "g", page: 7, elem: 11, bit: 51, immediate: true},
+		{it: 6, vec: "q", page: 7, elem: 11, bit: 51},
+		{it: 7, vec: "d0", page: 7, elem: 11, bit: 51, immediate: true},
+		{it: 6, vec: "d1", page: 7, elem: 11, bit: 51, immediate: true},
+		{it: 6, vec: "z", page: 7, elem: 11, bit: 51, immediate: true},
+	}
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		for _, f := range cases {
+			vec := f.vec
+			cfg := abftConfig(m, vec == "z")
+			res, _ := runWithFlips(t, cfg, []flip{f})
+			if res.Stats.SDCInjected != 1 {
+				t.Fatalf("%v/%s: SDCInjected = %d, want 1", m, vec, res.Stats.SDCInjected)
+			}
+			if res.Stats.SDCDetected != 1 {
+				t.Fatalf("%v/%s: flip not detected (stats %+v)", m, vec, res.Stats)
+			}
+			if !res.Converged || res.RelResidual > 1e-8 {
+				t.Fatalf("%v/%s: converged=%v rel=%v", m, vec, res.Converged, res.RelResidual)
+			}
+			ref := base
+			if vec == "z" {
+				ref = basePre
+			}
+			if res.Stats.Unrecovered == 0 && res.Stats.Restarts == 0 {
+				if d := res.Iterations - ref; d < -2 || d > 6 {
+					t.Fatalf("%v/%s: %d iterations vs ideal %d", m, vec, res.Iterations, ref)
+				}
+			}
+		}
+	}
+}
+
+// Low-order-bit flips (tiny numerical perturbations, the hardest SDCs to
+// see) are detected just as surely as sign flips.
+func TestABFTDetectsLowOrderBitFlip(t *testing.T) {
+	res, _ := runWithFlips(t, abftConfig(MethodFEIR, false), []flip{{it: 4, vec: "g", page: 3, elem: 0, bit: 0}})
+	if res.Stats.SDCDetected != 1 {
+		t.Fatalf("mantissa-LSB flip undetected: %+v", res.Stats)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("converged=%v rel=%v", res.Converged, res.RelResidual)
+	}
+}
+
+// Storms of 1–5 silent flips across random vectors/pages: every flip that
+// lands on consumed data is detected and the run still converges exactly.
+func TestABFTFlipStorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs := []string{"x", "g", "q", "d0", "d1"}
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		for nflips := 1; nflips <= 5; nflips++ {
+			var flips []flip
+			for i := 0; i < nflips; i++ {
+				flips = append(flips, flip{
+					it:   3 + rng.Intn(20),
+					vec:  vecs[rng.Intn(len(vecs))],
+					page: rng.Intn(25),
+					elem: rng.Intn(64),
+					bit:  uint(rng.Intn(64)),
+				})
+			}
+			res, _ := runWithFlips(t, abftConfig(m, false), flips)
+			if res.Stats.SDCInjected != nflips {
+				t.Fatalf("%v storm %d: injected %d", m, nflips, res.Stats.SDCInjected)
+			}
+			if !res.Converged || res.RelResidual > 1e-8 {
+				t.Fatalf("%v storm %d: converged=%v rel=%v stats=%+v", m, nflips, res.Converged, res.RelResidual, res.Stats)
+			}
+		}
+	}
+}
+
+// Mixed storm: DUEs and silent flips together, under both recovery
+// schedulings — the detections must feed the SAME recovery machinery.
+func TestABFTMixedDUEAndFlipStorm(t *testing.T) {
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		a, b := testSystem()
+		cfg := abftConfig(m, false)
+		cg, err := NewCG(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips := []flip{{it: 5, vec: "g", page: 2, elem: 9, bit: 33}, {it: 12, vec: "x", page: 14, elem: 40, bit: 7}}
+		inj := []injection{{it: 8, vec: "d0", page: 4}, {it: 8, vec: "q", page: 19}}
+		cfg2 := cfg
+		cfg2.OnIteration = flipHook(t, cg.Space(), flips, poisonAt(t, cg.Space(), inj, nil))
+		cg.cfg = cfg2
+		res, err := cg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || res.RelResidual > 1e-8 {
+			t.Fatalf("%v: converged=%v rel=%v stats=%+v", m, res.Converged, res.RelResidual, res.Stats)
+		}
+		if res.Stats.SDCDetected != 2 {
+			t.Fatalf("%v: SDCDetected = %d, want 2 (stats %+v)", m, res.Stats.SDCDetected, res.Stats)
+		}
+	}
+}

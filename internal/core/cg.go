@@ -60,6 +60,12 @@ type CG struct {
 
 	doubleBuffer bool
 	resilient    bool
+	abft         bool // checksum-carrying kernels + verify-on-read
+
+	pol policyState
+	// sdcInjBase/sdcDetBase snapshot the space's cumulative SDC counters
+	// at Run start, so pooled instances report per-run deltas.
+	sdcInjBase, sdcDetBase int64
 
 	ck *checkpointer
 
@@ -121,6 +127,8 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 	} else {
 		s.d[1] = s.d[0]
 	}
+	s.abft = cfg.ABFT && s.resilient
+	s.pol.allowed = policyAllowed(cfg.Method, resilientSwitchSet)
 	if cfg.Blocks != nil {
 		if cfg.Blocks.A != a || cfg.Blocks.Layout != s.layout || !cfg.Blocks.SPD {
 			return nil, fmt.Errorf("core: shared block cache mismatch (want matrix %p layout %+v spd=true, have %p %+v spd=%v)",
@@ -157,6 +165,12 @@ func NewCG(a *sparse.CSR, b []float64, cfg Config) (*CG, error) {
 	s.ggPart = engine.NewPartial(s.np)
 	s.zgPart = engine.NewPartial(s.np)
 
+	if s.abft {
+		for _, v := range s.DynamicVectors() {
+			v.EnableChecksums()
+		}
+	}
+
 	s.scratch = make([]float64, cfg.pageDoubles())
 	s.scratch2 = make([]float64, cfg.pageDoubles())
 	s.resid = make([]float64, a.N)
@@ -190,6 +204,13 @@ func (s *CG) DynamicVectors() []*pagemem.Vector {
 // Stats returns a snapshot of the resilience counters. Only valid after
 // Run returned.
 func (s *CG) Stats() Stats { return s.stats }
+
+// captureSDC folds the space's SDC counter deltas (relative to this Run's
+// start) into the stats before a Result snapshot is built.
+func (s *CG) captureSDC() {
+	s.stats.SDCInjected = int(s.space.SDCInjected() - s.sdcInjBase)
+	s.stats.SDCDetected = int(s.space.SDCDetected() - s.sdcDetBase)
+}
 
 // Solution returns the iterate vector's backing array. Only valid after
 // Run returned; the next Run (or resetState) overwrites it.
@@ -227,6 +248,7 @@ func (s *CG) resetState() {
 		for i := range v.Data {
 			v.Data[i] = 0
 		}
+		v.InvalidateChecksums()
 	}
 	zero(s.x)
 	zero(s.g)
@@ -299,6 +321,9 @@ func (s *CG) Run() (Result, error) {
 		s.buildEngine()
 	}
 	s.resetState()
+	s.sdcInjBase = s.space.SDCInjected()
+	s.sdcDetBase = s.space.SDCDetected()
+	s.pol.lastEvents = s.space.FaultCount() + s.space.SDCDetected()
 
 	tol := s.cfg.tol()
 	maxIter := s.cfg.maxIter(s.a.N)
@@ -317,6 +342,7 @@ func (s *CG) Run() (Result, error) {
 	converged := false
 	for t = 0; t < maxIter; t++ {
 		if s.cfg.Cancelled != nil && s.cfg.Cancelled() {
+			s.captureSDC()
 			return Result{
 				Iterations:  t,
 				RelResidual: s.trueResidual(),
@@ -324,6 +350,11 @@ func (s *CG) Run() (Result, error) {
 				Stats:       s.stats,
 				WorkerTimes: s.rt.WorkerTimes(),
 			}, ErrCancelled
+		}
+		if s.cfg.Policy != nil {
+			// Loop top is a fixpoint: the previous iteration's boundary ran,
+			// all prepared tasks are quiescent and pending losses applied.
+			applyPolicy(t, &s.cfg, &s.pol, s.space, &s.stats, s.ck)
 		}
 		rel := math.Sqrt(math.Max(s.epsGG, 0)) / s.bnorm
 		if s.cfg.OnIteration != nil {
@@ -390,11 +421,12 @@ func (s *CG) Run() (Result, error) {
 		s.epsGG = gg
 		s.restartPending = false
 
-		if s.resilient {
+		if s.resilient && (s.cfg.Method == MethodFEIR || s.cfg.Method == MethodAFEIR) {
 			s.reconcile(ver)
 		}
 	}
 
+	s.captureSDC()
 	res := Result{
 		Converged:   converged,
 		Iterations:  t,
@@ -430,8 +462,21 @@ func (s *CG) buildPrepared() {
 			if e.Resilient && (!src.Current(p, ver-1) || (beta != 0 && !dPrev.Current(p, ver-1))) {
 				continue
 			}
+			// ABFT: verify the inputs' page checksums BEFORE computing; a
+			// mismatch Poisons the page and skips like a stale-input guard,
+			// handing the loss to the exact recovery relations.
+			if s.abft && (!src.V.VerifyChecksum(p) || (beta != 0 && !dPrev.V.VerifyChecksum(p))) {
+				continue
+			}
 			lo, hi := s.layout.Range(p)
-			if beta == 0 {
+			var ck uint64
+			if s.abft {
+				if beta == 0 {
+					ck = sparse.CopyChecksumRange(dCur.V.Data, src.V.Data, lo, hi)
+				} else {
+					ck = sparse.XpbyOutChecksumRange(src.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
+				}
+			} else if beta == 0 {
 				copy(dCur.V.Data[lo:hi], src.V.Data[lo:hi])
 			} else if s.doubleBuffer {
 				sparse.XpbyOutRange(src.V.Data, beta, dPrev.V.Data, dCur.V.Data, lo, hi)
@@ -441,6 +486,9 @@ func (s *CG) buildPrepared() {
 			if e.Resilient {
 				dCur.V.MarkRecovered(p)
 				dCur.S[p].Store(ver)
+			}
+			if s.abft {
+				dCur.V.SetChecksum(p, ck)
 			}
 		}
 	})
@@ -456,6 +504,12 @@ func (s *CG) buildPrepared() {
 		for p := pLo; p < pHi; p++ {
 			lo, hi := s.layout.Range(p)
 			e.SpMVDotPage(p, lo, hi, in, out, s.dqPart, nil)
+			// ABFT: fold the checksum on the still-L1-hot page — the SpMV
+			// dispatches through the shadow-format kernels, which cannot
+			// carry the fold themselves.
+			if s.abft && out.Current(p, ver) {
+				out.V.SetChecksum(p, sparse.ChecksumRange(out.V.Data, lo, hi))
+			}
 		}
 	})
 	// x += α d: read-modify-write, so a poison landing mid-task stays
@@ -469,10 +523,23 @@ func (s *CG) buildPrepared() {
 			if e.Resilient && (!xV.Current(p, ver-1) || !dCur.Current(p, ver)) {
 				continue
 			}
+			// ABFT: x verifies itself pre-RMW (catching flips since its last
+			// write) and its direction input.
+			if s.abft && (!xV.V.VerifyChecksum(p) || !dCur.V.VerifyChecksum(p)) {
+				continue
+			}
 			lo, hi := s.layout.Range(p)
-			sparse.AxpyRange(alpha, dCur.V.Data, s.x.Data, lo, hi)
-			if e.Resilient {
+			if s.abft {
+				ck := sparse.AxpyChecksumRange(alpha, dCur.V.Data, s.x.Data, lo, hi)
 				xV.S[p].Store(ver)
+				if !xV.V.Failed(p) {
+					xV.V.SetChecksum(p, ck)
+				}
+			} else {
+				sparse.AxpyRange(alpha, dCur.V.Data, s.x.Data, lo, hi)
+				if e.Resilient {
+					xV.S[p].Store(ver)
+				}
 			}
 		}
 	})
@@ -484,7 +551,11 @@ func (s *CG) buildPrepared() {
 		gOut := engine.Operand{Vec: vec(s.g, s.gS), Ver: ver}
 		for p := pLo; p < pHi; p++ {
 			lo, hi := s.layout.Range(p)
-			e.AxpyDotPage(p, lo, hi, -alpha, qIn, gOut, s.ggPart)
+			if s.abft {
+				e.AxpyDotPageABFT(p, lo, hi, -alpha, qIn, gOut, s.ggPart)
+			} else {
+				e.AxpyDotPage(p, lo, hi, -alpha, qIn, gOut, s.ggPart)
+			}
 		}
 	})
 	if s.pre != nil {
@@ -497,6 +568,12 @@ func (s *CG) buildPrepared() {
 			zOut := engine.Operand{Vec: vec(s.z, s.zS), Ver: ver}
 			for p := pLo; p < pHi; p++ {
 				e.ApplyPrecondPage(p, s.pre, gIn, zOut)
+				// ABFT: fold on the L1-hot page (the block solves run in the
+				// preconditioner, which cannot carry the fold).
+				if s.abft && zOut.Current(p, ver) {
+					lo, hi := s.layout.Range(p)
+					zOut.V.SetChecksum(p, sparse.ChecksumRange(zOut.V.Data, lo, hi))
+				}
 			}
 		})
 		//due:hotpath

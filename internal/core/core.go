@@ -152,6 +152,30 @@ type Config struct {
 	// fast path). Overlapped recovery tasks always run below every
 	// request's compute tier.
 	TaskPriority int
+	// ABFT enables the checksum-carrying kernel variants: every produced
+	// page stores an XOR-of-bits checksum in the producing pass, and
+	// consumers verify it before reading, turning silent bit flips into
+	// Poisons the exact recovery relations repair. Only effective with
+	// the resilient methods (FEIR/AFEIR), which own the recovery
+	// machinery the detections hand over to.
+	ABFT bool
+	// Policy, when non-nil, is consulted once per iteration at a
+	// fixpoint (all tasks quiescent, pending losses applied) and may
+	// switch the resilience method or retune the checkpoint interval for
+	// the following iterations. internal/policy provides the
+	// perfmodel-driven adaptive controller.
+	Policy ResiliencePolicy
+}
+
+// ResiliencePolicy decides, at iteration fixpoints, which resilience
+// method the next iterations should run. newEvents is the number of
+// fault events (DUE poisons + SDC detections) observed since the
+// previous call; allowed lists the methods the running solver can switch
+// to safely (always including cur). The returned method is ignored
+// unless it is in allowed; the returned checkpoint interval (iterations)
+// applies only when cur is MethodCheckpoint, 0 keeping the current one.
+type ResiliencePolicy interface {
+	Decide(it, newEvents int, cur Method, allowed []Method) (Method, int)
 }
 
 // overlapPriority is the priority of overlapped (AFEIR) recovery tasks:
@@ -213,6 +237,15 @@ type Stats struct {
 	Rollbacks int
 	// CheckpointsWritten counts checkpoint writes.
 	CheckpointsWritten int
+	// SDCInjected counts silent bit flips applied to the solver's pages.
+	SDCInjected int
+	// SDCDetected counts silent flips caught by ABFT checksum
+	// verification (each one also appears in FaultsSeen once its Poison
+	// is applied).
+	SDCDetected int
+	// PolicySwitches counts resilience-method changes made by the
+	// adaptive policy during the run.
+	PolicySwitches int
 }
 
 // Add accumulates other into s.
@@ -229,6 +262,9 @@ func (s *Stats) Add(o Stats) {
 	s.Restarts += o.Restarts
 	s.Rollbacks += o.Rollbacks
 	s.CheckpointsWritten += o.CheckpointsWritten
+	s.SDCInjected += o.SDCInjected
+	s.SDCDetected += o.SDCDetected
+	s.PolicySwitches += o.PolicySwitches
 }
 
 // Result reports the outcome of a resilient solve.

@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/pagemem"
+
+// Allowed method sets for runtime switching. A switch is safe only when
+// the solver was constructed with every structure the target method
+// needs, so the sets depend on the construction-time method:
+//
+//   - resilient construction (FEIR/AFEIR) carries the double-buffered
+//     direction, version stamps and recovery graph, and the boundary/
+//     recovery code reads cfg.Method per call — FEIR ↔ AFEIR ↔ Lossy
+//     switches take effect at the next fixpoint;
+//   - a Checkpoint run keeps its method (the checkpointer state machine
+//     has no resilient stamps to switch onto) but retunes its interval;
+//   - everything else is pinned to its construction method.
+var (
+	resilientSwitchSet = []Method{MethodFEIR, MethodAFEIR, MethodLossy}
+	// BiCGStab/GMRES repair at phase boundaries without the CG restart
+	// machinery behind MethodLossy, so only the recovery scheduling
+	// (critical-path vs overlapped) switches.
+	recoverySwitchSet = []Method{MethodFEIR, MethodAFEIR}
+)
+
+// policyState tracks the per-run event counters the policy consumes.
+type policyState struct {
+	lastEvents int64
+	allowed    []Method
+}
+
+// policyAllowed computes the switch set for a construction-time method.
+func policyAllowed(constructed Method, fullSet []Method) []Method {
+	switch constructed {
+	case MethodFEIR, MethodAFEIR:
+		return fullSet
+	default:
+		return []Method{constructed}
+	}
+}
+
+// AllowedPolicySwitches reports the runtime switch set for a solver whose
+// phases run unguarded between boundaries (the distributed solvers, whose
+// boundary code reads cfg.Method per call): a FEIR/AFEIR construction may
+// move across the full resilient set, all other constructions are pinned.
+func AllowedPolicySwitches(constructed Method) []Method {
+	return policyAllowed(constructed, resilientSwitchSet)
+}
+
+func methodIn(ms []Method, m Method) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// applyPolicy consults cfg.Policy at an iteration fixpoint: observed
+// events since the last call (DUE poisons + SDC detections, read from
+// the space's atomic counters) feed the controller, whose decision is
+// applied to cfg.Method (counted in stats) and, for checkpoint runs, to
+// the checkpointer interval. Returns the possibly-updated method.
+func applyPolicy(it int, cfg *Config, st *policyState, space *pagemem.Space, stats *Stats, ck *checkpointer) {
+	events := space.FaultCount() + space.SDCDetected()
+	newEvents := int(events - st.lastEvents)
+	st.lastEvents = events
+	m, ckIv := cfg.Policy.Decide(it, newEvents, cfg.Method, st.allowed)
+	if m != cfg.Method && methodIn(st.allowed, m) {
+		cfg.Method = m
+		stats.PolicySwitches++
+	}
+	if ck != nil && cfg.Method == MethodCheckpoint && ckIv > 0 {
+		ck.interval = ckIv
+	}
+}

@@ -303,6 +303,9 @@ func (s *CG) recoverPhase2(ver int64, cur int, allowLate bool) {
 			if !s.x.Failed(p) && s.xS[p].Load() == ver-1 {
 				if current(dCur, dCurS, p, ver) {
 					sparse.AxpyRange(alpha, dCur.Data, s.x.Data, lo, hi)
+					// Direct repair outside the checksum-carrying producer:
+					// the stored checksum describes the ver-1 content.
+					s.x.InvalidateChecksum(p)
 					s.xS[p].Store(ver)
 					s.stats.RecoveredForward++
 					progress = true
@@ -323,6 +326,8 @@ func (s *CG) recoverPhase2(ver int64, cur int, allowLate bool) {
 			} else if s.gS[p].Load() == ver-1 {
 				if current(s.q, s.qS, p, ver) {
 					sparse.AxpyRange(-alpha, s.q.Data, s.g.Data, lo, hi)
+					// See the x repair above: stored checksum is ver-1's.
+					s.g.InvalidateChecksum(p)
 					s.gS[p].Store(ver)
 					s.stats.RecoveredForward++
 					progress = true

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/shard"
+)
+
+// An adaptive distributed CG: clean iterations move the method off
+// FEIR's critical-path recovery latency, a mid-run burst of page losses
+// feeds the controller's rate estimate back up, and the solve still
+// converges to the true residual tolerance with every switch inside the
+// resilient set.
+func TestSolveCGAdaptivePolicy(t *testing.T) {
+	a, b := distSystem()
+	ctrl := policy.New(policy.Config{})
+	cfg := baseCfg(core.MethodFEIR)
+	cfg.Policy = ctrl
+	cfg.Inject = func(it int, ranks []*shard.Rank) {
+		if it >= 40 && it < 60 {
+			r := ranks[it%len(ranks)]
+			r.Space.VectorByName("x").Poison((r.PLo + r.PHi) / 2)
+		}
+	}
+	res, _, err := SolveCG(a, b, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("adaptive dist CG: %+v", res)
+	}
+	decs := ctrl.Decisions()
+	if res.Stats.PolicySwitches < 2 || len(decs) != res.Stats.PolicySwitches {
+		t.Fatalf("PolicySwitches = %d, decisions = %d, want >= 2 and equal (%v)",
+			res.Stats.PolicySwitches, len(decs), decs)
+	}
+	if decs[0].From != "FEIR" {
+		t.Fatalf("first decision should leave FEIR: %v", decs[0])
+	}
+	for _, d := range decs {
+		switch d.To {
+		case "FEIR", "AFEIR", "Lossy":
+		default:
+			t.Fatalf("switched outside the resilient set: %v", d)
+		}
+	}
+}
+
+// A pinned construction (Checkpoint) never has its method switched — the
+// controller may only retune the snapshot interval.
+func TestSolveCGPolicyPinnedCheckpoint(t *testing.T) {
+	a, b := distSystem()
+	ctrl := policy.New(policy.Config{})
+	cfg := baseCfg(core.MethodCheckpoint)
+	cfg.CheckpointInterval = 20
+	cfg.Policy = ctrl
+	cfg.Inject = injectInto([]int{30})
+	res, _, err := SolveCG(a, b, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("ckpt: %+v", res)
+	}
+	if res.Stats.PolicySwitches != 0 {
+		t.Fatalf("checkpoint run switched methods: %+v", res.Stats)
+	}
+	if res.Stats.CheckpointsWritten == 0 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+}

@@ -166,6 +166,33 @@ func (e *Engine) AxpyDot(label string, after []*taskrt.Handle, alpha float64, x,
 	return handles
 }
 
+// AxpyDotPageABFT is the checksum-carrying variant of AxpyDotPage: the
+// inputs' stored page checksums are verified before the read-modify-
+// write runs (a mismatch poisons the corrupt page and skips the update,
+// exactly like a stale-input guard), and the checksum of the updated y
+// page is folded into the producing pass and stored for the next
+// consumer. On clean data the arithmetic is bitwise identical to
+// AxpyDotPage.
+//
+//due:hotpath
+func (e *Engine) AxpyDotPageABFT(p, lo, hi int, alpha float64, x, y Operand, yy *Partial) {
+	if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver-1)) {
+		return
+	}
+	if !x.V.VerifyChecksum(p) || !y.V.VerifyChecksum(p) {
+		return // SDC caught: skip, the recovery relations take over
+	}
+	s, ck := sparse.AxpyDotChecksumRange(alpha, x.V.Data, y.V.Data, lo, hi)
+	if e.Resilient {
+		y.S[p].Store(y.Ver)
+		if y.V.Failed(p) {
+			return // late poison: the contribution stays missing
+		}
+	}
+	y.V.SetChecksum(p, ck)
+	yy.Store(p, s)
+}
+
 // ApplyPrecondPage is the per-page body of the guarded apply-M⁻¹
 // operation (ApplyPrecond): out_p = M_pp⁻¹ in_p with full-overwrite
 // stamping, for prepared steady-state graphs.

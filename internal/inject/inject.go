@@ -22,6 +22,14 @@ import (
 	"repro/internal/pagemem"
 )
 
+// RampStep changes the injection rate mid-run: After the given offset from
+// Start, the mean time between errors becomes MTBE. Steps must be in
+// ascending After order.
+type RampStep struct {
+	After time.Duration
+	MTBE  time.Duration
+}
+
 // Injector injects DUEs into random pages of the target vectors at
 // exponential intervals, from its own goroutine, until stopped.
 type Injector struct {
@@ -29,6 +37,12 @@ type Injector struct {
 	Targets []*pagemem.Vector // dynamic data covered by injections
 	MTBE    time.Duration     // mean time between errors
 	Seed    int64
+	// SDCFraction is the probability that an injected error is a silent
+	// single-bit flip (enqueued via FlipBit) instead of a page DUE.
+	SDCFraction float64
+	// Ramp, when non-empty, is a time-varying MTBE schedule: each step
+	// replaces the current MTBE once its After offset has elapsed.
+	Ramp []RampStep
 
 	mu       sync.Mutex
 	stop     chan struct{}
@@ -84,7 +98,8 @@ func (in *Injector) Injected() int {
 func (in *Injector) run(stop, done chan struct{}) {
 	defer close(done)
 	rng := rand.New(rand.NewSource(in.Seed))
-	timer := time.NewTimer(in.nextDelay(rng))
+	start := time.Now()
+	timer := time.NewTimer(in.nextDelay(rng, start))
 	defer timer.Stop()
 	for {
 		select {
@@ -92,13 +107,24 @@ func (in *Injector) run(stop, done chan struct{}) {
 			return
 		case <-timer.C:
 			in.injectOne(rng)
-			timer.Reset(in.nextDelay(rng))
+			timer.Reset(in.nextDelay(rng, start))
 		}
 	}
 }
 
-func (in *Injector) nextDelay(rng *rand.Rand) time.Duration {
-	return time.Duration(rng.ExpFloat64() * float64(in.MTBE))
+// currentMTBE resolves the ramp schedule at elapsed time since Start.
+func (in *Injector) currentMTBE(elapsed time.Duration) time.Duration {
+	mtbe := in.MTBE
+	for _, s := range in.Ramp {
+		if elapsed >= s.After {
+			mtbe = s.MTBE
+		}
+	}
+	return mtbe
+}
+
+func (in *Injector) nextDelay(rng *rand.Rand, start time.Time) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(in.currentMTBE(time.Since(start))))
 }
 
 func (in *Injector) injectOne(rng *rand.Rand) {
@@ -106,7 +132,12 @@ func (in *Injector) injectOne(rng *rand.Rand) {
 	// likely, as in the paper's uniform page selection.
 	v := in.Targets[rng.Intn(len(in.Targets))]
 	p := rng.Intn(in.Space.NumPages())
-	v.Poison(p)
+	if in.SDCFraction > 0 && rng.Float64() < in.SDCFraction {
+		lo, hi := v.PageRange(p)
+		v.FlipBit(p, rng.Intn(hi-lo), uint(rng.Intn(64)))
+	} else {
+		v.Poison(p)
+	}
 	in.mu.Lock()
 	in.injected++
 	in.mu.Unlock()
@@ -116,11 +147,25 @@ func (in *Injector) injectOne(rng *rand.Rand) {
 
 // PlannedError is one scripted injection. Exactly one of At (wall-clock
 // offset from Plan.Start) or AtIteration is used, selected by ByIteration.
+// With SDC set the injection is a silent single-bit flip of element Elem
+// (page-relative) bit Bit instead of a page DUE.
 type PlannedError struct {
 	Vector      *pagemem.Vector
 	Page        int
 	At          time.Duration
 	AtIteration int
+	SDC         bool
+	Elem        int
+	Bit         uint
+}
+
+// fire applies the planned injection.
+func (e PlannedError) fire() {
+	if e.SDC {
+		e.Vector.FlipBit(e.Page, e.Elem, e.Bit)
+	} else {
+		e.Vector.Poison(e.Page)
+	}
 }
 
 // Plan injects a fixed list of errors either at wall-clock offsets
@@ -163,7 +208,7 @@ func (p *Plan) Start() {
 				case <-time.After(delay):
 				}
 			}
-			e.Vector.Poison(e.Page)
+			e.fire()
 			p.mu.Lock()
 			p.next = i + 1
 			p.mu.Unlock()
@@ -194,8 +239,7 @@ func (p *Plan) Tick(it int) int {
 	defer p.mu.Unlock()
 	fired := 0
 	for p.next < len(p.Errors) && p.Errors[p.next].AtIteration <= it {
-		e := p.Errors[p.next]
-		e.Vector.Poison(e.Page)
+		p.Errors[p.next].fire()
 		p.next++
 		fired++
 	}
@@ -207,4 +251,71 @@ func (p *Plan) Fired() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.next
+}
+
+// ---------------------------------------------------------------------
+
+// RatePhase is one segment of a scripted, iteration-driven error-rate
+// schedule: from FromIteration onwards, errors arrive with exponential
+// gaps of mean MeanIters iterations, and each is a silent bit flip with
+// probability SDCFraction (a page DUE otherwise).
+type RatePhase struct {
+	FromIteration int
+	MeanIters     float64
+	SDCFraction   float64
+}
+
+// Schedule is a deterministic, wall-clock-free description of a
+// time-varying error rate, in iteration units. Compile expands it into an
+// iteration-driven Plan: same Schedule, same Plan, every run — the
+// reproducible counterpart of Injector.Ramp.
+type Schedule struct {
+	Phases  []RatePhase
+	Seed    int64
+	Targets []*pagemem.Vector
+}
+
+// Compile draws the scripted injections for iterations [0, maxIter) and
+// returns them as a ByIteration Plan. Arrival gaps are exponential with
+// the phase's mean; pages, elements and bits are uniform over the
+// targets. A phase with MeanIters <= 0 is error-free.
+func (s Schedule) Compile(maxIter int) *Plan {
+	if len(s.Targets) == 0 {
+		panic("inject: schedule with no target vectors")
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	plan := &Plan{ByIteration: true}
+	phase := 0
+	at := 0.0
+	for it := 0; it < maxIter; {
+		for phase+1 < len(s.Phases) && s.Phases[phase+1].FromIteration <= it {
+			phase++
+		}
+		ph := s.Phases[phase]
+		if ph.MeanIters <= 0 {
+			// Error-free phase: jump to the next phase boundary.
+			if phase+1 >= len(s.Phases) {
+				break
+			}
+			it = s.Phases[phase+1].FromIteration
+			at = float64(it)
+			continue
+		}
+		at += rng.ExpFloat64() * ph.MeanIters
+		it = int(at)
+		if it >= maxIter {
+			break
+		}
+		v := s.Targets[rng.Intn(len(s.Targets))]
+		p := rng.Intn(v.Space().NumPages())
+		e := PlannedError{Vector: v, Page: p, AtIteration: it}
+		if ph.SDCFraction > 0 && rng.Float64() < ph.SDCFraction {
+			lo, hi := v.PageRange(p)
+			e.SDC = true
+			e.Elem = rng.Intn(hi - lo)
+			e.Bit = uint(rng.Intn(64))
+		}
+		plan.Errors = append(plan.Errors, e)
+	}
+	return plan
 }

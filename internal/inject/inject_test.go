@@ -159,3 +159,115 @@ func TestPlanTickOnWallClockPlanIsNoop(t *testing.T) {
 		t.Fatal("Tick fired on wall-clock plan")
 	}
 }
+
+// A Schedule compiles to the identical Plan every time: same seed, same
+// arrivals, same pages, same flip coordinates.
+func TestScheduleCompileDeterministic(t *testing.T) {
+	space := pagemem.NewSpace(2048, 256)
+	v1 := space.AddVector("a")
+	v2 := space.AddVector("b")
+	sched := Schedule{
+		Phases: []RatePhase{
+			{FromIteration: 0, MeanIters: 6, SDCFraction: 0.5},
+			{FromIteration: 50, MeanIters: 1.5, SDCFraction: 0.25},
+		},
+		Seed:    42,
+		Targets: []*pagemem.Vector{v1, v2},
+	}
+	p1 := sched.Compile(200)
+	p2 := sched.Compile(200)
+	if len(p1.Errors) == 0 {
+		t.Fatalf("schedule compiled to no errors")
+	}
+	if len(p1.Errors) != len(p2.Errors) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Errors), len(p2.Errors))
+	}
+	for i := range p1.Errors {
+		if p1.Errors[i] != p2.Errors[i] {
+			t.Fatalf("error %d differs: %+v vs %+v", i, p1.Errors[i], p2.Errors[i])
+		}
+	}
+	var sdc int
+	last := -1
+	for _, e := range p1.Errors {
+		if e.AtIteration < last {
+			t.Fatalf("arrivals out of order: %d after %d", e.AtIteration, last)
+		}
+		last = e.AtIteration
+		if e.SDC {
+			sdc++
+		}
+	}
+	if sdc == 0 || sdc == len(p1.Errors) {
+		t.Fatalf("SDC mix degenerate: %d of %d", sdc, len(p1.Errors))
+	}
+	// The dense phase must actually be denser.
+	early, lateC := 0, 0
+	for _, e := range p1.Errors {
+		if e.AtIteration < 50 {
+			early++
+		} else {
+			lateC++
+		}
+	}
+	if lateC <= early*2 {
+		t.Fatalf("ramp not visible: %d errors before it 50, %d in the 3x span after", early, lateC)
+	}
+}
+
+// An error-free leading phase produces no arrivals before its boundary.
+func TestScheduleErrorFreePhase(t *testing.T) {
+	space := pagemem.NewSpace(1024, 256)
+	v := space.AddVector("a")
+	sched := Schedule{
+		Phases: []RatePhase{
+			{FromIteration: 0, MeanIters: 0},
+			{FromIteration: 30, MeanIters: 2},
+		},
+		Seed:    7,
+		Targets: []*pagemem.Vector{v},
+	}
+	p := sched.Compile(100)
+	if len(p.Errors) == 0 {
+		t.Fatalf("no errors in the active phase")
+	}
+	for _, e := range p.Errors {
+		if e.AtIteration < 30 {
+			t.Fatalf("error at iteration %d inside the error-free phase", e.AtIteration)
+		}
+	}
+}
+
+// SDC planned errors enqueue silent flips that land at the next boundary
+// and count in the space's SDC counter, without setting fault bits.
+func TestPlanFiresSilentFlips(t *testing.T) {
+	space := pagemem.NewSpace(1024, 256)
+	v := space.AddVector("a")
+	for i := range v.Data {
+		v.Data[i] = 1.0
+	}
+	plan := &Plan{ByIteration: true, Errors: []PlannedError{
+		{Vector: v, Page: 1, AtIteration: 0, SDC: true, Elem: 3, Bit: 52},
+	}}
+	plan.Start()
+	if n := plan.Tick(0); n != 1 {
+		t.Fatalf("Tick fired %d, want 1", n)
+	}
+	if v.AnyFailed() {
+		t.Fatalf("silent flip set a fault bit")
+	}
+	lo, _ := v.PageRange(1)
+	if v.Data[lo+3] != 1.0 {
+		t.Fatalf("flip applied before the boundary")
+	}
+	space.ScramblePending()
+	if v.Data[lo+3] == 1.0 {
+		t.Fatalf("flip not applied at the boundary")
+	}
+	if space.SDCInjected() != 1 {
+		t.Fatalf("SDCInjected = %d, want 1", space.SDCInjected())
+	}
+	if v.AnyFailed() {
+		t.Fatalf("flip raised a fault bit: SDC must stay silent")
+	}
+}

@@ -1,0 +1,147 @@
+// ABFT extension of the page fault model: silent data corruption (SDC)
+// and per-page checksums. A silent bit flip corrupts one element of one
+// page WITHOUT setting any fault bit — the hardware never noticed.
+// Checksum-carrying kernels (internal/sparse) store the XOR of the raw
+// float64 bit patterns of each page they produce; consumers call
+// VerifyChecksum before reading a page, and a mismatch is converted into
+// an ordinary Poison, at which point the existing exact FEIR/AFEIR
+// recovery machinery takes over.
+//
+// Injection follows the same two-phase race-free discipline as DUEs:
+// FlipBit only enqueues the flip, and ApplySilentPending (called from
+// ScramblePending, i.e. at task-phase boundaries where no task touches
+// vector data) applies it — modelling corruption of data at rest.
+package pagemem
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/sparse"
+)
+
+// SilentFlip is one enqueued silent bit flip: element Elem (offset from
+// the page start) of page Page of vector VecID gets bit Bit (0..63) of
+// its IEEE-754 representation inverted.
+type SilentFlip struct {
+	VecID int
+	Page  int
+	Elem  int
+	Bit   uint
+}
+
+// EnableChecksums allocates the vector's per-page checksum slots. Until
+// a producer stores a checksum for a page, verification of that page is
+// a no-op (no false positives on never-produced data).
+func (v *Vector) EnableChecksums() {
+	if v.cks != nil {
+		return
+	}
+	np := v.space.layout.NumBlocks()
+	v.cks = make([]atomic.Uint64, np)
+	v.ckOK = make([]atomic.Bool, np)
+}
+
+// ChecksumsEnabled reports whether the vector carries page checksums.
+func (v *Vector) ChecksumsEnabled() bool { return v.cks != nil }
+
+// SetChecksum records the checksum of page p, computed by the kernel
+// that produced the page's current content. No-op when checksums are
+// not enabled.
+func (v *Vector) SetChecksum(p int, ck uint64) {
+	if v.cks == nil {
+		return
+	}
+	v.cks[p].Store(ck)
+	v.ckOK[p].Store(true)
+}
+
+// InvalidateChecksum forgets the checksum of page p: verification skips
+// the page until a producer stores a fresh one. Called automatically
+// whenever the page content is replaced outside a checksum-carrying
+// kernel (recovery, remap).
+func (v *Vector) InvalidateChecksum(p int) {
+	if v.cks == nil {
+		return
+	}
+	v.ckOK[p].Store(false)
+}
+
+// InvalidateChecksums forgets every page checksum of the vector (used
+// when the whole vector is rebuilt, e.g. a solver reset or restart).
+func (v *Vector) InvalidateChecksums() {
+	if v.cks == nil {
+		return
+	}
+	for p := range v.ckOK {
+		v.ckOK[p].Store(false)
+	}
+}
+
+// VerifyChecksum checks page p against its stored checksum and reports
+// whether the page may be consumed. Pages without a stored checksum, or
+// already marked failed, pass trivially. On a mismatch the silent flip
+// has been caught: the page is Poisoned (turning the SDC into an
+// ordinary DUE for the recovery relations), the detection counted, and
+// false is returned so the calling kernel skips the page exactly like a
+// stale-input guard.
+func (v *Vector) VerifyChecksum(p int) bool {
+	if v.cks == nil || !v.ckOK[p].Load() {
+		return true
+	}
+	if v.Failed(p) {
+		return true // already being handled as a DUE
+	}
+	lo, hi := v.space.layout.Range(p)
+	if sparse.ChecksumRange(v.Data, lo, hi) == v.cks[p].Load() {
+		return true
+	}
+	v.space.sdcDetected.Add(1)
+	v.InvalidateChecksum(p)
+	v.Poison(p)
+	return false
+}
+
+// FlipBit enqueues a silent flip of bit (0..63) of element elem (offset
+// within the page) of page p. The flip is applied at the next
+// ApplySilentPending/ScramblePending boundary; no fault bit is set and
+// no hook fires — the corruption is silent by construction.
+func (v *Vector) FlipBit(p, elem int, bit uint) {
+	lo, hi := v.space.layout.Range(p)
+	if elem < 0 || lo+elem >= hi {
+		panic(fmt.Sprintf("pagemem: silent flip element %d outside page %d (size %d)", elem, p, hi-lo))
+	}
+	if bit > 63 {
+		panic(fmt.Sprintf("pagemem: silent flip bit %d out of range", bit))
+	}
+	s := v.space
+	s.pendMu.Lock()
+	s.sdcPending = append(s.sdcPending, SilentFlip{VecID: v.id, Page: p, Elem: elem, Bit: bit})
+	s.pendMu.Unlock()
+}
+
+// ApplySilentPending applies every enqueued silent flip to the vector
+// data. Like ScramblePending (which calls it first), it must run at a
+// task-phase boundary where no task concurrently touches vector data.
+// Returns the number of flips applied.
+func (s *Space) ApplySilentPending() int {
+	s.pendMu.Lock()
+	flips := s.sdcPending
+	s.sdcPending = nil
+	s.pendMu.Unlock()
+	for _, f := range flips {
+		v := s.vectors[f.VecID]
+		lo, _ := s.layout.Range(f.Page)
+		i := lo + f.Elem
+		v.Data[i] = math.Float64frombits(math.Float64bits(v.Data[i]) ^ (1 << f.Bit))
+		s.sdcInjected.Add(1)
+	}
+	return len(flips)
+}
+
+// SDCInjected returns the number of silent flips applied so far.
+func (s *Space) SDCInjected() int64 { return s.sdcInjected.Load() }
+
+// SDCDetected returns the number of checksum-mismatch detections so far.
+func (s *Space) SDCDetected() int64 { return s.sdcDetected.Load() }

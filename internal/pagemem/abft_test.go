@@ -1,0 +1,131 @@
+package pagemem
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func abftVector(t *testing.T) (*Space, *Vector) {
+	t.Helper()
+	s := NewSpace(1024, 256)
+	v := s.AddVector("v")
+	for i := range v.Data {
+		v.Data[i] = float64(i) + 0.5
+	}
+	v.EnableChecksums()
+	return s, v
+}
+
+func storeChecksum(v *Vector, p int) {
+	lo, hi := v.PageRange(p)
+	v.SetChecksum(p, sparse.ChecksumRange(v.Data, lo, hi))
+}
+
+// Verification of a clean page passes; a silent flip applied at the
+// boundary turns the next verification into a Poison + detection.
+func TestVerifyChecksumCatchesFlip(t *testing.T) {
+	s, v := abftVector(t)
+	storeChecksum(v, 2)
+	if !v.VerifyChecksum(2) {
+		t.Fatalf("clean page failed verification")
+	}
+	v.FlipBit(2, 10, 17)
+	if !v.VerifyChecksum(2) {
+		t.Fatalf("flip detected before the boundary applied it")
+	}
+	s.ApplySilentPending()
+	if v.VerifyChecksum(2) {
+		t.Fatalf("corrupted page passed verification")
+	}
+	if !v.Failed(2) {
+		t.Fatalf("detection did not Poison the page")
+	}
+	if s.SDCDetected() != 1 || s.SDCInjected() != 1 {
+		t.Fatalf("counters: detected=%d injected=%d", s.SDCDetected(), s.SDCInjected())
+	}
+	// Already-poisoned pages pass trivially: the DUE machinery owns them.
+	if !v.VerifyChecksum(2) {
+		t.Fatalf("poisoned page must not re-detect")
+	}
+}
+
+// Pages without a stored checksum verify trivially (no false positives on
+// never-produced data), and disabled vectors are inert.
+func TestVerifyChecksumNoFalsePositives(t *testing.T) {
+	s, v := abftVector(t)
+	if !v.VerifyChecksum(0) {
+		t.Fatalf("page without checksum failed verification")
+	}
+	plain := s.AddVector("plain")
+	if plain.ChecksumsEnabled() {
+		t.Fatalf("checksums enabled without EnableChecksums")
+	}
+	plain.FlipBit(1, 0, 3)
+	s.ApplySilentPending()
+	if !plain.VerifyChecksum(1) {
+		t.Fatalf("disabled vector reported a detection")
+	}
+}
+
+// Every content-replacing path — recovery, remap, poison — must forget the
+// page's checksum so stale checksums can never misfire on rebuilt data.
+func TestChecksumInvalidatedOnContentReplacement(t *testing.T) {
+	_, v := abftVector(t)
+
+	storeChecksum(v, 0)
+	v.Poison(0)
+	v.space.ScramblePending()
+	v.Remap(0)
+	v.MarkRecovered(0)
+	if !v.VerifyChecksum(0) {
+		t.Fatalf("stale checksum fired on recovered page")
+	}
+
+	// Restart-style: Poison then ClearAll WITHOUT MarkRecovered (the Lossy
+	// path) — the Poison itself must have invalidated.
+	storeChecksum(v, 1)
+	v.Poison(1)
+	lo, _ := v.PageRange(1)
+	v.Data[lo] = 123.0 // interpolated replacement, no checksum kernel
+	v.space.ClearAll()
+	if !v.VerifyChecksum(1) {
+		t.Fatalf("stale checksum survived a restart-style mask clear")
+	}
+}
+
+// A DUE and a silent flip on the same page at the same boundary: the DUE
+// scramble wins (flip applied first, then NaN overwrite), and the page is
+// handled by the ordinary fault machinery.
+func TestFlipAndDUESamePage(t *testing.T) {
+	s, v := abftVector(t)
+	storeChecksum(v, 3)
+	v.FlipBit(3, 5, 9)
+	v.Poison(3)
+	s.ScramblePending()
+	if !v.Failed(3) {
+		t.Fatalf("page not failed")
+	}
+	if !v.VerifyChecksum(3) {
+		t.Fatalf("failed page must verify trivially")
+	}
+}
+
+// FlipBit bounds-panics on out-of-page elements and bad bit indices.
+func TestFlipBitBounds(t *testing.T) {
+	_, v := abftVector(t)
+	for _, bad := range []func(){
+		func() { v.FlipBit(0, -1, 0) },
+		func() { v.FlipBit(0, 256, 0) },
+		func() { v.FlipBit(0, 0, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic on out-of-bounds flip")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -62,8 +62,12 @@ type Space struct {
 	onFault       atomic.Pointer[func(FaultEvent)]
 	poisonWithNaN bool
 
-	pendMu  sync.Mutex
-	pending []FaultEvent
+	pendMu     sync.Mutex
+	pending    []FaultEvent
+	sdcPending []SilentFlip
+
+	sdcInjected atomic.Int64
+	sdcDetected atomic.Int64
 }
 
 // NewSpace creates a fault domain for vectors of length n with the given
@@ -113,6 +117,12 @@ type Vector struct {
 	id    int
 	name  string
 	Data  []float64
+
+	// ABFT page checksums (abft.go): nil unless EnableChecksums was
+	// called. cks[p] holds the XOR-of-bits checksum of page p, valid only
+	// while ckOK[p] is set.
+	cks  []atomic.Uint64
+	ckOK []atomic.Bool
 }
 
 // AddVector registers a new protected vector. It panics beyond MaxVectors
@@ -163,6 +173,10 @@ func (v *Vector) Poison(p int) {
 		panic(fmt.Sprintf("pagemem: poison of empty page %d", p))
 	}
 	ev := FaultEvent{Vector: v.name, VecID: v.id, Page: p}
+	// The page content is doomed (scramble, remap or recovery overwrite
+	// follow): forget its ABFT checksum so no stale-valid checksum can
+	// survive a restart-style mask clear.
+	v.InvalidateChecksum(p)
 	s.masks[p].Or(1 << uint(v.id))
 	s.faults.Add(1)
 	s.pendMu.Lock()
@@ -194,6 +208,10 @@ func (s *Space) PendingCount() int {
 // touches vector data — a task-phase boundary — modelling the moment the
 // poisoned page's content is gone for good. Returns the processed events.
 func (s *Space) ScramblePending() []FaultEvent {
+	// Silent flips model corruption of data at rest: apply them at the
+	// same boundary, before the DUE scrambles (a DUE on the same page
+	// destroys the flipped content anyway).
+	s.ApplySilentPending()
 	s.pendMu.Lock()
 	evs := s.pending
 	s.pending = nil
@@ -227,6 +245,7 @@ func (v *Vector) Remap(p int) {
 	for i := lo; i < hi; i++ {
 		v.Data[i] = 0
 	}
+	v.InvalidateChecksum(p)
 }
 
 // MarkFailed sets the fault bit for page p without touching data: used to
@@ -236,9 +255,12 @@ func (v *Vector) MarkFailed(p int) {
 }
 
 // MarkRecovered clears the fault bit for page p after replacement data has
-// been interpolated (or recomputed) into it.
+// been interpolated (or recomputed) into it. The page's ABFT checksum (if
+// any) is forgotten: the rebuilt content is trusted, and verification
+// skips the page until a checksum-carrying producer covers it again.
 func (v *Vector) MarkRecovered(p int) {
 	v.space.masks[p].And(^uint64(1 << uint(v.id)))
+	v.InvalidateChecksum(p)
 }
 
 // Failed reports whether page p of this vector is currently invalid.

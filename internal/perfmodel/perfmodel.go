@@ -137,9 +137,16 @@ func (m *Model) IterTime(cores int) float64 {
 // RunTime predicts the total execution time of a run with the given
 // method, core count and number of errors.
 func (m *Model) RunTime(method core.Method, cores, errors int) float64 {
+	return m.RunTimeF(method, cores, float64(errors))
+}
+
+// RunTimeF is RunTime with a real-valued error count, for controllers that
+// feed an estimated (fractional) errors-per-run rate into the model. The
+// damage factor is clamped at 1 so the quadratic term cannot predict a
+// SPEEDUP for fractional e<1; at integer e it equals RunTime exactly.
+func (m *Model) RunTimeF(method core.Method, cores int, e float64) float64 {
 	tIter := m.IterTime(cores)
 	iters := float64(m.Problem.Iterations)
-	e := float64(errors)
 
 	// Per-iteration resilience latency.
 	switch method {
@@ -151,7 +158,11 @@ func (m *Model) RunTime(method core.Method, cores, errors int) float64 {
 
 	// Convergence damage in extra iterations.
 	dm := m.Damage[method]
-	iters *= 1 + dm.Linear*e + dm.Quadratic*e*(e-1)
+	factor := 1 + dm.Linear*e + dm.Quadratic*e*(e-1)
+	if factor < 1 {
+		factor = 1
+	}
+	iters *= factor
 	// Recovery/restart coordination per error.
 	iters += m.RecoveryCoordinationIters * e
 
@@ -164,7 +175,7 @@ func (m *Model) RunTime(method core.Method, cores, errors int) float64 {
 		ckptTime := 2 * n / p * 8 / m.Machine.DiskBandwidth
 		base := float64(m.Problem.Iterations) * tIter
 		var interval float64
-		if errors > 0 {
+		if e > 0 {
 			mtbe := base / e
 			interval = math.Sqrt(2 * ckptTime * mtbe) // Young/Daly
 		} else {
@@ -176,6 +187,26 @@ func (m *Model) RunTime(method core.Method, cores, errors int) float64 {
 		total += e * (ckptTime + interval/2)
 	}
 	return total
+}
+
+// OptimalCheckpointInterval returns the Young/Daly checkpoint period in
+// ITERATIONS for the modelled machine at the given core count and an
+// observed error rate (errors per iteration). A rate of 0 or less means
+// one checkpoint per expected run (Problem.Iterations).
+func (m *Model) OptimalCheckpointInterval(cores int, errsPerIter float64) int {
+	if errsPerIter <= 0 {
+		return m.Problem.Iterations
+	}
+	tIter := m.IterTime(cores)
+	n := float64(m.Problem.NX) * float64(m.Problem.NX) * float64(m.Problem.NX)
+	p := float64(m.Sockets(cores))
+	ckptTime := 2 * n / p * 8 / m.Machine.DiskBandwidth
+	mtbe := tIter / errsPerIter
+	iv := int(math.Round(math.Sqrt(2*ckptTime*mtbe) / tIter))
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
 }
 
 // Speedup returns the paper's Figure 5 metric: execution time of the ideal

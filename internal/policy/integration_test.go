@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// End-to-end adaptive run: a CG constructed as FEIR under a scripted error
+// ramp (quiet, then a dense mixed DUE/SDC storm). The controller must move
+// off FEIR while the run is clean, fall back to a storm-proof method when
+// the rate ramps up, and the solve must still converge to the true
+// residual tolerance.
+func TestAdaptiveCGUnderScriptedRamp(t *testing.T) {
+	a := matgen.Poisson2D(40, 40)
+	b := matgen.RandomVector(a.N, 42)
+
+	ctrl := New(Config{})
+	cfg := core.Config{
+		Method:      core.MethodFEIR,
+		Workers:     4,
+		PageDoubles: 64,
+		Tol:         1e-10,
+		MaxIter:     20000,
+		ABFT:        true,
+		Policy:      ctrl,
+	}
+	cg, err := core.NewCG(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := inject.Schedule{
+		Phases: []inject.RatePhase{
+			{FromIteration: 0, MeanIters: 0},                    // quiet: the model should drop FEIR's latency
+			{FromIteration: 30, MeanIters: 2, SDCFraction: 0.3}, // storm: exact recovery must win again
+		},
+		Seed:    9,
+		Targets: cg.DynamicVectors(),
+	}.Compile(400)
+	plan.Start()
+	cg.SetOnIteration(func(it int, rel float64) { plan.Tick(it) })
+
+	res, err := cg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.RelResidual > 1e-8 {
+		t.Fatalf("adaptive run: converged=%v rel=%v stats=%+v", res.Converged, res.RelResidual, res.Stats)
+	}
+	if res.Stats.PolicySwitches < 2 {
+		t.Fatalf("PolicySwitches = %d, want >= 2 (decisions: %v)", res.Stats.PolicySwitches, ctrl.Decisions())
+	}
+	decs := ctrl.Decisions()
+	if len(decs) != res.Stats.PolicySwitches {
+		t.Fatalf("decision log %d entries vs %d switches", len(decs), res.Stats.PolicySwitches)
+	}
+	if decs[0].From != "FEIR" {
+		t.Fatalf("first decision should leave FEIR: %v", decs[0])
+	}
+	last := decs[len(decs)-1]
+	if last.To != "FEIR" && last.To != "AFEIR" {
+		t.Fatalf("storm should end on an exact-recovery method, got %v", last)
+	}
+	if res.Stats.SDCDetected == 0 {
+		t.Fatalf("no SDC detections under a 30%% flip storm: %+v", res.Stats)
+	}
+	if plan.Fired() == 0 {
+		t.Fatalf("plan fired nothing")
+	}
+}
+
+// An adaptive BiCGStab run switches only between the two exact-recovery
+// schedulings (FEIR <-> AFEIR) and stays correct.
+func TestAdaptiveBiCGStabSwitchSet(t *testing.T) {
+	// Diagonally dominant non-symmetric tridiagonal system.
+	n := 900
+	var tr []sparse.Triplet
+	for i := 0; i < n; i++ {
+		tr = append(tr, sparse.Triplet{Row: i, Col: i, Val: 4})
+		if i > 0 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i - 1, Val: -1.4})
+		}
+		if i < n-1 {
+			tr = append(tr, sparse.Triplet{Row: i, Col: i + 1, Val: -0.6})
+		}
+	}
+	a := sparse.NewCSRFromTriplets(n, n, tr)
+	b := matgen.RandomVector(n, 3)
+	ctrl := New(Config{})
+	cfg := core.Config{
+		Method:      core.MethodFEIR,
+		Workers:     4,
+		PageDoubles: 64,
+		Tol:         1e-9,
+		MaxIter:     20000,
+		Policy:      ctrl,
+	}
+	sv, err := core.NewBiCGStab(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := sv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("adaptive BiCGStab did not converge: %+v", res)
+	}
+	for _, d := range ctrl.Decisions() {
+		if d.To != "FEIR" && d.To != "AFEIR" {
+			t.Fatalf("BiCGStab switched outside its safe set: %v", d)
+		}
+	}
+	if res.Stats.PolicySwitches < 1 {
+		t.Fatalf("clean run at 1024 modelled cores should drop FEIR's latency: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,200 @@
+// Package policy implements the adaptive resilience controller: an online
+// estimator of the observed fault rate (DUE poisons + ABFT silent-error
+// detections) coupled to the perfmodel cost model, deciding at iteration
+// fixpoints which resilience method the NEXT iterations should run and how
+// often a checkpointing run should write.
+//
+// The paper's §5 evaluation shows no single method dominates: FEIR's
+// critical-path recovery latency makes it the slowest fault-free choice at
+// scale but the most robust under error storms, while AFEIR's overlapped
+// recoveries are nearly free until lost reduction contributions compound
+// quadratically with the error count (§5.4), and Lossy Restart is cheapest
+// of all when nothing fails. The controller closes that loop: it tracks an
+// exponentially-weighted error rate from the solver's own fault counters,
+// asks the calibrated model which allowed method minimises the predicted
+// remaining run time at that rate, and switches only when the predicted
+// win clears a hysteresis margin and a minimum hold distance — the solver
+// applies the decision at its next quiescent fixpoint.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// Config parametrises the controller. The zero value selects calibrated
+// defaults throughout.
+type Config struct {
+	// Model is the analytic cost model; nil means perfmodel.New().
+	Model *perfmodel.Model
+	// Cores is the MODELLED core count the method ranking assumes. The
+	// default is 1024 — the paper's §5.5 regime where the per-iteration
+	// resilience latencies are a first-order cost and the method choice
+	// genuinely matters. (At single-socket scale every method costs the
+	// same and the controller would never move.)
+	Cores int
+	// Gain is the EWMA gain applied to the per-iteration event count;
+	// 0 means 0.08 (≈ a 12-iteration memory).
+	Gain float64
+	// Hysteresis is the minimum predicted relative win before a switch;
+	// 0 means 0.05 (5 %).
+	Hysteresis float64
+	// HoldIters is the minimum distance between switches; 0 means 8.
+	HoldIters int
+	// Horizon converts the per-iteration rate into the errors-per-run the
+	// damage model expects; 0 means Model.Problem.Iterations.
+	Horizon int
+	// MaxDecisions caps the in-memory decision log; 0 means 256.
+	MaxDecisions int
+}
+
+func (c Config) gain() float64 {
+	if c.Gain > 0 {
+		return c.Gain
+	}
+	return 0.08
+}
+
+func (c Config) hysteresis() float64 {
+	if c.Hysteresis > 0 {
+		return c.Hysteresis
+	}
+	return 0.05
+}
+
+func (c Config) holdIters() int {
+	if c.HoldIters > 0 {
+		return c.HoldIters
+	}
+	return 8
+}
+
+func (c Config) maxDecisions() int {
+	if c.MaxDecisions > 0 {
+		return c.MaxDecisions
+	}
+	return 256
+}
+
+// Decision records one applied controller action.
+type Decision struct {
+	// Iteration is the fixpoint at which the decision was taken.
+	Iteration int `json:"iteration"`
+	// Rate is the EWMA error rate (events/iteration) at that point.
+	Rate float64 `json:"rate"`
+	// From and To are the method names before and after the switch.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// CkptInterval is the retuned checkpoint interval (iterations), 0 for
+	// method switches.
+	CkptInterval int `json:"ckpt_interval,omitempty"`
+}
+
+// String renders the decision for per-run reports.
+func (d Decision) String() string {
+	if d.CkptInterval > 0 {
+		return fmt.Sprintf("it=%d rate=%.4f ckpt-interval=%d", d.Iteration, d.Rate, d.CkptInterval)
+	}
+	return fmt.Sprintf("it=%d rate=%.4f %s->%s", d.Iteration, d.Rate, d.From, d.To)
+}
+
+// Controller is the adaptive resilience policy. It implements
+// core.ResiliencePolicy. A Controller belongs to ONE solver run loop at a
+// time (Decide mutates estimator state); build one per concurrent run.
+type Controller struct {
+	cfg   Config
+	model *perfmodel.Model
+	cores int
+
+	rate       float64
+	lastSwitch int
+	started    bool
+	switches   int
+	lastCkptIv int
+	decisions  []Decision
+}
+
+var _ core.ResiliencePolicy = (*Controller)(nil)
+
+// New builds a controller from cfg (zero value: calibrated defaults).
+func New(cfg Config) *Controller {
+	m := cfg.Model
+	if m == nil {
+		m = perfmodel.New()
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 1024
+	}
+	return &Controller{cfg: cfg, model: m, cores: cores}
+}
+
+// Rate returns the current EWMA error rate in events per iteration.
+func (c *Controller) Rate() float64 { return c.rate }
+
+// Switches returns the number of method switches applied so far.
+func (c *Controller) Switches() int { return c.switches }
+
+// Decisions returns the applied decisions (switches and checkpoint
+// retunes), oldest first, capped at Config.MaxDecisions.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Decide implements core.ResiliencePolicy: fold the newly observed events
+// into the rate estimate, rank the allowed methods under the model at the
+// estimated errors-per-run, and return the winner when it clears the
+// hysteresis and hold thresholds (cur otherwise). For checkpoint runs
+// (len(allowed)==1 and cur==MethodCheckpoint) it instead retunes the
+// Young/Daly interval to the observed rate.
+func (c *Controller) Decide(it, newEvents int, cur core.Method, allowed []core.Method) (core.Method, int) {
+	g := c.cfg.gain()
+	c.rate = (1-g)*c.rate + g*float64(newEvents)
+	if !c.started {
+		c.started = true
+		c.lastSwitch = it - c.cfg.holdIters() // allow an immediate first switch
+	}
+
+	if cur == core.MethodCheckpoint {
+		iv := c.model.OptimalCheckpointInterval(c.cores, c.rate)
+		if iv != c.lastCkptIv {
+			c.lastCkptIv = iv
+			c.record(Decision{Iteration: it, Rate: c.rate, From: cur.String(), To: cur.String(), CkptInterval: iv})
+		}
+		return cur, iv
+	}
+	if len(allowed) < 2 {
+		return cur, 0
+	}
+
+	horizon := c.cfg.Horizon
+	if horizon <= 0 {
+		horizon = c.model.Problem.Iterations
+	}
+	errsPerRun := c.rate * float64(horizon)
+
+	best, bestT := cur, c.model.RunTimeF(cur, c.cores, errsPerRun)
+	curT := bestT
+	for _, m := range allowed {
+		if m == cur {
+			continue
+		}
+		if t := c.model.RunTimeF(m, c.cores, errsPerRun); t < bestT {
+			best, bestT = m, t
+		}
+	}
+	if best == cur || curT <= bestT*(1+c.cfg.hysteresis()) || it-c.lastSwitch < c.cfg.holdIters() {
+		return cur, 0
+	}
+	c.lastSwitch = it
+	c.switches++
+	c.record(Decision{Iteration: it, Rate: c.rate, From: cur.String(), To: best.String()})
+	return best, 0
+}
+
+func (c *Controller) record(d Decision) {
+	if len(c.decisions) >= c.cfg.maxDecisions() {
+		return
+	}
+	c.decisions = append(c.decisions, d)
+}

@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+var fullSet = []core.Method{core.MethodFEIR, core.MethodAFEIR, core.MethodLossy}
+
+// At zero observed rate and 1024 modelled cores, FEIR's 3.5 ms critical-
+// path recovery latency is a first-order per-iteration cost; the
+// controller must move off FEIR immediately.
+func TestSwitchesOffCriticalPathAtZeroRate(t *testing.T) {
+	c := New(Config{})
+	m, _ := c.Decide(0, 0, core.MethodFEIR, fullSet)
+	if m == core.MethodFEIR {
+		t.Fatalf("controller kept FEIR at zero rate; want a cheaper method")
+	}
+	if c.Switches() != 1 {
+		t.Fatalf("Switches = %d, want 1", c.Switches())
+	}
+	if len(c.Decisions()) != 1 || c.Decisions()[0].From != "FEIR" {
+		t.Fatalf("decision log = %+v", c.Decisions())
+	}
+}
+
+// A sustained error storm drives the EWMA up; at ~1 event/iteration the
+// AFEIR damage model predicts a quadratic iteration blow-up and the
+// controller must fall back to critical-path FEIR.
+func TestSwitchesToFEIRUnderStorm(t *testing.T) {
+	c := New(Config{})
+	cur := core.MethodAFEIR
+	for it := 0; it < 60; it++ {
+		m, _ := c.Decide(it, 1, cur, fullSet)
+		cur = m
+	}
+	if cur != core.MethodFEIR {
+		t.Fatalf("method after storm = %v, want FEIR (rate=%.3f)", cur, c.Rate())
+	}
+}
+
+// The hold distance bounds switch frequency even when the predicted
+// ranking flips every iteration.
+func TestHoldPreventsFlapping(t *testing.T) {
+	c := New(Config{HoldIters: 10})
+	cur := core.MethodAFEIR
+	var switches []int
+	for it := 0; it < 100; it++ {
+		// Alternate long quiet stretches with dense bursts so the
+		// model's preferred method keeps changing.
+		ev := 0
+		if (it/5)%2 == 0 {
+			ev = 3
+		}
+		m, _ := c.Decide(it, ev, cur, fullSet)
+		if m != cur {
+			switches = append(switches, it)
+			cur = m
+		}
+	}
+	for i := 1; i < len(switches); i++ {
+		if switches[i]-switches[i-1] < 10 {
+			t.Fatalf("switches %v violate the 10-iteration hold", switches)
+		}
+	}
+}
+
+// The returned method must always come from the allowed set; a pinned run
+// (singleton set) never moves.
+func TestRespectsAllowedSet(t *testing.T) {
+	c := New(Config{})
+	for it := 0; it < 20; it++ {
+		m, _ := c.Decide(it, it%3, core.MethodLossy, []core.Method{core.MethodLossy})
+		if m != core.MethodLossy {
+			t.Fatalf("pinned run switched to %v", m)
+		}
+	}
+	if c.Switches() != 0 {
+		t.Fatalf("Switches = %d on a pinned run", c.Switches())
+	}
+}
+
+// Checkpoint runs get a Young/Daly interval that tightens as the observed
+// rate grows.
+func TestCheckpointIntervalTightensWithRate(t *testing.T) {
+	quiet := New(Config{})
+	var ivQuiet int
+	for it := 0; it < 30; it++ {
+		_, ivQuiet = quiet.Decide(it, 0, core.MethodCheckpoint, []core.Method{core.MethodCheckpoint})
+	}
+	stormy := New(Config{})
+	var ivStorm int
+	for it := 0; it < 30; it++ {
+		_, ivStorm = stormy.Decide(it, 2, core.MethodCheckpoint, []core.Method{core.MethodCheckpoint})
+	}
+	if ivQuiet <= 0 || ivStorm <= 0 {
+		t.Fatalf("non-positive intervals: quiet=%d storm=%d", ivQuiet, ivStorm)
+	}
+	if ivStorm >= ivQuiet {
+		t.Fatalf("interval did not tighten: quiet=%d storm=%d", ivQuiet, ivStorm)
+	}
+	if len(stormy.Decisions()) == 0 {
+		t.Fatalf("no retune decisions logged")
+	}
+}
+
+// The EWMA decays after a burst ends, and the decision log stays within
+// its cap under adversarial flapping.
+func TestRateDecayAndLogCap(t *testing.T) {
+	c := New(Config{Gain: 0.2, MaxDecisions: 4, HoldIters: 1, Hysteresis: 0.01})
+	cur := core.MethodFEIR
+	for it := 0; it < 200; it++ {
+		ev := 0
+		if it < 20 {
+			ev = 5
+		}
+		m, _ := c.Decide(it, ev, cur, fullSet)
+		cur = m
+	}
+	if c.Rate() > 0.01 {
+		t.Fatalf("rate did not decay: %.4f", c.Rate())
+	}
+	if len(c.Decisions()) > 4 {
+		t.Fatalf("decision log %d exceeds cap 4", len(c.Decisions()))
+	}
+}

@@ -59,6 +59,7 @@ func (c Config) distConfig() dist.Config {
 		RT:                 c.RT,
 		Blocks:             c.Blocks,
 		Cancelled:          c.Cancelled,
+		Policy:             c.Policy,
 	}
 }
 
@@ -93,6 +94,12 @@ type Capabilities struct {
 	Precond bool
 	// Distributed: the builder honors Config.Ranks > 0.
 	Distributed bool
+	// Policy: the builder honors Config.Policy (adaptive resilience
+	// switching at iteration fixpoints).
+	Policy bool
+	// ABFT: the builder honors Config.ABFT (checksum-carrying kernels
+	// turning silent flips into recoverable poisons).
+	ABFT bool
 }
 
 type entry struct {
@@ -137,6 +144,12 @@ func New(name string, a *sparse.CSR, b []float64, cfg Config) (*Instance, error)
 	if cfg.Ranks > 0 && !e.caps.Distributed {
 		return nil, fmt.Errorf("registry: solver %q has no distributed variant (drop -ranks)", name)
 	}
+	if cfg.Policy != nil && !e.caps.Policy {
+		return nil, fmt.Errorf("registry: solver %q has no adaptive-policy support (drop -policy)", name)
+	}
+	if cfg.ABFT && !e.caps.ABFT {
+		return nil, fmt.Errorf("registry: solver %q has no ABFT checksum coverage (drop -abft)", name)
+	}
 	if cfg.SharedPool && cfg.RT == nil {
 		cfg.RT = taskrt.Shared(cfg.Workers)
 	}
@@ -169,12 +182,20 @@ func distInstance(s distSolver) *Instance {
 
 // all declares the full capability set of the three built-in methods:
 // since PR 3 every one of them dispatches a preconditioned variant for
-// both topologies.
-var all = Capabilities{Precond: true, Distributed: true}
+// both topologies, and all three honor the adaptive resilience policy
+// (single-node and distributed). ABFT checksum coverage exists only for
+// the single-node CG's resilient kernels; the cg builder rejects the
+// distributed combination explicitly.
+var all = Capabilities{Precond: true, Distributed: true, Policy: true}
 
 func init() {
-	Register("cg", all, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
+	cgCaps := all
+	cgCaps.ABFT = true
+	Register("cg", cgCaps, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
+			if cfg.ABFT {
+				return nil, fmt.Errorf("registry: ABFT checksum coverage is single-node only (drop -abft or -ranks)")
+			}
 			s, err := dist.NewCG(a, b, cfg.Ranks, cfg.distConfig())
 			if err != nil {
 				return nil, err

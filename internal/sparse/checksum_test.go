@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fill(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// The checksum-carrying kernels must be BITWISE identical to the plain
+// kernels they shadow on clean data: same loop body, same accumulation
+// order, the checksum fold riding on register-resident values.
+func TestChecksumKernelsBitwiseEqualPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 777
+	lo, hi := 13, 700
+	x := fill(rng, n)
+	y := fill(rng, n)
+	alpha, beta := 1.37, -0.61
+
+	// Xpby: out = x + beta*y.
+	outP := make([]float64, n)
+	outC := make([]float64, n)
+	XpbyOutRange(x, beta, y, outP, lo, hi)
+	ck := XpbyOutChecksumRange(x, beta, y, outC, lo, hi)
+	for i := lo; i < hi; i++ {
+		if math.Float64bits(outP[i]) != math.Float64bits(outC[i]) {
+			t.Fatalf("Xpby bitwise mismatch at %d: % x vs % x", i, outP[i], outC[i])
+		}
+	}
+	if got := ChecksumRange(outC, lo, hi); got != ck {
+		t.Fatalf("Xpby checksum %x does not match recompute %x", ck, got)
+	}
+
+	// Copy.
+	cpP := make([]float64, n)
+	cpC := make([]float64, n)
+	copy(cpP[lo:hi], x[lo:hi])
+	ck = CopyChecksumRange(cpC, x, lo, hi)
+	for i := lo; i < hi; i++ {
+		if math.Float64bits(cpP[i]) != math.Float64bits(cpC[i]) {
+			t.Fatalf("Copy bitwise mismatch at %d", i)
+		}
+	}
+	if got := ChecksumRange(cpC, lo, hi); got != ck {
+		t.Fatalf("Copy checksum mismatch")
+	}
+
+	// Axpy: y += alpha*x.
+	yP := append([]float64(nil), y...)
+	yC := append([]float64(nil), y...)
+	AxpyRange(alpha, x, yP, lo, hi)
+	ck = AxpyChecksumRange(alpha, x, yC, lo, hi)
+	for i := range yP {
+		if math.Float64bits(yP[i]) != math.Float64bits(yC[i]) {
+			t.Fatalf("Axpy bitwise mismatch at %d", i)
+		}
+	}
+	if got := ChecksumRange(yC, lo, hi); got != ck {
+		t.Fatalf("Axpy checksum mismatch")
+	}
+
+	// AxpyDot: y += alpha*x fused with <y,y>.
+	yP = append([]float64(nil), y...)
+	yC = append([]float64(nil), y...)
+	dotP := AxpyDotRange(alpha, x, yP, lo, hi)
+	dotC, ck := AxpyDotChecksumRange(alpha, x, yC, lo, hi)
+	if math.Float64bits(dotP) != math.Float64bits(dotC) {
+		t.Fatalf("AxpyDot scalar mismatch: % x vs % x", dotP, dotC)
+	}
+	for i := range yP {
+		if math.Float64bits(yP[i]) != math.Float64bits(yC[i]) {
+			t.Fatalf("AxpyDot bitwise mismatch at %d", i)
+		}
+	}
+	if got := ChecksumRange(yC, lo, hi); got != ck {
+		t.Fatalf("AxpyDot checksum mismatch")
+	}
+}
+
+// XOR of raw bit patterns detects EVERY single-bit flip: flipping any bit
+// of any element changes exactly one bit of the checksum.
+func TestChecksumDetectsEverySingleBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 96
+	x := fill(rng, n)
+	ck := ChecksumRange(x, 0, n)
+	for elem := 0; elem < n; elem += 7 {
+		for bit := uint(0); bit < 64; bit++ {
+			x[elem] = math.Float64frombits(math.Float64bits(x[elem]) ^ (1 << bit))
+			if got := ChecksumRange(x, 0, n); got == ck {
+				t.Fatalf("flip of elem %d bit %d undetected", elem, bit)
+			}
+			x[elem] = math.Float64frombits(math.Float64bits(x[elem]) ^ (1 << bit))
+		}
+	}
+	if got := ChecksumRange(x, 0, n); got != ck {
+		t.Fatalf("restore failed")
+	}
+}
+
+// The checksum is order-independent over the page (XOR is commutative), so
+// a chunked producer may fold sub-ranges in any order.
+func TestChecksumComposesOverSubranges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 512
+	x := fill(rng, n)
+	whole := ChecksumRange(x, 0, n)
+	split := ChecksumRange(x, 300, n) ^ ChecksumRange(x, 0, 300)
+	if whole != split {
+		t.Fatalf("checksum not XOR-composable: %x vs %x", whole, split)
+	}
+}
