@@ -16,6 +16,8 @@
 //	due-bench -exp distkernels [-scale 65536] [-ranks 4] [-dist-iters 200] [-json BENCH_dist.json]
 //	due-bench -exp policy [-scale 4096] [-seed 1] [-json BENCH_policy.json]
 //	due-bench -exp policy -guard BENCH_policy.json
+//	due-bench -exp serve [-scale 4096] [-serve-clients 4] [-serve-requests 40] [-json BENCH_serve.json]
+//	due-bench -exp serve -guard BENCH_serve.json
 //	due-bench -exp all
 //
 // -json writes the fig4/fig4pcg cells as BENCH_fig4.json-style output so
@@ -72,6 +74,10 @@ func main() {
 	serveRequests := flag.Int("serve-requests", 0, "measured cached solves for -exp serve (default 40)")
 	guard := flag.String("guard", "", "committed BENCH_kernels.json / BENCH_dist.json / BENCH_serve.json / BENCH_policy.json to compare a fresh -exp kernels / distkernels / serve / policy run against; exits 1 when the tracked speedup drops >20% below it, 3 when the artefact's num_cpu differs from this runner's (regenerate, don't compare)")
 	flag.Parse()
+
+	// One degraded-provenance warning per invocation, whatever -exp runs:
+	// the single-core caveat applies to every timing number we print.
+	warnDegraded()
 
 	opts := experiments.Options{
 		Scale:       *scale,
@@ -139,7 +145,6 @@ func main() {
 	// dedicated hot-path baselines with their own scale/worker defaults
 	// (65536 rows, 4 workers / 4 ranks).
 	if *exp == "kernels" {
-		warnDegraded()
 		res, err := experiments.Kernels(opts, *kernelIters)
 		if err != nil {
 			fatalf("kernels: %v", err)
@@ -152,7 +157,6 @@ func main() {
 		return
 	}
 	if *exp == "distkernels" {
-		warnDegraded()
 		res, err := experiments.DistKernels(opts, *ranks, *distIters)
 		if err != nil {
 			fatalf("distkernels: %v", err)
@@ -165,7 +169,6 @@ func main() {
 		return
 	}
 	if *exp == "policy" {
-		warnDegraded()
 		res, err := experiments.RunPolicy(experiments.PolicyOptions{
 			Scale:       *scale,
 			Workers:     *workers,
@@ -187,7 +190,6 @@ func main() {
 		return
 	}
 	if *exp == "serve" {
-		warnDegraded()
 		res, err := experiments.Serve(experiments.ServeOptions{
 			Scale:    *scale,
 			Workers:  *workers,
@@ -201,6 +203,7 @@ func main() {
 		fmt.Println(res)
 		path := orDefault(*jsonPath, "BENCH_serve.json")
 		refuseDegradedOverwrite(path, res.Provenance)
+		refuseBatchlessOverwrite(path, res)
 		writeJSON(path, res)
 		if *guard != "" {
 			guardServe(*guard, res)
@@ -446,22 +449,34 @@ func guardServe(committedPath string, fresh *experiments.ServeResult) {
 		fatalf("guard: parsing %s: %v", committedPath, err)
 	}
 	guardProvenance(committedPath, committed.Provenance, fresh.Provenance)
-	if committed.CachedSolvesPerSec <= 0 {
-		fatalf("guard: %s has no positive cached_solves_per_sec — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
+	if committed.CachedSolvesPerSec <= 0 || committed.BatchSpeedup <= 0 {
+		fatalf("guard: %s has no positive cached_solves_per_sec / batch_speedup — wrong file for -guard? (the gate must not be silently disarmed)", committedPath)
 	}
 	if fresh.FactorizationsAfterWarmup != 0 || fresh.GraphPrepsAfterWarmup != 0 {
 		fatalf("guard: warm traffic performed %d factorizations and %d graph preparations — the operator cache stopped amortizing setup (structural regression, not machine noise)",
 			fresh.FactorizationsAfterWarmup, fresh.GraphPrepsAfterWarmup)
 	}
-	floor := committed.CachedSolvesPerSec * 0.8
-	if fresh.CachedSolvesPerSec < floor {
-		fatalf("guard: cached_solves_per_sec %.2f dropped more than 20%% below committed %.2f (floor %.2f) — serving-path regression\n"+
-			"guard: fresh     %+v\nguard: committed %+v\n"+
-			"guard: if the provenance lines differ in core count or Go release, regenerate the committed artefact on a comparable host instead of relaxing the gate",
-			fresh.CachedSolvesPerSec, committed.CachedSolvesPerSec, floor, fresh.Provenance, committed.Provenance)
+	if !fresh.BatchColumnsExact {
+		fatalf("guard: a coalesced batch member's solution diverged bitwise from its solo solve — per-column exactness broke (structural regression, not machine noise)")
 	}
-	fmt.Printf("guard: cached_solves_per_sec %.2f within 20%% of committed %.2f; zero rebuilds after warmup\n",
-		fresh.CachedSolvesPerSec, committed.CachedSolvesPerSec)
+	bad := false
+	if floor := committed.CachedSolvesPerSec * 0.8; fresh.CachedSolvesPerSec < floor {
+		fmt.Fprintf(os.Stderr, "guard: cached_solves_per_sec %.2f dropped more than 20%% below committed %.2f (floor %.2f) — serving-path regression\n",
+			fresh.CachedSolvesPerSec, committed.CachedSolvesPerSec, floor)
+		bad = true
+	}
+	if floor := committed.BatchSpeedup * 0.8; fresh.BatchSpeedup < floor {
+		fmt.Fprintf(os.Stderr, "guard: batch_speedup %.2f dropped more than 20%% below committed %.2f (floor %.2f) — coalescing stopped amortizing the operator pass\n",
+			fresh.BatchSpeedup, committed.BatchSpeedup, floor)
+		bad = true
+	}
+	if bad {
+		fatalf("guard: fresh     %+v\nguard: committed %+v\n"+
+			"guard: if the provenance lines differ in core count or Go release, regenerate the committed artefact on a comparable host instead of relaxing the gate",
+			fresh.Provenance, committed.Provenance)
+	}
+	fmt.Printf("guard: cached_solves_per_sec %.2f and batch_speedup %.2f within 20%% of committed (%.2f, %.2f); zero rebuilds after warmup; batched columns exact\n",
+		fresh.CachedSolvesPerSec, fresh.BatchSpeedup, committed.CachedSolvesPerSec, committed.BatchSpeedup)
 }
 
 // guardPolicy gates the adaptive-resilience layer on two axes. The
@@ -527,6 +542,27 @@ func refuseDegradedOverwrite(path string, fresh experiments.Provenance) {
 	if committed.Provenance.NumCPU > 1 && fresh.NumCPU == 1 {
 		fmt.Fprintf(os.Stderr, "refusing to overwrite %s: the committed artefact was measured on %d CPUs and this runner has 1 — regenerate on a comparable host, or pass -json to write the degraded point elsewhere\n",
 			path, committed.Provenance.NumCPU)
+		os.Exit(3)
+	}
+}
+
+// refuseBatchlessOverwrite keeps the batched-serving columns from
+// silently vanishing: once the committed BENCH_serve.json carries a
+// measured batched mix, a regeneration whose batched phase produced no
+// solves or never proved per-column exactness is a degraded point on the
+// trajectory, not an update.
+func refuseBatchlessOverwrite(path string, fresh *experiments.ServeResult) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // nothing committed at this path yet
+	}
+	var committed experiments.ServeResult
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return // not a bench artefact; writeJSON will replace it knowingly
+	}
+	if committed.BatchSolvesPerSec > 0 && (fresh.BatchSolvesPerSec <= 0 || !fresh.BatchColumnsExact) {
+		fmt.Fprintf(os.Stderr, "refusing to overwrite %s: the committed artefact carries a measured batched mix (%.2f solves/s, columns exact) and this run lost it (%.2f solves/s, columns_exact=%v) — fix the batched phase or pass -json to write elsewhere\n",
+			path, committed.BatchSolvesPerSec, fresh.BatchSolvesPerSec, fresh.BatchColumnsExact)
 		os.Exit(3)
 	}
 }

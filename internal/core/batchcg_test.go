@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/taskrt"
+)
+
+// The batched-solve contract at the solver level: each column of a
+// BatchCG run IS the unbatched CG run on that right-hand side — same
+// iteration count, bitwise the same solution — and under DUE storms the
+// FEIR/AFEIR recovery preserves per-column convergence exactly as the
+// scalar solver's storm tests demand.
+
+func batchTestRHS(n, cols int) [][]float64 {
+	rhs := make([][]float64, cols)
+	for j := range rhs {
+		rhs[j] = matgen.RandomVector(n, int64(42+j))
+	}
+	return rhs
+}
+
+func TestBatchCGCleanMatchesUnbatchedPerColumn(t *testing.T) {
+	a, _ := testSystem()
+	rhs := batchTestRHS(a.N, 3)
+	for _, m := range []Method{MethodIdeal, MethodFEIR, MethodAFEIR} {
+		// Width 4 with 3 bound columns: the padding slot rides along retired.
+		bcg, err := NewBatchCG(a, rhs, 4, testConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := bcg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bres.Columns) != 3 {
+			t.Fatalf("%v: %d columns", m, len(bres.Columns))
+		}
+		for j, col := range bres.Columns {
+			if !col.Converged {
+				t.Fatalf("%v col %d did not converge: %+v", m, j, col)
+			}
+			cg, err := NewCG(a, rhs[j], testConfig(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres, err := cg.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if col.Iterations != sres.Iterations {
+				t.Fatalf("%v col %d: batch %d vs scalar %d iterations",
+					m, j, col.Iterations, sres.Iterations)
+			}
+			want := cg.Solution()
+			got := make([]float64, a.N)
+			bcg.SolutionInto(j, got)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v col %d row %d: batch %v vs scalar %v",
+						m, j, i, got[i], want[i])
+				}
+			}
+			if col.RelResidual > 1e-9 {
+				t.Fatalf("%v col %d residual %v", m, j, col.RelResidual)
+			}
+		}
+		if bres.Stats.FaultsSeen != 0 || bres.Stats.Unrecovered != 0 {
+			t.Fatalf("%v phantom faults: %+v", m, bres.Stats)
+		}
+	}
+}
+
+func TestBatchCGStormRecoversEveryColumn(t *testing.T) {
+	a, _ := testSystem()
+	rhs := batchTestRHS(a.N, 4)
+	for _, m := range []Method{MethodFEIR, MethodAFEIR} {
+		clean, err := NewBatchCG(a, rhs, 4, testConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := clean.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vectors := []string{"x", "g", "q", "d0", "d1"}
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			count := 1 + int(seed)%5 // storms of 1..5 DUEs
+			var inj []injection
+			for k := 0; k < count; k++ {
+				inj = append(inj, injection{
+					it:   2 + rng.Intn(50),
+					vec:  vectors[rng.Intn(len(vectors))],
+					page: rng.Intn(25),
+				})
+			}
+			bcg, err := NewBatchCG(a, rhs, 4, testConfig(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bcg.SetOnIteration(poisonAt(t, bcg.Space(), inj, nil))
+			bres, err := bcg.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bres.Stats.FaultsSeen == 0 {
+				t.Fatalf("%v seed %d: no faults landed", m, seed)
+			}
+			for j, col := range bres.Columns {
+				if !col.Converged {
+					t.Fatalf("%v seed %d col %d did not converge: %+v inj %+v",
+						m, seed, j, col, inj)
+				}
+				if col.RelResidual > 1e-8 {
+					t.Fatalf("%v seed %d col %d residual %v", m, seed, j, col.RelResidual)
+				}
+				// Exact recovery preserves the convergence rate (§2.3):
+				// when nothing fell through to the blank fallback or a
+				// restart, every column finishes within a few iterations
+				// of its clean run.
+				if bres.Stats.Unrecovered == 0 && bres.Stats.Restarts == 0 {
+					if d := col.Iterations - cres.Columns[j].Iterations; d < -3 || d > 3 {
+						t.Fatalf("%v seed %d col %d: %d vs clean %d iterations (inj %+v)",
+							m, seed, j, col.Iterations, cres.Columns[j].Iterations, inj)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchCGRejections(t *testing.T) {
+	a, _ := testSystem()
+	rhs := batchTestRHS(a.N, 2)
+	bad := []struct {
+		name string
+		mut  func(*Config)
+		rhs  [][]float64
+		w    int
+	}{
+		{"lossy method", func(c *Config) { c.Method = MethodLossy }, rhs, 2},
+		{"checkpoint method", func(c *Config) { c.Method = MethodCheckpoint }, rhs, 2},
+		{"precond", func(c *Config) { c.UsePrecond = true }, rhs, 2},
+		{"abft", func(c *Config) { c.ABFT = true }, rhs, 2},
+		{"lossy fallback", func(c *Config) { c.Fallback = FallbackLossy }, rhs, 2},
+		{"width zero", func(c *Config) {}, rhs, 0},
+		{"width over max", func(c *Config) {}, rhs, sparse.MaxBatchWidth + 1},
+		{"too many rhs", func(c *Config) {}, batchTestRHS(a.N, 3), 2},
+		{"short rhs column", func(c *Config) {}, [][]float64{make([]float64, a.N-1)}, 2},
+	}
+	for _, tc := range bad {
+		cfg := testConfig(MethodFEIR)
+		tc.mut(&cfg)
+		if _, err := NewBatchCG(a, tc.rhs, tc.w, cfg); err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestBatchCGRebindReusesPreparedGraph(t *testing.T) {
+	a, _ := testSystem()
+	rt := taskrt.New(4)
+	defer rt.Close()
+	cfg := testConfig(MethodFEIR)
+	cfg.RT = rt
+
+	bcg, err := NewBatchCG(a, batchTestRHS(a.N, 2), 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bcg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	preps := engine.GraphPrepCount()
+	facs := sparse.FactorizationCount()
+
+	// Rebind across widths (2 -> 4 bound columns) and replay: the warm
+	// path must not rebuild task graphs or factorize anything.
+	rhs := batchTestRHS(a.N, 4)
+	if err := bcg.Rebind(rhs); err != nil {
+		t.Fatal(err)
+	}
+	bres, err := bcg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.GraphPrepCount(); got != preps {
+		t.Fatalf("graph preps after rebind: %d -> %d", preps, got)
+	}
+	if got := sparse.FactorizationCount(); got != facs {
+		t.Fatalf("factorizations after rebind: %d -> %d", facs, got)
+	}
+	for j, col := range bres.Columns {
+		if !col.Converged || col.RelResidual > 1e-9 {
+			t.Fatalf("col %d after rebind: %+v", j, col)
+		}
+	}
+	// Column 3 still matches its unbatched run bitwise.
+	cg, err := NewCG(a, rhs[3], testConfig(MethodFEIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, a.N)
+	bcg.SolutionInto(3, got)
+	for i, want := range cg.Solution() {
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want)
+		}
+	}
+}
+
+func TestBatchCGColumnCancellation(t *testing.T) {
+	a, _ := testSystem()
+	bcg, err := NewBatchCG(a, batchTestRHS(a.N, 2), 2, testConfig(MethodFEIR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter := 0
+	bcg.SetOnIteration(func(it int, _ float64) { iter = it })
+	bcg.SetColumnCancelled(0, func() bool { return iter >= 5 })
+	bres, err := bcg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := bres.Columns[0], bres.Columns[1]
+	if !c0.Cancelled || c0.Converged {
+		t.Fatalf("column 0 not cancelled: %+v", c0)
+	}
+	if c0.Iterations > 7 {
+		t.Fatalf("column 0 cancelled late: %+v", c0)
+	}
+	if !c1.Converged || c1.Cancelled {
+		t.Fatalf("column 1 hurt by cancellation: %+v", c1)
+	}
+}
+
+func TestBatchCGZeroColumnRetiresImmediately(t *testing.T) {
+	a, b := testSystem()
+	rhs := [][]float64{b, make([]float64, a.N)}
+	bcg, err := NewBatchCG(a, rhs, 2, testConfig(MethodIdeal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := bcg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bres.Columns[1].Converged || bres.Columns[1].Iterations != 0 {
+		t.Fatalf("zero column: %+v", bres.Columns[1])
+	}
+	if !bres.Columns[0].Converged {
+		t.Fatalf("live column: %+v", bres.Columns[0])
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+)
+
+// Batched recovery: the Figure 1(b) r1 and r2/r3 tasks over an
+// interleaved multivector page space. A page loss takes all b columns of
+// its row range together, and every Table 1 relation is column-separable
+// (the matrix couples rows, never RHS columns), so each repair rebuilds
+// the same page relation b times — one batched SpMM for the off-block
+// part, then one diagonal-block solve per column. The allowLate
+// discipline is the scalar solver's, unchanged.
+//
+// The one scalar facility the batch path does NOT port is the §2.4
+// coupled multi-error solve: its combined block system is built per
+// column and amortizes nothing across the batch, and the serving-path
+// error model (one DUE per fault event) never needs it. Pages that stay
+// individually unrecoverable fall through to reconcile's blank-remap
+// fallback, exactly like a scalar solve with FallbackIgnore and a stuck
+// group.
+
+// bForwardResidual rebuilds page p of G at ver from G = B - A X per
+// column (Table 1, row 3 lhs), requiring X current at ver on the
+// connected pages.
+func (s *BatchCG) bForwardResidual(p int, ver int64) bool {
+	x := vec(s.x, s.xS)
+	if !x.ConnCurrent(s.conn[p], ver, -1) {
+		return false
+	}
+	w := s.width
+	lo, hi := s.layout.Range(p)
+	s.a.MulMatRangeExcludingCols(s.x.Data, s.scratch, w, lo, hi, 0, 0)
+	for i := lo; i < hi; i++ {
+		base := i * w
+		sbase := (i - lo) * w
+		for j := 0; j < w; j++ {
+			s.g.Data[base+j] = s.b[base+j] - s.scratch[sbase+j]
+		}
+	}
+	s.g.MarkRecovered(p)
+	s.gS[p].Store(ver)
+	s.stats.RecoveredForward++
+	return true
+}
+
+// bInverseIterate rebuilds page p of X at ver from
+// A_pp x_p = b_p - g_p - Σ_{j≠p} A_pj x_j per column (Table 1, row 3
+// rhs), requiring G current at ver on page p and X current on the other
+// connected pages.
+func (s *BatchCG) bInverseIterate(p int, ver int64) bool {
+	x, g := vec(s.x, s.xS), vec(s.g, s.gS)
+	if !g.Current(p, ver) || !x.ConnCurrent(s.conn[p], ver, p) {
+		return false
+	}
+	w := s.width
+	lo, hi := s.layout.Range(p)
+	s.a.MulMatRangeExcludingCols(s.x.Data, s.scratch, w, lo, hi, lo, hi)
+	for j := 0; j < w; j++ {
+		for i := lo; i < hi; i++ {
+			s.colScratch[i-lo] = s.b[i*w+j] - s.g.Data[i*w+j] - s.scratch[(i-lo)*w+j]
+		}
+		if err := s.blocks.SolveDiagBlock(p, s.colScratch[:hi-lo]); err != nil {
+			return false
+		}
+		for i := lo; i < hi; i++ {
+			s.x.Data[i*w+j] = s.colScratch[i-lo]
+		}
+	}
+	s.x.MarkRecovered(p)
+	s.xS[p].Store(ver)
+	s.stats.RecoveredInverse++
+	return true
+}
+
+// bInverseDirection rebuilds page p of a direction buffer at ver from
+// A_pp d_p = q_p - Σ_{j≠p} A_pj d_j per column (Table 1, row 1 rhs),
+// requiring Q at the SAME version on page p (old Q for dPrev, preserved
+// by double buffering) and the other connected pages of D current.
+func (s *BatchCG) bInverseDirection(d *pagemem.Vector, dS []atomic.Int64, p int, ver int64) bool {
+	dv, q := (engine.Vec{V: d, S: dS}), vec(s.q, s.qS)
+	if !q.Current(p, ver) || !dv.ConnCurrent(s.conn[p], ver, p) {
+		return false
+	}
+	w := s.width
+	lo, hi := s.layout.Range(p)
+	s.a.MulMatRangeExcludingCols(d.Data, s.scratch, w, lo, hi, lo, hi)
+	for j := 0; j < w; j++ {
+		for i := lo; i < hi; i++ {
+			s.colScratch[i-lo] = s.q.Data[i*w+j] - s.scratch[(i-lo)*w+j]
+		}
+		if err := s.blocks.SolveDiagBlock(p, s.colScratch[:hi-lo]); err != nil {
+			return false
+		}
+		for i := lo; i < hi; i++ {
+			d.Data[i*w+j] = s.colScratch[i-lo]
+		}
+	}
+	d.MarkRecovered(p)
+	dS[p].Store(ver)
+	s.stats.RecoveredInverse++
+	return true
+}
+
+// bForwardSpMV rebuilds page p of Q at ver by re-running the SpMM rows
+// (Table 1, row 1 lhs), requiring D current on the connected pages.
+func (s *BatchCG) bForwardSpMV(d *pagemem.Vector, dS []atomic.Int64, p int, ver int64) bool {
+	dv := engine.Vec{V: d, S: dS}
+	if !dv.ConnCurrent(s.conn[p], ver, -1) {
+		return false
+	}
+	lo, hi := s.layout.Range(p)
+	s.a.MulMatRange(d.Data, s.q.Data, s.width, lo, hi)
+	s.q.MarkRecovered(p)
+	s.qS[p].Store(ver)
+	s.stats.RecomputedQ++
+	return true
+}
+
+// recoverPhase1 is the batched r1: repair inputs (G, dPrev), then the
+// current direction, then Q, then back-fill missing <d,q> partial rows.
+// Mirrors CG.recoverPhase1 minus the preconditioner and coupled paths.
+func (s *BatchCG) recoverPhase1(ver int64, cur, prev int, allowLate bool) {
+	dCur, dCurS := s.d[cur], s.dS[cur]
+	dPrev, dPrevS := s.d[prev], s.dS[prev]
+	needPrev := s.iterNeedPrev
+	if !s.space.AnyFault() {
+		s.fillPhase1Partials(ver, dCur, dCurS)
+		return
+	}
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for p := 0; p < s.np; p++ {
+			// Inputs at version ver-1: not read by the <d,q> reductions,
+			// safe for AFEIR.
+			if s.g.Failed(p) && s.gS[p].Load() == ver-1 {
+				if s.bForwardResidual(p, ver-1) {
+					progress = true
+				}
+			}
+			if needPrev && !current(dPrev, dPrevS, p, ver-1) && dPrevS[p].Load() <= ver-1 {
+				if s.bInverseDirection(dPrev, dPrevS, p, ver-1) {
+					progress = true
+				}
+			}
+			// Current direction at version ver: forward re-run of the
+			// per-column D = G + beta_j D' update, else inverse through Q.
+			if !current(dCur, dCurS, p, ver) {
+				if allowLate || !lateFault(dCur, dCurS, p, ver) {
+					if current(s.g, s.gS, p, ver-1) && (!needPrev || current(dPrev, dPrevS, p, ver-1)) {
+						lo, hi := s.layout.Range(p)
+						sparse.BatchXpbyOutRange(s.g.Data, s.iterBeta, dPrev.Data, dCur.Data, s.width, lo, hi)
+						dCur.MarkRecovered(p)
+						dCurS[p].Store(ver)
+						s.stats.RecoveredForward++
+						progress = true
+					} else if s.bInverseDirection(dCur, dCurS, p, ver) {
+						progress = true
+					}
+				}
+			}
+			// Q rows at version ver.
+			if !current(s.q, s.qS, p, ver) {
+				if allowLate || !lateFault(s.q, s.qS, p, ver) {
+					if s.bForwardSpMV(dCur, dCurS, p, ver) {
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			break // no coupled fallback for batches (see file comment)
+		}
+	}
+	s.fillPhase1Partials(ver, dCur, dCurS)
+}
+
+func (s *BatchCG) fillPhase1Partials(ver int64, dCur *pagemem.Vector, dCurS []atomic.Int64) {
+	for p := 0; p < s.np; p++ {
+		if s.dqPart.Missing(p) && current(dCur, dCurS, p, ver) && current(s.q, s.qS, p, ver) {
+			lo, hi := s.layout.Range(p)
+			var row [sparse.MaxBatchWidth]float64
+			sparse.BatchDotRange(dCur.Data, s.q.Data, s.width, lo, hi, row[:s.width])
+			s.dqPart.StoreRow(p, row[:s.width])
+		}
+	}
+}
+
+// recoverPhase2 is the batched r2/r3: repair X and G, late direction/Q
+// damage, and back-fill missing eps partial rows. Mirrors
+// CG.recoverPhase2 minus the preconditioner and coupled paths.
+func (s *BatchCG) recoverPhase2(ver int64, cur int, allowLate bool) {
+	dCur, dCurS := s.d[cur], s.dS[cur]
+	if !s.space.AnyFault() {
+		s.fillPhase2Partials(ver)
+		return
+	}
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for p := 0; p < s.np; p++ {
+			lo, hi := s.layout.Range(p)
+			// X: forward when the update was merely skipped, inverse when
+			// the page was lost. Not read by the eps reductions.
+			if !s.x.Failed(p) && s.xS[p].Load() == ver-1 {
+				if current(dCur, dCurS, p, ver) {
+					sparse.BatchAxpyRange(s.alpha, dCur.Data, s.x.Data, s.width, lo, hi)
+					s.x.InvalidateChecksum(p)
+					s.xS[p].Store(ver)
+					s.stats.RecoveredForward++
+					progress = true
+				}
+			} else if s.x.Failed(p) {
+				if s.bInverseIterate(p, ver) {
+					progress = true
+				}
+			}
+			// G: forward re-run when skipped, G = B - A X when lost. Read
+			// by the eps reductions: AFEIR leaves late poisons alone.
+			if s.g.Failed(p) {
+				if allowLate || s.gS[p].Load() != ver {
+					if s.bForwardResidual(p, ver) {
+						progress = true
+					}
+				}
+			} else if s.gS[p].Load() == ver-1 {
+				if current(s.q, s.qS, p, ver) {
+					sparse.BatchAxpyRange(s.negAlpha, s.q.Data, s.g.Data, s.width, lo, hi)
+					s.g.InvalidateChecksum(p)
+					s.gS[p].Store(ver)
+					s.stats.RecoveredForward++
+					progress = true
+				}
+			}
+			// Late damage to the phase-1 outputs, needed next iteration.
+			if !current(dCur, dCurS, p, ver) {
+				if s.bInverseDirection(dCur, dCurS, p, ver) {
+					progress = true
+				}
+			}
+			if !current(s.q, s.qS, p, ver) {
+				if s.bForwardSpMV(dCur, dCurS, p, ver) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break // no coupled fallback for batches (see file comment)
+		}
+	}
+	s.fillPhase2Partials(ver)
+}
+
+func (s *BatchCG) fillPhase2Partials(ver int64) {
+	for p := 0; p < s.np; p++ {
+		if s.ggPart.Missing(p) && current(s.g, s.gS, p, ver) {
+			lo, hi := s.layout.Range(p)
+			var row [sparse.MaxBatchWidth]float64
+			sparse.BatchDotRange(s.g.Data, s.g.Data, s.width, lo, hi, row[:s.width])
+			s.ggPart.StoreRow(p, row[:s.width])
+		}
+	}
+}
+
+// reconcile runs at the end of each FEIR/AFEIR iteration with all
+// workers quiescent: retry every outstanding repair with full (late)
+// rights, then blank-remap whatever is left (FallbackIgnore is the only
+// batch fallback; Lossy is rejected at construction). See CG.reconcile.
+func (s *BatchCG) reconcile(ver int64) {
+	cur := 0
+	if s.doubleBuffer {
+		cur = int(ver) % 2
+	}
+	s.recoverPhase2(ver, cur, true)
+
+	type victim struct {
+		v  *pagemem.Vector
+		st []atomic.Int64
+		p  int
+	}
+	var leftovers []victim
+	collect := func(v *pagemem.Vector, st []atomic.Int64, want int64) {
+		for p := 0; p < s.np; p++ {
+			if !current(v, st, p, want) {
+				leftovers = append(leftovers, victim{v, st, p})
+			}
+		}
+	}
+	collect(s.x, s.xS, ver)
+	collect(s.g, s.gS, ver)
+	collect(s.d[cur], s.dS[cur], ver)
+	collect(s.q, s.qS, ver)
+	if len(leftovers) == 0 {
+		return
+	}
+	for _, lv := range leftovers {
+		lv.v.Remap(lv.p)
+		lv.v.MarkRecovered(lv.p)
+		lv.st[lv.p].Store(ver)
+		s.stats.Unrecovered++
+	}
+}

@@ -1,0 +1,70 @@
+// Batched (multi-RHS) page operations: the per-page bodies of the fused
+// batch-CG iteration over an interleaved multivector page space. A
+// width-b multivector lives in a pagemem space of n*b doubles with b*pd
+// doubles per page, so page p holds rows [p*pd, (p+1)*pd) of ALL b
+// columns. That layout is what keeps the fault semantics unchanged: one
+// stamp and one fault bit still cover one page, a DUE poisons all b
+// columns of those rows together, and the forward/inverse recovery
+// relations extend column-wise with no new cases — they just rebuild b
+// columns per page instead of one. Guards and stamping mirror the scalar
+// fused ops (fused.go) exactly; reductions land in PartialBlock rows, one
+// slot per column, summed page-ascending so every column's reduction
+// order matches the scalar Partial's.
+package engine
+
+import (
+	"repro/internal/sparse"
+)
+
+// SpMMDotPage is the batch analogue of SpMVDotPage: out rows = A·in for
+// page p across b interleaved columns, fused with the per-column <in,out>
+// and <out,out> partial rows. lo and hi are ROW bounds of page p.
+//
+//due:hotpath
+func (e *Engine) SpMMDotPage(p, lo, hi, b int, in, out Operand, xy, yy *PartialBlock) {
+	if e.Resilient && !in.ConnCurrent(e.Conn[p], in.Ver, -1) {
+		return // output page keeps its OLD values; partial rows stay missing
+	}
+	var sxy, syy [sparse.MaxBatchWidth]float64
+	e.A.MulMatDotRange(in.V.Data, out.V.Data, b, lo, hi, sxy[:b], syy[:b])
+	if e.Resilient {
+		out.V.MarkRecovered(p)
+		out.S[p].Store(out.Ver)
+		if !in.Current(p, in.Ver) {
+			// No diagonal nonzero on this row page: the <in,out> row read a
+			// stale in page — leave it missing (see SpMVDotPage).
+			if yy != nil {
+				yy.StoreRow(p, syy[:b])
+			}
+			return
+		}
+	}
+	if xy != nil {
+		xy.StoreRow(p, sxy[:b])
+	}
+	if yy != nil {
+		yy.StoreRow(p, syy[:b])
+	}
+}
+
+// BatchAxpyDotPage is the batch analogue of AxpyDotPage: the read-modify-
+// write y += alpha[j]·x per column, fused with the per-column <y,y>
+// partial row of the updated values. The stamp advances before the late-
+// poison check so a poison landing mid-task stays detected and the whole
+// row's contribution is dropped — the scalar discipline, column-wise.
+//
+//due:hotpath
+func (e *Engine) BatchAxpyDotPage(p, lo, hi, b int, alpha []float64, x, y Operand, yy *PartialBlock) {
+	if e.Resilient && (!x.Current(p, x.Ver) || !y.Current(p, y.Ver-1)) {
+		return
+	}
+	var syy [sparse.MaxBatchWidth]float64
+	sparse.BatchAxpyDotRange(alpha, x.V.Data, y.V.Data, b, lo, hi, syy[:b])
+	if e.Resilient {
+		y.S[p].Store(y.Ver)
+		if y.V.Failed(p) {
+			return // late poison: the contribution stays missing
+		}
+	}
+	yy.StoreRow(p, syy[:b])
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pagemem"
+	"repro/internal/sparse"
+)
+
+// The batched-op contract: per column, identical outputs, stamps and
+// missing-partial-row sets as the scalar fused op run b times, including
+// around stale and failed pages.
+
+func TestSpMMDotPageMatchesScalarPerColumn(t *testing.T) {
+	const n, page = 256, 32
+	for _, b := range []int{1, 3, 8} {
+		f := newFusedFixture(t, n, page)
+		rng := rand.New(rand.NewSource(int64(11 + b)))
+
+		bspace := pagemem.NewSpace(n*b, page*b)
+		bx := Vec{V: bspace.AddVector("x"), S: NewStamps(f.e.NP)}
+		by := Vec{V: bspace.AddVector("y"), S: NewStamps(f.e.NP)}
+		for i := range bx.V.Data {
+			bx.V.Data[i] = rng.NormFloat64()
+		}
+		bx.S.Fill(3)
+		bx.S[5].Store(2) // stale input page
+
+		// Scalar references: column j of the multivector, same stamps.
+		cols := make([]Vec, b)
+		outs := make([]Vec, b)
+		xyS := make([]*Partial, b)
+		yyS := make([]*Partial, b)
+		for j := 0; j < b; j++ {
+			cols[j] = f.vec("x"+string(rune('0'+j)), nil)
+			outs[j] = f.vec("y"+string(rune('0'+j)), nil)
+			sparse.GatherColumn(bx.V.Data, b, j, cols[j].V.Data)
+			cols[j].S.Fill(3)
+			cols[j].S[5].Store(2)
+			xyS[j], yyS[j] = NewPartial(f.e.NP), NewPartial(f.e.NP)
+			for p := 0; p < f.e.NP; p++ {
+				lo, hi := f.layout.Range(p)
+				f.e.SpMVDotPage(p, lo, hi, In(cols[j], 3), Operand{Vec: outs[j], Ver: 3}, xyS[j], yyS[j])
+			}
+		}
+
+		xyB, yyB := NewPartialBlock(f.e.NP, b), NewPartialBlock(f.e.NP, b)
+		for p := 0; p < f.e.NP; p++ {
+			lo, hi := f.layout.Range(p)
+			f.e.SpMMDotPage(p, lo, hi, b, In(bx, 3), Operand{Vec: by, Ver: 3}, xyB, yyB)
+		}
+
+		for p := 0; p < f.e.NP; p++ {
+			if outs[0].S[p].Load() != by.S[p].Load() {
+				t.Fatalf("b=%d page %d: stamp batch=%d scalar=%d", b, p, by.S[p].Load(), outs[0].S[p].Load())
+			}
+			if xyS[0].Missing(p) != xyB.Missing(p) || yyS[0].Missing(p) != yyB.Missing(p) {
+				t.Fatalf("b=%d page %d: missing sets differ", b, p)
+			}
+			lo, hi := f.layout.Range(p)
+			if by.S[p].Load() == 3 {
+				for j := 0; j < b; j++ {
+					for i := lo; i < hi; i++ {
+						got := by.V.Data[i*b+j]
+						want := outs[j].V.Data[i]
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("b=%d page %d col %d row %d: %v != %v", b, p, j, i, got, want)
+						}
+					}
+				}
+			}
+		}
+
+		// Per-column reduction sums match the scalar partials bitwise.
+		sumB := make([]float64, b)
+		missB := xyB.SumAvailable(sumB)
+		for j := 0; j < b; j++ {
+			sumS, missS := xyS[j].SumAvailable()
+			if missB != missS || math.Float64bits(sumB[j]) != math.Float64bits(sumS) {
+				t.Fatalf("b=%d col %d: xy sum batch (%v, %d missing) scalar (%v, %d)", b, j, sumB[j], missB, sumS, missS)
+			}
+		}
+		sumB = make([]float64, b)
+		missB = yyB.SumAvailable(sumB)
+		for j := 0; j < b; j++ {
+			sumS, missS := yyS[j].SumAvailable()
+			if missB != missS || math.Float64bits(sumB[j]) != math.Float64bits(sumS) {
+				t.Fatalf("b=%d col %d: yy sum mismatch", b, j)
+			}
+		}
+	}
+}
+
+func TestBatchAxpyDotPageMatchesScalarPerColumn(t *testing.T) {
+	const n, page = 192, 32
+	for _, b := range []int{1, 4} {
+		f := newFusedFixture(t, n, page)
+		rng := rand.New(rand.NewSource(int64(23 + b)))
+
+		bspace := pagemem.NewSpace(n*b, page*b)
+		bx := Vec{V: bspace.AddVector("x"), S: NewStamps(f.e.NP)}
+		by := Vec{V: bspace.AddVector("y"), S: NewStamps(f.e.NP)}
+		for i := range bx.V.Data {
+			bx.V.Data[i] = rng.NormFloat64()
+			by.V.Data[i] = rng.NormFloat64()
+		}
+		bx.S.Fill(4)
+		by.S.Fill(3)
+		bx.S[2].Store(1) // stale x page: update must skip
+		alpha := make([]float64, b)
+		for j := range alpha {
+			alpha[j] = rng.NormFloat64()
+		}
+		alpha[b-1] = 0 // retired column
+
+		cols := make([]Vec, b)
+		ys := make([]Vec, b)
+		yyS := make([]*Partial, b)
+		for j := 0; j < b; j++ {
+			cols[j] = f.vec("x"+string(rune('0'+j)), nil)
+			ys[j] = f.vec("y"+string(rune('0'+j)), nil)
+			sparse.GatherColumn(bx.V.Data, b, j, cols[j].V.Data)
+			sparse.GatherColumn(by.V.Data, b, j, ys[j].V.Data)
+			cols[j].S.Fill(4)
+			ys[j].S.Fill(3)
+			cols[j].S[2].Store(1)
+			yyS[j] = NewPartial(f.e.NP)
+			for p := 0; p < f.e.NP; p++ {
+				lo, hi := f.layout.Range(p)
+				f.e.AxpyDotPage(p, lo, hi, alpha[j], In(cols[j], 4), Operand{Vec: ys[j], Ver: 4}, yyS[j])
+			}
+		}
+
+		yyB := NewPartialBlock(f.e.NP, b)
+		for p := 0; p < f.e.NP; p++ {
+			lo, hi := f.layout.Range(p)
+			f.e.BatchAxpyDotPage(p, lo, hi, b, alpha, In(bx, 4), Operand{Vec: by, Ver: 4}, yyB)
+		}
+
+		for p := 0; p < f.e.NP; p++ {
+			if ys[0].S[p].Load() != by.S[p].Load() {
+				t.Fatalf("b=%d page %d: stamp batch=%d scalar=%d", b, p, by.S[p].Load(), ys[0].S[p].Load())
+			}
+			if yyS[0].Missing(p) != yyB.Missing(p) {
+				t.Fatalf("b=%d page %d: missing differs", b, p)
+			}
+			lo, hi := f.layout.Range(p)
+			for j := 0; j < b; j++ {
+				for i := lo; i < hi; i++ {
+					if math.Float64bits(by.V.Data[i*b+j]) != math.Float64bits(ys[j].V.Data[i]) {
+						t.Fatalf("b=%d page %d col %d row %d value mismatch", b, p, j, i)
+					}
+				}
+			}
+		}
+		sumB := make([]float64, b)
+		missB := yyB.SumAvailable(sumB)
+		for j := 0; j < b; j++ {
+			sumS, missS := yyS[j].SumAvailable()
+			if missB != missS || math.Float64bits(sumB[j]) != math.Float64bits(sumS) {
+				t.Fatalf("b=%d col %d: yy sum batch (%v, %d) scalar (%v, %d)", b, j, sumB[j], missB, sumS, missS)
+			}
+		}
+	}
+}

@@ -87,6 +87,12 @@ func (b *PartialBlock) ResetMissing() {
 	}
 }
 
+// Missing reports whether page p's row has not been stored since the
+// last reset (rows are stored whole, so slot 0 stands for the row).
+func (b *PartialBlock) Missing(p int) bool {
+	return math.IsNaN(math.Float64frombits(b.bits[p*b.w].Load()))
+}
+
 // StoreRow sets page p's w slots from vals.
 func (b *PartialBlock) StoreRow(p int, vals []float64) {
 	base := p * b.w

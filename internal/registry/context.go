@@ -59,11 +59,20 @@ type OperatorContext struct {
 	mu     sync.Mutex
 	blocks map[bool]*sparse.BlockSolverCache // spd -> prefactorized cache
 	pool   map[poolKey][]*pooledCG
+	bpool  map[batchPoolKey][]*core.BatchCG
 }
 
 type pooledCG struct {
 	s    *core.CG
 	inst *Instance
+}
+
+// batchPoolKey extends poolKey with the kernel width: a warm batched
+// instance replays its prepared graphs only at the width it was built
+// for (Rebind varies the BOUND columns, not the capacity).
+type batchPoolKey struct {
+	poolKey
+	width int
 }
 
 // NewOperatorContext builds the context for one matrix. pageDoubles <= 0
@@ -77,6 +86,7 @@ func NewOperatorContext(key string, a *sparse.CSR, pageDoubles int) *OperatorCon
 		Layout:      sparse.BlockLayout{N: a.N, BlockSize: pd},
 		blocks:      make(map[bool]*sparse.BlockSolverCache),
 		pool:        make(map[poolKey][]*pooledCG),
+		bpool:       make(map[batchPoolKey][]*core.BatchCG),
 	}
 }
 
@@ -195,6 +205,86 @@ func (c *OperatorContext) Checkout(name string, b []float64, cfg Config) (*Check
 		return nil, err
 	}
 	return &Checkout{Instance: inst, ctx: c}, nil
+}
+
+// BatchCheckout is one coalesced batch's hold on a batched solver. The
+// caller binds per-column cancellation hooks on S directly (they are
+// per-request, like the RHS) and must Release when done; Release clears
+// every hook before the instance returns to the warm pool.
+type BatchCheckout struct {
+	S *core.BatchCG
+	// Warm reports whether the checkout reused a pooled instance.
+	Warm bool
+
+	ctx      *OperatorContext
+	key      batchPoolKey
+	released bool
+}
+
+// CheckoutBatch binds a width-`width` batched solver for one coalesced
+// group of requests sharing this operator. Only solvers declaring the
+// Batch capability have a batched variant — everything else is a loud
+// rejection, never a silent per-column fallback. The warm path mirrors
+// Checkout's: pooled instances Rebind across bound-column counts and
+// replay their prepared task graphs, so a steady batched load performs
+// zero factorizations and zero graph preparations.
+func (c *OperatorContext) CheckoutBatch(name string, rhs [][]float64, width int, cfg Config) (*BatchCheckout, error) {
+	caps, ok := Caps(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown solver %q (have %v)", name, Names())
+	}
+	if !caps.Batch {
+		return nil, fmt.Errorf("registry: solver %q has no batched variant (batched solving requires cg)", name)
+	}
+	if cfg.Ranks > 0 {
+		return nil, fmt.Errorf("registry: batched solving is single-node only (drop -ranks)")
+	}
+	if pd := defaults.PageDoublesOr(cfg.PageDoubles); pd != c.PageDoubles {
+		return nil, fmt.Errorf("registry: page size %d does not match cached context (%d)", pd, c.PageDoubles)
+	}
+	cfg.Blocks = c.Blocks(spdFor(name))
+	if cfg.RT == nil {
+		cfg.RT = taskrt.Shared(cfg.Workers)
+	}
+	key := batchPoolKey{poolKey: keyFor(name, cfg), width: width}
+	c.mu.Lock()
+	if q := c.bpool[key]; len(q) > 0 {
+		s := q[len(q)-1]
+		c.bpool[key] = q[:len(q)-1]
+		c.mu.Unlock()
+		if err := s.Rebind(rhs); err != nil {
+			return nil, err
+		}
+		s.SetCancelled(cfg.Cancelled)
+		s.SetOnIteration(cfg.OnIteration)
+		return &BatchCheckout{S: s, Warm: true, ctx: c, key: key}, nil
+	}
+	c.mu.Unlock()
+	s, err := core.NewBatchCG(c.A, rhs, width, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	s.SetCancelled(cfg.Cancelled)
+	s.SetOnIteration(cfg.OnIteration)
+	return &BatchCheckout{S: s, ctx: c, key: key}, nil
+}
+
+// Release returns the batched instance to the warm pool, clearing the
+// whole-batch and per-column hooks so no stale cancellation can touch
+// the next coalesced group.
+func (co *BatchCheckout) Release() {
+	if co.released {
+		return
+	}
+	co.released = true
+	co.S.SetCancelled(nil)
+	co.S.SetOnIteration(nil)
+	for j := 0; j < co.S.Width(); j++ {
+		co.S.SetColumnCancelled(j, nil)
+	}
+	co.ctx.mu.Lock()
+	co.ctx.bpool[co.key] = append(co.ctx.bpool[co.key], co.S)
+	co.ctx.mu.Unlock()
 }
 
 // Release returns a poolable instance to the context's warm pool. The

@@ -100,6 +100,9 @@ type Capabilities struct {
 	// ABFT: the builder honors Config.ABFT (checksum-carrying kernels
 	// turning silent flips into recoverable poisons).
 	ABFT bool
+	// Batch: the solver has a multi-RHS batched variant reachable through
+	// OperatorContext.CheckoutBatch (one SpMM pass shared by all columns).
+	Batch bool
 }
 
 type entry struct {
@@ -191,6 +194,7 @@ var all = Capabilities{Precond: true, Distributed: true, Policy: true}
 func init() {
 	cgCaps := all
 	cgCaps.ABFT = true
+	cgCaps.Batch = true // core.BatchCG, via OperatorContext.CheckoutBatch
 	Register("cg", cgCaps, func(a *sparse.CSR, b []float64, cfg Config) (*Instance, error) {
 		if cfg.Ranks > 0 {
 			if cfg.ABFT {

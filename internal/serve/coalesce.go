@@ -1,0 +1,291 @@
+// Request coalescing: merging concurrent same-matrix solve requests into
+// one batched multi-RHS solve (core.BatchCG via registry.CheckoutBatch),
+// so the operator streams through memory once per iteration for the
+// whole group instead of once per request. A dispatcher that pops a
+// batch-opted request holds it open for a short window, pulling
+// compatible companions out of the admission queue up to the kernel
+// width, then runs one batched solve and fans the per-column outcomes
+// back out to the waiting submitters.
+//
+// Per-request semantics survive coalescing:
+//   - deadlines and cancellation bind per column (a timed-out member's
+//     column retires; the rest keep solving);
+//   - the batch dispatches and runs at the MAX priority of its members
+//     (coalescing never lowers anyone's tier);
+//   - slots are handed out round-robin across tenants, so one tenant
+//     cannot hold the whole batch while another waits — but a lone
+//     tenant still fills every slot (the fairness cap never starves).
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/defaults"
+	"repro/internal/registry"
+	"repro/internal/sparse"
+)
+
+// batchKey identifies requests that can share one batched solve: same
+// operator, same solve configuration. Priority, timeout and tenant stay
+// out — they are per-member (max, per-column, fairness respectively).
+type batchKey struct {
+	matrix  string
+	method  core.Method
+	tol     float64
+	maxIter int
+}
+
+func batchKeyOf(r *Request) batchKey {
+	m, _ := ParseMethod(r.Method) // batchable() vetted it
+	return batchKey{matrix: r.Matrix, method: m, tol: r.Tol, maxIter: r.MaxIter}
+}
+
+// batchable reports whether a request fits the batched envelope: opted
+// in, unpreconditioned single-node CG under ideal/feir/afeir, and no
+// per-request fault injection (an injector targets one fault domain; a
+// batch shares it).
+func (s *Server) batchable(r *Request) bool {
+	if !r.Batch || r.Precond || r.Ranks != 0 || r.DUEMTBE > 0 {
+		return false
+	}
+	if r.Solver != "" && r.Solver != "cg" {
+		return false
+	}
+	m, err := ParseMethod(r.Method)
+	if err != nil {
+		return false
+	}
+	switch m {
+	case core.MethodIdeal, core.MethodFEIR, core.MethodAFEIR:
+		return true
+	}
+	return false
+}
+
+// batchWidth resolves the configured kernel width, capped at what the
+// SpMM kernels support.
+func (s *Server) batchWidth() int {
+	w := defaults.ServeBatchWidthOr(s.opts.BatchWidth)
+	if w > sparse.MaxBatchWidth {
+		w = sparse.MaxBatchWidth
+	}
+	return w
+}
+
+// collectBatch gathers companions for a popped leader: compatible queued
+// requests now, then whatever arrives within the coalescing window, up
+// to the kernel width. Returns the group including the leader.
+func (s *Server) collectBatch(leader *pending) []*pending {
+	width := s.batchWidth()
+	group := []*pending{leader}
+	if width <= 1 {
+		return group
+	}
+	key := batchKeyOf(leader.req)
+	window := defaults.ServeBatchWindowOr(s.opts.BatchWindow)
+	deadline := time.Now().Add(window)
+	poll := window / 8
+	if poll < 50*time.Microsecond {
+		poll = 50 * time.Microsecond
+	}
+	for {
+		s.mu.Lock()
+		s.takeMatchesLocked(&group, key, width)
+		s.mu.Unlock()
+		if len(group) >= width || !time.Now().Before(deadline) {
+			return group
+		}
+		time.Sleep(poll)
+	}
+}
+
+// takeMatchesLocked moves queued requests matching key into the group,
+// round-robin across tenants (fewest slots held first, FIFO within a
+// tenant), up to width. Caller holds s.mu.
+func (s *Server) takeMatchesLocked(group *[]*pending, key batchKey, width int) {
+	if len(*group) >= width {
+		return
+	}
+	byTenant := map[string][]*pending{}
+	for _, q := range s.queue {
+		if s.batchable(q.req) && batchKeyOf(q.req) == key {
+			byTenant[q.req.Tenant] = append(byTenant[q.req.Tenant], q)
+		}
+	}
+	if len(byTenant) == 0 {
+		return
+	}
+	for t := range byTenant {
+		c := byTenant[t]
+		sort.Slice(c, func(i, j int) bool { return c[i].seq < c[j].seq })
+	}
+	held := map[string]int{}
+	for _, p := range *group {
+		held[p.req.Tenant]++
+	}
+	for len(*group) < width {
+		var best string
+		found := false
+		for t, c := range byTenant {
+			if len(c) == 0 {
+				continue
+			}
+			if !found || held[t] < held[best] ||
+				(held[t] == held[best] && c[0].seq < byTenant[best][0].seq) {
+				best, found = t, true
+			}
+		}
+		if !found {
+			return
+		}
+		p := byTenant[best][0]
+		byTenant[best] = byTenant[best][1:]
+		heap.Remove(&s.queue, p.index)
+		s.inflight.Add(1)
+		held[best]++
+		*group = append(*group, p)
+	}
+}
+
+// executeBatch runs one coalesced group and fans outcomes back to every
+// member's submitter, maintaining the same counters as the solo path
+// plus the batch-occupancy ones.
+func (s *Server) executeBatch(group []*pending) {
+	resps, errs := s.runBatch(group)
+	s.mu.Lock()
+	s.batches++
+	s.coalesced += int64(len(group))
+	for i := range group {
+		if errs[i] != nil {
+			s.failed++
+		} else {
+			s.completed++
+			if resps[i].Warm {
+				s.warm++
+			}
+		}
+	}
+	s.mu.Unlock()
+	for i, p := range group {
+		p.done <- outcome{resp: resps[i], err: errs[i]}
+		s.inflight.Done()
+	}
+}
+
+// runBatch executes the batched solve for a coalesced group.
+func (s *Server) runBatch(group []*pending) ([]*Response, []error) {
+	resps := make([]*Response, len(group))
+	errs := make([]error, len(group))
+	fail := func(err error) ([]*Response, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return resps, errs
+	}
+	leader := group[0].req
+	octx, ok := s.cache.Get(leader.Matrix)
+	if !ok {
+		return fail(fmt.Errorf("%w: %q", ErrUnknownMatrix, leader.Matrix))
+	}
+	method, err := ParseMethod(leader.Method)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Bind columns: invalid members error out individually, the rest
+	// still share the batch.
+	var rhs [][]float64
+	var live []int // group index of each bound column
+	priority := 0
+	for i, p := range group {
+		b := p.req.B
+		if b == nil {
+			b = make([]float64, octx.A.N)
+			for k := range b {
+				b[k] = 1
+			}
+		} else if len(b) != octx.A.N {
+			errs[i] = fmt.Errorf("serve: rhs length %d for n=%d", len(b), octx.A.N)
+			continue
+		}
+		rhs = append(rhs, b)
+		live = append(live, i)
+		if p.req.Priority > priority {
+			priority = p.req.Priority
+		}
+	}
+	if len(live) == 0 {
+		return resps, errs
+	}
+	width := s.batchWidth()
+	if width < len(live) {
+		width = len(live)
+	}
+
+	cfg := registry.Config{
+		Config: core.Config{
+			Method:       method,
+			Workers:      s.opts.Workers,
+			PageDoubles:  octx.PageDoubles,
+			Tol:          leader.Tol,
+			MaxIter:      leader.MaxIter,
+			TaskPriority: priority, // the batch runs at its members' max tier
+		},
+	}
+	co, err := octx.CheckoutBatch("cg", rhs, width, cfg)
+	if err != nil {
+		for _, i := range live {
+			errs[i] = err
+		}
+		return resps, errs
+	}
+	defer co.Release()
+
+	// Per-column deadlines: a member's timeout cancels its column only.
+	for j, i := range live {
+		timeout := group[i].req.Timeout
+		if timeout <= 0 {
+			timeout = defaults.ServeTimeoutOr(s.opts.Timeout)
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		col := cctx
+		co.S.SetColumnCancelled(j, func() bool { return col.Err() != nil })
+	}
+
+	res, runErr := co.S.Run()
+	if runErr != nil {
+		for _, i := range live {
+			errs[i] = runErr
+		}
+		return resps, errs
+	}
+	for j, i := range live {
+		col := res.Columns[j]
+		if col.Cancelled {
+			errs[i] = core.ErrCancelled
+			continue
+		}
+		resp := &Response{
+			Converged:   col.Converged,
+			Iterations:  col.Iterations,
+			RelResidual: col.RelResidual,
+			Elapsed:     res.Elapsed,
+			Queued:      time.Since(group[i].enqueued) - res.Elapsed,
+			Warm:        co.Warm,
+			Stats:       res.Stats, // whole-batch aggregate
+			BatchWidth:  len(live),
+		}
+		if group[i].req.WantSolution {
+			resp.X = make([]float64, octx.A.N)
+			co.S.SolutionInto(j, resp.X)
+		}
+		resps[i] = resp
+	}
+	return resps, errs
+}

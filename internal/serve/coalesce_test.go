@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func batchReq(tenant string) *Request {
+	return &Request{Matrix: "m", Method: "feir", Batch: true, Tenant: tenant, WantSolution: true}
+}
+
+// TestCoalesceMergesConcurrentRequests drives one dispatcher with four
+// concurrent batch-opted requests: they must merge into a single
+// batched solve, every member converging, and a second round must reuse
+// the warm batched instance.
+func TestCoalesceMergesConcurrentRequests(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1, BatchWidth: 4, BatchWindow: 200 * time.Millisecond})
+
+	round := func() []*Response {
+		var wg sync.WaitGroup
+		resps := make([]*Response, 4)
+		errs := make([]error, 4)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resps[i], errs[i] = srv.Submit(batchReq("t"))
+			}(i)
+		}
+		wg.Wait()
+		for i := range errs {
+			if errs[i] != nil {
+				t.Fatalf("member %d: %v", i, errs[i])
+			}
+			if !resps[i].Converged {
+				t.Fatalf("member %d did not converge: %+v", i, resps[i])
+			}
+		}
+		return resps
+	}
+
+	first := round()
+	for i, r := range first {
+		if r.BatchWidth != 4 {
+			t.Fatalf("round 1 member %d batch width %d, want 4", i, r.BatchWidth)
+		}
+	}
+	s := srv.Snapshot()
+	if s.BatchesDispatched != 1 || s.RequestsCoalesced != 4 || s.MeanBatchWidth != 4 {
+		t.Fatalf("occupancy: batches=%d coalesced=%d mean=%v", s.BatchesDispatched, s.RequestsCoalesced, s.MeanBatchWidth)
+	}
+	if s.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate %v", s.CacheHitRate)
+	}
+
+	second := round()
+	for i, r := range second {
+		if !r.Warm {
+			t.Fatalf("round 2 member %d not warm", i)
+		}
+	}
+
+	// All members solved the same all-ones RHS: identical columns,
+	// identical solutions — and identical to the solo (uncoalesced) solve
+	// of the same request, since each batched column is bitwise the
+	// unbatched run.
+	solo, err := srv.Submit(&Request{Matrix: "m", Method: "feir", WantSolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.BatchWidth != 0 {
+		t.Fatalf("solo request coalesced: %+v", solo)
+	}
+	if solo.Iterations != first[0].Iterations {
+		t.Fatalf("batched member ran %d iterations, solo %d", first[0].Iterations, solo.Iterations)
+	}
+	for i := range solo.X {
+		if math.Float64bits(solo.X[i]) != math.Float64bits(first[0].X[i]) {
+			t.Fatalf("row %d: batched %v vs solo %v", i, first[0].X[i], solo.X[i])
+		}
+	}
+}
+
+// TestCoalesceRespectsEnvelope pins the gate: requests outside the
+// batchable envelope never coalesce, even when opted in.
+func TestCoalesceRespectsEnvelope(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 2, BatchWidth: 4, BatchWindow: 50 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Preconditioned: batchable must refuse regardless of Batch.
+			resp, err := srv.Submit(&Request{Matrix: "m", Precond: true, Batch: true})
+			if err != nil || !resp.Converged || resp.BatchWidth != 0 {
+				t.Errorf("preconditioned request mishandled: %+v err=%v", resp, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := srv.Snapshot(); s.BatchesDispatched != 0 || s.RequestsCoalesced != 0 {
+		t.Fatalf("envelope leak: %+v", s)
+	}
+}
+
+// TestCoalesceTenantFairness queues three requests from one tenant and
+// one from another behind a busy dispatcher, with a width-3 batch: the
+// round-robin slot handout must put the minority tenant in the first
+// batch instead of letting the flooding tenant hold every slot.
+func TestCoalesceTenantFairness(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1, BatchWidth: 3, BatchWindow: 50 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	// Occupy the single dispatcher so the batchable requests accumulate
+	// in the queue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = srv.Submit(slowReq(300 * time.Millisecond))
+	}()
+	waitFor(t, srv, "blocker in flight", func(s Stats) bool { return s.Accepted == 1 && s.QueueLen == 0 })
+
+	type res struct {
+		resp *Response
+		err  error
+	}
+	flood := make([]res, 3)
+	var minority res
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := res{}
+			r.resp, r.err = srv.Submit(batchReq("flood"))
+			flood[i] = r
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		minority.resp, minority.err = srv.Submit(batchReq("minor"))
+	}()
+	waitFor(t, srv, "queue filled", func(s Stats) bool { return s.QueueLen == 4 })
+	wg.Wait()
+
+	if minority.err != nil || !minority.resp.Converged {
+		t.Fatalf("minority tenant: %+v err=%v", minority.resp, minority.err)
+	}
+	if minority.resp.BatchWidth != 3 {
+		t.Fatalf("minority tenant rode batch width %d, want 3 (first batch)", minority.resp.BatchWidth)
+	}
+	in3 := 0
+	for i, r := range flood {
+		if r.err != nil || !r.resp.Converged {
+			t.Fatalf("flood member %d: %+v err=%v", i, r.resp, r.err)
+		}
+		if r.resp.BatchWidth == 3 {
+			in3++
+		}
+	}
+	// Two flood slots in the first batch, the third solved after it.
+	if in3 != 2 {
+		t.Fatalf("%d flood members in the width-3 batch, want 2", in3)
+	}
+}
+
+// TestCoalescePerColumnTimeout pins per-member deadlines: an expired
+// member's column retires cancelled while the rest of the batch solves
+// to convergence.
+func TestCoalescePerColumnTimeout(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1, BatchWidth: 2, BatchWindow: 100 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = srv.Submit(slowReq(200 * time.Millisecond))
+	}()
+	waitFor(t, srv, "blocker in flight", func(s Stats) bool { return s.Accepted == 1 && s.QueueLen == 0 })
+
+	var okResp, deadResp *Response
+	var okErr, deadErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		okResp, okErr = srv.Submit(batchReq("a"))
+	}()
+	go func() {
+		defer wg.Done()
+		dead := batchReq("b")
+		dead.Timeout = time.Nanosecond // expires before the first iteration
+		deadResp, deadErr = srv.Submit(dead)
+	}()
+	waitFor(t, srv, "pair queued", func(s Stats) bool { return s.QueueLen == 2 })
+	wg.Wait()
+
+	if !errors.Is(deadErr, core.ErrCancelled) {
+		t.Fatalf("expired member: resp=%+v err=%v", deadResp, deadErr)
+	}
+	if okErr != nil || !okResp.Converged || okResp.BatchWidth != 2 {
+		t.Fatalf("surviving member: %+v err=%v", okResp, okErr)
+	}
+	s := srv.Snapshot()
+	if s.Failed != 2 { // the blocker and the expired member
+		t.Fatalf("failed=%d, want 2", s.Failed)
+	}
+}
+
+// TestPrewarmPinsZeroRebuilds drives both pools with a concurrent mix
+// after Prewarm(count = Concurrent) and requires bit-for-bit zero
+// factorizations and graph preparations: traffic warmup only pools as
+// deep as the checkouts that happened to overlap, Prewarm is exact.
+func TestPrewarmPinsZeroRebuilds(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 2, BatchWidth: 4, BatchWindow: 100 * time.Millisecond})
+	if err := srv.Prewarm(batchReq("t"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Prewarm(&Request{Matrix: "m", Method: "feir"}, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	fac0, prep0 := sparse.FactorizationCount(), engine.GraphPrepCount()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := batchReq("t")
+			if i%3 == 0 {
+				req.Batch = false // exercise the solo pool too
+			}
+			resp, err := srv.Submit(req)
+			if err != nil || !resp.Converged {
+				t.Errorf("request %d: %+v err=%v", i, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d := sparse.FactorizationCount() - fac0; d != 0 {
+		t.Fatalf("%d factorizations after prewarm", d)
+	}
+	if d := engine.GraphPrepCount() - prep0; d != 0 {
+		t.Fatalf("%d graph preparations after prewarm", d)
+	}
+}
+
+// TestCoalesceDistinctRHSBitwise submits two different right-hand sides
+// in one batch and checks each member's solution against its solo run.
+func TestCoalesceDistinctRHSBitwise(t *testing.T) {
+	srv := newTestServer(t, Options{Concurrent: 1, BatchWidth: 2, BatchWindow: 200 * time.Millisecond})
+	n := 900
+	b0 := matgen.RandomVector(n, 1)
+	b1 := matgen.RandomVector(n, 2)
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, 2)
+	for i, b := range [][]float64{b0, b1} {
+		wg.Add(1)
+		go func(i int, b []float64) {
+			defer wg.Done()
+			r := batchReq("t")
+			r.B = b
+			var err error
+			resps[i], err = srv.Submit(r)
+			if err != nil {
+				t.Errorf("member %d: %v", i, err)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if resps[0].BatchWidth != 2 || resps[1].BatchWidth != 2 {
+		t.Fatalf("did not coalesce: widths %d, %d", resps[0].BatchWidth, resps[1].BatchWidth)
+	}
+	for i, b := range [][]float64{b0, b1} {
+		solo := &Request{Matrix: "m", Method: "feir", B: b, WantSolution: true}
+		want, err := srv.Submit(solo)
+		if err != nil || !want.Converged {
+			t.Fatalf("solo %d: %+v err=%v", i, want, err)
+		}
+		for k := range want.X {
+			if math.Float64bits(want.X[k]) != math.Float64bits(resps[i].X[k]) {
+				t.Fatalf("member %d row %d: batched %v vs solo %v", i, k, resps[i].X[k], want.X[k])
+			}
+		}
+	}
+}

@@ -57,6 +57,13 @@ type Options struct {
 	CacheBytes int64
 	// Workers sizes the shared task pool on first use; 0 = GOMAXPROCS.
 	Workers int
+	// BatchWidth is the kernel width of coalesced multi-RHS solves
+	// (capped at sparse.MaxBatchWidth); 0 = defaults.ServeBatchWidth.
+	// Coalescing applies only to requests that opt in (Request.Batch).
+	BatchWidth int
+	// BatchWindow is how long a dispatcher holds a batch-opted request
+	// open for same-matrix companions; 0 = defaults.ServeBatchWindow.
+	BatchWindow time.Duration
 }
 
 // Request is one solve submission. Matrix references a handle registered
@@ -79,6 +86,12 @@ type Request struct {
 	Seed    int64         `json:"seed,omitempty"`
 	// WantSolution includes the solution vector in the response.
 	WantSolution bool `json:"want_solution,omitempty"`
+	// Batch opts this request into multi-RHS coalescing: concurrent
+	// same-matrix, same-configuration requests merge into one batched
+	// solve that streams the operator once for all of them. Only the
+	// unpreconditioned single-node CG family (methods ideal/feir/afeir,
+	// no injection) is batchable; anything else solves solo as usual.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // Response reports one completed solve.
@@ -91,7 +104,11 @@ type Response struct {
 	Warm        bool          `json:"warm"`
 	Injected    int           `json:"injected"`
 	Stats       core.Stats    `json:"stats"`
-	X           []float64     `json:"x,omitempty"`
+	// BatchWidth is the number of requests that shared this solve's
+	// operator pass (0 or 1 = solved solo). Stats is the whole batch's
+	// aggregate for coalesced responses.
+	BatchWidth int       `json:"batch_width,omitempty"`
+	X          []float64 `json:"x,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -106,6 +123,14 @@ type Stats struct {
 	Cached      int   `json:"cached_matrices"`
 	CacheBytes  int64 `json:"cache_bytes"`
 	QueueLen    int   `json:"queue_len"`
+	// CacheHitRate is CacheHits/(CacheHits+CacheMisses); 0 before any
+	// lookup.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Batch occupancy: how many batched dispatches ran, how many
+	// requests they absorbed, and the mean width (coalesced/batches).
+	BatchesDispatched int64   `json:"batches_dispatched"`
+	RequestsCoalesced int64   `json:"requests_coalesced"`
+	MeanBatchWidth    float64 `json:"mean_batch_width"`
 }
 
 // pending is one queued request plus its completion channel.
@@ -138,6 +163,7 @@ type Server struct {
 	workers  sync.WaitGroup
 
 	accepted, rejected, completed, failed, warm int64
+	batches, coalesced                          int64
 }
 
 // New builds a server and starts its dispatchers.
@@ -163,6 +189,91 @@ func (s *Server) Cache() *registry.ContextCache { return s.cache }
 // it. Re-registering a handle replaces the context.
 func (s *Server) RegisterMatrix(key string, a *sparse.CSR, pageDoubles int) *registry.OperatorContext {
 	return s.cache.Put(key, a, pageDoubles)
+}
+
+// Prewarm deterministically fills the warm instance pool for req's
+// configuration: count instances are checked out together, each run once
+// (the first Run is what builds the prepared task graphs), then released
+// as a group. Traffic-based warmup grows the pool only as deep as the
+// checkouts that actually overlapped — scheduler luck — so a later burst
+// can still pay a construction mid-flight; after Prewarm(req, concurrent)
+// it cannot. A batch-opted request warms the batched pool at the
+// configured width instead of the solo pool. Prewarm bypasses admission
+// and leaves the serving stats untouched.
+func (s *Server) Prewarm(req *Request, count int) error {
+	octx, ok := s.cache.Get(req.Matrix)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMatrix, req.Matrix)
+	}
+	method, err := ParseMethod(req.Method)
+	if err != nil {
+		return err
+	}
+	ones := func() []float64 {
+		b := make([]float64, octx.A.N)
+		for k := range b {
+			b[k] = 1
+		}
+		return b
+	}
+	if s.batchable(req) {
+		width := s.batchWidth()
+		rhs := make([][]float64, width)
+		for j := range rhs {
+			rhs[j] = ones()
+		}
+		cfg := registry.Config{Config: core.Config{
+			Method: method, Workers: s.opts.Workers, PageDoubles: octx.PageDoubles,
+			Tol: req.Tol, MaxIter: req.MaxIter, TaskPriority: req.Priority,
+		}}
+		cos := make([]*registry.BatchCheckout, 0, count)
+		defer func() {
+			for _, co := range cos {
+				co.Release()
+			}
+		}()
+		for i := 0; i < count; i++ {
+			co, err := octx.CheckoutBatch("cg", rhs, width, cfg)
+			if err != nil {
+				return err
+			}
+			cos = append(cos, co)
+			if _, err := co.S.Run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	solver := req.Solver
+	if solver == "" {
+		solver = "cg"
+	}
+	cfg := registry.Config{
+		Config: core.Config{
+			Method: method, Workers: s.opts.Workers, PageDoubles: octx.PageDoubles,
+			Tol: req.Tol, MaxIter: req.MaxIter, UsePrecond: req.Precond,
+			TaskPriority: req.Priority,
+		},
+		Ranks: req.Ranks,
+	}
+	b := ones()
+	cos := make([]*registry.Checkout, 0, count)
+	defer func() {
+		for _, co := range cos {
+			co.Release()
+		}
+	}()
+	for i := 0; i < count; i++ {
+		co, err := octx.Checkout(solver, b, cfg)
+		if err != nil {
+			return err
+		}
+		cos = append(cos, co)
+		if _, err := co.Instance.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Submit runs one request to completion: admission, queueing, dispatch,
@@ -207,19 +318,31 @@ func (s *Server) Drain() {
 // Snapshot returns current server counters.
 func (s *Server) Snapshot() Stats {
 	hits, misses := s.cache.Counters()
+	var hitRate float64
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var meanWidth float64
+	if s.batches > 0 {
+		meanWidth = float64(s.coalesced) / float64(s.batches)
+	}
 	return Stats{
-		Accepted:    s.accepted,
-		Rejected:    s.rejected,
-		Completed:   s.completed,
-		Failed:      s.failed,
-		WarmSolves:  s.warm,
-		CacheHits:   hits,
-		CacheMisses: misses,
-		Cached:      s.cache.Len(),
-		CacheBytes:  s.cache.Bytes(),
-		QueueLen:    s.queue.Len(),
+		Accepted:          s.accepted,
+		Rejected:          s.rejected,
+		Completed:         s.completed,
+		Failed:            s.failed,
+		WarmSolves:        s.warm,
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		Cached:            s.cache.Len(),
+		CacheBytes:        s.cache.Bytes(),
+		QueueLen:          s.queue.Len(),
+		CacheHitRate:      hitRate,
+		BatchesDispatched: s.batches,
+		RequestsCoalesced: s.coalesced,
+		MeanBatchWidth:    meanWidth,
 	}
 }
 
@@ -240,6 +363,12 @@ func (s *Server) dispatch() {
 		s.inflight.Add(1)
 		s.mu.Unlock()
 
+		if s.batchable(p.req) {
+			if group := s.collectBatch(p); len(group) > 1 {
+				s.executeBatch(group)
+				continue
+			}
+		}
 		resp, err := s.execute(p)
 		s.mu.Lock()
 		if err != nil {

@@ -1,0 +1,106 @@
+package sparse
+
+// Batch vector kernels over interleaved multivectors (element (i, j) of
+// a width-b multivector at x[i*b+j]): the per-column-coefficient
+// analogues of the scalar range kernels, used by the batched CG
+// recurrences. Per column j each kernel performs the same floating-point
+// operations in the same ascending-row order as its scalar counterpart,
+// so a batched recurrence with coefficients (alpha[j], beta[j]) is
+// bitwise equal to b independent scalar recurrences. Ranges are ROW
+// ranges [lo, hi), not element ranges.
+
+// BatchXpbyOutRange computes, per row i in [lo, hi) and column j,
+// out[i*b+j] = x[i*b+j] + beta[j]*y[i*b+j]. A column with beta[j] == 0
+// takes the copy path instead — bitwise the scalar restart path, and
+// safe against non-finite garbage in a retired column's y.
+//
+//due:hotpath
+func BatchXpbyOutRange(x []float64, beta []float64, y, out []float64, b, lo, hi int) {
+	xs := x[lo*b : hi*b]
+	ys := y[lo*b : hi*b : hi*b]
+	os := out[lo*b : hi*b : hi*b]
+	bs := beta[:b:b]
+	j := 0 // rolling column slot: avoids a div per element
+	for i, v := range xs {
+		if bj := bs[j]; bj != 0 {
+			os[i] = v + bj*ys[i]
+		} else {
+			os[i] = v
+		}
+		if j++; j == b {
+			j = 0
+		}
+	}
+}
+
+// BatchAxpyRange computes y[i*b+j] += alpha[j]*x[i*b+j] for rows in
+// [lo, hi).
+//
+//due:hotpath
+func BatchAxpyRange(alpha []float64, x, y []float64, b, lo, hi int) {
+	xs := x[lo*b : hi*b]
+	ys := y[lo*b : hi*b : hi*b]
+	as := alpha[:b:b]
+	j := 0 // rolling column slot: avoids a div per element
+	for i, v := range xs {
+		ys[i] += as[j] * v
+		if j++; j == b {
+			j = 0
+		}
+	}
+}
+
+// BatchAxpyDotRange fuses the per-column axpy with the per-column
+// squared-norm partial of the UPDATED values: for rows in [lo, hi),
+// y[i*b+j] += alpha[j]*x[i*b+j] and yy[j] accumulates the new y² — the
+// batch analogue of AxpyDotRange (the resilient residual update).
+//
+//due:hotpath
+func BatchAxpyDotRange(alpha []float64, x, y []float64, b, lo, hi int, yy []float64) {
+	xs := x[lo*b : hi*b]
+	ys := y[lo*b : hi*b : hi*b]
+	as := alpha[:b:b]
+	yys := yy[:b:b]
+	j := 0 // rolling column slot: avoids a div per element
+	for i, v := range xs {
+		u := ys[i] + as[j]*v
+		ys[i] = u
+		yys[j] += u * u
+		if j++; j == b {
+			j = 0
+		}
+	}
+}
+
+// BatchDotRange accumulates the per-column partial inner products of two
+// interleaved multivectors over rows [lo, hi): out[j] += <x_j, y_j>.
+//
+//due:hotpath
+func BatchDotRange(x, y []float64, b, lo, hi int, out []float64) {
+	xs := x[lo*b : hi*b]
+	ys := y[lo*b : hi*b : hi*b]
+	os := out[:b:b]
+	j := 0 // rolling column slot: avoids a div per element
+	for i, v := range xs {
+		os[j] += v * ys[i]
+		if j++; j == b {
+			j = 0
+		}
+	}
+}
+
+// GatherColumn extracts column j of an interleaved width-b multivector
+// into dst (one element per row).
+func GatherColumn(x []float64, b, j int, dst []float64) {
+	for i := range dst {
+		dst[i] = x[i*b+j]
+	}
+}
+
+// ScatterColumn writes src (one element per row) into column j of an
+// interleaved width-b multivector.
+func ScatterColumn(src []float64, x []float64, b, j int) {
+	for i, v := range src {
+		x[i*b+j] = v
+	}
+}

@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"fmt"
+	"testing"
+)
+
+// stencil27 builds the nx^3 27-point stencil with a DIA shadow — the
+// qa8fm-analogue shape the serving bench solves.
+func stencil27(nx int) *CSR {
+	n := nx * nx * nx
+	var tr []Triplet
+	idx := func(i, j, k int) int { return (i*nx+j)*nx + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < nx; j++ {
+			for k := 0; k < nx; k++ {
+				r := idx(i, j, k)
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							ii, jj, kk := i+di, j+dj, k+dk
+							if ii < 0 || jj < 0 || kk < 0 || ii >= nx || jj >= nx || kk >= nx {
+								continue
+							}
+							v := -1.0
+							if di == 0 && dj == 0 && dk == 0 {
+								v = 27.0
+							}
+							tr = append(tr, Triplet{Row: r, Col: idx(ii, jj, kk), Val: v})
+						}
+					}
+				}
+			}
+		}
+	}
+	return NewCSRFromTriplets(n, n, tr)
+}
+
+func BenchmarkSpMMvsSpMV(b *testing.B) {
+	a := stencil27(16)
+	b.Logf("shadow=%s n=%d nnz=%d", a.ShadowName(), a.N, a.NNZ())
+	for _, w := range []int{1, 4, 8} {
+		x := make([]float64, a.N*w)
+		y := make([]float64, a.N*w)
+		xs := make([]float64, a.N)
+		ys := make([]float64, a.N)
+		for i := range x {
+			x[i] = float64(i%13) * 0.25
+		}
+		for i := range xs {
+			xs[i] = float64(i%13) * 0.25
+		}
+		b.Run(fmt.Sprintf("spmv-x%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < w; j++ {
+					a.MulVecRange(xs, ys, 0, a.N)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("spmm-w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.MulMatRange(x, y, w, 0, a.N)
+			}
+		})
+	}
+}
